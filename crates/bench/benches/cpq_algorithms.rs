@@ -1,0 +1,49 @@
+//! Criterion wall-clock benchmarks of the CPQ algorithms themselves — the
+//! CPU-time complement to the disk-access figures (the paper reports I/O;
+//! these confirm the CPU ranking tracks it).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cpq_bench::build_tree;
+use cpq_core::{
+    k_closest_pairs, k_closest_pairs_incremental, Algorithm, CpqConfig, IncrementalConfig,
+    Traversal,
+};
+use cpq_datasets::{clustered, uniform, ClusterSpec};
+
+fn bench_cpq(c: &mut Criterion) {
+    let p = clustered(5_000, ClusterSpec::default(), 11);
+    let q0 = uniform(5_000, 12);
+
+    for overlap in [0.0, 1.0] {
+        let q = q0.with_overlap(&p, overlap);
+        let tp = build_tree(&p).unwrap();
+        let tq = build_tree(&q).unwrap();
+        // Generous cache: wall-clock, not I/O, is measured here.
+        tp.pool().set_capacity(4096);
+        tq.pool().set_capacity(4096);
+
+        let mut group =
+            c.benchmark_group(format!("cpq_5k_overlap{:.0}pct", overlap * 100.0));
+        group.sample_size(20);
+        for k in [1usize, 100] {
+            for alg in Algorithm::EVALUATED {
+                group.bench_function(format!("{}_k{k}", alg.label()), |b| {
+                    b.iter(|| {
+                        k_closest_pairs(&tp, &tq, k, alg, &CpqConfig::paper()).unwrap()
+                    })
+                });
+            }
+            group.bench_function(format!("SML_k{k}"), |b| {
+                let cfg = IncrementalConfig {
+                    traversal: Traversal::Simultaneous,
+                    ..Default::default()
+                };
+                b.iter(|| k_closest_pairs_incremental(&tp, &tq, k, &cfg).unwrap())
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_cpq);
+criterion_main!(benches);

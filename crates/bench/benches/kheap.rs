@@ -1,0 +1,86 @@
+//! Criterion microbenchmarks of the auxiliary structures: the K-heap
+//! (Section 3.8) and the sorting algorithms of STD's footnote-2 ablation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cpq_core::{KHeap, PairResult, SortAlgorithm};
+use cpq_geo::Point;
+use cpq_rtree::LeafEntry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_pairs(n: usize, seed: u64) -> Vec<PairResult<2>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            PairResult::new(
+                LeafEntry::new(
+                    Point([rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0)]),
+                    i as u64,
+                ),
+                LeafEntry::new(
+                    Point([rng.random_range(0.0..1000.0), rng.random_range(0.0..1000.0)]),
+                    i as u64,
+                ),
+            )
+        })
+        .collect()
+}
+
+fn bench_kheap(c: &mut Criterion) {
+    let pairs = random_pairs(10_000, 1);
+    let mut group = c.benchmark_group("kheap");
+    for k in [1usize, 100, 10_000] {
+        group.bench_function(format!("offer_10k_pairs_k{k}"), |b| {
+            b.iter_batched(
+                || pairs.clone(),
+                |pairs| {
+                    let mut h = KHeap::new(k);
+                    for p in pairs {
+                        h.offer(black_box(p));
+                    }
+                    h.threshold()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_sorting(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    // A node pair's candidate list is at most (M+1)^2 = 484 entries; bench
+    // the realistic 441 and a stress size.
+    for n in [441usize, 4096] {
+        let data: Vec<(f64, u64)> = (0..n)
+            .map(|i| (rng.random_range(0.0..100.0), i as u64))
+            .collect();
+        let mut group = c.benchmark_group(format!("sorting_n{n}"));
+        for algo in SortAlgorithm::ALL {
+            // Quadratic sorts are too slow for the stress size.
+            if n > 1000
+                && matches!(
+                    algo,
+                    SortAlgorithm::Insertion | SortAlgorithm::Selection | SortAlgorithm::Bubble
+                )
+            {
+                continue;
+            }
+            group.bench_function(algo.label(), |b| {
+                b.iter_batched(
+                    || data.clone(),
+                    |mut d| {
+                        algo.sort_by(&mut d, |a, b| a.0.total_cmp(&b.0));
+                        d[0].1
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_kheap, bench_sorting);
+criterion_main!(benches);

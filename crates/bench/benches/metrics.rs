@@ -1,0 +1,87 @@
+//! Criterion microbenchmarks of the geometric metric kernels — the inner
+//! loop of every CPQ algorithm (each internal node pair evaluates up to
+//! M × M = 441 MINMINDIST calls).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cpq_geo::{max_max_dist2, min_max_dist2, min_min_dist2, pt_dist2, Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_rects(n: usize, seed: u64) -> Vec<Rect<2>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let x = rng.random_range(0.0..1000.0);
+            let y = rng.random_range(0.0..1000.0);
+            let w = rng.random_range(0.0..50.0);
+            let h = rng.random_range(0.0..50.0);
+            Rect::from_corners([x, y], [x + w, y + h])
+        })
+        .collect()
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let rects = random_rects(256, 1);
+    let points: Vec<Point<2>> = rects.iter().map(|r| r.center()).collect();
+
+    let mut group = c.benchmark_group("metrics");
+    group.bench_function("pt_dist2", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for w in points.windows(2) {
+                acc += pt_dist2(black_box(&w[0]), black_box(&w[1])).get();
+            }
+            acc
+        })
+    });
+    group.bench_function("min_min_dist2", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for w in rects.windows(2) {
+                acc += min_min_dist2(black_box(&w[0]), black_box(&w[1])).get();
+            }
+            acc
+        })
+    });
+    group.bench_function("max_max_dist2", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for w in rects.windows(2) {
+                acc += max_max_dist2(black_box(&w[0]), black_box(&w[1])).get();
+            }
+            acc
+        })
+    });
+    group.bench_function("min_max_dist2", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for w in rects.windows(2) {
+                acc += min_max_dist2(black_box(&w[0]), black_box(&w[1])).get();
+            }
+            acc
+        })
+    });
+    // The full per-node-pair workload: the M x M candidate matrix.
+    group.bench_function("node_pair_candidate_matrix_21x21", |b| {
+        let a = &rects[..21];
+        let q = &rects[21..42];
+        b.iter_batched(
+            || (),
+            |_| {
+                let mut best = f64::INFINITY;
+                for ra in a {
+                    for rb in q {
+                        best = best.min(min_min_dist2(black_box(ra), black_box(rb)).get());
+                    }
+                }
+                best
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion benchmarks of the R*-tree substrate: insertion, bulk loading,
+//! and the classical query operations.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cpq_datasets::{uniform, Dataset};
+use cpq_geo::{Point, Rect};
+use cpq_rtree::{RTree, RTreeParams};
+use cpq_storage::{BufferPool, MemPageFile, DEFAULT_PAGE_SIZE};
+use std::hint::black_box;
+
+fn pool() -> BufferPool {
+    BufferPool::with_lru(Box::new(MemPageFile::new(DEFAULT_PAGE_SIZE)), 512)
+}
+
+fn insert_all(ds: &Dataset) -> RTree<2> {
+    let mut tree = RTree::new(pool(), RTreeParams::paper()).unwrap();
+    for (i, &p) in ds.points.iter().enumerate() {
+        tree.insert(p, i as u64).unwrap();
+    }
+    tree
+}
+
+fn bench_build(c: &mut Criterion) {
+    let ds = uniform(10_000, 1);
+    let mut group = c.benchmark_group("rtree_build_10k");
+    group.sample_size(10);
+    group.bench_function("insert", |b| {
+        b.iter_batched(|| &ds, insert_all, BatchSize::PerIteration)
+    });
+    group.bench_function("bulk_str_100", |b| {
+        let pairs = ds.indexed();
+        b.iter_batched(
+            || pairs.clone(),
+            |pairs| RTree::bulk_load(pool(), RTreeParams::paper(), &pairs, 1.0).unwrap(),
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let ds = uniform(20_000, 2);
+    let tree = insert_all(&ds);
+    let mut group = c.benchmark_group("rtree_query_20k");
+    group.bench_function("knn_10", |b| {
+        let q = Point([500.0, 500.0]);
+        b.iter(|| tree.knn(black_box(&q), 10).unwrap())
+    });
+    group.bench_function("range_1pct", |b| {
+        let w = Rect::from_corners([450.0, 450.0], [550.0, 550.0]);
+        b.iter(|| tree.range_query(black_box(&w)).unwrap())
+    });
+    group.bench_function("point_lookup", |b| {
+        let p = ds.points[777];
+        b.iter(|| tree.contains(black_box(&p), 777).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_queries);
+criterion_main!(benches);

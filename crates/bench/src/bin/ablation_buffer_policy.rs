@@ -1,0 +1,8 @@
+//! Regenerates the paper series produced by `figures::ablation_buffer_policy`.
+//! Usage: cargo run -p cpq-bench --release --bin ablation_buffer_policy [--scale S] [--out DIR] [--no-csv]
+
+fn main() {
+    let args = cpq_bench::Args::parse();
+    let tables = cpq_bench::figures::ablation_buffer_policy(args.scale()).expect("experiment failed");
+    cpq_bench::emit(&tables, &args);
+}

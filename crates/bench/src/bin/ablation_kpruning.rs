@@ -1,0 +1,8 @@
+//! Regenerates the paper series produced by `figures::ablation_kpruning`.
+//! Usage: cargo run -p cpq-bench --release --bin ablation_kpruning [--scale S] [--out DIR] [--no-csv]
+
+fn main() {
+    let args = cpq_bench::Args::parse();
+    let tables = cpq_bench::figures::ablation_kpruning(args.scale()).expect("experiment failed");
+    cpq_bench::emit(&tables, &args);
+}

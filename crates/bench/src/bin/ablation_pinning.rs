@@ -1,0 +1,8 @@
+//! Regenerates the series produced by `figures::ablation_pinning`.
+//! Usage: cargo run -p cpq-bench --release --bin ablation_pinning [--scale S] [--out DIR] [--no-csv]
+
+fn main() {
+    let args = cpq_bench::Args::parse();
+    let tables = cpq_bench::figures::ablation_pinning(args.scale()).expect("experiment failed");
+    cpq_bench::emit(&tables, &args);
+}

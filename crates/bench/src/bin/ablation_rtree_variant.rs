@@ -1,0 +1,8 @@
+//! Regenerates the series produced by `figures::ablation_rtree_variant`.
+//! Usage: cargo run -p cpq-bench --release --bin ablation_rtree_variant [--scale S] [--out DIR] [--no-csv]
+
+fn main() {
+    let args = cpq_bench::Args::parse();
+    let tables = cpq_bench::figures::ablation_rtree_variant(args.scale()).expect("experiment failed");
+    cpq_bench::emit(&tables, &args);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper series produced by `figures::ablation_sorting`.
+//! Usage: cargo run -p cpq-bench --release --bin ablation_sorting [--scale S] [--out DIR] [--no-csv]
+
+fn main() {
+    let args = cpq_bench::Args::parse();
+    let tables = cpq_bench::figures::ablation_sorting(args.scale()).expect("experiment failed");
+    cpq_bench::emit(&tables, &args);
+}

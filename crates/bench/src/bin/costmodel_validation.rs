@@ -1,0 +1,8 @@
+//! Regenerates the series produced by `figures::costmodel_validation`.
+//! Usage: cargo run -p cpq-bench --release --bin costmodel_validation [--scale S] [--out DIR] [--no-csv]
+
+fn main() {
+    let args = cpq_bench::Args::parse();
+    let tables = cpq_bench::figures::costmodel_validation(args.scale()).expect("experiment failed");
+    cpq_bench::emit(&tables, &args);
+}

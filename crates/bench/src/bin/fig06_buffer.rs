@@ -1,0 +1,8 @@
+//! Regenerates the paper series produced by `figures::fig06`.
+//! Usage: cargo run -p cpq-bench --release --bin fig06_buffer [--scale S] [--out DIR] [--no-csv]
+
+fn main() {
+    let args = cpq_bench::Args::parse();
+    let tables = cpq_bench::figures::fig06(args.scale()).expect("experiment failed");
+    cpq_bench::emit(&tables, &args);
+}

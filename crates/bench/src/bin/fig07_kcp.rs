@@ -1,0 +1,8 @@
+//! Regenerates the paper series produced by `figures::fig07`.
+//! Usage: cargo run -p cpq-bench --release --bin fig07_kcp [--scale S] [--out DIR] [--no-csv]
+
+fn main() {
+    let args = cpq_bench::Args::parse();
+    let tables = cpq_bench::figures::fig07(args.scale()).expect("experiment failed");
+    cpq_bench::emit(&tables, &args);
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper series produced by `figures::fig08`.
+//! Usage: cargo run -p cpq-bench --release --bin fig08_overlap_k [--scale S] [--out DIR] [--no-csv]
+
+fn main() {
+    let args = cpq_bench::Args::parse();
+    let tables = cpq_bench::figures::fig08(args.scale()).expect("experiment failed");
+    cpq_bench::emit(&tables, &args);
+}

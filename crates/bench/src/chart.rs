@@ -1,0 +1,231 @@
+//! Terminal line charts for experiment series — the paper presents its
+//! results as (often log-scale) plots, so the harness can too.
+
+use std::fmt::Write as _;
+
+/// A chart: one x-axis, any number of named numeric series.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    /// Title printed above the plot.
+    pub title: String,
+    /// Labels along the x axis (one per sample position).
+    pub x_labels: Vec<String>,
+    /// Named series; each must have `x_labels.len()` samples.
+    pub series: Vec<(String, Vec<f64>)>,
+    /// Log₁₀ y axis (the paper's figures 3, 9 and 10 are log scale).
+    pub log_y: bool,
+}
+
+/// Glyphs used for the first eight series.
+const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+impl Chart {
+    /// Builds a chart; panics when a series' arity mismatches the x axis.
+    pub fn new(
+        title: impl Into<String>,
+        x_labels: Vec<String>,
+        series: Vec<(String, Vec<f64>)>,
+        log_y: bool,
+    ) -> Self {
+        let x_labels_len = x_labels.len();
+        for (name, data) in &series {
+            assert_eq!(
+                data.len(),
+                x_labels_len,
+                "series {name:?} arity mismatch"
+            );
+        }
+        Chart {
+            title: title.into(),
+            x_labels,
+            series,
+            log_y,
+        }
+    }
+
+    fn transform(&self, v: f64) -> f64 {
+        if self.log_y {
+            v.max(f64::MIN_POSITIVE).log10()
+        } else {
+            v
+        }
+    }
+
+    /// Renders the chart into a `width × height` character plot area with
+    /// axes and a legend.
+    pub fn render(&self, width: usize, height: usize) -> String {
+        assert!(width >= 8 && height >= 4, "plot area too small");
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}{}", self.title, if self.log_y { " (log y)" } else { "" });
+        if self.series.is_empty() || self.x_labels.is_empty() {
+            let _ = writeln!(out, "(no data)");
+            return out;
+        }
+
+        let values: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|(_, d)| d.iter().map(|&v| self.transform(v)))
+            .filter(|v| v.is_finite())
+            .collect();
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let span = if (hi - lo).abs() < 1e-12 { 1.0 } else { hi - lo };
+
+        // Grid of rows; row 0 is the top.
+        let mut grid = vec![vec![' '; width]; height];
+        let n = self.x_labels.len();
+        let x_of = |i: usize| -> usize {
+            if n == 1 {
+                width / 2
+            } else {
+                i * (width - 1) / (n - 1)
+            }
+        };
+        for (si, (_, data)) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for (i, &v) in data.iter().enumerate() {
+                let t = self.transform(v);
+                if !t.is_finite() {
+                    continue;
+                }
+                let frac = (t - lo) / span;
+                let row = height - 1 - ((frac * (height - 1) as f64).round() as usize).min(height - 1);
+                let col = x_of(i);
+                // Later series overwrite; collisions show the last glyph.
+                grid[row][col] = glyph;
+            }
+        }
+
+        // Y-axis labels on the first, middle and last rows.
+        let label_of = |frac: f64| -> String {
+            let t = lo + frac * span;
+            let v = if self.log_y { 10f64.powf(t) } else { t };
+            if v.abs() >= 1000.0 {
+                format!("{:.0}", v)
+            } else {
+                format!("{:.3}", v)
+            }
+        };
+        let ytop = label_of(1.0);
+        let ymid = label_of(0.5);
+        let ybot = label_of(0.0);
+        let ylab_w = ytop.len().max(ymid.len()).max(ybot.len());
+        for (r, row) in grid.iter().enumerate() {
+            let label = if r == 0 {
+                &ytop
+            } else if r == height / 2 {
+                &ymid
+            } else if r == height - 1 {
+                &ybot
+            } else {
+                ""
+            };
+            let line: String = row.iter().collect();
+            let _ = writeln!(out, "{label:>ylab_w$} |{line}");
+        }
+        // X axis.
+        let _ = writeln!(out, "{:>ylab_w$} +{}", "", "-".repeat(width));
+        let first = self.x_labels.first().cloned().unwrap_or_default();
+        let last = self.x_labels.last().cloned().unwrap_or_default();
+        let gap = width.saturating_sub(first.len() + last.len());
+        let _ = writeln!(out, "{:>ylab_w$}  {first}{}{last}", "", " ".repeat(gap));
+        // Legend.
+        let legend: Vec<String> = self
+            .series
+            .iter()
+            .enumerate()
+            .map(|(i, (name, _))| format!("{} {name}", GLYPHS[i % GLYPHS.len()]))
+            .collect();
+        let _ = writeln!(out, "{:>ylab_w$}  {}", "", legend.join("   "));
+        out
+    }
+}
+
+impl crate::table::Table {
+    /// Interprets the table as a chart: the first column becomes the x axis
+    /// and every fully-numeric later column a series. Returns `None` when
+    /// fewer than two numeric columns parse.
+    pub fn to_chart(&self, log_y: bool) -> Option<Chart> {
+        if self.rows.is_empty() || self.columns.len() < 2 {
+            return None;
+        }
+        let x_labels: Vec<String> = self.rows.iter().map(|r| r[0].clone()).collect();
+        let mut series = Vec::new();
+        for c in 1..self.columns.len() {
+            let parsed: Option<Vec<f64>> = self
+                .rows
+                .iter()
+                .map(|r| r[c].parse::<f64>().ok())
+                .collect();
+            if let Some(data) = parsed {
+                series.push((self.columns[c].clone(), data));
+            }
+        }
+        if series.is_empty() {
+            return None;
+        }
+        Some(Chart::new(self.title.clone(), x_labels, series, log_y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Table;
+
+    #[test]
+    fn renders_monotone_series() {
+        let chart = Chart::new(
+            "demo",
+            vec!["1".into(), "10".into(), "100".into()],
+            vec![
+                ("up".into(), vec![1.0, 10.0, 100.0]),
+                ("down".into(), vec![100.0, 10.0, 1.0]),
+            ],
+            true,
+        );
+        let s = chart.render(30, 8);
+        assert!(s.contains("## demo (log y)"));
+        assert!(s.contains("* up"));
+        assert!(s.contains("o down"));
+        // The up-series' first point is at the bottom-left; down's at top-left.
+        let rows: Vec<&str> = s.lines().collect();
+        let top_plot = rows[1];
+        assert!(top_plot.contains('o') || rows[2].contains('o'));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let chart = Chart::new(
+            "flat",
+            vec!["a".into(), "b".into()],
+            vec![("c".into(), vec![5.0, 5.0])],
+            false,
+        );
+        let s = chart.render(20, 5);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn table_to_chart_extracts_numeric_columns() {
+        let mut t = Table::new("T", &["K", "STD", "note"]);
+        t.push_row(vec!["1".into(), "10".into(), "fast".into()]);
+        t.push_row(vec!["10".into(), "100".into(), "slow".into()]);
+        let chart = t.to_chart(true).unwrap();
+        assert_eq!(chart.series.len(), 1, "non-numeric column skipped");
+        assert_eq!(chart.x_labels, vec!["1", "10"]);
+    }
+
+    #[test]
+    fn empty_table_yields_no_chart() {
+        let t = Table::new("T", &["a", "b"]);
+        assert!(t.to_chart(false).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let _ = Chart::new("x", vec!["a".into()], vec![("s".into(), vec![1.0, 2.0])], false);
+    }
+}

@@ -1,0 +1,139 @@
+//! Experiment result tables: aligned console output plus CSV files.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A simple result table with a title, column headers, and string cells.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Title printed above the table and used as the CSV file stem.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells; each must have `columns.len()` entries.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics when the arity does not match the headers.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row arity mismatch in table {:?}",
+            self.title
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+            .collect();
+        let _ = writeln!(out, "| {} |", header.join(" | "));
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "|-{}-|", rule.join("-|-"));
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect();
+            let _ = writeln!(out, "| {} |", cells.join(" | "));
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// Writes the table as CSV under `dir`, named after the title.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        fs::create_dir_all(dir)?;
+        let stem: String = self
+            .title
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect();
+        let path = dir.join(format!("{stem}.csv"));
+        let mut body = String::new();
+        let _ = writeln!(body, "{}", self.columns.join(","));
+        for row in &self.rows {
+            let escaped: Vec<String> = row
+                .iter()
+                .map(|c| {
+                    if c.contains(',') || c.contains('"') {
+                        format!("\"{}\"", c.replace('"', "\"\""))
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect();
+            let _ = writeln!(body, "{}", escaped.join(","));
+        }
+        fs::write(&path, body)?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.push_row(vec!["alpha".into(), "1".into()]);
+        t.push_row(vec!["b".into(), "12345".into()]);
+        let s = t.render();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("| alpha | 1     |"));
+        assert!(s.contains("| b     | 12345 |"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_checked() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut t = Table::new("CSV Demo 1", &["a", "b"]);
+        t.push_row(vec!["x,y".into(), "z\"q".into()]);
+        let dir = std::env::temp_dir().join(format!("cpq-table-{}", std::process::id()));
+        let path = t.write_csv(&dir).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("a,b\n"));
+        assert!(body.contains("\"x,y\",\"z\"\"q\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

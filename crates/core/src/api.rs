@@ -1,0 +1,125 @@
+//! Public entry points for the non-incremental algorithms.
+
+use crate::config::CpqConfig;
+use crate::engine::Ctx;
+use crate::heap_alg::heap_run;
+use crate::recursive::{exhaustive, naive, simple, sorted};
+use crate::types::{CpqStats, QueryOutcome};
+use cpq_geo::SpatialObject;
+use cpq_rtree::{RTree, RTreeResult};
+
+/// The five algorithms of the paper (Sections 3.1–3.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Recursive, no pruning at all (Section 3.1). Exponentially expensive;
+    /// included for completeness and testing only.
+    Naive,
+    /// EXH — recursive with `MINMINDIST ≤ T` pruning (Section 3.2).
+    Exhaustive,
+    /// SIM — EXH plus eager `T` tightening via Inequality 2 (Section 3.3).
+    Simple,
+    /// STD — SIM plus ascending-MINMINDIST candidate ordering (Section 3.4).
+    SortedDistances,
+    /// HEAP — the iterative variant driven by a global min-heap
+    /// (Section 3.5).
+    Heap,
+}
+
+impl Algorithm {
+    /// The four algorithms the paper evaluates (Naive is excluded there
+    /// too, Section 4).
+    pub const EVALUATED: [Algorithm; 4] = [
+        Algorithm::Exhaustive,
+        Algorithm::Simple,
+        Algorithm::SortedDistances,
+        Algorithm::Heap,
+    ];
+
+    /// Short label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::Naive => "NAIVE",
+            Algorithm::Exhaustive => "EXH",
+            Algorithm::Simple => "SIM",
+            Algorithm::SortedDistances => "STD",
+            Algorithm::Heap => "HEAP",
+        }
+    }
+}
+
+/// Finds the `K` closest pairs between the points of `tree_p` and `tree_q`.
+///
+/// Returns pairs sorted by ascending distance (fewer than `K` when
+/// `K > |P| · |Q|`). Work counters, including the paper's disk-access
+/// metric, are in [`QueryOutcome::stats`].
+///
+/// `K = 1` automatically enables the 1-CP special case: the `MINMAXDIST`
+/// bound of Inequality 2 (Sections 3.3–3.5).
+pub fn k_closest_pairs<const D: usize, O: SpatialObject<D>>(
+    tree_p: &RTree<D, O>,
+    tree_q: &RTree<D, O>,
+    k: usize,
+    algorithm: Algorithm,
+    config: &CpqConfig,
+) -> RTreeResult<QueryOutcome<D, O>> {
+    run(tree_p, tree_q, k, algorithm, config, false)
+}
+
+/// The 1-CP convenience wrapper: the single closest pair.
+pub fn closest_pair<const D: usize, O: SpatialObject<D>>(
+    tree_p: &RTree<D, O>,
+    tree_q: &RTree<D, O>,
+    algorithm: Algorithm,
+    config: &CpqConfig,
+) -> RTreeResult<QueryOutcome<D, O>> {
+    k_closest_pairs(tree_p, tree_q, 1, algorithm, config)
+}
+
+/// Self-CPQ (Section 6, future work): the `K` closest pairs **within** one
+/// data set, pairing distinct points only and counting each unordered pair
+/// once (results have `p.oid < q.oid`).
+pub fn self_closest_pairs<const D: usize, O: SpatialObject<D>>(
+    tree: &RTree<D, O>,
+    k: usize,
+    algorithm: Algorithm,
+    config: &CpqConfig,
+) -> RTreeResult<QueryOutcome<D, O>> {
+    run(tree, tree, k, algorithm, config, true)
+}
+
+fn run<const D: usize, O: SpatialObject<D>>(
+    tree_p: &RTree<D, O>,
+    tree_q: &RTree<D, O>,
+    k: usize,
+    algorithm: Algorithm,
+    config: &CpqConfig,
+    self_join: bool,
+) -> RTreeResult<QueryOutcome<D, O>> {
+    let misses_before = (
+        tree_p.pool().buffer_stats().misses,
+        tree_q.pool().buffer_stats().misses,
+    );
+    if k == 0 || tree_p.is_empty() || tree_q.is_empty() {
+        return Ok(QueryOutcome {
+            pairs: Vec::new(),
+            stats: CpqStats::default(),
+        });
+    }
+    let mut ctx = Ctx::new(tree_p, tree_q, k, config, self_join);
+
+    // CP1: start from the two roots (one page access each; for a self-join
+    // the second read hits the same pool).
+    let root_p = tree_p.read_node(tree_p.root())?;
+    let root_q = tree_q.read_node(tree_q.root())?;
+    ctx.root_area_p = root_p.mbr().expect("non-empty root").area();
+    ctx.root_area_q = root_q.mbr().expect("non-empty root").area();
+
+    match algorithm {
+        Algorithm::Naive => naive(&mut ctx, &root_p, &root_q)?,
+        Algorithm::Exhaustive => exhaustive(&mut ctx, &root_p, &root_q)?,
+        Algorithm::Simple => simple(&mut ctx, &root_p, &root_q)?,
+        Algorithm::SortedDistances => sorted(&mut ctx, &root_p, &root_q)?,
+        Algorithm::Heap => heap_run(&mut ctx, &root_p, &root_q)?,
+    }
+    Ok(ctx.finish(misses_before))
+}

@@ -1,0 +1,183 @@
+//! Parallel batch query execution.
+//!
+//! The paper's cost model is single-query disk accesses, but a production
+//! deployment answers *streams* of queries. Both [`RTree`] and its
+//! [`BufferPool`](cpq_storage::BufferPool) are `Sync` (the pool serializes
+//! page faults internally), so read-only queries parallelize with scoped
+//! threads and no cloning. Results are returned in input order.
+//!
+//! Counters caveat: buffer statistics are shared, so per-query disk-access
+//! attribution is not meaningful under parallelism — batch functions return
+//! only results, and callers read pool totals if needed.
+
+use crate::config::CpqConfig;
+use crate::types::PairResult;
+use crate::Algorithm;
+use cpq_geo::{Point, SpatialObject};
+use cpq_rtree::{KnnNeighbor, RTree, RTreeError, RTreeResult};
+
+/// Splits `items` into at most `threads` contiguous chunks.
+fn chunks(n: usize, threads: usize) -> Vec<(usize, usize)> {
+    let threads = threads.clamp(1, n.max(1));
+    let per = n.div_ceil(threads);
+    (0..n)
+        .step_by(per.max(1))
+        .map(|start| (start, (start + per).min(n)))
+        .collect()
+}
+
+/// Answers one K-nearest-neighbor query per point of `queries`, in
+/// parallel across `threads` worker threads. Results are in query order.
+pub fn parallel_knn<const D: usize, O: SpatialObject<D>>(
+    tree: &RTree<D, O>,
+    queries: &[Point<D>],
+    k: usize,
+    threads: usize,
+) -> RTreeResult<Vec<Vec<KnnNeighbor<D, O>>>> {
+    let ranges = chunks(queries.len(), threads);
+    let mut results: Vec<Option<Vec<Vec<KnnNeighbor<D, O>>>>> = Vec::new();
+    results.resize_with(ranges.len(), || None);
+    let mut first_error: Option<RTreeError> = None;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                scope.spawn(move || -> RTreeResult<Vec<Vec<KnnNeighbor<D, O>>>> {
+                    queries[lo..hi].iter().map(|q| tree.knn(q, k)).collect()
+                })
+            })
+            .collect();
+        for (slot, handle) in results.iter_mut().zip(handles) {
+            match handle.join().expect("query worker panicked") {
+                Ok(chunk) => *slot = Some(chunk),
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+    });
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    Ok(results
+        .into_iter()
+        .flat_map(|chunk| chunk.expect("no error implies all chunks present"))
+        .collect())
+}
+
+/// Runs many independent K-CPQ probes — one per `(k, algorithm)` request —
+/// against the same pair of trees, in parallel. Used by parameter sweeps.
+pub fn parallel_kcpq<const D: usize, O: SpatialObject<D>>(
+    tree_p: &RTree<D, O>,
+    tree_q: &RTree<D, O>,
+    requests: &[(usize, Algorithm)],
+    config: &CpqConfig,
+    threads: usize,
+) -> RTreeResult<Vec<Vec<PairResult<D, O>>>> {
+    let ranges = chunks(requests.len(), threads);
+    let mut results: Vec<Option<Vec<Vec<PairResult<D, O>>>>> = Vec::new();
+    results.resize_with(ranges.len(), || None);
+    let mut first_error: Option<RTreeError> = None;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                scope.spawn(move || -> RTreeResult<Vec<Vec<PairResult<D, O>>>> {
+                    requests[lo..hi]
+                        .iter()
+                        .map(|&(k, alg)| {
+                            crate::k_closest_pairs(tree_p, tree_q, k, alg, config)
+                                .map(|o| o.pairs)
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        for (slot, handle) in results.iter_mut().zip(handles) {
+            match handle.join().expect("query worker panicked") {
+                Ok(chunk) => *slot = Some(chunk),
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+    });
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    Ok(results
+        .into_iter()
+        .flat_map(|chunk| chunk.expect("no error implies all chunks present"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpq_rtree::RTreeParams;
+    use cpq_storage::{BufferPool, MemPageFile};
+    use rand::{Rng, SeedableRng};
+
+    fn tree_with(n: usize, seed: u64) -> (RTree<2>, Vec<Point<2>>) {
+        let pool = BufferPool::with_lru(Box::new(MemPageFile::new(1024)), 128);
+        let mut tree = RTree::new(pool, RTreeParams::paper()).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let pts: Vec<Point<2>> = (0..n)
+            .map(|_| Point([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]))
+            .collect();
+        for (i, &p) in pts.iter().enumerate() {
+            tree.insert(p, i as u64).unwrap();
+        }
+        (tree, pts)
+    }
+
+    #[test]
+    fn parallel_knn_matches_sequential() {
+        let (tree, pts) = tree_with(1500, 1);
+        let queries: Vec<Point<2>> = pts.iter().step_by(30).copied().collect();
+        let par = parallel_knn(&tree, &queries, 5, 4).unwrap();
+        assert_eq!(par.len(), queries.len());
+        for (q, result) in queries.iter().zip(&par) {
+            let seq = tree.knn(q, 5).unwrap();
+            assert_eq!(result.len(), seq.len());
+            for (a, b) in result.iter().zip(&seq) {
+                assert_eq!(a.dist2, b.dist2, "parallel knn diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_kcpq_matches_sequential() {
+        let (tp, _) = tree_with(600, 2);
+        let (tq, _) = tree_with(600, 3);
+        let cfg = CpqConfig::paper();
+        let requests: Vec<(usize, Algorithm)> = [1usize, 5, 20]
+            .iter()
+            .flat_map(|&k| Algorithm::EVALUATED.iter().map(move |&a| (k, a)))
+            .collect();
+        let par = parallel_kcpq(&tp, &tq, &requests, &cfg, 4).unwrap();
+        for (&(k, alg), result) in requests.iter().zip(&par) {
+            let seq = crate::k_closest_pairs(&tp, &tq, k, alg, &cfg).unwrap();
+            assert_eq!(result.len(), seq.pairs.len());
+            for (a, b) in result.iter().zip(&seq.pairs) {
+                assert!((a.dist2.get() - b.dist2.get()).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_thread_counts() {
+        let (tree, pts) = tree_with(100, 4);
+        // More threads than queries; one thread; empty query set.
+        for threads in [1usize, 64] {
+            let out = parallel_knn(&tree, &pts[..3], 2, threads).unwrap();
+            assert_eq!(out.len(), 3);
+        }
+        let out = parallel_knn(&tree, &[], 2, 4).unwrap();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! Brute-force reference implementations, used by the test-suite and the
+//! benchmark harness to verify every tree-based algorithm.
+
+use crate::types::PairResult;
+use cpq_geo::SpatialObject;
+use cpq_rtree::LeafEntry;
+
+/// The `K` closest pairs between two object slices, by exhaustive scan.
+/// Pairs are returned sorted by ascending distance.
+pub fn k_closest_pairs_brute<const D: usize, O: SpatialObject<D>>(
+    ps: &[(O, u64)],
+    qs: &[(O, u64)],
+    k: usize,
+) -> Vec<PairResult<D, O>> {
+    let mut all: Vec<PairResult<D, O>> = Vec::with_capacity(ps.len() * qs.len());
+    for &(p, poid) in ps {
+        for &(q, qoid) in qs {
+            all.push(PairResult::new(
+                LeafEntry::new(p, poid),
+                LeafEntry::new(q, qoid),
+            ));
+        }
+    }
+    all.sort_by_key(|a| a.dist2);
+    all.truncate(k);
+    all
+}
+
+/// The `K` closest pairs **within** one set (unordered pairs of distinct
+/// points), sorted ascending; results have `p.oid < q.oid`.
+pub fn self_k_closest_pairs_brute<const D: usize, O: SpatialObject<D>>(
+    ps: &[(O, u64)],
+    k: usize,
+) -> Vec<PairResult<D, O>> {
+    let mut all: Vec<PairResult<D, O>> = Vec::new();
+    for (i, &(p, poid)) in ps.iter().enumerate() {
+        for &(q, qoid) in &ps[i + 1..] {
+            let (a, b) = if poid < qoid {
+                ((p, poid), (q, qoid))
+            } else {
+                ((q, qoid), (p, poid))
+            };
+            all.push(PairResult::new(
+                LeafEntry::new(a.0, a.1),
+                LeafEntry::new(b.0, b.1),
+            ));
+        }
+    }
+    all.sort_by_key(|a| a.dist2);
+    all.truncate(k);
+    all
+}
+
+/// The all-nearest-neighbor join by exhaustive scan: for each point of `ps`
+/// its nearest point in `qs`, sorted by ascending distance.
+pub fn semi_closest_pairs_brute<const D: usize, O: SpatialObject<D>>(
+    ps: &[(O, u64)],
+    qs: &[(O, u64)],
+) -> Vec<PairResult<D, O>> {
+    let mut out: Vec<PairResult<D, O>> = ps
+        .iter()
+        .map(|&(p, poid)| {
+            let (q, qoid) = qs
+                .iter()
+                .min_by(|a, b| {
+                    cpq_geo::min_min_dist2(&p.mbr(), &a.0.mbr())
+                        .cmp(&cpq_geo::min_min_dist2(&p.mbr(), &b.0.mbr()))
+                })
+                .copied()
+                .expect("qs must be non-empty");
+            PairResult::new(LeafEntry::new(p, poid), LeafEntry::new(q, qoid))
+        })
+        .collect();
+    out.sort_by_key(|a| a.dist2);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpq_geo::Point;
+
+    fn pts(v: &[[f64; 2]]) -> Vec<(Point<2>, u64)> {
+        v.iter()
+            .enumerate()
+            .map(|(i, &c)| (Point(c), i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn brute_pairs_ordered_and_truncated() {
+        let ps = pts(&[[0.0, 0.0], [10.0, 0.0]]);
+        let qs = pts(&[[1.0, 0.0], [20.0, 0.0]]);
+        let got = k_closest_pairs_brute(&ps, &qs, 2);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].dist2.get(), 1.0); // (0,0)-(1,0)
+        assert_eq!(got[1].dist2.get(), 81.0); // (10,0)-(1,0)
+    }
+
+    #[test]
+    fn self_brute_excludes_self_pairs() {
+        let ps = pts(&[[0.0, 0.0], [1.0, 0.0], [5.0, 0.0]]);
+        let got = self_k_closest_pairs_brute(&ps, 10);
+        assert_eq!(got.len(), 3); // C(3,2)
+        assert_eq!(got[0].dist2.get(), 1.0);
+        assert!(got.iter().all(|r| r.p.oid < r.q.oid));
+    }
+
+    #[test]
+    fn semi_brute_one_pair_per_p_point() {
+        let ps = pts(&[[0.0, 0.0], [9.0, 0.0]]);
+        let qs = pts(&[[1.0, 0.0], [10.0, 0.0]]);
+        let got = semi_closest_pairs_brute(&ps, &qs);
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|r| r.dist2.get() == 1.0));
+    }
+}

@@ -1,0 +1,259 @@
+//! Shared machinery of the CPQ algorithms: the query context, candidate
+//! generation honoring the height strategy, leaf scanning, and the
+//! threshold bounds of Inequalities 1 and 2.
+
+use crate::config::{CpqConfig, HeightStrategy, KPruning};
+use crate::kheap::KHeap;
+use crate::types::{CpqStats, PairResult};
+use cpq_geo::{max_max_dist2, min_max_dist2, min_min_dist2, Dist2, Rect, SpatialObject};
+use cpq_rtree::{InnerEntry, Node, RTree, RTreeResult};
+
+/// One side of a candidate pair: either stay at the current node or descend
+/// into one of its children.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Descend<const D: usize> {
+    /// Keep processing the current node (used when only the other tree
+    /// descends, per the height strategy).
+    Stay,
+    /// Descend into this child.
+    Down(InnerEntry<D>),
+}
+
+/// A candidate pair of subtrees generated from one node pair.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Cand<const D: usize> {
+    pub p: Descend<D>,
+    pub q: Descend<D>,
+    pub mbr_p: Rect<D>,
+    pub mbr_q: Rect<D>,
+    pub count_p: u64,
+    pub count_q: u64,
+    /// `MINMINDIST` of the pair — the pruning key.
+    pub minmin: Dist2,
+}
+
+/// Mutable state of one query run, shared by all algorithm variants.
+pub(crate) struct Ctx<'a, const D: usize, O: SpatialObject<D>> {
+    pub tp: &'a RTree<D, O>,
+    pub tq: &'a RTree<D, O>,
+    pub cfg: &'a CpqConfig,
+    pub k: usize,
+    pub kheap: KHeap<D, O>,
+    /// Upper bound on the K-th result distance derived from Inequality 2
+    /// (1-CP) or the MAXMAXDIST cardinality argument (K-CP). Kept separate
+    /// from the K-heap threshold because it does not correspond to concrete
+    /// result pairs.
+    pub bound: Dist2,
+    pub stats: CpqStats,
+    pub root_area_p: f64,
+    pub root_area_q: f64,
+    /// Self-join mode (`P ≡ Q`): count each unordered pair once and never
+    /// pair a point with itself. Disables the MINMAX/MAXMAX bounds, whose
+    /// witness pairs may be a point with itself when the two sides share a
+    /// subtree.
+    pub self_join: bool,
+}
+
+impl<'a, const D: usize, O: SpatialObject<D>> Ctx<'a, D, O> {
+    pub(crate) fn new(
+        tp: &'a RTree<D, O>,
+        tq: &'a RTree<D, O>,
+        k: usize,
+        cfg: &'a CpqConfig,
+        self_join: bool,
+    ) -> Self {
+        Ctx {
+            tp,
+            tq,
+            cfg,
+            k,
+            kheap: KHeap::new(k.max(1)),
+            bound: Dist2::INFINITY,
+            stats: CpqStats::default(),
+            root_area_p: 0.0,
+            root_area_q: 0.0,
+            self_join,
+        }
+    }
+
+    /// The effective pruning threshold `T`.
+    #[inline]
+    pub(crate) fn t(&self) -> Dist2 {
+        self.kheap.threshold().min(self.bound)
+    }
+
+    /// Scans all object pairs of two leaves (step CP3 of every algorithm).
+    pub(crate) fn scan_leaves(&mut self, lp: &Node<D, O>, lq: &Node<D, O>) {
+        for ep in lp.leaf_entries() {
+            for eq in lq.leaf_entries() {
+                if self.self_join && ep.oid >= eq.oid {
+                    continue; // one orientation per unordered pair, no self-pairs
+                }
+                self.stats.dist_computations += 1;
+                self.kheap.offer(PairResult::new(*ep, *eq));
+            }
+        }
+    }
+
+    /// Generates the candidate subtree pairs for a node pair, honoring the
+    /// height strategy (Section 3.7). Never called on two leaves.
+    pub(crate) fn gen_cands(&mut self, np: &Node<D, O>, nq: &Node<D, O>) -> Vec<Cand<D>> {
+        let descend_p; // descend into P's children?
+        let descend_q;
+        match (np.is_leaf(), nq.is_leaf()) {
+            (true, true) => unreachable!("gen_cands on two leaves"),
+            (true, false) => {
+                descend_p = false;
+                descend_q = true;
+            }
+            (false, true) => {
+                descend_p = true;
+                descend_q = false;
+            }
+            (false, false) => match self.cfg.height {
+                // Lockstep whenever both are internal; levels may differ.
+                HeightStrategy::FixAtLeaves => {
+                    descend_p = true;
+                    descend_q = true;
+                }
+                // Equalize levels first: only the deeper-rooted (higher
+                // level) side descends until levels match.
+                HeightStrategy::FixAtRoot => {
+                    descend_p = np.level() >= nq.level();
+                    descend_q = nq.level() >= np.level();
+                }
+            },
+        }
+
+        let whole_p = (np.mbr().expect("non-empty node"), np.subtree_count());
+        let whole_q = (nq.mbr().expect("non-empty node"), nq.subtree_count());
+
+        let sides_p: Vec<(Descend<D>, Rect<D>, u64)> = if descend_p {
+            np.inner_entries()
+                .iter()
+                .map(|e| (Descend::Down(*e), e.mbr, e.count))
+                .collect()
+        } else {
+            vec![(Descend::Stay, whole_p.0, whole_p.1)]
+        };
+        let sides_q: Vec<(Descend<D>, Rect<D>, u64)> = if descend_q {
+            nq.inner_entries()
+                .iter()
+                .map(|e| (Descend::Down(*e), e.mbr, e.count))
+                .collect()
+        } else {
+            vec![(Descend::Stay, whole_q.0, whole_q.1)]
+        };
+
+        let mut cands = Vec::with_capacity(sides_p.len() * sides_q.len());
+        for (dp, mbr_p, count_p) in &sides_p {
+            for (dq, mbr_q, count_q) in &sides_q {
+                cands.push(Cand {
+                    p: *dp,
+                    q: *dq,
+                    mbr_p: *mbr_p,
+                    mbr_q: *mbr_q,
+                    count_p: *count_p,
+                    count_q: *count_q,
+                    minmin: min_min_dist2(mbr_p, mbr_q),
+                });
+            }
+        }
+        cands
+    }
+
+    /// Tightens `bound` from the candidates of the current node pair:
+    ///
+    /// * `K = 1`: Inequality 2 — at least one point pair lies within
+    ///   `min over candidates of MINMAXDIST` (step CP2 of SIM/STD/HEAP);
+    /// * `K > 1` with [`KPruning::MaxMaxDist`]: the smallest `x` such that
+    ///   candidates with `MAXMAXDIST ≤ x` are guaranteed (by subtree
+    ///   cardinalities) to contain at least `K` point pairs.
+    ///
+    /// Disabled in self-join mode (witness pairs may be degenerate).
+    pub(crate) fn apply_bounds(&mut self, cands: &[Cand<D>]) {
+        if self.self_join || cands.is_empty() {
+            return;
+        }
+        if self.k == 1 {
+            for c in cands {
+                let mm = min_max_dist2(&c.mbr_p, &c.mbr_q);
+                if mm < self.bound {
+                    self.bound = mm;
+                }
+            }
+        } else if self.cfg.k_pruning == KPruning::MaxMaxDist {
+            let mut maxes: Vec<(Dist2, u64)> = cands
+                .iter()
+                .map(|c| {
+                    (
+                        max_max_dist2(&c.mbr_p, &c.mbr_q),
+                        c.count_p.saturating_mul(c.count_q),
+                    )
+                })
+                .collect();
+            maxes.sort_by_key(|a| a.0);
+            let mut cum: u64 = 0;
+            for (mx, n) in maxes {
+                cum = cum.saturating_add(n);
+                if cum >= self.k as u64 {
+                    if mx < self.bound {
+                        self.bound = mx;
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Reads the child nodes named by a candidate (re-using the current
+    /// nodes for `Stay` sides) and invokes `f` on the pair.
+    ///
+    /// Each `Down` side costs one page read on the corresponding tree —
+    /// this is where the algorithms' disk accesses happen.
+    pub(crate) fn descend(
+        &mut self,
+        np: &Node<D, O>,
+        nq: &Node<D, O>,
+        cand: &Cand<D>,
+        f: fn(&mut Self, &Node<D, O>, &Node<D, O>) -> RTreeResult<()>,
+    ) -> RTreeResult<()> {
+        match (&cand.p, &cand.q) {
+            (Descend::Down(ep), Descend::Down(eq)) => {
+                let a = self.tp.read_node(ep.child)?;
+                let b = self.tq.read_node(eq.child)?;
+                f(self, &a, &b)
+            }
+            (Descend::Down(ep), Descend::Stay) => {
+                let a = self.tp.read_node(ep.child)?;
+                f(self, &a, nq)
+            }
+            (Descend::Stay, Descend::Down(eq)) => {
+                let b = self.tq.read_node(eq.child)?;
+                f(self, np, &b)
+            }
+            (Descend::Stay, Descend::Stay) => {
+                unreachable!("candidate with no descent")
+            }
+        }
+    }
+
+    /// Finishes the run: sorts the result pairs and fills in the disk-access
+    /// deltas measured from the two buffer pools.
+    pub(crate) fn finish(
+        mut self,
+        misses_before: (u64, u64),
+    ) -> crate::types::QueryOutcome<D, O> {
+        self.stats.disk_accesses_p = self.tp.pool().buffer_stats().misses - misses_before.0;
+        if std::ptr::eq(self.tp, self.tq) {
+            // Self-join: both sides share one pool; report the total once.
+            self.stats.disk_accesses_q = 0;
+        } else {
+            self.stats.disk_accesses_q = self.tq.pool().buffer_stats().misses - misses_before.1;
+        }
+        crate::types::QueryOutcome {
+            pairs: self.kheap.into_sorted(),
+            stats: self.stats,
+        }
+    }
+}

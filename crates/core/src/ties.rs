@@ -1,0 +1,162 @@
+//! Tie-break strategies T1–T5 for node pairs with equal MINMINDIST
+//! (Section 3.6 of the paper).
+//!
+//! When the Sorted-Distances or Heap algorithm must order two candidate node
+//! pairs with the same MINMINDIST, the choice affects how fast the threshold
+//! `T` shrinks. The paper evaluates five heuristics and finds T1 the clear
+//! winner (Section 4.1, Figure 2); this module implements all five so that
+//! experiment is reproducible.
+//!
+//! Each strategy is expressed as a numeric key: among tied pairs the one
+//! with the **smallest key** is processed first.
+
+use cpq_geo::{min_max_dist2, Rect};
+
+/// Tie-break strategy for equal-MINMINDIST node pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TieStrategy {
+    /// No strategy: ties keep their generation (FIFO) order.
+    #[default]
+    None,
+    /// T1: prefer the pair containing the largest MBR, with areas measured
+    /// relative to the respective root MBR's area.
+    T1,
+    /// T2: prefer the pair with the smallest MINMAXDIST between its elements.
+    T2,
+    /// T3: prefer the pair with the largest sum of element areas.
+    T3,
+    /// T4: prefer the pair with the smallest dead space: area of the MBR
+    /// embedding both elements minus the element areas.
+    T4,
+    /// T5: prefer the pair with the largest intersection area.
+    T5,
+}
+
+impl TieStrategy {
+    /// All five paper strategies, in order (used by the Figure 2 bench).
+    pub const ALL: [TieStrategy; 5] = [
+        TieStrategy::T1,
+        TieStrategy::T2,
+        TieStrategy::T3,
+        TieStrategy::T4,
+        TieStrategy::T5,
+    ];
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TieStrategy::None => "none",
+            TieStrategy::T1 => "T1",
+            TieStrategy::T2 => "T2",
+            TieStrategy::T3 => "T3",
+            TieStrategy::T4 => "T4",
+            TieStrategy::T5 => "T5",
+        }
+    }
+
+    /// Computes the ordering key for a candidate pair of MBRs: smaller keys
+    /// are processed first. `root_area_p` / `root_area_q` are the areas of
+    /// the two trees' root MBRs (T1 expresses areas as percentages of them).
+    pub fn key<const D: usize>(
+        &self,
+        mbr_p: &Rect<D>,
+        mbr_q: &Rect<D>,
+        root_area_p: f64,
+        root_area_q: f64,
+    ) -> f64 {
+        match self {
+            TieStrategy::None => 0.0,
+            TieStrategy::T1 => {
+                let rel_p = if root_area_p > 0.0 {
+                    mbr_p.area() / root_area_p
+                } else {
+                    0.0
+                };
+                let rel_q = if root_area_q > 0.0 {
+                    mbr_q.area() / root_area_q
+                } else {
+                    0.0
+                };
+                -rel_p.max(rel_q)
+            }
+            TieStrategy::T2 => min_max_dist2(mbr_p, mbr_q).get(),
+            TieStrategy::T3 => -(mbr_p.area() + mbr_q.area()),
+            TieStrategy::T4 => mbr_p.union(mbr_q).area() - mbr_p.area() - mbr_q.area(),
+            TieStrategy::T5 => -mbr_p.intersection_area(mbr_q),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(lo: [f64; 2], hi: [f64; 2]) -> Rect<2> {
+        Rect::from_corners(lo, hi)
+    }
+
+    #[test]
+    fn t1_prefers_largest_relative_mbr() {
+        let big = r([0.0, 0.0], [10.0, 10.0]);
+        let small = r([0.0, 0.0], [1.0, 1.0]);
+        let other = r([20.0, 0.0], [21.0, 1.0]);
+        let root = 100.0;
+        let key_big = TieStrategy::T1.key(&big, &other, root, root);
+        let key_small = TieStrategy::T1.key(&small, &other, root, root);
+        assert!(key_big < key_small, "pair containing the larger MBR wins");
+    }
+
+    #[test]
+    fn t2_prefers_smaller_minmaxdist() {
+        let a = r([0.0, 0.0], [1.0, 1.0]);
+        let near = r([2.0, 0.0], [3.0, 1.0]);
+        let far = r([9.0, 0.0], [10.0, 1.0]);
+        assert!(
+            TieStrategy::T2.key(&a, &near, 1.0, 1.0) < TieStrategy::T2.key(&a, &far, 1.0, 1.0)
+        );
+    }
+
+    #[test]
+    fn t3_prefers_larger_area_sum() {
+        let a = r([0.0, 0.0], [2.0, 2.0]);
+        let b = r([0.0, 0.0], [1.0, 1.0]);
+        let c = r([5.0, 0.0], [6.0, 1.0]);
+        assert!(TieStrategy::T3.key(&a, &c, 1.0, 1.0) < TieStrategy::T3.key(&b, &c, 1.0, 1.0));
+    }
+
+    #[test]
+    fn t4_prefers_tight_embedding() {
+        let a = r([0.0, 0.0], [1.0, 1.0]);
+        let adjacent = r([1.0, 0.0], [2.0, 1.0]);
+        let diagonal = r([5.0, 5.0], [6.0, 6.0]);
+        assert!(
+            TieStrategy::T4.key(&a, &adjacent, 1.0, 1.0)
+                < TieStrategy::T4.key(&a, &diagonal, 1.0, 1.0)
+        );
+    }
+
+    #[test]
+    fn t5_prefers_larger_intersection() {
+        let a = r([0.0, 0.0], [2.0, 2.0]);
+        let heavy = r([0.0, 0.0], [2.0, 2.0]);
+        let light = r([1.5, 1.5], [3.0, 3.0]);
+        assert!(
+            TieStrategy::T5.key(&a, &heavy, 1.0, 1.0) < TieStrategy::T5.key(&a, &light, 1.0, 1.0)
+        );
+    }
+
+    #[test]
+    fn none_is_constant() {
+        let a = r([0.0, 0.0], [2.0, 2.0]);
+        let b = r([5.0, 5.0], [6.0, 6.0]);
+        assert_eq!(TieStrategy::None.key(&a, &b, 1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn degenerate_roots_do_not_divide_by_zero() {
+        let a = Rect::point(cpq_geo::Point([1.0, 1.0]));
+        let b = Rect::point(cpq_geo::Point([2.0, 2.0]));
+        let k = TieStrategy::T1.key(&a, &b, 0.0, 0.0);
+        assert!(k.is_finite());
+    }
+}

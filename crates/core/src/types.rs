@@ -1,0 +1,101 @@
+//! Result and statistics types shared by all query algorithms.
+
+use cpq_geo::{Dist2, Point, SpatialObject};
+use cpq_rtree::LeafEntry;
+
+/// One closest pair: an object from `P`, an object from `Q`, and their
+/// distance (exact for points; MBR `MINMINDIST` for extended objects —
+/// identical for the paper's point data).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairResult<const D: usize, O: SpatialObject<D> = Point<D>> {
+    /// The object from the first data set.
+    pub p: LeafEntry<D, O>,
+    /// The object from the second data set.
+    pub q: LeafEntry<D, O>,
+    /// Squared distance between them.
+    pub dist2: Dist2,
+}
+
+impl<const D: usize, O: SpatialObject<D>> PairResult<D, O> {
+    /// Creates a pair result, computing the distance.
+    pub fn new(p: LeafEntry<D, O>, q: LeafEntry<D, O>) -> Self {
+        let dist2 = cpq_geo::min_min_dist2(&p.mbr(), &q.mbr());
+        PairResult { p, q, dist2 }
+    }
+
+    /// The Euclidean (non-squared) distance.
+    pub fn distance(&self) -> f64 {
+        self.dist2.sqrt()
+    }
+}
+
+/// Work counters reported by every query run.
+///
+/// `disk_accesses_*` are buffer-pool misses during the query — exactly the
+/// metric the paper plots. The remaining counters quantify CPU-side work
+/// and the memory footprint of the auxiliary structures, which Section 3.9
+/// argues distinguish the HEAP algorithm from the incremental approach.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpqStats {
+    /// Buffer misses on the `P` tree.
+    pub disk_accesses_p: u64,
+    /// Buffer misses on the `Q` tree.
+    pub disk_accesses_q: u64,
+    /// Node pairs processed (recursive calls or heap pops).
+    pub node_pairs_processed: u64,
+    /// Candidate pairs pruned by `MINMINDIST > T`.
+    pub pairs_pruned: u64,
+    /// Point-to-point distance computations at leaf level.
+    pub dist_computations: u64,
+    /// Insertions into the main priority structure (HEAP / incremental).
+    pub queue_inserts: u64,
+    /// Largest size reached by the main priority structure.
+    pub queue_peak: usize,
+}
+
+impl CpqStats {
+    /// Total disk accesses across both trees (the paper's y-axis).
+    pub fn disk_accesses(&self) -> u64 {
+        self.disk_accesses_p + self.disk_accesses_q
+    }
+}
+
+/// The result of a (K-)closest-pair query: the pairs, closest first, plus
+/// work counters.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome<const D: usize, O: SpatialObject<D> = Point<D>> {
+    /// Result pairs sorted by ascending distance. For 1-CPQ this holds one
+    /// pair (or none when either data set is empty).
+    pub pairs: Vec<PairResult<D, O>>,
+    /// Work counters for this run.
+    pub stats: CpqStats,
+}
+
+impl<const D: usize, O: SpatialObject<D>> QueryOutcome<D, O> {
+    /// The closest pair, when any.
+    pub fn best(&self) -> Option<&PairResult<D, O>> {
+        self.pairs.first()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpq_geo::Point;
+
+    #[test]
+    fn pair_result_computes_distance() {
+        let r = PairResult::new(
+            LeafEntry::new(Point([0.0, 0.0]), 1),
+            LeafEntry::new(Point([3.0, 4.0]), 2),
+        );
+        assert_eq!(r.dist2.get(), 25.0);
+        assert_eq!(r.distance(), 5.0);
+    }
+
+    #[test]
+    fn stats_total() {
+        let s = CpqStats { disk_accesses_p: 3, disk_accesses_q: 4, ..Default::default() };
+        assert_eq!(s.disk_accesses(), 7);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests: all algorithms agree with brute force on random
+//! point sets of random sizes, shapes, and K values.
+
+use cpq_core::{
+    brute, k_closest_pairs, k_closest_pairs_incremental, Algorithm, CpqConfig,
+    HeightStrategy, IncrementalConfig, KPruning, TieStrategy, Traversal,
+};
+use cpq_geo::{Point, Point2};
+use cpq_rtree::{RTree, RTreeParams};
+use cpq_storage::{BufferPool, MemPageFile};
+use proptest::prelude::*;
+
+fn build(points: &[Point2], max_entries: usize) -> RTree<2> {
+    let pool = BufferPool::with_lru(Box::new(MemPageFile::new(1024)), 64);
+    let mut tree = RTree::new(pool, RTreeParams::with_max_entries(max_entries)).unwrap();
+    for (i, &p) in points.iter().enumerate() {
+        tree.insert(p, i as u64).unwrap();
+    }
+    tree
+}
+
+fn pointset(max: usize) -> impl Strategy<Value = Vec<Point2>> {
+    prop::collection::vec(
+        (0.0..100.0f64, 0.0..100.0f64).prop_map(|(x, y)| Point([x, y])),
+        1..max,
+    )
+}
+
+fn indexed(points: &[Point2]) -> Vec<(Point2, u64)> {
+    points.iter().enumerate().map(|(i, &p)| (p, i as u64)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The K smallest distances from any algorithm equal brute force.
+    #[test]
+    fn algorithms_agree_with_brute_force(
+        ps in pointset(60),
+        qs in pointset(60),
+        k in 1usize..40,
+        m in 4usize..10,
+        tie_idx in 0usize..6,
+        fix_at_root in any::<bool>(),
+        kheap_only in any::<bool>(),
+    ) {
+        let tp = build(&ps, m);
+        let tq = build(&qs, m);
+        let ties = [TieStrategy::None, TieStrategy::T1, TieStrategy::T2,
+                    TieStrategy::T3, TieStrategy::T4, TieStrategy::T5];
+        let cfg = CpqConfig {
+            tie: ties[tie_idx],
+            height: if fix_at_root { HeightStrategy::FixAtRoot } else { HeightStrategy::FixAtLeaves },
+            k_pruning: if kheap_only { KPruning::KHeapOnly } else { KPruning::MaxMaxDist },
+            ..CpqConfig::paper()
+        };
+        let expected = brute::k_closest_pairs_brute(&indexed(&ps), &indexed(&qs), k);
+        for alg in Algorithm::EVALUATED {
+            let out = k_closest_pairs(&tp, &tq, k, alg, &cfg).unwrap();
+            prop_assert_eq!(out.pairs.len(), expected.len(), "{} length", alg.label());
+            for (i, (g, e)) in out.pairs.iter().zip(&expected).enumerate() {
+                prop_assert!((g.dist2.get() - e.dist2.get()).abs() < 1e-9,
+                    "{} pair {i}: {} vs {}", alg.label(), g.dist2.get(), e.dist2.get());
+            }
+        }
+    }
+
+    /// Result pairs reference genuine points of the inputs and their stored
+    /// distance is the true distance.
+    #[test]
+    fn result_pairs_are_genuine(
+        ps in pointset(40),
+        qs in pointset(40),
+        k in 1usize..20,
+    ) {
+        let tp = build(&ps, 8);
+        let tq = build(&qs, 8);
+        let out = k_closest_pairs(&tp, &tq, k, Algorithm::Heap, &CpqConfig::paper()).unwrap();
+        for r in &out.pairs {
+            prop_assert_eq!(ps[r.p.oid as usize], r.p.point());
+            prop_assert_eq!(qs[r.q.oid as usize], r.q.point());
+            prop_assert!((r.p.point().dist2(&r.q.point()) - r.dist2.get()).abs() < 1e-12);
+        }
+    }
+
+    /// The incremental join with any policy agrees with brute force.
+    #[test]
+    fn incremental_agrees_with_brute_force(
+        ps in pointset(40),
+        qs in pointset(40),
+        k in 1usize..25,
+        policy_idx in 0usize..3,
+    ) {
+        let tp = build(&ps, 6);
+        let tq = build(&qs, 6);
+        let cfg = IncrementalConfig {
+            traversal: Traversal::ALL[policy_idx],
+            ..Default::default()
+        };
+        let expected = brute::k_closest_pairs_brute(&indexed(&ps), &indexed(&qs), k);
+        let out = k_closest_pairs_incremental(&tp, &tq, k, &cfg).unwrap();
+        prop_assert_eq!(out.pairs.len(), expected.len());
+        for (g, e) in out.pairs.iter().zip(&expected) {
+            prop_assert!((g.dist2.get() - e.dist2.get()).abs() < 1e-9);
+        }
+    }
+
+    /// Monotonicity in K: the first K results of a (K+j)-CPQ equal the
+    /// K-CPQ results (as distances).
+    #[test]
+    fn results_monotone_in_k(
+        ps in pointset(40),
+        qs in pointset(40),
+        k in 1usize..15,
+        j in 1usize..10,
+    ) {
+        let tp = build(&ps, 8);
+        let tq = build(&qs, 8);
+        let cfg = CpqConfig::paper();
+        let small = k_closest_pairs(&tp, &tq, k, Algorithm::SortedDistances, &cfg).unwrap();
+        let large = k_closest_pairs(&tp, &tq, k + j, Algorithm::SortedDistances, &cfg).unwrap();
+        for (g, e) in small.pairs.iter().zip(&large.pairs) {
+            prop_assert!((g.dist2.get() - e.dist2.get()).abs() < 1e-9);
+        }
+    }
+
+    /// Symmetry: swapping P and Q preserves the distance multiset.
+    #[test]
+    fn results_symmetric_in_arguments(
+        ps in pointset(40),
+        qs in pointset(40),
+        k in 1usize..15,
+    ) {
+        let tp = build(&ps, 8);
+        let tq = build(&qs, 8);
+        let cfg = CpqConfig::paper();
+        let ab = k_closest_pairs(&tp, &tq, k, Algorithm::Heap, &cfg).unwrap();
+        let ba = k_closest_pairs(&tq, &tp, k, Algorithm::Heap, &cfg).unwrap();
+        prop_assert_eq!(ab.pairs.len(), ba.pairs.len());
+        for (g, e) in ab.pairs.iter().zip(&ba.pairs) {
+            prop_assert!((g.dist2.get() - e.dist2.get()).abs() < 1e-9);
+        }
+    }
+}

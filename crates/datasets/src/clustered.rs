@@ -1,0 +1,178 @@
+//! Clustered point sets: the surrogate for the paper's real (Sequoia) data.
+
+use crate::{Dataset, WORKSPACE_SIDE};
+use cpq_geo::{Point2, Rect2};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Number of points in the paper's real data set (California sites from the
+/// Sequoia 2000 benchmark) and hence in [`california_surrogate`].
+pub const CALIFORNIA_SURROGATE_SIZE: usize = 62_536;
+
+/// Parameters of the clustered generator.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterSpec {
+    /// Number of Gaussian clusters.
+    pub clusters: usize,
+    /// Standard deviation of each cluster, as a fraction of the workspace
+    /// side.
+    pub spread: f64,
+    /// Fraction of points drawn uniformly as background noise.
+    pub noise: f64,
+    /// Zipf-like skew of cluster populations (0 = equal-size clusters;
+    /// larger values concentrate points in few clusters, as population data
+    /// does).
+    pub skew: f64,
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec {
+            clusters: 60,
+            spread: 0.02,
+            noise: 0.05,
+            skew: 1.0,
+        }
+    }
+}
+
+/// `n` points drawn from Gaussian clusters with Zipf-distributed populations
+/// plus uniform background noise, clamped to the standard workspace.
+///
+/// Deterministic in `seed`.
+pub fn clustered(n: usize, spec: ClusterSpec, seed: u64) -> Dataset {
+    assert!(spec.clusters > 0, "need at least one cluster");
+    assert!((0.0..=1.0).contains(&spec.noise), "noise must be in [0, 1]");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    // Cluster centers, uniform over the workspace.
+    let centers: Vec<Point2> = (0..spec.clusters)
+        .map(|_| {
+            Point2::new([
+                rng.random_range(0.0..WORKSPACE_SIDE),
+                rng.random_range(0.0..WORKSPACE_SIDE),
+            ])
+        })
+        .collect();
+
+    // Zipf-like weights: w_k = 1 / (k+1)^skew.
+    let weights: Vec<f64> = (0..spec.clusters)
+        .map(|k| 1.0 / ((k + 1) as f64).powf(spec.skew))
+        .collect();
+    let total_w: f64 = weights.iter().sum();
+    let cum: Vec<f64> = weights
+        .iter()
+        .scan(0.0, |acc, w| {
+            *acc += w / total_w;
+            Some(*acc)
+        })
+        .collect();
+
+    let sigma = spec.spread * WORKSPACE_SIDE;
+    let mut points = Vec::with_capacity(n);
+    while points.len() < n {
+        if rng.random_range(0.0..1.0) < spec.noise {
+            points.push(Point2::new([
+                rng.random_range(0.0..WORKSPACE_SIDE),
+                rng.random_range(0.0..WORKSPACE_SIDE),
+            ]));
+            continue;
+        }
+        // Pick a cluster by weight.
+        let u: f64 = rng.random_range(0.0..1.0);
+        let k = cum.partition_point(|&c| c < u).min(spec.clusters - 1);
+        // Box-Muller Gaussian offsets.
+        let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.random_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let (dx, dy) = (
+            r * (2.0 * std::f64::consts::PI * u2).cos() * sigma,
+            r * (2.0 * std::f64::consts::PI * u2).sin() * sigma,
+        );
+        let x = centers[k].coord(0) + dx;
+        let y = centers[k].coord(1) + dy;
+        // Reject points outside the workspace to keep workspaces comparable.
+        if (0.0..=WORKSPACE_SIDE).contains(&x) && (0.0..=WORKSPACE_SIDE).contains(&y) {
+            points.push(Point2::new([x, y]));
+        }
+    }
+
+    let workspace = Rect2::from_corners([0.0, 0.0], [WORKSPACE_SIDE, WORKSPACE_SIDE]);
+    Dataset::new(format!("clustered{}k", n / 1000), points, workspace)
+}
+
+/// The deterministic surrogate for the paper's real data set: 62,536
+/// clustered points, standing in for the Sequoia 2000 California sites.
+///
+/// See DESIGN.md §3 for the substitution rationale: the paper's "real data"
+/// findings hinge on spatial skew (clustered node MBRs rarely overlap the
+/// uniform tree's node MBRs), which this surrogate reproduces.
+pub fn california_surrogate() -> Dataset {
+    let mut ds = clustered(
+        CALIFORNIA_SURROGATE_SIZE,
+        ClusterSpec::default(),
+        0xCA11F0
+    );
+    ds.name = "real".into();
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surrogate_has_paper_cardinality_and_is_deterministic() {
+        let a = california_surrogate();
+        assert_eq!(a.len(), CALIFORNIA_SURROGATE_SIZE);
+        let b = california_surrogate();
+        assert_eq!(a.points[..100], b.points[..100]);
+    }
+
+    #[test]
+    fn clustered_is_skewed() {
+        // Compare cell-occupancy variance of clustered vs uniform data: the
+        // clustered set must be far more concentrated.
+        let n = 20_000;
+        let clustered = clustered(n, ClusterSpec::default(), 9);
+        let uniform = crate::uniform(n, 9);
+        let occupancy_var = |pts: &[Point2]| {
+            const G: usize = 20;
+            let mut cells = vec![0f64; G * G];
+            for p in pts {
+                let cx = ((p.coord(0) / WORKSPACE_SIDE * G as f64) as usize).min(G - 1);
+                let cy = ((p.coord(1) / WORKSPACE_SIDE * G as f64) as usize).min(G - 1);
+                cells[cy * G + cx] += 1.0;
+            }
+            let mean = pts.len() as f64 / (G * G) as f64;
+            cells.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / (G * G) as f64
+        };
+        let vc = occupancy_var(&clustered.points);
+        let vu = occupancy_var(&uniform.points);
+        assert!(
+            vc > 10.0 * vu,
+            "clustered variance {vc} not ≫ uniform variance {vu}"
+        );
+    }
+
+    #[test]
+    fn all_points_inside_workspace() {
+        let ds = clustered(5000, ClusterSpec::default(), 3);
+        for p in &ds.points {
+            assert!(ds.workspace.contains_point(p));
+        }
+    }
+
+    #[test]
+    fn zero_noise_and_custom_spec() {
+        let spec = ClusterSpec {
+            clusters: 3,
+            spread: 0.001,
+            noise: 0.0,
+            skew: 0.0,
+        };
+        let ds = clustered(300, spec, 5);
+        assert_eq!(ds.len(), 300);
+    }
+}

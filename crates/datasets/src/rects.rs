@@ -1,0 +1,57 @@
+//! Rectangle (extended-object) dataset generation.
+
+use crate::WORKSPACE_SIDE;
+use cpq_geo::Rect2;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// `n` axis-aligned rectangles with centers uniform over the standard
+/// workspace and extents uniform in `(0, max_extent]` per dimension,
+/// clipped to the workspace. Deterministic in `seed`.
+///
+/// Used to exercise the extended-object (`SpatialObject = Rect`) code path
+/// of the tree and the CPQ algorithms; the paper focuses on points but
+/// notes R-trees index "various kinds of spatial data".
+pub fn uniform_rects(n: usize, max_extent: f64, seed: u64) -> Vec<Rect2> {
+    assert!(
+        max_extent > 0.0 && max_extent <= WORKSPACE_SIDE,
+        "extent must be in (0, workspace side]"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let cx = rng.random_range(0.0..WORKSPACE_SIDE);
+            let cy = rng.random_range(0.0..WORKSPACE_SIDE);
+            let w = rng.random_range(0.0..max_extent) / 2.0;
+            let h = rng.random_range(0.0..max_extent) / 2.0;
+            Rect2::from_corners(
+                [(cx - w).max(0.0), (cy - h).max(0.0)],
+                [(cx + w).min(WORKSPACE_SIDE), (cy + h).min(WORKSPACE_SIDE)],
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_in_bounds() {
+        let a = uniform_rects(200, 10.0, 1);
+        let b = uniform_rects(200, 10.0, 1);
+        assert_eq!(a, b);
+        let workspace = Rect2::from_corners([0.0, 0.0], [WORKSPACE_SIDE, WORKSPACE_SIDE]);
+        for r in &a {
+            assert!(workspace.contains_rect(r));
+            assert!(r.extent(0) <= 10.0 && r.extent(1) <= 10.0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_extent_rejected() {
+        let _ = uniform_rects(1, 0.0, 1);
+    }
+}

@@ -1,0 +1,97 @@
+//! Uniformly distributed ("random") point sets.
+
+use crate::{Dataset, WORKSPACE_SIDE};
+use cpq_geo::{Point2, Rect2};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// `n` points uniformly distributed over the standard workspace
+/// (a square of side [`WORKSPACE_SIDE`] anchored at the origin), matching
+/// the paper's "uniform-like distribution" random data sets.
+///
+/// Deterministic in `seed`.
+pub fn uniform(n: usize, seed: u64) -> Dataset {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let points: Vec<Point2> = (0..n)
+        .map(|_| {
+            Point2::new([
+                rng.random_range(0.0..WORKSPACE_SIDE),
+                rng.random_range(0.0..WORKSPACE_SIDE),
+            ])
+        })
+        .collect();
+    let workspace = Rect2::from_corners([0.0, 0.0], [WORKSPACE_SIDE, WORKSPACE_SIDE]);
+    Dataset::new(format!("uniform{}k", n / 1000), points, workspace)
+}
+
+/// Like [`uniform`], but with coordinates snapped to a grid of `cell`-sized
+/// steps.
+///
+/// Real cartographic data (like the paper's Sequoia set) carries integer or
+/// fixed-precision coordinates, which makes exact ties of `MINMINDIST`
+/// between node pairs common — the situation the tie-break strategies of
+/// Section 3.6 target. Continuous `f64` coordinates almost never tie, so
+/// the Figure 2 experiment uses this generator.
+pub fn uniform_grid(n: usize, seed: u64, cell: f64) -> Dataset {
+    assert!(cell > 0.0, "grid cell must be positive");
+    let mut ds = uniform(n, seed);
+    for p in &mut ds.points {
+        let x = (p.coord(0) / cell).round() * cell;
+        let y = (p.coord(1) / cell).round() * cell;
+        *p = Point2::new([
+            x.clamp(0.0, WORKSPACE_SIDE),
+            y.clamp(0.0, WORKSPACE_SIDE),
+        ]);
+    }
+    ds.name = format!("grid{}k", n / 1000);
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = uniform(100, 42);
+        let b = uniform(100, 42);
+        let c = uniform(100, 43);
+        assert_eq!(a.points, b.points);
+        assert_ne!(a.points, c.points);
+    }
+
+    #[test]
+    fn grid_snapping_quantizes_coordinates() {
+        let ds = uniform_grid(500, 5, 1.0);
+        for p in &ds.points {
+            assert_eq!(p.coord(0).fract(), 0.0);
+            assert_eq!(p.coord(1).fract(), 0.0);
+            assert!(ds.workspace.contains_point(p));
+        }
+        // Snapping to a coarse grid produces duplicates — the tie fuel.
+        let coarse = uniform_grid(5000, 6, 50.0);
+        let mut coords: Vec<(u64, u64)> = coarse
+            .points
+            .iter()
+            .map(|p| (p.coord(0) as u64, p.coord(1) as u64))
+            .collect();
+        coords.sort_unstable();
+        coords.dedup();
+        assert!(coords.len() < 500, "coarse grid must collapse points");
+    }
+
+    #[test]
+    fn points_fill_the_workspace_roughly_uniformly() {
+        let ds = uniform(10_000, 7);
+        assert_eq!(ds.len(), 10_000);
+        // Every quadrant should hold roughly a quarter of the points.
+        let half = WORKSPACE_SIDE / 2.0;
+        let q1 = ds
+            .points
+            .iter()
+            .filter(|p| p.coord(0) < half && p.coord(1) < half)
+            .count();
+        assert!((2000..3000).contains(&q1), "quadrant count {q1} far from 2500");
+    }
+}

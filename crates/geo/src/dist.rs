@@ -1,0 +1,114 @@
+//! Totally-ordered squared-distance wrapper.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A squared Euclidean distance with a total order.
+///
+/// `f64` is only partially ordered (NaN); the query algorithms need distances
+/// as keys in binary heaps and sorted vectors, so this newtype provides `Ord`
+/// via [`f64::total_cmp`]. Construction debug-asserts non-NaN, which all
+/// metric kernels guarantee for finite inputs.
+#[derive(Clone, Copy, PartialEq)]
+pub struct Dist2(f64);
+
+impl Dist2 {
+    /// Positive infinity: the initial value of the pruning threshold `T`.
+    pub const INFINITY: Dist2 = Dist2(f64::INFINITY);
+    /// Zero distance.
+    pub const ZERO: Dist2 = Dist2(0.0);
+
+    /// Wraps a squared distance.
+    #[inline]
+    pub fn new(d2: f64) -> Self {
+        debug_assert!(!d2.is_nan(), "distance must not be NaN");
+        debug_assert!(d2 >= 0.0, "squared distance must be non-negative");
+        Dist2(d2)
+    }
+
+    /// The raw squared value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// The (non-squared) Euclidean distance.
+    #[inline]
+    pub fn sqrt(self) -> f64 {
+        self.0.sqrt()
+    }
+
+    /// `true` when this is the infinite sentinel.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        self.0.is_infinite()
+    }
+}
+
+impl Eq for Dist2 {}
+
+impl PartialOrd for Dist2 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Dist2 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl fmt::Debug for Dist2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Dist2({})", self.0)
+    }
+}
+
+impl fmt::Display for Dist2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0.sqrt())
+    }
+}
+
+impl From<f64> for Dist2 {
+    #[inline]
+    fn from(d2: f64) -> Self {
+        Dist2::new(d2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_and_numeric() {
+        let mut v = [Dist2::new(4.0), Dist2::new(0.0), Dist2::INFINITY, Dist2::new(1.0)];
+        v.sort();
+        assert_eq!(
+            v.iter().map(|d| d.get()).collect::<Vec<_>>(),
+            vec![0.0, 1.0, 4.0, f64::INFINITY]
+        );
+    }
+
+    #[test]
+    fn sqrt_reports_euclidean() {
+        assert_eq!(Dist2::new(25.0).sqrt(), 5.0);
+    }
+
+    #[test]
+    fn infinity_sentinel() {
+        assert!(Dist2::INFINITY.is_infinite());
+        assert!(Dist2::new(1e300) < Dist2::INFINITY);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn nan_rejected_in_debug() {
+        let _ = Dist2::new(f64::NAN);
+    }
+}

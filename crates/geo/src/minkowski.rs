@@ -1,0 +1,145 @@
+//! General Minkowski (`L_p`) metrics.
+//!
+//! The paper notes (Section 2.1) that although `dist` stands for the
+//! Euclidean distance throughout, "the presented methods can be easily
+//! adapted to any Minkowski metric". This module provides those metrics and
+//! the box-to-box lower bound needed to run the same pruning logic under any
+//! `L_p`, plus `L_∞` (Chebyshev).
+
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// A Minkowski metric of order `p ≥ 1`, or `L_∞` (Chebyshev).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Minkowski {
+    /// `L_1`: Manhattan distance.
+    L1,
+    /// `L_2`: Euclidean distance (the paper's default).
+    L2,
+    /// General `L_p` for a finite `p ≥ 1`.
+    Lp(f64),
+    /// `L_∞`: Chebyshev distance.
+    LInf,
+}
+
+impl Minkowski {
+    /// Distance between two points under this metric.
+    pub fn pt_dist<const D: usize>(&self, a: &Point<D>, b: &Point<D>) -> f64 {
+        match *self {
+            Minkowski::L1 => (0..D).map(|d| (a.coord(d) - b.coord(d)).abs()).sum(),
+            Minkowski::L2 => a.dist(b),
+            Minkowski::Lp(p) => {
+                debug_assert!(p >= 1.0, "Minkowski order must be >= 1");
+                (0..D)
+                    .map(|d| (a.coord(d) - b.coord(d)).abs().powf(p))
+                    .sum::<f64>()
+                    .powf(1.0 / p)
+            }
+            Minkowski::LInf => (0..D)
+                .map(|d| (a.coord(d) - b.coord(d)).abs())
+                .fold(0.0, f64::max),
+        }
+    }
+
+    /// `MINMINDIST` analogue: minimum distance between any point of `a` and
+    /// any point of `b` under this metric (0 when they intersect).
+    ///
+    /// Valid as a pruning lower bound for the CPQ algorithms under the same
+    /// metric.
+    pub fn min_min_dist<const D: usize>(&self, a: &Rect<D>, b: &Rect<D>) -> f64 {
+        let gap = |d: usize| -> f64 {
+            (b.lo().coord(d) - a.hi().coord(d))
+                .max(a.lo().coord(d) - b.hi().coord(d))
+                .max(0.0)
+        };
+        match *self {
+            Minkowski::L1 => (0..D).map(gap).sum(),
+            Minkowski::L2 => {
+                (0..D).map(|d| gap(d) * gap(d)).sum::<f64>().sqrt()
+            }
+            Minkowski::Lp(p) => (0..D)
+                .map(|d| gap(d).powf(p))
+                .sum::<f64>()
+                .powf(1.0 / p),
+            Minkowski::LInf => (0..D).map(gap).fold(0.0, f64::max),
+        }
+    }
+
+    /// `MAXMAXDIST` analogue: maximum distance between contained points.
+    pub fn max_max_dist<const D: usize>(&self, a: &Rect<D>, b: &Rect<D>) -> f64 {
+        let span = |d: usize| -> f64 {
+            (b.hi().coord(d) - a.lo().coord(d))
+                .abs()
+                .max((a.hi().coord(d) - b.lo().coord(d)).abs())
+        };
+        match *self {
+            Minkowski::L1 => (0..D).map(span).sum(),
+            Minkowski::L2 => (0..D).map(|d| span(d) * span(d)).sum::<f64>().sqrt(),
+            Minkowski::Lp(p) => (0..D)
+                .map(|d| span(d).powf(p))
+                .sum::<f64>()
+                .powf(1.0 / p),
+            Minkowski::LInf => (0..D).map(span).fold(0.0, f64::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_l2_linf_point_distances() {
+        let a = Point([0.0, 0.0]);
+        let b = Point([3.0, 4.0]);
+        assert_eq!(Minkowski::L1.pt_dist(&a, &b), 7.0);
+        assert_eq!(Minkowski::L2.pt_dist(&a, &b), 5.0);
+        assert_eq!(Minkowski::LInf.pt_dist(&a, &b), 4.0);
+    }
+
+    #[test]
+    fn lp_interpolates_between_l1_and_linf() {
+        let a = Point([0.0, 0.0]);
+        let b = Point([3.0, 4.0]);
+        let d15 = Minkowski::Lp(1.5).pt_dist(&a, &b);
+        let d3 = Minkowski::Lp(3.0).pt_dist(&a, &b);
+        assert!(d15 < 7.0 && d15 > 5.0);
+        assert!(d3 < 5.0 && d3 > 4.0);
+    }
+
+    #[test]
+    fn lp2_equals_l2() {
+        let a = Point([1.0, 2.0]);
+        let b = Point([-3.0, 5.5]);
+        let via_lp = Minkowski::Lp(2.0).pt_dist(&a, &b);
+        let via_l2 = Minkowski::L2.pt_dist(&a, &b);
+        assert!((via_lp - via_l2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn box_bounds_sandwich_point_distance() {
+        let ra = Rect::from_corners([0.0, 0.0], [1.0, 1.0]);
+        let rb = Rect::from_corners([3.0, 2.0], [4.0, 5.0]);
+        let pa = Point([1.0, 0.5]);
+        let pb = Point([3.0, 2.0]);
+        for m in [
+            Minkowski::L1,
+            Minkowski::L2,
+            Minkowski::Lp(3.0),
+            Minkowski::LInf,
+        ] {
+            let d = m.pt_dist(&pa, &pb);
+            assert!(m.min_min_dist(&ra, &rb) <= d + 1e-12);
+            assert!(d <= m.max_max_dist(&ra, &rb) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn intersecting_boxes_have_zero_min() {
+        let a = Rect::from_corners([0.0, 0.0], [2.0, 2.0]);
+        let b = Rect::from_corners([1.0, 1.0], [3.0, 3.0]);
+        for m in [Minkowski::L1, Minkowski::L2, Minkowski::LInf] {
+            assert_eq!(m.min_min_dist(&a, &b), 0.0);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! The [`SpatialObject`] abstraction: anything with an MBR that can be
+//! stored in R-tree leaves.
+//!
+//! The paper focuses on point data but notes (Section 1) that R-trees index
+//! "various kinds of spatial data (like points, polygons, 2-d objects)".
+//! The tree and the closest-pair algorithms are generic over this trait;
+//! [`Point`] is the default object (the paper's setting) and [`Rect`] makes
+//! extended objects first-class. Distances between extended objects follow
+//! MBR semantics (`MINMINDIST` of the objects' MBRs), the convention of
+//! distance joins over R-trees — for points this coincides with the exact
+//! point distance.
+
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// An object storable in R-tree leaves: it has an MBR and a fixed-size
+/// binary encoding.
+pub trait SpatialObject<const D: usize>:
+    Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static
+{
+    /// Bytes consumed by [`encode`](Self::encode).
+    fn encoded_size() -> usize;
+
+    /// Minimum bounding rectangle of the object.
+    fn mbr(&self) -> Rect<D>;
+
+    /// Serializes into `buf` (`buf.len() == encoded_size()`).
+    fn encode(&self, buf: &mut [u8]);
+
+    /// Deserializes from `buf` (`buf.len() == encoded_size()`).
+    fn decode(buf: &[u8]) -> Self;
+
+    /// `true` when every coordinate is finite.
+    fn is_finite(&self) -> bool;
+}
+
+fn write_coords<const D: usize>(coords: &[f64; D], buf: &mut [u8]) {
+    for (d, c) in coords.iter().enumerate() {
+        buf[d * 8..d * 8 + 8].copy_from_slice(&c.to_le_bytes());
+    }
+}
+
+fn read_coords<const D: usize>(buf: &[u8]) -> [f64; D] {
+    let mut out = [0.0; D];
+    for (d, c) in out.iter_mut().enumerate() {
+        *c = f64::from_le_bytes(buf[d * 8..d * 8 + 8].try_into().expect("8-byte slice"));
+    }
+    out
+}
+
+impl<const D: usize> SpatialObject<D> for Point<D> {
+    fn encoded_size() -> usize {
+        8 * D
+    }
+
+    #[inline]
+    fn mbr(&self) -> Rect<D> {
+        Rect::point(*self)
+    }
+
+    fn encode(&self, buf: &mut [u8]) {
+        write_coords(&self.0, buf);
+    }
+
+    fn decode(buf: &[u8]) -> Self {
+        Point(read_coords(buf))
+    }
+
+    #[inline]
+    fn is_finite(&self) -> bool {
+        Point::is_finite(self)
+    }
+}
+
+impl<const D: usize> SpatialObject<D> for Rect<D> {
+    fn encoded_size() -> usize {
+        16 * D
+    }
+
+    #[inline]
+    fn mbr(&self) -> Rect<D> {
+        *self
+    }
+
+    fn encode(&self, buf: &mut [u8]) {
+        write_coords(&self.lo().0, &mut buf[..8 * D]);
+        write_coords(&self.hi().0, &mut buf[8 * D..]);
+    }
+
+    fn decode(buf: &[u8]) -> Self {
+        let lo: [f64; D] = read_coords(&buf[..8 * D]);
+        let hi: [f64; D] = read_coords(&buf[8 * D..]);
+        Rect::from_corners(lo, hi)
+    }
+
+    #[inline]
+    fn is_finite(&self) -> bool {
+        Rect::is_finite(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_roundtrip() {
+        let p = Point([1.5, -2.25]);
+        let mut buf = vec![0u8; <Point<2> as SpatialObject<2>>::encoded_size()];
+        p.encode(&mut buf);
+        assert_eq!(<Point<2> as SpatialObject<2>>::decode(&buf), p);
+        assert!(SpatialObject::<2>::mbr(&p).is_degenerate());
+    }
+
+    #[test]
+    fn rect_roundtrip() {
+        let r = Rect::from_corners([0.0, -1.0], [2.5, 3.5]);
+        let mut buf = vec![0u8; <Rect<2> as SpatialObject<2>>::encoded_size()];
+        r.encode(&mut buf);
+        assert_eq!(<Rect<2> as SpatialObject<2>>::decode(&buf), r);
+        assert_eq!(SpatialObject::<2>::mbr(&r), r);
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(SpatialObject::<2>::is_finite(&Point([0.0, 1.0])));
+        assert!(!SpatialObject::<2>::is_finite(&Point([f64::NAN, 1.0])));
+        let r = Rect::from_corners([0.0, 0.0], [1.0, 1.0]);
+        assert!(SpatialObject::<2>::is_finite(&r));
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(<Point<2> as SpatialObject<2>>::encoded_size(), 16);
+        assert_eq!(<Rect<2> as SpatialObject<2>>::encoded_size(), 32);
+        assert_eq!(<Point<3> as SpatialObject<3>>::encoded_size(), 24);
+    }
+}

@@ -1,0 +1,174 @@
+//! Sort-Tile-Recursive (STR) bulk loading (Leutenegger et al. 1997).
+//!
+//! The paper builds its R*-trees by repeated insertion; STR is provided for
+//! callers that need to construct large trees quickly (e.g. ablation benches
+//! comparing insertion-built vs packed trees). Packing sorts points by the
+//! first coordinate, tiles them into slabs, recursively tiles each slab along
+//! the remaining dimensions, and packs each tile into one leaf; upper levels
+//! pack the resulting entries the same way by MBR center.
+
+use crate::entry::{InnerEntry, LeafEntry};
+use crate::error::RTreeResult;
+use crate::node::Node;
+use crate::params::RTreeParams;
+use crate::tree::RTree;
+use cpq_geo::SpatialObject;
+use cpq_storage::BufferPool;
+
+/// Items that can be tiled: data points and already-built subtree entries.
+trait Tileable<const D: usize>: Clone {
+    fn key(&self, dim: usize) -> f64;
+}
+
+impl<const D: usize, O: SpatialObject<D>> Tileable<D> for LeafEntry<D, O> {
+    fn key(&self, dim: usize) -> f64 {
+        self.mbr().center().coord(dim)
+    }
+}
+
+impl<const D: usize> Tileable<D> for InnerEntry<D> {
+    fn key(&self, dim: usize) -> f64 {
+        self.mbr.center().coord(dim)
+    }
+}
+
+fn ceil_div(a: usize, b: usize) -> usize {
+    a.div_ceil(b)
+}
+
+/// Splits `items` into consecutive chunks of roughly `target` items, merging
+/// or rebalancing the tail so no chunk falls below `min` (chunks may exceed
+/// `target` up to `max` to absorb a short tail).
+fn chunk_balanced<T>(mut rest: Vec<T>, target: usize, min: usize, max: usize) -> Vec<Vec<T>> {
+    debug_assert!(min <= target && target <= max);
+    let mut out = Vec::new();
+    while !rest.is_empty() {
+        let mut take = target.min(rest.len());
+        let rem = rest.len() - take;
+        if rem > 0 && rem < min {
+            if take + rem <= max {
+                take += rem; // absorb the short tail
+            } else {
+                take = rest.len() - min; // leave a minimal valid tail
+            }
+        }
+        let tail = rest.split_off(take);
+        out.push(rest);
+        rest = tail;
+    }
+    out
+}
+
+/// Recursively tiles `items` into groups of `min..=max` items (targeting
+/// `cap` per group), preserving spatial locality along every dimension.
+fn tile<const D: usize, T: Tileable<D>>(
+    mut items: Vec<T>,
+    cap: usize,
+    min: usize,
+    max: usize,
+    dim: usize,
+    out: &mut Vec<Vec<T>>,
+) {
+    if items.len() <= max {
+        // Either the top-level call on a tiny dataset (a lone root may be
+        // under-full) or a slab already no bigger than one node.
+        if !items.is_empty() {
+            out.push(items);
+        }
+        return;
+    }
+    items.sort_by(|a, b| a.key(dim).total_cmp(&b.key(dim)));
+    if dim == D - 1 {
+        out.extend(chunk_balanced(items, cap, min, max));
+        return;
+    }
+    // Number of tiles needed overall, spread across the remaining dims.
+    let tiles = ceil_div(items.len(), cap);
+    let dims_left = (D - dim) as f64;
+    let slabs = (tiles as f64).powf(1.0 / dims_left).ceil() as usize;
+    let per_slab = ceil_div(items.len(), slabs.max(1)).max(min);
+    for slab in chunk_balanced(items, per_slab, min, usize::MAX) {
+        tile(slab, cap, min, max, dim + 1, out);
+    }
+}
+
+impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
+    /// Builds a tree over `pool` by STR packing.
+    ///
+    /// `fill` in `(0, 1]` is the target node occupancy (e.g. `0.7` mimics
+    /// the steady-state occupancy of insertion-built trees; `1.0` packs
+    /// maximally). Nodes always satisfy the tree's `min_entries` bound
+    /// except a lone root.
+    pub fn bulk_load(
+        pool: BufferPool,
+        params: RTreeParams,
+        objects: &[(O, u64)],
+        fill: f64,
+    ) -> RTreeResult<Self> {
+        assert!((0.0..=1.0).contains(&fill) && fill > 0.0, "fill must be in (0, 1]");
+        let mut tree = RTree::new(pool, params)?;
+        if objects.is_empty() {
+            return Ok(tree);
+        }
+        let cap = ((params.max_entries as f64 * fill).floor() as usize)
+            .clamp(params.min_entries.max(1), params.max_entries);
+
+        // Leaf level.
+        let leaf_items: Vec<LeafEntry<D, O>> = objects
+            .iter()
+            .map(|&(o, oid)| LeafEntry::new(o, oid))
+            .collect();
+        let mut tiles: Vec<Vec<LeafEntry<D, O>>> = Vec::new();
+        tile(
+            leaf_items,
+            cap,
+            params.min_entries,
+            params.max_entries,
+            0,
+            &mut tiles,
+        );
+        let mut entries: Vec<InnerEntry<D>> = Vec::with_capacity(tiles.len());
+        for group in tiles {
+            let node = Node::Leaf(group);
+            let id = tree.alloc_write(&node)?;
+            entries.push(InnerEntry::new(
+                node.mbr().expect("non-empty tile"),
+                id,
+                node.subtree_count(),
+            ));
+        }
+        let mut height = 1u8;
+
+        // Upper levels until a single entry remains.
+        while entries.len() > 1 {
+            let mut tiles: Vec<Vec<InnerEntry<D>>> = Vec::new();
+            tile(
+                entries,
+                cap,
+                params.min_entries,
+                params.max_entries,
+                0,
+                &mut tiles,
+            );
+            let mut next: Vec<InnerEntry<D>> = Vec::with_capacity(tiles.len());
+            for group in tiles {
+                let node = Node::Inner {
+                    level: height,
+                    entries: group,
+                };
+                let id = tree.alloc_write(&node)?;
+                next.push(InnerEntry::new(
+                    node.mbr().expect("non-empty tile"),
+                    id,
+                    node.subtree_count(),
+                ));
+            }
+            entries = next;
+            height += 1;
+        }
+
+        let root_entry = entries.pop().expect("at least one entry");
+        tree.set_descriptor_after_bulk(root_entry.child, height, objects.len() as u64);
+        Ok(tree)
+    }
+}

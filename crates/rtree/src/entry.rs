@@ -1,0 +1,82 @@
+//! Node entries: leaf entries hold data objects, inner entries hold child
+//! pointers with MBRs and subtree cardinalities.
+
+use cpq_geo::{Point, Rect, SpatialObject};
+use cpq_storage::PageId;
+
+/// An entry of a leaf node: one indexed spatial object (a [`Point`] by
+/// default — the paper's setting — or any other [`SpatialObject`], e.g. a
+/// [`Rect`] for extended objects).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeafEntry<const D: usize, O: SpatialObject<D> = Point<D>> {
+    /// The indexed object.
+    pub object: O,
+    /// Opaque object identifier supplied by the application (e.g. row id).
+    pub oid: u64,
+}
+
+impl<const D: usize, O: SpatialObject<D>> LeafEntry<D, O> {
+    /// Creates a leaf entry.
+    pub fn new(object: O, oid: u64) -> Self {
+        LeafEntry { object, oid }
+    }
+
+    /// MBR of the object (degenerate for points).
+    #[inline]
+    pub fn mbr(&self) -> Rect<D> {
+        self.object.mbr()
+    }
+}
+
+impl<const D: usize> LeafEntry<D, Point<D>> {
+    /// The indexed point (point-object trees only).
+    #[inline]
+    pub fn point(&self) -> Point<D> {
+        self.object
+    }
+}
+
+/// An entry of an inner node: child pointer, its MBR, and the number of data
+/// objects stored in the child's subtree.
+///
+/// The cardinality is not part of the classical R*-tree; it is the aggregate
+/// needed by the MAXMAXDIST-based K-closest-pair pruning bound (Section 3.8
+/// of the paper, detailed in its technical-report companion) and costs four
+/// bytes per entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InnerEntry<const D: usize> {
+    /// Minimum bounding rectangle of the child's subtree.
+    pub mbr: Rect<D>,
+    /// Page of the child node.
+    pub child: PageId,
+    /// Number of data objects in the child's subtree.
+    pub count: u64,
+}
+
+impl<const D: usize> InnerEntry<D> {
+    /// Creates an inner entry.
+    pub fn new(mbr: Rect<D>, child: PageId, count: u64) -> Self {
+        InnerEntry { mbr, child, count }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_entry_mbr_is_degenerate_for_points() {
+        let e = LeafEntry::new(Point([1.0, 2.0]), 7);
+        assert!(e.mbr().is_degenerate());
+        assert!(e.mbr().contains_point(&Point([1.0, 2.0])));
+        assert_eq!(e.point(), Point([1.0, 2.0]));
+    }
+
+    #[test]
+    fn leaf_entry_with_rect_object() {
+        let r = Rect::from_corners([0.0, 0.0], [2.0, 3.0]);
+        let e: LeafEntry<2, Rect<2>> = LeafEntry::new(r, 9);
+        assert_eq!(e.mbr(), r);
+        assert_eq!(e.oid, 9);
+    }
+}

@@ -1,0 +1,149 @@
+//! Search operations: window (range) queries, point lookups, K nearest
+//! neighbors, and full scans.
+
+use crate::entry::LeafEntry;
+use crate::error::RTreeResult;
+use crate::node::Node;
+use crate::tree::RTree;
+use cpq_geo::{pt_mindist2, Dist2, Point, Rect, SpatialObject};
+use cpq_storage::PageId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One result of a K-nearest-neighbor query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnnNeighbor<const D: usize, O: SpatialObject<D> = Point<D>> {
+    /// The matching leaf entry.
+    pub entry: LeafEntry<D, O>,
+    /// Its squared distance to the query point (MBR distance for extended
+    /// objects).
+    pub dist2: Dist2,
+}
+
+impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
+    /// Returns all objects whose MBR intersects `window` (boundary
+    /// inclusive). For point objects this is exactly "points inside the
+    /// window", the paper's range query.
+    pub fn range_query(&self, window: &Rect<D>) -> RTreeResult<Vec<LeafEntry<D, O>>> {
+        let mut out = Vec::new();
+        if !self.root().is_valid() {
+            return Ok(out);
+        }
+        let mut stack = vec![self.root()];
+        while let Some(id) = stack.pop() {
+            match self.read_node(id)? {
+                Node::Leaf(es) => {
+                    out.extend(es.into_iter().filter(|e| window.intersects(&e.mbr())));
+                }
+                Node::Inner { entries, .. } => {
+                    stack.extend(
+                        entries
+                            .iter()
+                            .filter(|e| e.mbr.intersects(window))
+                            .map(|e| e.child),
+                    );
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of objects intersecting `window`.
+    pub fn count_in(&self, window: &Rect<D>) -> RTreeResult<u64> {
+        Ok(self.range_query(window)?.len() as u64)
+    }
+
+    /// `true` when the exact `(object, oid)` pair is indexed.
+    pub fn contains(&self, object: &O, oid: u64) -> RTreeResult<bool> {
+        if !self.root().is_valid() {
+            return Ok(false);
+        }
+        let mut stack = vec![self.root()];
+        while let Some(id) = stack.pop() {
+            match self.read_node(id)? {
+                Node::Leaf(es) => {
+                    if es.iter().any(|e| e.object == *object && e.oid == oid) {
+                        return Ok(true);
+                    }
+                }
+                Node::Inner { entries, .. } => {
+                    stack.extend(
+                        entries
+                            .iter()
+                            .filter(|e| e.mbr.contains_rect(&object.mbr()))
+                            .map(|e| e.child),
+                    );
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// K nearest neighbors of `query`, closest first (ties broken
+    /// arbitrarily; MBR distance for extended objects). Uses the best-first
+    /// traversal of Hjaltason & Samet with a MINDIST-ordered priority queue.
+    pub fn knn(&self, query: &Point<D>, k: usize) -> RTreeResult<Vec<KnnNeighbor<D, O>>> {
+        let mut out = Vec::with_capacity(k.min(self.len() as usize));
+        if k == 0 || !self.root().is_valid() {
+            return Ok(out);
+        }
+        #[derive(PartialEq, Eq, PartialOrd, Ord)]
+        enum Item {
+            /// An R-tree node awaiting expansion.
+            Node(PageId),
+            /// Index into `pending` of a data point awaiting output.
+            Point(usize),
+        }
+        let mut heap: BinaryHeap<(Reverse<Dist2>, usize, Item)> = BinaryHeap::new();
+        let mut seq = 0usize; // FIFO tie-breaker for deterministic order
+        heap.push((Reverse(Dist2::ZERO), seq, Item::Node(self.root())));
+        let mut pending: Vec<LeafEntry<D, O>> = Vec::new(); // store for Point items
+        while let Some((Reverse(d), _, item)) = heap.pop() {
+            match item {
+                Item::Point(idx) => {
+                    out.push(KnnNeighbor {
+                        entry: pending[idx],
+                        dist2: d,
+                    });
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                Item::Node(id) => match self.read_node(id)? {
+                    Node::Leaf(es) => {
+                        for e in es {
+                            let dd = pt_mindist2(query, &e.mbr());
+                            seq += 1;
+                            pending.push(e);
+                            heap.push((Reverse(dd), seq, Item::Point(pending.len() - 1)));
+                        }
+                    }
+                    Node::Inner { entries, .. } => {
+                        for e in entries {
+                            let dd = pt_mindist2(query, &e.mbr);
+                            seq += 1;
+                            heap.push((Reverse(dd), seq, Item::Node(e.child)));
+                        }
+                    }
+                },
+            }
+        }
+        Ok(out)
+    }
+
+    /// All indexed objects, in unspecified order.
+    pub fn all_objects(&self) -> RTreeResult<Vec<LeafEntry<D, O>>> {
+        let mut out = Vec::with_capacity(self.len() as usize);
+        if !self.root().is_valid() {
+            return Ok(out);
+        }
+        let mut stack = vec![self.root()];
+        while let Some(id) = stack.pop() {
+            match self.read_node(id)? {
+                Node::Leaf(es) => out.extend(es),
+                Node::Inner { entries, .. } => stack.extend(entries.iter().map(|e| e.child)),
+            }
+        }
+        Ok(out)
+    }
+}

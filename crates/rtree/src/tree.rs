@@ -1,0 +1,558 @@
+//! The R*-tree proper: construction, insertion, deletion.
+
+use crate::codec::{decode_node, encode_node};
+use crate::entry::{InnerEntry, LeafEntry};
+use crate::error::{RTreeError, RTreeResult};
+use crate::node::Node;
+use crate::params::RTreeParams;
+use crate::params::SplitPolicy;
+use crate::split::{linear_split, quadratic_split, rstar_split};
+use cpq_geo::{Point, Rect, SpatialObject};
+use cpq_storage::{BufferPool, PageId};
+use std::collections::VecDeque;
+
+/// Either kind of entry, used by forced reinsertion and orphan handling,
+/// which move both data objects (level 0) and whole subtrees (level ≥ 1).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum AnyEntry<const D: usize, O: SpatialObject<D>> {
+    /// A data object destined for a leaf.
+    Leaf(LeafEntry<D, O>),
+    /// A subtree pointer destined for an inner node.
+    Inner(InnerEntry<D>),
+}
+
+impl<const D: usize, O: SpatialObject<D>> AnyEntry<D, O> {
+    pub(crate) fn mbr(&self) -> Rect<D> {
+        match self {
+            AnyEntry::Leaf(e) => e.mbr(),
+            AnyEntry::Inner(e) => e.mbr,
+        }
+    }
+}
+
+/// An R*-tree storing `D`-dimensional spatial objects in a paged buffer
+/// pool. The default object is a [`Point`] (the paper's setting); extended
+/// objects like [`Rect`] work the same way with MBR distance semantics.
+///
+/// Levels count from the leaves: leaves are level 0 and the root is the
+/// single node at level `height - 1`. Every node occupies one page; node
+/// fetches go through the pool, so the pool's miss counter is exactly the
+/// paper's "disk accesses" metric.
+pub struct RTree<const D: usize, O: SpatialObject<D> = Point<D>> {
+    pool: BufferPool,
+    params: RTreeParams,
+    root: PageId,
+    height: u8,
+    len: u64,
+    _object: std::marker::PhantomData<O>,
+}
+
+impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
+    /// Creates an empty tree over `pool`.
+    pub fn new(pool: BufferPool, params: RTreeParams) -> RTreeResult<Self> {
+        params.validate_with(pool.page_size(), D, O::encoded_size())?;
+        Ok(RTree {
+            pool,
+            params,
+            root: PageId::INVALID,
+            height: 0,
+            len: 0,
+            _object: std::marker::PhantomData,
+        })
+    }
+
+    /// Re-attaches a tree whose pages already live in `pool` (e.g. after
+    /// reopening a [`DiskPageFile`](cpq_storage::DiskPageFile)); the caller
+    /// supplies the descriptor returned by [`descriptor`](Self::descriptor).
+    pub fn from_descriptor(
+        pool: BufferPool,
+        params: RTreeParams,
+        descriptor: (PageId, u8, u64),
+    ) -> RTreeResult<Self> {
+        params.validate_with(pool.page_size(), D, O::encoded_size())?;
+        let (root, height, len) = descriptor;
+        Ok(RTree {
+            pool,
+            params,
+            root,
+            height,
+            len,
+            _object: std::marker::PhantomData,
+        })
+    }
+
+    /// `(root page, height, object count)` — enough to re-attach the tree.
+    pub fn descriptor(&self) -> (PageId, u8, u64) {
+        (self.root, self.height, self.len)
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// `true` when the tree holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (0 when empty; 1 when the root is a leaf).
+    pub fn height(&self) -> u8 {
+        self.height
+    }
+
+    /// Root page id ([`PageId::INVALID`] when empty).
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// Tree parameters.
+    pub fn params(&self) -> RTreeParams {
+        self.params
+    }
+
+    /// The buffer pool backing the tree (for statistics and configuration).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Reads and decodes a node. Counts one logical page read.
+    pub fn read_node(&self, id: PageId) -> RTreeResult<Node<D, O>> {
+        let bytes = self.pool.read_page(id)?;
+        decode_node(id, &bytes)
+    }
+
+    /// MBR of the whole tree (reads the root page), or `None` when empty.
+    pub fn root_mbr(&self) -> RTreeResult<Option<Rect<D>>> {
+        if !self.root.is_valid() {
+            return Ok(None);
+        }
+        Ok(self.read_node(self.root)?.mbr())
+    }
+
+    pub(crate) fn write_node(&self, id: PageId, node: &Node<D, O>) -> RTreeResult<()> {
+        let mut buf = vec![0u8; self.pool.page_size()];
+        encode_node(node, &mut buf)?;
+        self.pool.write_page(id, &buf)?;
+        Ok(())
+    }
+
+    pub(crate) fn alloc_write(&self, node: &Node<D, O>) -> RTreeResult<PageId> {
+        let id = self.pool.allocate()?;
+        self.write_node(id, node)?;
+        Ok(id)
+    }
+
+    /// Installs the root descriptor after a bulk load.
+    pub(crate) fn set_descriptor_after_bulk(&mut self, root: PageId, height: u8, len: u64) {
+        self.root = root;
+        self.height = height;
+        self.len = len;
+    }
+
+    fn entry_for(&self, id: PageId, node: &Node<D, O>) -> InnerEntry<D> {
+        InnerEntry::new(
+            node.mbr().expect("entry_for on empty node"),
+            id,
+            node.subtree_count(),
+        )
+    }
+
+    /// Inserts an object with an application object id.
+    ///
+    /// Duplicate objects (same geometry, same or different oid) are
+    /// allowed, like in the paper's uniform datasets.
+    pub fn insert(&mut self, object: O, oid: u64) -> RTreeResult<()> {
+        if !object.is_finite() {
+            return Err(RTreeError::InvalidParams(
+                "cannot index a non-finite object".into(),
+            ));
+        }
+        if !self.root.is_valid() {
+            let node = Node::Leaf(vec![LeafEntry::new(object, oid)]);
+            self.root = self.alloc_write(&node)?;
+            self.height = 1;
+            self.len = 1;
+            return Ok(());
+        }
+        self.insert_at_level(AnyEntry::Leaf(LeafEntry::new(object, oid)), 0)?;
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Inserts `entry` into a node at `level`, with R* overflow treatment.
+    /// Does **not** touch `self.len` (also used for reinsertions).
+    pub(crate) fn insert_at_level(&mut self, entry: AnyEntry<D, O>, level: u8) -> RTreeResult<()> {
+        // Forced reinsertion is permitted once per level per data insert
+        // (Beckmann et al.'s OverflowTreatment).
+        let mut overflowed = vec![false; self.height as usize];
+        let mut queue: VecDeque<(AnyEntry<D, O>, u8)> = VecDeque::new();
+        queue.push_back((entry, level));
+        while let Some((e, lvl)) = queue.pop_front() {
+            let root_level = self.height - 1;
+            debug_assert!(lvl <= root_level, "entry level beyond root");
+            let (updated, split) =
+                self.insert_rec(self.root, root_level, e, lvl, &mut overflowed, &mut queue)?;
+            if let Some(sibling) = split {
+                let new_root = Node::Inner {
+                    level: root_level + 1,
+                    entries: vec![updated, sibling],
+                };
+                self.root = self.alloc_write(&new_root)?;
+                self.height += 1;
+                overflowed.push(false);
+            }
+        }
+        Ok(())
+    }
+
+    /// Recursive insertion step. Returns the refreshed entry describing
+    /// `node_id` and, if the node split, the entry of the new sibling.
+    #[allow(clippy::too_many_arguments)]
+    fn insert_rec(
+        &mut self,
+        node_id: PageId,
+        node_level: u8,
+        entry: AnyEntry<D, O>,
+        target_level: u8,
+        overflowed: &mut [bool],
+        queue: &mut VecDeque<(AnyEntry<D, O>, u8)>,
+    ) -> RTreeResult<(InnerEntry<D>, Option<InnerEntry<D>>)> {
+        let mut node = self.read_node(node_id)?;
+        debug_assert_eq!(node.level(), node_level, "level mismatch on {node_id}");
+
+        if node_level == target_level {
+            match (&mut node, entry) {
+                (Node::Leaf(es), AnyEntry::Leaf(e)) => es.push(e),
+                (Node::Inner { entries, .. }, AnyEntry::Inner(e)) => entries.push(e),
+                _ => {
+                    return Err(RTreeError::InvariantViolation(format!(
+                        "entry kind does not match node kind at level {node_level}"
+                    )))
+                }
+            }
+        } else {
+            let idx = self.choose_subtree(&node, &entry.mbr());
+            let child = node.inner_entries()[idx];
+            let (updated, split) = self.insert_rec(
+                child.child,
+                node_level - 1,
+                entry,
+                target_level,
+                overflowed,
+                queue,
+            )?;
+            node.inner_entries_mut()[idx] = updated;
+            if let Some(sibling) = split {
+                node.inner_entries_mut().push(sibling);
+            }
+        }
+
+        if node.len() > self.params.max_entries {
+            let root_level = self.height - 1;
+            // Forced reinsertion is an R*-only optimization; the Guttman
+            // variants split immediately.
+            let can_reinsert = self.params.split_policy == SplitPolicy::RStar
+                && node_level < root_level
+                && !overflowed[node_level as usize];
+            if can_reinsert {
+                overflowed[node_level as usize] = true;
+                let removed = self.reinsert_select(&mut node);
+                self.write_node(node_id, &node)?;
+                for e in removed {
+                    queue.push_back((e, node_level));
+                }
+                return Ok((self.entry_for(node_id, &node), None));
+            }
+            let (a, b) = self.split_node(node);
+            self.write_node(node_id, &a)?;
+            let b_id = self.alloc_write(&b)?;
+            return Ok((
+                self.entry_for(node_id, &a),
+                Some(self.entry_for(b_id, &b)),
+            ));
+        }
+
+        self.write_node(node_id, &node)?;
+        Ok((self.entry_for(node_id, &node), None))
+    }
+
+    /// `ChooseSubtree`: among the children of `node`, pick where an entry
+    /// with MBR `mbr` should descend.
+    ///
+    /// R\* rule (the default):
+    /// * Children are leaves (`node` at level 1): minimize **overlap
+    ///   enlargement**, ties by area enlargement, then by area.
+    /// * Otherwise: minimize **area enlargement**, ties by area.
+    ///
+    /// Guttman variants use the classic least-enlargement rule at every
+    /// level.
+    fn choose_subtree(&self, node: &Node<D, O>, mbr: &Rect<D>) -> usize {
+        let entries = node.inner_entries();
+        debug_assert!(!entries.is_empty(), "choose_subtree on empty node");
+        if self.params.split_policy == SplitPolicy::RStar && node.level() == 1 {
+            let mut best = 0usize;
+            let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+            for (i, e) in entries.iter().enumerate() {
+                let enlarged = e.mbr.union(mbr);
+                let mut overlap_delta = 0.0;
+                for (j, other) in entries.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    overlap_delta += enlarged.intersection_area(&other.mbr)
+                        - e.mbr.intersection_area(&other.mbr);
+                }
+                let key = (
+                    overlap_delta,
+                    enlarged.area() - e.mbr.area(),
+                    e.mbr.area(),
+                );
+                if key < best_key {
+                    best_key = key;
+                    best = i;
+                }
+            }
+            best
+        } else {
+            let mut best = 0usize;
+            let mut best_key = (f64::INFINITY, f64::INFINITY);
+            for (i, e) in entries.iter().enumerate() {
+                let key = (e.mbr.enlargement(mbr), e.mbr.area());
+                if key < best_key {
+                    best_key = key;
+                    best = i;
+                }
+            }
+            best
+        }
+    }
+
+    /// Forced-reinsert selection: removes the `p` entries whose centers are
+    /// farthest from the node MBR's center and returns them sorted by
+    /// *increasing* distance (Beckmann et al.'s "close reinsert").
+    fn reinsert_select(&self, node: &mut Node<D, O>) -> Vec<AnyEntry<D, O>> {
+        let p = self.params.reinsert_count.min(node.len() - self.params.min_entries);
+        let center = node.mbr().expect("reinsert on empty node").center();
+        match node {
+            Node::Leaf(es) => {
+                let mut idx: Vec<usize> = (0..es.len()).collect();
+                idx.sort_by(|&a, &b| {
+                    es[b].mbr()
+                        .center()
+                        .dist2(&center)
+                        .total_cmp(&es[a].mbr().center().dist2(&center))
+                });
+                let removed_set: Vec<usize> = idx[..p].to_vec();
+                let mut removed: Vec<(f64, AnyEntry<D, O>)> = removed_set
+                    .iter()
+                    .map(|&i| {
+                        (
+                            es[i].mbr().center().dist2(&center),
+                            AnyEntry::Leaf(es[i]),
+                        )
+                    })
+                    .collect();
+                let mut keep: Vec<LeafEntry<D, O>> = Vec::with_capacity(es.len() - p);
+                for (i, e) in es.iter().enumerate() {
+                    if !removed_set.contains(&i) {
+                        keep.push(*e);
+                    }
+                }
+                *es = keep;
+                removed.sort_by(|a, b| a.0.total_cmp(&b.0));
+                removed.into_iter().map(|(_, e)| e).collect()
+            }
+            Node::Inner { entries, .. } => {
+                let mut idx: Vec<usize> = (0..entries.len()).collect();
+                idx.sort_by(|&a, &b| {
+                    entries[b]
+                        .mbr
+                        .center()
+                        .dist2(&center)
+                        .total_cmp(&entries[a].mbr.center().dist2(&center))
+                });
+                let removed_set: Vec<usize> = idx[..p].to_vec();
+                let mut removed: Vec<(f64, AnyEntry<D, O>)> = removed_set
+                    .iter()
+                    .map(|&i| {
+                        (
+                            entries[i].mbr.center().dist2(&center),
+                            AnyEntry::Inner(entries[i]),
+                        )
+                    })
+                    .collect();
+                let mut keep: Vec<InnerEntry<D>> = Vec::with_capacity(entries.len() - p);
+                for (i, e) in entries.iter().enumerate() {
+                    if !removed_set.contains(&i) {
+                        keep.push(*e);
+                    }
+                }
+                *entries = keep;
+                removed.sort_by(|a, b| a.0.total_cmp(&b.0));
+                removed.into_iter().map(|(_, e)| e).collect()
+            }
+        }
+    }
+
+    fn split_node(&self, node: Node<D, O>) -> (Node<D, O>, Node<D, O>) {
+        fn dispatch<const D: usize, T: crate::split::SplitItem<D>>(
+            policy: SplitPolicy,
+            items: Vec<T>,
+            min: usize,
+        ) -> (Vec<T>, Vec<T>) {
+            match policy {
+                SplitPolicy::RStar => rstar_split(items, min),
+                SplitPolicy::GuttmanQuadratic => quadratic_split(items, min),
+                SplitPolicy::GuttmanLinear => linear_split(items, min),
+            }
+        }
+        let policy = self.params.split_policy;
+        match node {
+            Node::Leaf(es) => {
+                let (a, b) = dispatch(policy, es, self.params.min_entries);
+                (Node::Leaf(a), Node::Leaf(b))
+            }
+            Node::Inner { level, entries } => {
+                let (a, b) = dispatch(policy, entries, self.params.min_entries);
+                (
+                    Node::Inner { level, entries: a },
+                    Node::Inner { level, entries: b },
+                )
+            }
+        }
+    }
+
+    /// Deletes one occurrence of `(object, oid)`. Returns `true` when found.
+    ///
+    /// Underflowing nodes are dissolved and their entries reinserted
+    /// (Guttman's `CondenseTree`, as adopted by the R*-tree).
+    pub fn delete(&mut self, object: O, oid: u64) -> RTreeResult<bool> {
+        if !self.root.is_valid() {
+            return Ok(false);
+        }
+        let mut orphans: Vec<(AnyEntry<D, O>, u8)> = Vec::new();
+        let root_level = self.height - 1;
+        let found = match self.delete_rec(self.root, root_level, true, &object, oid, &mut orphans)? {
+            DeleteOutcome::NotFound => false,
+            DeleteOutcome::Updated(_) => true,
+            DeleteOutcome::Removed => {
+                unreachable!("the root is never condensed away by delete_rec")
+            }
+        };
+        if !found {
+            debug_assert!(orphans.is_empty());
+            return Ok(false);
+        }
+        self.len -= 1;
+
+        for (entry, level) in orphans {
+            self.insert_at_level(entry, level)?;
+        }
+
+        // Shrink the root: an inner root with a single child is replaced by
+        // that child; an empty leaf root empties the tree.
+        loop {
+            let node = self.read_node(self.root)?;
+            match &node {
+                Node::Inner { entries, .. } if entries.len() == 1 => {
+                    let child = entries[0].child;
+                    self.pool.free_page(self.root)?;
+                    self.root = child;
+                    self.height -= 1;
+                }
+                Node::Leaf(es) if es.is_empty() => {
+                    self.pool.free_page(self.root)?;
+                    self.root = PageId::INVALID;
+                    self.height = 0;
+                    debug_assert_eq!(self.len, 0);
+                    break;
+                }
+                _ => break,
+            }
+        }
+        Ok(true)
+    }
+
+    fn delete_rec(
+        &mut self,
+        node_id: PageId,
+        node_level: u8,
+        is_root: bool,
+        object: &O,
+        oid: u64,
+        orphans: &mut Vec<(AnyEntry<D, O>, u8)>,
+    ) -> RTreeResult<DeleteOutcome<D>> {
+        let mut node = self.read_node(node_id)?;
+        match &mut node {
+            Node::Leaf(es) => {
+                let Some(pos) = es.iter().position(|e| e.object == *object && e.oid == oid)
+                else {
+                    return Ok(DeleteOutcome::NotFound);
+                };
+                es.remove(pos);
+                if !is_root && es.len() < self.params.min_entries {
+                    for e in es.iter() {
+                        orphans.push((AnyEntry::Leaf(*e), 0));
+                    }
+                    self.pool.free_page(node_id)?;
+                    return Ok(DeleteOutcome::Removed);
+                }
+                self.write_node(node_id, &node)?;
+                if node.is_empty() {
+                    // Empty leaf root: report a placeholder entry; the caller
+                    // shrinks the tree away.
+                    return Ok(DeleteOutcome::Updated(InnerEntry::new(
+                        object.mbr(),
+                        node_id,
+                        0,
+                    )));
+                }
+                Ok(DeleteOutcome::Updated(self.entry_for(node_id, &node)))
+            }
+            Node::Inner { entries, .. } => {
+                let mut found_at: Option<(usize, DeleteOutcome<D>)> = None;
+                for (i, e) in entries.iter().enumerate() {
+                    if !e.mbr.contains_rect(&object.mbr()) {
+                        continue;
+                    }
+                    match self.delete_rec(e.child, node_level - 1, false, object, oid, orphans)? {
+                        DeleteOutcome::NotFound => continue,
+                        outcome => {
+                            found_at = Some((i, outcome));
+                            break;
+                        }
+                    }
+                }
+                let Some((idx, outcome)) = found_at else {
+                    return Ok(DeleteOutcome::NotFound);
+                };
+                match outcome {
+                    DeleteOutcome::Updated(e) => entries[idx] = e,
+                    DeleteOutcome::Removed => {
+                        entries.remove(idx);
+                    }
+                    DeleteOutcome::NotFound => unreachable!(),
+                }
+                if !is_root && entries.len() < self.params.min_entries {
+                    for e in entries.iter() {
+                        orphans.push((AnyEntry::Inner(*e), node_level));
+                    }
+                    self.pool.free_page(node_id)?;
+                    return Ok(DeleteOutcome::Removed);
+                }
+                self.write_node(node_id, &node)?;
+                Ok(DeleteOutcome::Updated(self.entry_for(node_id, &node)))
+            }
+        }
+    }
+}
+
+enum DeleteOutcome<const D: usize> {
+    /// The object was not found under this node.
+    NotFound,
+    /// The object was removed; here is the refreshed entry for this node.
+    Updated(InnerEntry<D>),
+    /// This node underflowed and was dissolved into orphans.
+    Removed,
+}

@@ -1,0 +1,120 @@
+//! Property-based tests: random insert/delete interleavings preserve every
+//! structural invariant and query correctness.
+
+use cpq_geo::{Point, Rect};
+use cpq_rtree::{RTree, RTreeParams};
+use cpq_storage::{BufferPool, MemPageFile};
+use proptest::prelude::*;
+
+fn mem_tree(max_entries: usize) -> RTree<2> {
+    let pool = BufferPool::with_lru(Box::new(MemPageFile::new(1024)), 64);
+    RTree::new(pool, RTreeParams::with_max_entries(max_entries)).unwrap()
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(f64, f64),
+    DeleteNth(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0.0..100.0f64, 0.0..100.0f64).prop_map(|(x, y)| Op::Insert(x, y)),
+        1 => (0usize..1000).prop_map(Op::DeleteNth),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary interleavings of inserts and deletes keep the tree valid
+    /// and consistent with a shadow model.
+    #[test]
+    fn interleaved_ops_preserve_invariants(
+        ops in prop::collection::vec(op_strategy(), 1..150),
+        m in 4usize..12,
+    ) {
+        let mut tree = mem_tree(m);
+        let mut live: Vec<(Point<2>, u64)> = Vec::new();
+        let mut next_oid = 0u64;
+        for op in ops {
+            match op {
+                Op::Insert(x, y) => {
+                    let p = Point([x, y]);
+                    tree.insert(p, next_oid).unwrap();
+                    live.push((p, next_oid));
+                    next_oid += 1;
+                }
+                Op::DeleteNth(n) => {
+                    if live.is_empty() { continue; }
+                    let (p, oid) = live.swap_remove(n % live.len());
+                    prop_assert!(tree.delete(p, oid).unwrap());
+                }
+            }
+        }
+        let report = tree.validate().unwrap();
+        prop_assert!(report.is_valid(), "violations: {:?}", report.violations);
+        prop_assert_eq!(tree.len(), live.len() as u64);
+        for (p, oid) in &live {
+            prop_assert!(tree.contains(p, *oid).unwrap());
+        }
+    }
+
+    /// Range queries return exactly the model's answer after random builds.
+    #[test]
+    fn range_query_matches_model(
+        pts in prop::collection::vec((0.0..100.0f64, 0.0..100.0f64), 0..120),
+        qx in 0.0..90.0f64, qy in 0.0..90.0f64,
+        qw in 0.0..50.0f64, qh in 0.0..50.0f64,
+    ) {
+        let mut tree = mem_tree(8);
+        for (i, &(x, y)) in pts.iter().enumerate() {
+            tree.insert(Point([x, y]), i as u64).unwrap();
+        }
+        let window = Rect::from_corners([qx, qy], [qx + qw, qy + qh]);
+        let mut got: Vec<u64> = tree.range_query(&window).unwrap()
+            .iter().map(|e| e.oid).collect();
+        got.sort_unstable();
+        let mut expected: Vec<u64> = pts.iter().enumerate()
+            .filter(|(_, &(x, y))| window.contains_point(&Point([x, y])))
+            .map(|(i, _)| i as u64)
+            .collect();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// 1-NN from the tree is a true nearest neighbor.
+    #[test]
+    fn nn_matches_model(
+        pts in prop::collection::vec((0.0..100.0f64, 0.0..100.0f64), 1..100),
+        qx in 0.0..100.0f64, qy in 0.0..100.0f64,
+    ) {
+        let mut tree = mem_tree(6);
+        for (i, &(x, y)) in pts.iter().enumerate() {
+            tree.insert(Point([x, y]), i as u64).unwrap();
+        }
+        let q = Point([qx, qy]);
+        let got = tree.knn(&q, 1).unwrap();
+        prop_assert_eq!(got.len(), 1);
+        let best = pts.iter()
+            .map(|&(x, y)| Point([x, y]).dist2(&q))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((got[0].dist2.get() - best).abs() < 1e-9);
+    }
+
+    /// Bulk load and insertion build trees with identical contents, and the
+    /// bulk-loaded tree is valid at any legal fill factor.
+    #[test]
+    fn bulk_load_valid_at_any_fill(
+        pts in prop::collection::vec((0.0..100.0f64, 0.0..100.0f64), 0..300),
+        fill in 0.4..1.0f64,
+    ) {
+        let pairs: Vec<(Point<2>, u64)> = pts.iter().enumerate()
+            .map(|(i, &(x, y))| (Point([x, y]), i as u64)).collect();
+        let pool = BufferPool::with_lru(Box::new(MemPageFile::new(1024)), 64);
+        let tree = RTree::bulk_load(pool, RTreeParams::with_max_entries(8), &pairs, fill).unwrap();
+        let report = tree.validate().unwrap();
+        prop_assert!(report.is_valid(), "violations: {:?}", report.violations);
+        prop_assert_eq!(tree.len() as usize, pts.len());
+    }
+}

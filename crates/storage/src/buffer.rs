@@ -1,0 +1,655 @@
+//! Buffer pool with pluggable page-replacement policies.
+//!
+//! The paper's experiments put an LRU buffer of `B` pages in front of the two
+//! R-trees, `B/2` pages each (Section 4.3.3), and report buffer **misses** as
+//! disk accesses. `capacity = 0` disables caching entirely — the "zero
+//! buffer" configuration most experiments start from.
+
+use crate::error::StorageResult;
+use crate::file::PageFile;
+use crate::page::PageId;
+use crate::stats::IoStats;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Page-replacement policy interface.
+///
+/// The pool calls `evict` only when every frame is occupied, so policies can
+/// assume all frames hold pages at that point. Frame indices are dense in
+/// `0..capacity`.
+pub trait ReplacementPolicy: Send {
+    /// Human-readable policy name (reported by the ablation benches).
+    fn name(&self) -> &'static str;
+    /// Re-initializes bookkeeping for a pool of `capacity` frames.
+    fn resize(&mut self, capacity: usize);
+    /// A cached page in `frame` was accessed.
+    fn on_hit(&mut self, frame: usize);
+    /// A page was installed into `frame`.
+    fn on_insert(&mut self, frame: usize);
+    /// Chooses a victim frame, never a pinned one. Called only when the
+    /// pool is full and at least one frame is unpinned.
+    fn evict(&mut self, pinned: &[bool]) -> usize;
+    /// The page in `frame` was removed outside of eviction (e.g. freed).
+    fn on_remove(&mut self, frame: usize);
+}
+
+/// Least-recently-used replacement — the policy used throughout the paper.
+///
+/// Recency is tracked with a monotone counter per frame; eviction scans for
+/// the minimum. Pools in the experiments hold at most 128 frames, so the
+/// `O(capacity)` scan is irrelevant next to the page decode that follows.
+#[derive(Debug, Default)]
+pub struct LruPolicy {
+    stamp: Vec<u64>,
+    clock: u64,
+}
+
+impl LruPolicy {
+    /// Creates the policy; the pool resizes it on attach.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ReplacementPolicy for LruPolicy {
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+    fn resize(&mut self, capacity: usize) {
+        self.stamp = vec![0; capacity];
+        self.clock = 0;
+    }
+    fn on_hit(&mut self, frame: usize) {
+        self.clock += 1;
+        self.stamp[frame] = self.clock;
+    }
+    fn on_insert(&mut self, frame: usize) {
+        self.on_hit(frame);
+    }
+    fn evict(&mut self, pinned: &[bool]) -> usize {
+        self.stamp
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !pinned[*i])
+            .min_by_key(|(_, &s)| s)
+            .map(|(i, _)| i)
+            .expect("evict called with every frame pinned")
+    }
+    fn on_remove(&mut self, frame: usize) {
+        self.stamp[frame] = 0;
+    }
+}
+
+/// First-in-first-out replacement (ablation baseline: ignores recency).
+#[derive(Debug, Default)]
+pub struct FifoPolicy {
+    stamp: Vec<u64>,
+    clock: u64,
+}
+
+impl FifoPolicy {
+    /// Creates the policy; the pool resizes it on attach.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ReplacementPolicy for FifoPolicy {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+    fn resize(&mut self, capacity: usize) {
+        self.stamp = vec![0; capacity];
+        self.clock = 0;
+    }
+    fn on_hit(&mut self, _frame: usize) {}
+    fn on_insert(&mut self, frame: usize) {
+        self.clock += 1;
+        self.stamp[frame] = self.clock;
+    }
+    fn evict(&mut self, pinned: &[bool]) -> usize {
+        self.stamp
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !pinned[*i])
+            .min_by_key(|(_, &s)| s)
+            .map(|(i, _)| i)
+            .expect("evict called with every frame pinned")
+    }
+    fn on_remove(&mut self, frame: usize) {
+        self.stamp[frame] = 0;
+    }
+}
+
+/// Second-chance ("clock") replacement (ablation: approximates LRU with one
+/// reference bit per frame).
+#[derive(Debug, Default)]
+pub struct ClockPolicy {
+    referenced: Vec<bool>,
+    hand: usize,
+}
+
+impl ClockPolicy {
+    /// Creates the policy; the pool resizes it on attach.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ReplacementPolicy for ClockPolicy {
+    fn name(&self) -> &'static str {
+        "clock"
+    }
+    fn resize(&mut self, capacity: usize) {
+        self.referenced = vec![false; capacity];
+        self.hand = 0;
+    }
+    fn on_hit(&mut self, frame: usize) {
+        self.referenced[frame] = true;
+    }
+    fn on_insert(&mut self, frame: usize) {
+        self.referenced[frame] = true;
+    }
+    fn evict(&mut self, pinned: &[bool]) -> usize {
+        let n = self.referenced.len();
+        assert!(n > 0, "evict called on zero-capacity pool");
+        debug_assert!(pinned.iter().any(|&p| !p), "every frame pinned");
+        loop {
+            let f = self.hand;
+            self.hand = (self.hand + 1) % n;
+            if pinned[f] {
+                continue;
+            }
+            if self.referenced[f] {
+                self.referenced[f] = false;
+            } else {
+                return f;
+            }
+        }
+    }
+    fn on_remove(&mut self, frame: usize) {
+        self.referenced[frame] = false;
+    }
+}
+
+/// Logical-access counters maintained by the buffer pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Logical page reads requested by callers.
+    pub logical_reads: u64,
+    /// Reads served from cache.
+    pub hits: u64,
+    /// Reads that had to touch the page file — the paper's *disk accesses*.
+    pub misses: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+    /// Logical writes (write-through).
+    pub writes: u64,
+}
+
+impl BufferStats {
+    /// Cache hit rate in `[0, 1]`; 0 when no reads happened.
+    pub fn hit_rate(&self) -> f64 {
+        if self.logical_reads == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.logical_reads as f64
+        }
+    }
+}
+
+struct Frame {
+    page: PageId,
+    data: Bytes,
+}
+
+struct Inner {
+    file: Box<dyn PageFile>,
+    capacity: usize,
+    frames: Vec<Option<Frame>>,
+    map: HashMap<PageId, usize>,
+    free_frames: Vec<usize>,
+    pinned: Vec<bool>,
+    pinned_count: usize,
+    policy: Box<dyn ReplacementPolicy>,
+    stats: BufferStats,
+}
+
+/// A page cache in front of a [`PageFile`].
+///
+/// * Read path: [`read_page`](BufferPool::read_page) returns the page
+///   contents as cheaply-cloneable [`Bytes`]; a miss faults the page in and
+///   (capacity permitting) caches it, evicting per the policy.
+/// * Write path: write-through — the file always holds the latest data, and
+///   a cached copy is refreshed in place.
+/// * Interior mutability: all methods take `&self` so two trees can be read
+///   concurrently by one query algorithm.
+pub struct BufferPool {
+    inner: Mutex<Inner>,
+}
+
+impl BufferPool {
+    /// Creates a pool over `file` with `capacity` frames and the given policy.
+    pub fn new(
+        file: Box<dyn PageFile>,
+        capacity: usize,
+        mut policy: Box<dyn ReplacementPolicy>,
+    ) -> Self {
+        policy.resize(capacity);
+        BufferPool {
+            inner: Mutex::new(Inner {
+                file,
+                capacity,
+                frames: (0..capacity).map(|_| None).collect(),
+                map: HashMap::new(),
+                free_frames: (0..capacity).rev().collect(),
+                pinned: vec![false; capacity],
+                pinned_count: 0,
+                policy,
+                stats: BufferStats::default(),
+            }),
+        }
+    }
+
+    /// Convenience: LRU pool (the paper's configuration).
+    pub fn with_lru(file: Box<dyn PageFile>, capacity: usize) -> Self {
+        Self::new(file, capacity, Box::new(LruPolicy::new()))
+    }
+
+    /// Page size of the underlying file.
+    pub fn page_size(&self) -> usize {
+        self.inner.lock().file.page_size()
+    }
+
+    /// Number of pages in the underlying file.
+    pub fn num_pages(&self) -> u32 {
+        self.inner.lock().file.num_pages()
+    }
+
+    /// Current frame capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().capacity
+    }
+
+    /// Name of the replacement policy.
+    pub fn policy_name(&self) -> &'static str {
+        self.inner.lock().policy.name()
+    }
+
+    /// Allocates a fresh page in the underlying file.
+    pub fn allocate(&self) -> StorageResult<PageId> {
+        self.inner.lock().file.allocate()
+    }
+
+    /// Reads a page, through the cache.
+    pub fn read_page(&self, id: PageId) -> StorageResult<Bytes> {
+        let mut g = self.inner.lock();
+        g.stats.logical_reads += 1;
+        if let Some(&f) = g.map.get(&id) {
+            g.stats.hits += 1;
+            g.policy.on_hit(f);
+            return Ok(g.frames[f]
+                .as_ref()
+                .expect("mapped frame must be occupied")
+                .data
+                .clone());
+        }
+        g.stats.misses += 1;
+        let ps = g.file.page_size();
+        let mut buf = vec![0u8; ps];
+        g.file.read(id, &mut buf)?;
+        let data = Bytes::from(buf);
+        if g.capacity > 0 {
+            let frame = match g.free_frames.pop() {
+                Some(f) => f,
+                None if g.pinned_count < g.capacity => {
+                    let inner = &mut *g;
+                    let victim = inner.policy.evict(&inner.pinned);
+                    let g = &mut *inner;
+                    debug_assert!(!g.pinned[victim], "policy evicted a pinned frame");
+                    let old = g.frames[victim]
+                        .take()
+                        .expect("victim frame must be occupied");
+                    g.map.remove(&old.page);
+                    g.stats.evictions += 1;
+                    victim
+                }
+                // Every frame pinned: serve the read uncached.
+                None => return Ok(data),
+            };
+            g.frames[frame] = Some(Frame {
+                page: id,
+                data: data.clone(),
+            });
+            g.map.insert(id, frame);
+            g.policy.on_insert(frame);
+        }
+        Ok(data)
+    }
+
+    /// Writes a page, write-through, refreshing any cached copy.
+    pub fn write_page(&self, id: PageId, data: &[u8]) -> StorageResult<()> {
+        let mut g = self.inner.lock();
+        g.stats.writes += 1;
+        g.file.write(id, data)?;
+        if let Some(&f) = g.map.get(&id) {
+            g.frames[f]
+                .as_mut()
+                .expect("mapped frame must be occupied")
+                .data = Bytes::copy_from_slice(data);
+            g.policy.on_hit(f);
+        }
+        Ok(())
+    }
+
+    /// Frees a page and drops any cached copy (clearing any pin).
+    pub fn free_page(&self, id: PageId) -> StorageResult<()> {
+        let mut g = self.inner.lock();
+        if let Some(f) = g.map.remove(&id) {
+            g.frames[f] = None;
+            g.free_frames.push(f);
+            if g.pinned[f] {
+                g.pinned[f] = false;
+                g.pinned_count -= 1;
+            }
+            g.policy.on_remove(f);
+        }
+        g.file.free(id)
+    }
+
+    /// Pins a page: it is faulted into the cache (if not resident) and never
+    /// evicted until [`unpin_page`](Self::unpin_page), [`clear`](Self::clear)
+    /// or [`set_capacity`](Self::set_capacity). Returns `false` when the
+    /// pool has no capacity or no unpinned frame to hold it.
+    ///
+    /// Use case: keeping the upper levels of an R-tree resident, a common
+    /// production policy the paper's B/2-LRU experiments do not model (see
+    /// EXPERIMENTS.md note 3).
+    pub fn pin_page(&self, id: PageId) -> StorageResult<bool> {
+        // Fault it in through the normal path first.
+        self.read_page(id)?;
+        let mut g = self.inner.lock();
+        match g.map.get(&id).copied() {
+            Some(f) => {
+                if !g.pinned[f] {
+                    g.pinned[f] = true;
+                    g.pinned_count += 1;
+                }
+                Ok(true)
+            }
+            None => Ok(false), // capacity 0 or everything pinned
+        }
+    }
+
+    /// Removes the pin from a page, if it was pinned.
+    pub fn unpin_page(&self, id: PageId) {
+        let mut g = self.inner.lock();
+        if let Some(&f) = g.map.get(&id) {
+            if g.pinned[f] {
+                g.pinned[f] = false;
+                g.pinned_count -= 1;
+            }
+        }
+    }
+
+    /// Number of currently pinned pages.
+    pub fn pinned_pages(&self) -> usize {
+        self.inner.lock().pinned_count
+    }
+
+    /// Buffer-level counters.
+    pub fn buffer_stats(&self) -> BufferStats {
+        self.inner.lock().stats
+    }
+
+    /// Physical counters of the underlying file.
+    pub fn io_stats(&self) -> IoStats {
+        self.inner.lock().file.stats()
+    }
+
+    /// Resets both buffer and file counters.
+    pub fn reset_stats(&self) {
+        let mut g = self.inner.lock();
+        g.stats = BufferStats::default();
+        g.file.reset_stats();
+    }
+
+    /// Drops every cached page and pin (counters are kept).
+    pub fn clear(&self) {
+        let mut g = self.inner.lock();
+        let capacity = g.capacity;
+        g.map.clear();
+        g.frames = (0..capacity).map(|_| None).collect();
+        g.free_frames = (0..capacity).rev().collect();
+        g.pinned = vec![false; capacity];
+        g.pinned_count = 0;
+        g.policy.resize(capacity);
+    }
+
+    /// Changes the frame capacity, dropping all cached pages.
+    ///
+    /// Experiments build trees with a roomy cache, then call this with the
+    /// per-tree budget `B/2` (and [`reset_stats`](Self::reset_stats)) before
+    /// measuring queries.
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut g = self.inner.lock();
+        g.capacity = capacity;
+        g.map.clear();
+        g.frames = (0..capacity).map(|_| None).collect();
+        g.free_frames = (0..capacity).rev().collect();
+        g.pinned = vec![false; capacity];
+        g.pinned_count = 0;
+        g.policy.resize(capacity);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::MemPageFile;
+
+    fn pool_with(capacity: usize, policy: Box<dyn ReplacementPolicy>) -> BufferPool {
+        let file = MemPageFile::new(64);
+        BufferPool::new(Box::new(file), capacity, policy)
+    }
+
+    fn fill(pool: &BufferPool, n: usize) -> Vec<PageId> {
+        (0..n)
+            .map(|i| {
+                let id = pool.allocate().unwrap();
+                pool.write_page(id, &[i as u8; 64]).unwrap();
+                id
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_capacity_counts_every_read_as_miss() {
+        let pool = pool_with(0, Box::new(LruPolicy::new()));
+        let ids = fill(&pool, 3);
+        pool.reset_stats();
+        for _ in 0..5 {
+            for &id in &ids {
+                pool.read_page(id).unwrap();
+            }
+        }
+        let s = pool.buffer_stats();
+        assert_eq!(s.logical_reads, 15);
+        assert_eq!(s.misses, 15);
+        assert_eq!(s.hits, 0);
+        assert_eq!(pool.io_stats().reads, 15);
+    }
+
+    #[test]
+    fn hits_served_from_cache() {
+        let pool = pool_with(4, Box::new(LruPolicy::new()));
+        let ids = fill(&pool, 3);
+        pool.reset_stats();
+        for _ in 0..5 {
+            for &id in &ids {
+                pool.read_page(id).unwrap();
+            }
+        }
+        let s = pool.buffer_stats();
+        assert_eq!(s.misses, 3, "each page faults exactly once");
+        assert_eq!(s.hits, 12);
+        assert_eq!(pool.io_stats().reads, 3);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let pool = pool_with(2, Box::new(LruPolicy::new()));
+        let ids = fill(&pool, 3);
+        pool.reset_stats();
+        pool.read_page(ids[0]).unwrap(); // miss, cache {0}
+        pool.read_page(ids[1]).unwrap(); // miss, cache {0,1}
+        pool.read_page(ids[0]).unwrap(); // hit, 0 becomes most recent
+        pool.read_page(ids[2]).unwrap(); // miss, evicts 1 (LRU), cache {0,2}
+        pool.read_page(ids[0]).unwrap(); // hit -> proves 0 survived, 1 was the victim
+        pool.read_page(ids[1]).unwrap(); // miss, evicts 2, cache {0,1}
+        let s = pool.buffer_stats();
+        assert_eq!(s.misses, 4);
+        assert_eq!(s.hits, 2);
+    }
+
+    #[test]
+    fn fifo_ignores_recency() {
+        let pool = pool_with(2, Box::new(FifoPolicy::new()));
+        let ids = fill(&pool, 3);
+        pool.reset_stats();
+        pool.read_page(ids[0]).unwrap(); // miss {0}
+        pool.read_page(ids[1]).unwrap(); // miss {0,1}
+        pool.read_page(ids[0]).unwrap(); // hit; FIFO order unchanged
+        pool.read_page(ids[2]).unwrap(); // miss, evicts 0 (oldest insert)
+        pool.read_page(ids[0]).unwrap(); // miss -> proves 0 was evicted
+        let s = pool.buffer_stats();
+        assert_eq!(s.misses, 4);
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn clock_gives_second_chances() {
+        let pool = pool_with(2, Box::new(ClockPolicy::new()));
+        let ids = fill(&pool, 3);
+        pool.reset_stats();
+        pool.read_page(ids[0]).unwrap();
+        pool.read_page(ids[1]).unwrap();
+        pool.read_page(ids[2]).unwrap(); // all ref bits true -> sweep clears, evicts frame 0
+        pool.read_page(ids[1]).unwrap(); // page 1 still cached? frame0 held page0 -> evicted; 1 remains
+        let s = pool.buffer_stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 3);
+    }
+
+    #[test]
+    fn write_through_updates_cache() {
+        let pool = pool_with(2, Box::new(LruPolicy::new()));
+        let ids = fill(&pool, 1);
+        pool.read_page(ids[0]).unwrap(); // cache it
+        pool.write_page(ids[0], &[9u8; 64]).unwrap();
+        let bytes = pool.read_page(ids[0]).unwrap();
+        assert_eq!(&bytes[..], &vec![9u8; 64][..]);
+        // That read must have been a hit (cache refreshed, not invalidated).
+        assert!(pool.buffer_stats().hits >= 1);
+    }
+
+    #[test]
+    fn free_page_purges_cache() {
+        let pool = pool_with(2, Box::new(LruPolicy::new()));
+        let ids = fill(&pool, 1);
+        pool.read_page(ids[0]).unwrap();
+        pool.free_page(ids[0]).unwrap();
+        assert!(pool.read_page(ids[0]).is_err(), "freed page must not be readable");
+    }
+
+    #[test]
+    fn set_capacity_clears_and_resizes() {
+        let pool = pool_with(4, Box::new(LruPolicy::new()));
+        let ids = fill(&pool, 4);
+        for &id in &ids {
+            pool.read_page(id).unwrap();
+        }
+        pool.set_capacity(1);
+        pool.reset_stats();
+        pool.read_page(ids[0]).unwrap();
+        pool.read_page(ids[1]).unwrap();
+        pool.read_page(ids[0]).unwrap();
+        let s = pool.buffer_stats();
+        assert_eq!(s.misses, 3, "capacity 1 thrashes on alternating pages");
+    }
+
+    #[test]
+    fn pinned_pages_survive_eviction_pressure() {
+        let pool = pool_with(2, Box::new(LruPolicy::new()));
+        let ids = fill(&pool, 5);
+        assert!(pool.pin_page(ids[0]).unwrap());
+        assert_eq!(pool.pinned_pages(), 1);
+        pool.reset_stats();
+        // Thrash through the other pages; the pinned one must stay resident.
+        for _ in 0..3 {
+            for &id in &ids[1..] {
+                pool.read_page(id).unwrap();
+            }
+        }
+        pool.read_page(ids[0]).unwrap();
+        let s = pool.buffer_stats();
+        assert_eq!(s.hits, 1, "pinned page must still be cached");
+    }
+
+    #[test]
+    fn unpin_restores_evictability() {
+        let pool = pool_with(1, Box::new(LruPolicy::new()));
+        let ids = fill(&pool, 2);
+        assert!(pool.pin_page(ids[0]).unwrap());
+        // With the single frame pinned, other reads bypass the cache.
+        pool.read_page(ids[1]).unwrap();
+        pool.reset_stats();
+        pool.read_page(ids[0]).unwrap();
+        assert_eq!(pool.buffer_stats().hits, 1);
+        pool.unpin_page(ids[0]);
+        assert_eq!(pool.pinned_pages(), 0);
+        pool.read_page(ids[1]).unwrap(); // now evicts the unpinned page
+        pool.reset_stats();
+        pool.read_page(ids[0]).unwrap();
+        assert_eq!(pool.buffer_stats().misses, 1, "unpinned page was evicted");
+    }
+
+    #[test]
+    fn pin_fails_gracefully_without_capacity() {
+        let pool = pool_with(0, Box::new(LruPolicy::new()));
+        let ids = fill(&pool, 1);
+        assert!(!pool.pin_page(ids[0]).unwrap());
+        assert_eq!(pool.pinned_pages(), 0);
+    }
+
+    #[test]
+    fn all_pinned_pool_serves_reads_uncached() {
+        let pool = pool_with(1, Box::new(ClockPolicy::new()));
+        let ids = fill(&pool, 3);
+        assert!(pool.pin_page(ids[0]).unwrap());
+        // Second pin cannot displace the first.
+        assert!(!pool.pin_page(ids[1]).unwrap());
+        // Reads still work, just uncached.
+        for _ in 0..3 {
+            pool.read_page(ids[2]).unwrap();
+        }
+        assert_eq!(pool.pinned_pages(), 1);
+    }
+
+    #[test]
+    fn set_capacity_clears_pins() {
+        let pool = pool_with(2, Box::new(LruPolicy::new()));
+        let ids = fill(&pool, 1);
+        assert!(pool.pin_page(ids[0]).unwrap());
+        pool.set_capacity(2);
+        assert_eq!(pool.pinned_pages(), 0);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let s = BufferStats { logical_reads: 10, hits: 4, ..Default::default() };
+        assert_eq!(s.hit_rate(), 0.4);
+        assert_eq!(BufferStats::default().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Storage error type.
+
+use crate::page::PageId;
+use std::fmt;
+use std::io;
+
+/// Result alias used throughout the storage layer.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Errors raised by page files and buffer pools.
+#[derive(Debug)]
+pub enum StorageError {
+    /// A page id beyond the end of the file was referenced.
+    PageOutOfBounds(PageId),
+    /// The referenced page has been freed and not reallocated.
+    PageFreed(PageId),
+    /// A buffer shorter/longer than the page size was supplied.
+    WrongBufferSize {
+        /// Expected page size in bytes.
+        expected: usize,
+        /// Actual buffer length supplied by the caller.
+        actual: usize,
+    },
+    /// The on-disk file header is missing or malformed.
+    CorruptHeader(String),
+    /// Underlying I/O failure (file-backed stores only).
+    Io(io::Error),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::PageOutOfBounds(id) => write!(f, "page {id} is out of bounds"),
+            StorageError::PageFreed(id) => write!(f, "page {id} has been freed"),
+            StorageError::WrongBufferSize { expected, actual } => {
+                write!(f, "buffer size {actual} does not match page size {expected}")
+            }
+            StorageError::CorruptHeader(msg) => write!(f, "corrupt file header: {msg}"),
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = StorageError::PageOutOfBounds(PageId(9));
+        assert!(e.to_string().contains("out of bounds"));
+        let e = StorageError::WrongBufferSize { expected: 1024, actual: 10 };
+        assert!(e.to_string().contains("1024"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = io::Error::new(io::ErrorKind::NotFound, "gone");
+        let e: StorageError = io.into();
+        assert!(matches!(e, StorageError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

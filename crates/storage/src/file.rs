@@ -1,0 +1,433 @@
+//! Page file implementations: a simulated in-memory disk and a real file.
+
+use crate::error::{StorageError, StorageResult};
+use crate::page::PageId;
+use crate::stats::IoStats;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// A flat, growable array of fixed-size pages with a free list.
+///
+/// This is the "disk" of the reproduction. Implementations count every
+/// physical read/write in [`IoStats`]; the benchmark harness reports those
+/// counts as the paper's *disk accesses*.
+pub trait PageFile: Send {
+    /// Size of every page in bytes.
+    fn page_size(&self) -> usize;
+
+    /// Number of pages ever allocated (including freed ones).
+    fn num_pages(&self) -> u32;
+
+    /// Allocates a page (reusing a freed one if available) and returns its id.
+    fn allocate(&mut self) -> StorageResult<PageId>;
+
+    /// Reads page `id` into `buf` (`buf.len()` must equal `page_size`).
+    fn read(&mut self, id: PageId, buf: &mut [u8]) -> StorageResult<()>;
+
+    /// Writes `data` (exactly `page_size` bytes) to page `id`.
+    fn write(&mut self, id: PageId, data: &[u8]) -> StorageResult<()>;
+
+    /// Returns page `id` to the free list.
+    fn free(&mut self, id: PageId) -> StorageResult<()>;
+
+    /// Physical I/O counters.
+    fn stats(&self) -> IoStats;
+
+    /// Resets the physical I/O counters to zero.
+    fn reset_stats(&mut self);
+}
+
+/// In-memory simulated disk.
+///
+/// Pages live in a `Vec`; reads and writes are `memcpy`s but are counted
+/// exactly as a real disk would be. This is what the experiments use — the
+/// paper's cost metric is the *number* of accesses, which is hardware
+/// independent.
+pub struct MemPageFile {
+    page_size: usize,
+    pages: Vec<Option<Box<[u8]>>>,
+    free_list: Vec<PageId>,
+    stats: IoStats,
+}
+
+impl MemPageFile {
+    /// Creates an empty file with the given page size.
+    pub fn new(page_size: usize) -> Self {
+        assert!(page_size > 0, "page size must be positive");
+        MemPageFile {
+            page_size,
+            pages: Vec::new(),
+            free_list: Vec::new(),
+            stats: IoStats::default(),
+        }
+    }
+
+    fn slot(&self, id: PageId) -> StorageResult<&Option<Box<[u8]>>> {
+        self.pages
+            .get(id.index())
+            .ok_or(StorageError::PageOutOfBounds(id))
+    }
+
+    fn check_len(&self, len: usize) -> StorageResult<()> {
+        if len != self.page_size {
+            return Err(StorageError::WrongBufferSize {
+                expected: self.page_size,
+                actual: len,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl PageFile for MemPageFile {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn num_pages(&self) -> u32 {
+        self.pages.len() as u32
+    }
+
+    fn allocate(&mut self) -> StorageResult<PageId> {
+        self.stats.allocations += 1;
+        if let Some(id) = self.free_list.pop() {
+            self.pages[id.index()] = Some(vec![0; self.page_size].into_boxed_slice());
+            return Ok(id);
+        }
+        let id = PageId(self.pages.len() as u32);
+        self.pages
+            .push(Some(vec![0; self.page_size].into_boxed_slice()));
+        Ok(id)
+    }
+
+    fn read(&mut self, id: PageId, buf: &mut [u8]) -> StorageResult<()> {
+        self.check_len(buf.len())?;
+        match self.slot(id)? {
+            Some(data) => {
+                buf.copy_from_slice(data);
+                self.stats.reads += 1;
+                Ok(())
+            }
+            None => Err(StorageError::PageFreed(id)),
+        }
+    }
+
+    fn write(&mut self, id: PageId, data: &[u8]) -> StorageResult<()> {
+        self.check_len(data.len())?;
+        match self
+            .pages
+            .get_mut(id.index())
+            .ok_or(StorageError::PageOutOfBounds(id))?
+        {
+            Some(page) => {
+                page.copy_from_slice(data);
+                self.stats.writes += 1;
+                Ok(())
+            }
+            None => Err(StorageError::PageFreed(id)),
+        }
+    }
+
+    fn free(&mut self, id: PageId) -> StorageResult<()> {
+        match self
+            .pages
+            .get_mut(id.index())
+            .ok_or(StorageError::PageOutOfBounds(id))?
+        {
+            slot @ Some(_) => {
+                *slot = None;
+                self.free_list.push(id);
+                self.stats.frees += 1;
+                Ok(())
+            }
+            None => Err(StorageError::PageFreed(id)),
+        }
+    }
+
+    fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+}
+
+const DISK_MAGIC: u32 = 0x5250_5146; // "RPQF"
+const HEADER_LEN: u64 = 16;
+
+/// File-backed page store.
+///
+/// Layout: a 16-byte header (magic, version, page size, page count) followed
+/// by the pages. The free list is kept in memory only; it is rebuilt empty on
+/// open, which is sound (freed pages are simply not reused across sessions).
+pub struct DiskPageFile {
+    file: File,
+    page_size: usize,
+    num_pages: u32,
+    free_list: Vec<PageId>,
+    stats: IoStats,
+}
+
+impl DiskPageFile {
+    /// Creates a new page file at `path`, truncating any existing file.
+    pub fn create<P: AsRef<Path>>(path: P, page_size: usize) -> StorageResult<Self> {
+        assert!(page_size > 0, "page size must be positive");
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut this = DiskPageFile {
+            file,
+            page_size,
+            num_pages: 0,
+            free_list: Vec::new(),
+            stats: IoStats::default(),
+        };
+        this.write_header()?;
+        Ok(this)
+    }
+
+    /// Opens an existing page file and validates its header.
+    pub fn open<P: AsRef<Path>>(path: P) -> StorageResult<Self> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut header = [0u8; HEADER_LEN as usize];
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(&mut header)?;
+        let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        if magic != DISK_MAGIC {
+            return Err(StorageError::CorruptHeader(format!(
+                "bad magic {magic:#x}"
+            )));
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if version != 1 {
+            return Err(StorageError::CorruptHeader(format!(
+                "unsupported version {version}"
+            )));
+        }
+        let page_size = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
+        let num_pages = u32::from_le_bytes(header[12..16].try_into().unwrap());
+        if page_size == 0 {
+            return Err(StorageError::CorruptHeader("zero page size".into()));
+        }
+        Ok(DiskPageFile {
+            file,
+            page_size,
+            num_pages,
+            free_list: Vec::new(),
+            stats: IoStats::default(),
+        })
+    }
+
+    fn write_header(&mut self) -> StorageResult<()> {
+        let mut header = [0u8; HEADER_LEN as usize];
+        header[0..4].copy_from_slice(&DISK_MAGIC.to_le_bytes());
+        header[4..8].copy_from_slice(&1u32.to_le_bytes());
+        header[8..12].copy_from_slice(&(self.page_size as u32).to_le_bytes());
+        header[12..16].copy_from_slice(&self.num_pages.to_le_bytes());
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(&header)?;
+        Ok(())
+    }
+
+    fn offset(&self, id: PageId) -> u64 {
+        HEADER_LEN + id.index() as u64 * self.page_size as u64
+    }
+
+    fn check_id(&self, id: PageId) -> StorageResult<()> {
+        if id.index() >= self.num_pages as usize {
+            return Err(StorageError::PageOutOfBounds(id));
+        }
+        Ok(())
+    }
+
+    fn check_len(&self, len: usize) -> StorageResult<()> {
+        if len != self.page_size {
+            return Err(StorageError::WrongBufferSize {
+                expected: self.page_size,
+                actual: len,
+            });
+        }
+        Ok(())
+    }
+
+    /// Flushes file contents and header to the OS.
+    pub fn sync(&mut self) -> StorageResult<()> {
+        self.write_header()?;
+        self.file.sync_all()?;
+        Ok(())
+    }
+}
+
+impl PageFile for DiskPageFile {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn num_pages(&self) -> u32 {
+        self.num_pages
+    }
+
+    fn allocate(&mut self) -> StorageResult<PageId> {
+        self.stats.allocations += 1;
+        if let Some(id) = self.free_list.pop() {
+            return Ok(id);
+        }
+        let id = PageId(self.num_pages);
+        self.num_pages += 1;
+        // Extend the file with a zero page so subsequent reads succeed.
+        let zeros = vec![0u8; self.page_size];
+        self.file.seek(SeekFrom::Start(self.offset(id)))?;
+        self.file.write_all(&zeros)?;
+        self.write_header()?;
+        Ok(id)
+    }
+
+    fn read(&mut self, id: PageId, buf: &mut [u8]) -> StorageResult<()> {
+        self.check_id(id)?;
+        self.check_len(buf.len())?;
+        self.file.seek(SeekFrom::Start(self.offset(id)))?;
+        self.file.read_exact(buf)?;
+        self.stats.reads += 1;
+        Ok(())
+    }
+
+    fn write(&mut self, id: PageId, data: &[u8]) -> StorageResult<()> {
+        self.check_id(id)?;
+        self.check_len(data.len())?;
+        self.file.seek(SeekFrom::Start(self.offset(id)))?;
+        self.file.write_all(data)?;
+        self.stats.writes += 1;
+        Ok(())
+    }
+
+    fn free(&mut self, id: PageId) -> StorageResult<()> {
+        self.check_id(id)?;
+        self.free_list.push(id);
+        self.stats.frees += 1;
+        Ok(())
+    }
+
+    fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(file: &mut dyn PageFile) {
+        let ps = file.page_size();
+        let a = file.allocate().unwrap();
+        let b = file.allocate().unwrap();
+        assert_ne!(a, b);
+
+        let data_a = vec![0xAB; ps];
+        let data_b = vec![0xCD; ps];
+        file.write(a, &data_a).unwrap();
+        file.write(b, &data_b).unwrap();
+
+        let mut buf = vec![0; ps];
+        file.read(a, &mut buf).unwrap();
+        assert_eq!(buf, data_a);
+        file.read(b, &mut buf).unwrap();
+        assert_eq!(buf, data_b);
+
+        let s = file.stats();
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.allocations, 2);
+    }
+
+    #[test]
+    fn mem_roundtrip() {
+        let mut f = MemPageFile::new(128);
+        roundtrip(&mut f);
+    }
+
+    #[test]
+    fn mem_free_and_reuse() {
+        let mut f = MemPageFile::new(64);
+        let a = f.allocate().unwrap();
+        f.free(a).unwrap();
+        assert!(matches!(
+            f.read(a, &mut [0; 64]),
+            Err(StorageError::PageFreed(_))
+        ));
+        let b = f.allocate().unwrap();
+        assert_eq!(a, b, "freed page must be reused");
+        // Reused page must be zeroed.
+        let mut buf = vec![1; 64];
+        f.read(b, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn mem_bounds_and_size_checks() {
+        let mut f = MemPageFile::new(64);
+        assert!(matches!(
+            f.read(PageId(5), &mut [0; 64]),
+            Err(StorageError::PageOutOfBounds(_))
+        ));
+        let a = f.allocate().unwrap();
+        assert!(matches!(
+            f.write(a, &[0; 10]),
+            Err(StorageError::WrongBufferSize { .. })
+        ));
+    }
+
+    #[test]
+    fn mem_reset_stats() {
+        let mut f = MemPageFile::new(64);
+        let a = f.allocate().unwrap();
+        f.write(a, &[0; 64]).unwrap();
+        f.reset_stats();
+        assert_eq!(f.stats(), IoStats::default());
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cpq-storage-test-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn disk_roundtrip_and_reopen() {
+        let path = temp_path("roundtrip");
+        {
+            let mut f = DiskPageFile::create(&path, 128).unwrap();
+            roundtrip(&mut f);
+            f.sync().unwrap();
+        }
+        {
+            let f = DiskPageFile::open(&path).unwrap();
+            assert_eq!(f.page_size(), 128);
+            assert_eq!(f.num_pages(), 2);
+            let mut f = f;
+            let mut buf = vec![0; 128];
+            f.read(PageId(0), &mut buf).unwrap();
+            assert_eq!(buf, vec![0xAB; 128]);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn disk_rejects_corrupt_header() {
+        let path = temp_path("corrupt");
+        std::fs::write(&path, b"not a page file at all!!").unwrap();
+        assert!(matches!(
+            DiskPageFile::open(&path),
+            Err(StorageError::CorruptHeader(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,38 @@
+//! Paged storage engine with buffer management and disk-access accounting.
+//!
+//! The experiments of *Corral et al. (SIGMOD 2000)* measure query cost in
+//! **disk accesses**: the number of R-tree node pages fetched from secondary
+//! storage, optionally filtered through an LRU buffer of `B` pages split in
+//! two equal halves, one per R-tree (Section 4.3.3). This crate provides the
+//! substrate that makes those numbers measurable and reproducible:
+//!
+//! * [`PageFile`] — an abstraction over a flat array of fixed-size pages,
+//!   with an in-memory simulated disk ([`MemPageFile`], used by experiments:
+//!   only the *counts* matter, not real seek latency) and a real file-backed
+//!   implementation ([`DiskPageFile`]).
+//! * [`BufferPool`] — a page cache in front of a `PageFile` with a pluggable
+//!   [`ReplacementPolicy`]: [`LruPolicy`] (the paper's policy), plus
+//!   [`FifoPolicy`] and [`ClockPolicy`] for ablation studies.
+//! * [`BufferStats`] / [`IoStats`] — the counters the benchmark harness
+//!   reports. A *disk access* is a buffer miss (with `capacity = 0`, every
+//!   logical read misses, which reproduces the paper's "zero buffer"
+//!   configuration).
+//!
+//! The pool uses interior mutability (`parking_lot::Mutex`) so query
+//! algorithms can hold shared references to two trees and still fault pages
+//! in through either.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buffer;
+mod error;
+mod file;
+mod page;
+mod stats;
+
+pub use buffer::{BufferPool, BufferStats, ClockPolicy, FifoPolicy, LruPolicy, ReplacementPolicy};
+pub use error::{StorageError, StorageResult};
+pub use file::{DiskPageFile, MemPageFile, PageFile};
+pub use page::{PageId, DEFAULT_PAGE_SIZE};
+pub use stats::IoStats;

@@ -1,0 +1,66 @@
+//! Page identifiers and sizing constants.
+
+use std::fmt;
+
+/// Page size used throughout the paper's experiments: 1 KiB, which yields an
+/// R*-tree node capacity of `M = 21` (Section 4).
+pub const DEFAULT_PAGE_SIZE: usize = 1024;
+
+/// Identifier of a page within a [`PageFile`](crate::PageFile).
+///
+/// Page ids are dense small integers — an index into the file — so they
+/// also serve directly as R-tree child "pointers" on disk.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// Sentinel for "no page" (e.g. an empty tree's root pointer).
+    pub const INVALID: PageId = PageId(u32::MAX);
+
+    /// `true` unless this is the [`INVALID`](Self::INVALID) sentinel.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self != Self::INVALID
+    }
+
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_valid() {
+            write!(f, "PageId({})", self.0)
+        } else {
+            write!(f, "PageId(INVALID)")
+        }
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_sentinel() {
+        assert!(!PageId::INVALID.is_valid());
+        assert!(PageId(0).is_valid());
+        assert_eq!(format!("{}", PageId::INVALID), "PageId(INVALID)");
+        assert_eq!(format!("{}", PageId(7)), "PageId(7)");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(PageId(1) < PageId(2));
+        assert_eq!(PageId(3).index(), 3);
+    }
+}

@@ -1,0 +1,51 @@
+//! Physical I/O counters.
+
+/// Counters of physical page transfers performed by a [`PageFile`](crate::PageFile).
+///
+/// These count accesses that actually reach the (simulated) disk. With a
+/// buffer pool in front, logical reads that hit the cache do **not** appear
+/// here — this is exactly the paper's "disk accesses" metric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Pages read from the file.
+    pub reads: u64,
+    /// Pages written to the file.
+    pub writes: u64,
+    /// Pages allocated.
+    pub allocations: u64,
+    /// Pages freed.
+    pub frees: u64,
+}
+
+impl IoStats {
+    /// Total physical transfers (reads + writes).
+    #[inline]
+    pub fn transfers(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Component-wise difference since an earlier snapshot.
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            allocations: self.allocations - earlier.allocations,
+            frees: self.frees - earlier.frees,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts() {
+        let a = IoStats { reads: 10, writes: 5, allocations: 2, frees: 1 };
+        let b = IoStats { reads: 4, writes: 5, allocations: 0, frees: 0 };
+        let d = a.since(&b);
+        assert_eq!(d.reads, 6);
+        assert_eq!(d.writes, 0);
+        assert_eq!(d.transfers(), 6);
+    }
+}

@@ -1,0 +1,78 @@
+//! The Semi-CPQ and Self-CPQ extensions (Section 6, future work).
+//!
+//! * **Semi-CPQ** — for every fire station (set P) find its nearest
+//!   hospital (set Q): an "all nearest neighbors" join where each P point
+//!   appears exactly once.
+//! * **Self-CPQ** — among the hospitals alone, which two are closest? Useful
+//!   for detecting redundant coverage.
+//!
+//! ```sh
+//! cargo run --release --example all_nearest
+//! ```
+
+use cpq::core::{self_closest_pairs, semi_closest_pairs, Algorithm, CpqConfig};
+use cpq::datasets::{clustered, uniform, ClusterSpec};
+use cpq::rtree::{RTree, RTreeParams};
+use cpq::storage::{BufferPool, MemPageFile, DEFAULT_PAGE_SIZE};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let stations = uniform(2_000, 99);
+    let hospitals = clustered(
+        800,
+        ClusterSpec {
+            clusters: 25,
+            spread: 0.03,
+            noise: 0.1,
+            skew: 0.8,
+        },
+        100,
+    );
+
+    let build = |ds: &cpq::datasets::Dataset| -> Result<RTree<2>, Box<dyn std::error::Error>> {
+        let pool = BufferPool::with_lru(Box::new(MemPageFile::new(DEFAULT_PAGE_SIZE)), 128);
+        let mut tree = RTree::new(pool, RTreeParams::paper())?;
+        for (i, &p) in ds.points.iter().enumerate() {
+            tree.insert(p, i as u64)?;
+        }
+        Ok(tree)
+    };
+    let t_stations = build(&stations)?;
+    let t_hospitals = build(&hospitals)?;
+
+    // Semi-CPQ: nearest hospital for every station.
+    let out = semi_closest_pairs(&t_stations, &t_hospitals)?;
+    println!(
+        "semi-CPQ: matched {} stations to hospitals ({} disk accesses)",
+        out.pairs.len(),
+        out.stats.disk_accesses()
+    );
+    let worst = out.pairs.last().expect("non-empty");
+    let best = out.pairs.first().expect("non-empty");
+    println!(
+        "  best-covered station  #{:<5}: {:.2} distance units",
+        best.p.oid,
+        best.distance()
+    );
+    println!(
+        "  worst-covered station #{:<5}: {:.2} distance units  <- coverage gap",
+        worst.p.oid,
+        worst.distance()
+    );
+    let mean: f64 =
+        out.pairs.iter().map(|p| p.distance()).sum::<f64>() / out.pairs.len() as f64;
+    println!("  mean station->hospital distance: {mean:.2}");
+
+    // Self-CPQ: the 5 most redundant hospital pairs.
+    let out = self_closest_pairs(&t_hospitals, 5, Algorithm::Heap, &CpqConfig::paper())?;
+    println!("\nself-CPQ: 5 closest hospital pairs (possible redundant coverage):");
+    for (i, pair) in out.pairs.iter().enumerate() {
+        println!(
+            "  {}. hospital #{:<4} <-> hospital #{:<4}  {:.3} apart",
+            i + 1,
+            pair.p.oid,
+            pair.q.oid,
+            pair.distance()
+        );
+    }
+    Ok(())
+}

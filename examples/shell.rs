@@ -1,0 +1,39 @@
+//! Interactive spatial-database shell over the whole `cpq` stack.
+//!
+//! ```sh
+//! cargo run --release --example shell
+//! ```
+//!
+//! Type `help` at the prompt for the command list; all the paper's
+//! algorithms, tree variants, and buffer configurations are reachable.
+
+use cpq::shell::Shell;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut shell = Shell::new();
+    println!("cpq shell — type `help` for commands, `quit` to exit");
+    let stdin = std::io::stdin();
+    loop {
+        print!("cpq> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        match shell.execute(line) {
+            Ok(out) if out.is_empty() => {}
+            Ok(out) => println!("{out}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

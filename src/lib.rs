@@ -1,0 +1,28 @@
+//! `cpq` — K Closest Pair Queries in Spatial Databases.
+//!
+//! A from-scratch Rust reproduction of *Corral, Manolopoulos, Theodoridis,
+//! Vassilakopoulos: "Closest Pair Queries in Spatial Databases"*
+//! (SIGMOD 2000): the EXH / SIM / STD / HEAP closest-pair algorithms over
+//! R*-trees, the incremental distance join of Hjaltason & Samet they compare
+//! against, and every substrate (paged storage, LRU buffering, the R*-tree
+//! itself) needed to reproduce the paper's disk-access experiments.
+//!
+//! This facade crate re-exports the component crates under stable paths:
+//!
+//! * [`geo`] — points, MBRs, MINMINDIST / MINMAXDIST / MAXMAXDIST metrics;
+//! * [`storage`] — page files, buffer pools, I/O accounting;
+//! * [`rtree`] — the R*-tree access method;
+//! * [`core`] — the closest-pair query algorithms (the paper's contribution);
+//! * [`datasets`] — deterministic workload generators.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+#![forbid(unsafe_code)]
+
+pub mod shell;
+
+pub use cpq_core as core;
+pub use cpq_datasets as datasets;
+pub use cpq_geo as geo;
+pub use cpq_rtree as rtree;
+pub use cpq_storage as storage;

@@ -1,0 +1,223 @@
+//! Workspace-level integration tests: the full pipeline from dataset
+//! generation through paged R*-trees, buffer management, and every query
+//! algorithm, exercised through the `cpq` facade exactly as a downstream
+//! user would.
+
+use cpq::core::{
+    self_closest_pairs, semi_closest_pairs, Algorithm, CpqConfig, IncrementalConfig,
+};
+use cpq::core::{brute, distance_join, k_closest_pairs, k_closest_pairs_incremental};
+use cpq::datasets::{california_surrogate, clustered, uniform, ClusterSpec, Dataset};
+use cpq::geo::Point2;
+use cpq::rtree::{RTree, RTreeParams};
+use cpq::storage::{BufferPool, DiskPageFile, MemPageFile, DEFAULT_PAGE_SIZE};
+
+fn build(ds: &Dataset) -> RTree<2> {
+    let pool = BufferPool::with_lru(Box::new(MemPageFile::new(DEFAULT_PAGE_SIZE)), 256);
+    let mut tree = RTree::new(pool, RTreeParams::paper()).unwrap();
+    for (i, &p) in ds.points.iter().enumerate() {
+        tree.insert(p, i as u64).unwrap();
+    }
+    tree
+}
+
+fn indexed(points: &[Point2]) -> Vec<(Point2, u64)> {
+    points.iter().enumerate().map(|(i, &p)| (p, i as u64)).collect()
+}
+
+#[test]
+fn full_pipeline_clustered_vs_uniform() {
+    let p = clustered(1_500, ClusterSpec::default(), 1);
+    let q = uniform(1_200, 2).with_overlap(&p, 0.5);
+    let tp = build(&p);
+    let tq = build(&q);
+    tp.assert_valid();
+    tq.assert_valid();
+
+    let expected = brute::k_closest_pairs_brute(&indexed(&p.points), &indexed(&q.points), 20);
+    for alg in Algorithm::EVALUATED {
+        let out = k_closest_pairs(&tp, &tq, 20, alg, &CpqConfig::paper()).unwrap();
+        assert_eq!(out.pairs.len(), 20);
+        for (g, e) in out.pairs.iter().zip(&expected) {
+            assert!((g.dist2.get() - e.dist2.get()).abs() < 1e-9, "{}", alg.label());
+        }
+    }
+    let out = k_closest_pairs_incremental(&tp, &tq, 20, &IncrementalConfig::default()).unwrap();
+    for (g, e) in out.pairs.iter().zip(&expected) {
+        assert!((g.dist2.get() - e.dist2.get()).abs() < 1e-9, "incremental");
+    }
+}
+
+#[test]
+fn surrogate_dataset_is_usable_end_to_end() {
+    // The full-size Sequoia surrogate builds a valid paper-parameter tree.
+    let real = california_surrogate();
+    assert_eq!(real.len(), 62_536);
+    // Index a slice of it to keep the test quick; validate invariants.
+    let subset = Dataset::new(
+        "real-subset",
+        real.points[..5_000].to_vec(),
+        real.workspace,
+    );
+    let tree = build(&subset);
+    tree.assert_valid();
+    assert_eq!(tree.len(), 5_000);
+    assert!(tree.height() >= 3);
+}
+
+#[test]
+fn disk_backed_end_to_end() {
+    let mut path_p = std::env::temp_dir();
+    path_p.push(format!("cpq-e2e-p-{}.pages", std::process::id()));
+    let mut path_q = std::env::temp_dir();
+    path_q.push(format!("cpq-e2e-q-{}.pages", std::process::id()));
+
+    let p = uniform(800, 3);
+    let q = uniform(800, 4);
+    let expected = brute::k_closest_pairs_brute(&indexed(&p.points), &indexed(&q.points), 5);
+
+    fn build_disk(path: &std::path::Path, ds: &Dataset) -> RTree<2> {
+        let file = DiskPageFile::create(path, DEFAULT_PAGE_SIZE).unwrap();
+        let pool = BufferPool::with_lru(Box::new(file), 64);
+        let mut tree = RTree::new(pool, RTreeParams::paper()).unwrap();
+        for (i, &pt) in ds.points.iter().enumerate() {
+            tree.insert(pt, i as u64).unwrap();
+        }
+        tree
+    };
+    let (desc_p, desc_q);
+    {
+        let tp = build_disk(&path_p, &p);
+        let tq = build_disk(&path_q, &q);
+        let out = k_closest_pairs(&tp, &tq, 5, Algorithm::Heap, &CpqConfig::paper()).unwrap();
+        for (g, e) in out.pairs.iter().zip(&expected) {
+            assert!((g.dist2.get() - e.dist2.get()).abs() < 1e-9);
+        }
+        desc_p = tp.descriptor();
+        desc_q = tq.descriptor();
+    }
+    // Reopen from disk and query again.
+    {
+        let tp: RTree<2> = RTree::from_descriptor(
+            BufferPool::with_lru(Box::new(DiskPageFile::open(&path_p).unwrap()), 64),
+            RTreeParams::paper(),
+            desc_p,
+        )
+        .unwrap();
+        let tq: RTree<2> = RTree::from_descriptor(
+            BufferPool::with_lru(Box::new(DiskPageFile::open(&path_q).unwrap()), 64),
+            RTreeParams::paper(),
+            desc_q,
+        )
+        .unwrap();
+        tp.assert_valid();
+        let out =
+            k_closest_pairs(&tp, &tq, 5, Algorithm::SortedDistances, &CpqConfig::paper())
+                .unwrap();
+        for (g, e) in out.pairs.iter().zip(&expected) {
+            assert!((g.dist2.get() - e.dist2.get()).abs() < 1e-9);
+        }
+    }
+    std::fs::remove_file(&path_p).ok();
+    std::fs::remove_file(&path_q).ok();
+}
+
+#[test]
+fn buffer_budget_changes_only_cost_not_result() {
+    let p = uniform(2_000, 5);
+    let q = uniform(2_000, 6).with_overlap(&p, 1.0);
+    let tp = build(&p);
+    let tq = build(&q);
+
+    let mut reference: Option<Vec<f64>> = None;
+    let mut costs = Vec::new();
+    for b in [0usize, 4, 16, 64, 256] {
+        tp.pool().set_capacity(b / 2);
+        tq.pool().set_capacity(b / 2);
+        tp.pool().reset_stats();
+        tq.pool().reset_stats();
+        let out =
+            k_closest_pairs(&tp, &tq, 50, Algorithm::SortedDistances, &CpqConfig::paper())
+                .unwrap();
+        let dists: Vec<f64> = out.pairs.iter().map(|r| r.dist2.get()).collect();
+        match &reference {
+            None => reference = Some(dists),
+            Some(r) => assert_eq!(r, &dists, "buffer size must not change results"),
+        }
+        costs.push(out.stats.disk_accesses());
+    }
+    assert!(
+        costs.last().unwrap() < costs.first().unwrap(),
+        "a 256-page buffer must beat zero buffer: {costs:?}"
+    );
+}
+
+#[test]
+fn semi_and_self_through_facade() {
+    let p = uniform(400, 7);
+    let q = uniform(500, 8);
+    let tp = build(&p);
+    let tq = build(&q);
+
+    let semi = semi_closest_pairs(&tp, &tq).unwrap();
+    let expected = brute::semi_closest_pairs_brute(&indexed(&p.points), &indexed(&q.points));
+    assert_eq!(semi.pairs.len(), expected.len());
+    for (g, e) in semi.pairs.iter().zip(&expected) {
+        assert!((g.dist2.get() - e.dist2.get()).abs() < 1e-9);
+    }
+
+    let selfk = self_closest_pairs(&tp, 10, Algorithm::Heap, &CpqConfig::paper()).unwrap();
+    let expected = brute::self_k_closest_pairs_brute(&indexed(&p.points), 10);
+    for (g, e) in selfk.pairs.iter().zip(&expected) {
+        assert!((g.dist2.get() - e.dist2.get()).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn incremental_stream_early_termination() {
+    let p = uniform(600, 9);
+    let q = uniform(600, 10);
+    let tp = build(&p);
+    let tq = build(&q);
+    let mut join = distance_join(&tp, &tq, IncrementalConfig::default());
+    // Take pairs until distance exceeds a radius; verify count against brute.
+    let radius2 = 4.0;
+    let mut count = 0usize;
+    for r in join.by_ref() {
+        let pair = r.unwrap();
+        if pair.dist2.get() > radius2 {
+            break;
+        }
+        count += 1;
+    }
+    let brute_count = p
+        .points
+        .iter()
+        .flat_map(|a| q.points.iter().map(move |b| a.dist2(b)))
+        .filter(|&d| d <= radius2)
+        .count();
+    assert_eq!(count, brute_count);
+}
+
+#[test]
+fn mutating_tree_between_queries_stays_correct() {
+    let p = uniform(500, 11);
+    let q = uniform(500, 12);
+    let mut tp = build(&p);
+    let tq = build(&q);
+
+    let cfg = CpqConfig::paper();
+    let before = k_closest_pairs(&tp, &tq, 1, Algorithm::Heap, &cfg).unwrap();
+    let best = *before.best().unwrap();
+
+    // Delete P's half of the closest pair; the answer must change (>=).
+    assert!(tp.delete(best.p.point(), best.p.oid).unwrap());
+    tp.assert_valid();
+    let after = k_closest_pairs(&tp, &tq, 1, Algorithm::Heap, &cfg).unwrap();
+    assert!(after.best().unwrap().dist2 >= best.dist2);
+
+    // Re-insert it; the original distance must be attainable again.
+    tp.insert(best.p.point(), best.p.oid).unwrap();
+    let restored = k_closest_pairs(&tp, &tq, 1, Algorithm::Heap, &cfg).unwrap();
+    assert!((restored.best().unwrap().dist2.get() - best.dist2.get()).abs() < 1e-12);
+}
