@@ -13,11 +13,11 @@ pub struct Args {
 impl Args {
     /// Parses the process arguments.
     pub fn parse() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::from_args(std::env::args().skip(1))
     }
 
     /// Parses from an explicit iterator (testable).
-    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+    pub fn from_args<I: IntoIterator<Item = String>>(iter: I) -> Self {
         let mut args = Args::default();
         let mut it = iter.into_iter().peekable();
         while let Some(arg) = it.next() {
@@ -40,7 +40,10 @@ impl Args {
     pub fn get_f64(&self, key: &str, default: f64) -> f64 {
         self.values
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects a number, got {v:?}"))
+            })
             .unwrap_or(default)
     }
 
@@ -48,7 +51,10 @@ impl Args {
     pub fn get_usize(&self, key: &str, default: usize) -> usize {
         self.values
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}"))
+            })
             .unwrap_or(default)
     }
 
@@ -84,7 +90,7 @@ mod tests {
     use super::*;
 
     fn parse(s: &str) -> Args {
-        Args::from_iter(s.split_whitespace().map(String::from))
+        Args::from_args(s.split_whitespace().map(String::from))
     }
 
     #[test]

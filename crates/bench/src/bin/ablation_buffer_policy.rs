@@ -3,6 +3,7 @@
 
 fn main() {
     let args = cpq_bench::Args::parse();
-    let tables = cpq_bench::figures::ablation_buffer_policy(args.scale()).expect("experiment failed");
+    let tables =
+        cpq_bench::figures::ablation_buffer_policy(args.scale()).expect("experiment failed");
     cpq_bench::emit(&tables, &args);
 }

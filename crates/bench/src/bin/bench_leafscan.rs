@@ -1,0 +1,142 @@
+//! Microbenchmark: brute-force vs plane-sweep leaf scanning on the paper's
+//! Figure-7 uniform workload (two 100 000-point uniform data sets, K = 100).
+//!
+//! Writes `BENCH_leafscan.json` (repo root by default) with wall times and
+//! the deterministic work counters of both configurations, and asserts that
+//! the two produce identical result pairs.
+//!
+//! ```text
+//! cargo run --release --bin bench_leafscan -- [--n 100000] [--k 100] \
+//!     [--iters 5] [--warmup 1] [--buffer 512] [--out BENCH_leafscan.json]
+//! ```
+
+use cpq_bench::microbench::{time_op, Timing};
+use cpq_bench::{build_tree, run_query, Args};
+use cpq_core::{Algorithm, CpqConfig, LeafScan, QueryOutcome};
+use cpq_datasets::uniform;
+
+struct Run {
+    timing: Timing,
+    outcome: QueryOutcome<2>,
+}
+
+fn json_run(r: &Run) -> String {
+    let s = &r.outcome.stats;
+    format!(
+        concat!(
+            "{{\n",
+            "      \"median_ns\": {},\n",
+            "      \"mean_ns\": {},\n",
+            "      \"min_ns\": {},\n",
+            "      \"iters\": {},\n",
+            "      \"dist_computations\": {},\n",
+            "      \"disk_accesses\": {},\n",
+            "      \"node_pairs_processed\": {},\n",
+            "      \"pairs_pruned\": {}\n",
+            "    }}"
+        ),
+        r.timing.median_ns,
+        r.timing.mean_ns,
+        r.timing.min_ns,
+        r.timing.iters,
+        s.dist_computations,
+        s.disk_accesses(),
+        s.node_pairs_processed,
+        s.pairs_pruned,
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get_usize("n", 100_000);
+    let k = args.get_usize("k", 100);
+    let iters = args.get_usize("iters", 5);
+    let warmup = args.get_usize("warmup", 1);
+    let buffer = args.get_usize("buffer", 512);
+    let out_path = args.get_str("out", "BENCH_leafscan.json");
+
+    eprintln!("building two {n}-point uniform R*-trees (seeds 1, 2)...");
+    let p = uniform(n, 1);
+    let q = uniform(n, 2);
+    let tp = build_tree(&p).expect("build P tree");
+    let tq = build_tree(&q).expect("build Q tree");
+
+    let measure = |leaf_scan: LeafScan| -> Run {
+        let config = CpqConfig {
+            leaf_scan,
+            ..CpqConfig::paper()
+        };
+        eprintln!(
+            "measuring {} leaf scanning ({iters} iters)...",
+            leaf_scan.label()
+        );
+        let (timing, outcome) = time_op(warmup, iters, || {
+            run_query(&tp, &tq, k, Algorithm::Heap, &config, buffer).expect("query")
+        });
+        Run { timing, outcome }
+    };
+
+    let brute = measure(LeafScan::BruteForce);
+    let sweep = measure(LeafScan::PlaneSweep);
+
+    // The two scans must agree exactly: same pairs, same distances.
+    assert_eq!(
+        brute.outcome.pairs.len(),
+        sweep.outcome.pairs.len(),
+        "result cardinality diverged"
+    );
+    for (a, b) in brute.outcome.pairs.iter().zip(&sweep.outcome.pairs) {
+        assert!(
+            a.p.oid == b.p.oid && a.q.oid == b.q.oid && a.dist2 == b.dist2,
+            "result pairs diverged: ({},{}) vs ({},{})",
+            a.p.oid,
+            a.q.oid,
+            b.p.oid,
+            b.q.oid
+        );
+    }
+
+    let dist_ratio =
+        brute.outcome.stats.dist_computations as f64 / sweep.outcome.stats.dist_computations as f64;
+    let time_ratio = brute.timing.median_ns as f64 / sweep.timing.median_ns as f64;
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"leafscan\",\n",
+            "  \"workload\": {{\n",
+            "    \"distribution\": \"uniform\",\n",
+            "    \"n_p\": {n},\n",
+            "    \"n_q\": {n},\n",
+            "    \"k\": {k},\n",
+            "    \"algorithm\": \"heap\",\n",
+            "    \"buffer_pages\": {buffer},\n",
+            "    \"seeds\": [1, 2]\n",
+            "  }},\n",
+            "  \"results_identical\": true,\n",
+            "  \"runs\": {{\n",
+            "    \"brute_force\": {brute},\n",
+            "    \"plane_sweep\": {sweep}\n",
+            "  }},\n",
+            "  \"speedup\": {{\n",
+            "    \"dist_computations_ratio\": {dr:.3},\n",
+            "    \"median_wall_time_ratio\": {tr:.3}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        n = n,
+        k = k,
+        buffer = buffer,
+        brute = json_run(&brute),
+        sweep = json_run(&sweep),
+        dr = dist_ratio,
+        tr = time_ratio,
+    );
+
+    std::fs::write(&out_path, &json).expect("write JSON");
+    println!("{json}");
+    eprintln!(
+        "plane sweep: {:.1}x fewer distance computations, {:.2}x median wall time; wrote {out_path}",
+        dist_ratio, time_ratio
+    );
+}

@@ -29,11 +29,7 @@ impl Chart {
     ) -> Self {
         let x_labels_len = x_labels.len();
         for (name, data) in &series {
-            assert_eq!(
-                data.len(),
-                x_labels_len,
-                "series {name:?} arity mismatch"
-            );
+            assert_eq!(data.len(), x_labels_len, "series {name:?} arity mismatch");
         }
         Chart {
             title: title.into(),
@@ -56,7 +52,12 @@ impl Chart {
     pub fn render(&self, width: usize, height: usize) -> String {
         assert!(width >= 8 && height >= 4, "plot area too small");
         let mut out = String::new();
-        let _ = writeln!(out, "## {}{}", self.title, if self.log_y { " (log y)" } else { "" });
+        let _ = writeln!(
+            out,
+            "## {}{}",
+            self.title,
+            if self.log_y { " (log y)" } else { "" }
+        );
         if self.series.is_empty() || self.x_labels.is_empty() {
             let _ = writeln!(out, "(no data)");
             return out;
@@ -70,7 +71,11 @@ impl Chart {
             .collect();
         let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let span = if (hi - lo).abs() < 1e-12 { 1.0 } else { hi - lo };
+        let span = if (hi - lo).abs() < 1e-12 {
+            1.0
+        } else {
+            hi - lo
+        };
 
         // Grid of rows; row 0 is the top.
         let mut grid = vec![vec![' '; width]; height];
@@ -90,7 +95,8 @@ impl Chart {
                     continue;
                 }
                 let frac = (t - lo) / span;
-                let row = height - 1 - ((frac * (height - 1) as f64).round() as usize).min(height - 1);
+                let row =
+                    height - 1 - ((frac * (height - 1) as f64).round() as usize).min(height - 1);
                 let col = x_of(i);
                 // Later series overwrite; collisions show the last glyph.
                 grid[row][col] = glyph;
@@ -153,11 +159,8 @@ impl crate::table::Table {
         let x_labels: Vec<String> = self.rows.iter().map(|r| r[0].clone()).collect();
         let mut series = Vec::new();
         for c in 1..self.columns.len() {
-            let parsed: Option<Vec<f64>> = self
-                .rows
-                .iter()
-                .map(|r| r[c].parse::<f64>().ok())
-                .collect();
+            let parsed: Option<Vec<f64>> =
+                self.rows.iter().map(|r| r[c].parse::<f64>().ok()).collect();
             if let Some(data) = parsed {
                 series.push((self.columns[c].clone(), data));
             }
@@ -226,6 +229,11 @@ mod tests {
     #[test]
     #[should_panic]
     fn arity_mismatch_panics() {
-        let _ = Chart::new("x", vec!["a".into()], vec![("s".into(), vec![1.0, 2.0])], false);
+        let _ = Chart::new(
+            "x",
+            vec!["a".into()],
+            vec![("s".into(), vec![1.0, 2.0])],
+            false,
+        );
     }
 }

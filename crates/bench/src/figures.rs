@@ -12,7 +12,9 @@ use crate::table::Table;
 use cpq_core::{
     Algorithm, CpqConfig, HeightStrategy, IncrementalConfig, KPruning, TieStrategy, Traversal,
 };
-use cpq_datasets::{clustered, uniform, uniform_grid, ClusterSpec, Dataset, CALIFORNIA_SURROGATE_SIZE};
+use cpq_datasets::{
+    clustered, uniform, uniform_grid, ClusterSpec, Dataset, CALIFORNIA_SURROGATE_SIZE,
+};
 use cpq_rtree::{RTree, RTreeParams, RTreeResult};
 use cpq_storage::{BufferPool, ClockPolicy, FifoPolicy, LruPolicy, MemPageFile, DEFAULT_PAGE_SIZE};
 
@@ -68,9 +70,15 @@ pub fn fig02(scale: f64) -> RTreeResult<Vec<Table>> {
     let mut tables = Vec::new();
     for alg in [Algorithm::SortedDistances, Algorithm::Heap] {
         let mut t = Table::new(
-            format!("Figure 2{} {} tie strategies (cost relative to T1, %)",
-                if alg == Algorithm::SortedDistances { 'a' } else { 'b' },
-                alg.label()),
+            format!(
+                "Figure 2{} {} tie strategies (cost relative to T1, %)",
+                if alg == Algorithm::SortedDistances {
+                    'a'
+                } else {
+                    'b'
+                },
+                alg.label()
+            ),
             &["overlap_pct", "T1", "T2", "T3", "T4", "T5"],
         );
         for &o in &overlaps {
@@ -78,7 +86,10 @@ pub fn fig02(scale: f64) -> RTreeResult<Vec<Table>> {
             let tq = build_tree(&q)?;
             let mut costs = Vec::new();
             for tie in TieStrategy::ALL {
-                let cfg = CpqConfig { tie, ..CpqConfig::paper() };
+                let cfg = CpqConfig {
+                    tie,
+                    ..CpqConfig::paper()
+                };
                 let out = run_query(&tp, &tq, 1, alg, &cfg, 0)?;
                 costs.push(out.stats.disk_accesses());
             }
@@ -104,9 +115,15 @@ pub fn fig03(scale: f64) -> RTreeResult<Vec<Table>> {
     let mut tables = Vec::new();
     for alg in [Algorithm::SortedDistances, Algorithm::Heap] {
         let mut t = Table::new(
-            format!("Figure 3{} {} height strategies (disk accesses)",
-                if alg == Algorithm::SortedDistances { 'a' } else { 'b' },
-                alg.label()),
+            format!(
+                "Figure 3{} {} height strategies (disk accesses)",
+                if alg == Algorithm::SortedDistances {
+                    'a'
+                } else {
+                    'b'
+                },
+                alg.label()
+            ),
             &["combo", "overlap_pct", "fix_at_leaves", "fix_at_root"],
         );
         for &n in &shorts {
@@ -116,7 +133,10 @@ pub fn fig03(scale: f64) -> RTreeResult<Vec<Table>> {
                 let t_short = build_tree(&short)?;
                 let mut row = vec![format!("{}K/80K", n / 1000), format!("{o:.0}")];
                 for height in [HeightStrategy::FixAtLeaves, HeightStrategy::FixAtRoot] {
-                    let cfg = CpqConfig { height, ..CpqConfig::paper() };
+                    let cfg = CpqConfig {
+                        height,
+                        ..CpqConfig::paper()
+                    };
                     let out = run_query(&t_short, &t_tall, 1, alg, &cfg, 0)?;
                     row.push(out.stats.disk_accesses().to_string());
                 }
@@ -138,8 +158,10 @@ pub fn fig04(scale: f64) -> RTreeResult<Vec<Table>> {
     let mut tables = Vec::new();
     for &o in &[0.0, 100.0] {
         let mut t = Table::new(
-            format!("Figure 4{} 1-CP algorithms, overlap {o:.0}% (disk accesses)",
-                if o == 0.0 { 'a' } else { 'b' }),
+            format!(
+                "Figure 4{} 1-CP algorithms, overlap {o:.0}% (disk accesses)",
+                if o == 0.0 { 'a' } else { 'b' }
+            ),
             &["combo", "EXH", "SIM", "STD", "HEAP"],
         );
         for &n in &sizes {
@@ -165,9 +187,15 @@ pub fn fig05(scale: f64) -> RTreeResult<Vec<Table>> {
 
     let mut t = Table::new(
         "Figure 5 overlap threshold, 1-CP (cost relative to EXH, %)",
-        &["overlap_pct",
-          "40K SIM", "40K STD", "40K HEAP",
-          "80K SIM", "80K STD", "80K HEAP"],
+        &[
+            "overlap_pct",
+            "40K SIM",
+            "40K STD",
+            "40K HEAP",
+            "80K SIM",
+            "80K STD",
+            "80K HEAP",
+        ],
     );
     for &o in &OVERLAP_SWEEP {
         let mut row = vec![format!("{o:.0}")];
@@ -177,7 +205,11 @@ pub fn fig05(scale: f64) -> RTreeResult<Vec<Table>> {
             let exh = run_query(&tp, &tq, 1, Algorithm::Exhaustive, &CpqConfig::paper(), 0)?
                 .stats
                 .disk_accesses();
-            for alg in [Algorithm::Simple, Algorithm::SortedDistances, Algorithm::Heap] {
+            for alg in [
+                Algorithm::Simple,
+                Algorithm::SortedDistances,
+                Algorithm::Heap,
+            ] {
                 let c = run_query(&tp, &tq, 1, alg, &CpqConfig::paper(), 0)?
                     .stats
                     .disk_accesses();
@@ -198,11 +230,14 @@ pub fn fig06(scale: f64) -> RTreeResult<Vec<Table>> {
     let mut tables = Vec::new();
     for &o in &[0.0, 100.0] {
         let mut t = Table::new(
-            format!("Figure 6{} LRU buffer, 1-CP, overlap {o:.0}% (disk accesses)",
-                if o == 0.0 { 'a' } else { 'b' }),
-            &["buffer_B",
-              "40K EXH", "40K SIM", "40K STD", "40K HEAP",
-              "80K EXH", "80K SIM", "80K STD", "80K HEAP"],
+            format!(
+                "Figure 6{} LRU buffer, 1-CP, overlap {o:.0}% (disk accesses)",
+                if o == 0.0 { 'a' } else { 'b' }
+            ),
+            &[
+                "buffer_B", "40K EXH", "40K SIM", "40K STD", "40K HEAP", "80K EXH", "80K SIM",
+                "80K STD", "80K HEAP",
+            ],
         );
         // Build each Q once per overlap; sweep buffers on the same trees.
         let mut tqs = Vec::new();
@@ -237,8 +272,10 @@ pub fn fig07(scale: f64) -> RTreeResult<Vec<Table>> {
         let q = q_base.with_overlap(&p, o / 100.0);
         let tq = build_tree(&q)?;
         let mut t = Table::new(
-            format!("Figure 7{} K-CP algorithms, overlap {o:.0}% (disk accesses)",
-                if o == 0.0 { 'a' } else { 'b' }),
+            format!(
+                "Figure 7{} K-CP algorithms, overlap {o:.0}% (disk accesses)",
+                if o == 0.0 { 'a' } else { 'b' }
+            ),
             &["K", "EXH", "SIM", "STD", "HEAP"],
         );
         for &k in &K_SWEEP {
@@ -269,9 +306,11 @@ pub fn fig08(scale: f64) -> RTreeResult<Vec<Table>> {
             let mut cols: Vec<String> = vec!["overlap_pct".into()];
             cols.extend(K_SWEEP.iter().map(|k| format!("K={k}")));
             Table::new(
-                format!("Figure 8{} {} vs EXH for overlap x K (relative cost, %)",
+                format!(
+                    "Figure 8{} {} vs EXH for overlap x K (relative cost, %)",
                     if i == 0 { 'a' } else { 'b' },
-                    alg.label()),
+                    alg.label()
+                ),
                 &cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
             )
         })
@@ -308,13 +347,18 @@ pub fn fig09(scale: f64) -> RTreeResult<Vec<Table>> {
     let tq = build_tree(&q)?;
 
     let mut tables = Vec::new();
-    for (i, alg) in [Algorithm::SortedDistances, Algorithm::Heap].iter().enumerate() {
+    for (i, alg) in [Algorithm::SortedDistances, Algorithm::Heap]
+        .iter()
+        .enumerate()
+    {
         let mut cols: Vec<String> = vec!["buffer_B".into()];
         cols.extend(K_SWEEP.iter().map(|k| format!("K={k}")));
         let mut t = Table::new(
-            format!("Figure 9{} {} for buffer x K (disk accesses)",
+            format!(
+                "Figure 9{} {} for buffer x K (disk accesses)",
                 if i == 0 { 'a' } else { 'b' },
-                alg.label()),
+                alg.label()
+            ),
             &cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
         );
         for &b in &BUFFER_SWEEP {
@@ -358,7 +402,10 @@ pub fn fig10(scale: f64) -> RTreeResult<Vec<Table>> {
                 row.push(out.stats.disk_accesses().to_string());
             }
             for traversal in [Traversal::Even, Traversal::Simultaneous] {
-                let cfg = IncrementalConfig { traversal, ..Default::default() };
+                let cfg = IncrementalConfig {
+                    traversal,
+                    ..Default::default()
+                };
                 let out = run_incremental(&tp, &tq, k, &cfg, b)?;
                 row.push(out.stats.disk_accesses().to_string());
             }
@@ -379,13 +426,22 @@ pub fn ablation_kpruning(scale: f64) -> RTreeResult<Vec<Table>> {
 
     let mut t = Table::new(
         "Ablation K-pruning bound (disk accesses)",
-        &["K", "STD kheap-only", "STD maxmaxdist", "HEAP kheap-only", "HEAP maxmaxdist"],
+        &[
+            "K",
+            "STD kheap-only",
+            "STD maxmaxdist",
+            "HEAP kheap-only",
+            "HEAP maxmaxdist",
+        ],
     );
     for &k in &K_SWEEP {
         let mut row = vec![k.to_string()];
         for alg in [Algorithm::SortedDistances, Algorithm::Heap] {
             for pruning in [KPruning::KHeapOnly, KPruning::MaxMaxDist] {
-                let cfg = CpqConfig { k_pruning: pruning, ..CpqConfig::paper() };
+                let cfg = CpqConfig {
+                    k_pruning: pruning,
+                    ..CpqConfig::paper()
+                };
                 let out = run_query(&tp, &tq, k, alg, &cfg, 0)?;
                 row.push(out.stats.disk_accesses().to_string());
             }
@@ -408,11 +464,7 @@ pub fn ablation_buffer_policy(scale: f64) -> RTreeResult<Vec<Table>> {
             "clock" => Box::new(ClockPolicy::new()),
             _ => unreachable!(),
         };
-        let pool = BufferPool::new(
-            Box::new(MemPageFile::new(DEFAULT_PAGE_SIZE)),
-            512,
-            policy,
-        );
+        let pool = BufferPool::new(Box::new(MemPageFile::new(DEFAULT_PAGE_SIZE)), 512, policy);
         let mut tree = RTree::new(pool, RTreeParams::paper())?;
         for (i, &pt) in ds.points.iter().enumerate() {
             tree.insert(pt, i as u64)?;
@@ -422,10 +474,17 @@ pub fn ablation_buffer_policy(scale: f64) -> RTreeResult<Vec<Table>> {
 
     let mut t = Table::new(
         "Ablation buffer replacement policy, K=1000 (disk accesses)",
-        &["buffer_B", "STD lru", "STD fifo", "STD clock", "HEAP lru", "HEAP fifo", "HEAP clock"],
+        &[
+            "buffer_B",
+            "STD lru",
+            "STD fifo",
+            "STD clock",
+            "HEAP lru",
+            "HEAP fifo",
+            "HEAP clock",
+        ],
     );
-    let mut cells: Vec<Vec<String>> =
-        BUFFER_SWEEP.iter().map(|b| vec![b.to_string()]).collect();
+    let mut cells: Vec<Vec<String>> = BUFFER_SWEEP.iter().map(|b| vec![b.to_string()]).collect();
     for alg in [Algorithm::SortedDistances, Algorithm::Heap] {
         for which in ["lru", "fifo", "clock"] {
             let tp = build_with(&p, which)?;
@@ -530,12 +589,23 @@ pub fn ablation_pinning(scale: f64) -> RTreeResult<Vec<Table>> {
 
     let mut t = Table::new(
         "Ablation directory pinning, 1-CP overlap 100% (disk accesses)",
-        &["buffer_B", "EXH plain", "EXH pinned", "STD plain", "STD pinned",
-          "HEAP plain", "HEAP pinned"],
+        &[
+            "buffer_B",
+            "EXH plain",
+            "EXH pinned",
+            "STD plain",
+            "STD pinned",
+            "HEAP plain",
+            "HEAP pinned",
+        ],
     );
     for &b in &[16usize, 64, 256] {
         let mut row = vec![b.to_string()];
-        for alg in [Algorithm::Exhaustive, Algorithm::SortedDistances, Algorithm::Heap] {
+        for alg in [
+            Algorithm::Exhaustive,
+            Algorithm::SortedDistances,
+            Algorithm::Heap,
+        ] {
             // Plain LRU.
             let out = run_query(&tp, &tq, 1, alg, &CpqConfig::paper(), b)?;
             row.push(out.stats.disk_accesses().to_string());
@@ -604,7 +674,10 @@ pub fn ablation_sorting(scale: f64) -> RTreeResult<Vec<Table>> {
         &["sort", "stable", "disk_accesses"],
     );
     for sort in cpq_core::SortAlgorithm::ALL {
-        let cfg = CpqConfig { sort, ..CpqConfig::paper() };
+        let cfg = CpqConfig {
+            sort,
+            ..CpqConfig::paper()
+        };
         let out = run_query(&tp, &tq, 100, Algorithm::SortedDistances, &cfg, 0)?;
         t.push_row(vec![
             sort.label().to_string(),

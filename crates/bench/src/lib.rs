@@ -17,6 +17,7 @@ pub mod args;
 pub mod chart;
 pub mod experiment;
 pub mod figures;
+pub mod microbench;
 pub mod table;
 
 pub use args::Args;

@@ -1,0 +1,91 @@
+//! Minimal offline microbenchmark support.
+//!
+//! The workspace carries no registry dependencies (the build environment has
+//! no network access), so instead of `criterion` the harness times operations
+//! directly on the monotonic clock ([`std::time::Instant`]) and pairs the
+//! wall-clock numbers with the deterministic work counters (`CpqStats`) the
+//! engine already maintains. The counters are what the paper plots and are
+//! machine-independent; the wall times contextualize them on the machine the
+//! bench ran on.
+
+use std::time::Instant;
+
+/// Wall-clock statistics of repeated runs of one operation, in nanoseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Number of measured iterations.
+    pub iters: usize,
+    /// Fastest iteration.
+    pub min_ns: u128,
+    /// Arithmetic mean.
+    pub mean_ns: u128,
+    /// Median (the headline number: robust to a stray slow iteration).
+    pub median_ns: u128,
+}
+
+impl Timing {
+    /// Median in milliseconds.
+    pub fn median_ms(&self) -> f64 {
+        self.median_ns as f64 / 1e6
+    }
+}
+
+/// Runs `op` `warmup` unmeasured times, then `iters` measured times, and
+/// returns the timing statistics together with the last iteration's output
+/// (whose counters callers report alongside the times).
+pub fn time_op<T>(warmup: usize, iters: usize, mut op: impl FnMut() -> T) -> (Timing, T) {
+    assert!(iters >= 1, "at least one measured iteration");
+    for _ in 0..warmup {
+        let _ = op();
+    }
+    let mut samples: Vec<u128> = Vec::with_capacity(iters);
+    let mut last = None;
+    for _ in 0..iters {
+        let start = Instant::now();
+        let out = op();
+        samples.push(start.elapsed().as_nanos());
+        last = Some(out);
+    }
+    samples.sort_unstable();
+    let min_ns = samples[0];
+    let mean_ns = samples.iter().sum::<u128>() / samples.len() as u128;
+    let median_ns = if samples.len() % 2 == 1 {
+        samples[samples.len() / 2]
+    } else {
+        (samples[samples.len() / 2 - 1] + samples[samples.len() / 2]) / 2
+    };
+    (
+        Timing {
+            iters,
+            min_ns,
+            mean_ns,
+            median_ns,
+        },
+        last.expect("iters >= 1"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_statistics_are_ordered() {
+        let mut n = 0u64;
+        let (t, out) = time_op(1, 5, || {
+            n += 1;
+            (0..1000u64).sum::<u64>()
+        });
+        assert_eq!(out, 499_500);
+        assert_eq!(n, 6, "warmup + measured iterations");
+        assert_eq!(t.iters, 5);
+        assert!(t.min_ns <= t.median_ns);
+        assert!(t.min_ns <= t.mean_ns);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_iters_rejected() {
+        let _ = time_op(0, 0, || ());
+    }
+}

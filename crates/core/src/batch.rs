@@ -88,8 +88,7 @@ pub fn parallel_kcpq<const D: usize, O: SpatialObject<D>>(
                     requests[lo..hi]
                         .iter()
                         .map(|&(k, alg)| {
-                            crate::k_closest_pairs(tree_p, tree_q, k, alg, config)
-                                .map(|o| o.pairs)
+                            crate::k_closest_pairs(tree_p, tree_q, k, alg, config).map(|o| o.pairs)
                         })
                         .collect()
                 })
@@ -118,14 +117,14 @@ pub fn parallel_kcpq<const D: usize, O: SpatialObject<D>>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cpq_rng::Rng;
     use cpq_rtree::RTreeParams;
     use cpq_storage::{BufferPool, MemPageFile};
-    use rand::{Rng, SeedableRng};
 
     fn tree_with(n: usize, seed: u64) -> (RTree<2>, Vec<Point<2>>) {
         let pool = BufferPool::with_lru(Box::new(MemPageFile::new(1024)), 128);
         let mut tree = RTree::new(pool, RTreeParams::paper()).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let pts: Vec<Point<2>> = (0..n)
             .map(|_| Point([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]))
             .collect();

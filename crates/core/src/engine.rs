@@ -2,10 +2,10 @@
 //! generation honoring the height strategy, leaf scanning, and the
 //! threshold bounds of Inequalities 1 and 2.
 
-use crate::config::{CpqConfig, HeightStrategy, KPruning};
+use crate::config::{CpqConfig, HeightStrategy, KPruning, LeafScan};
 use crate::kheap::KHeap;
 use crate::types::{CpqStats, PairResult};
-use cpq_geo::{max_max_dist2, min_max_dist2, min_min_dist2, Dist2, Rect, SpatialObject};
+use cpq_geo::{max_max_dist2, min_max_dist2, min_min_dist2_within, Dist2, Rect, SpatialObject};
 use cpq_rtree::{InnerEntry, Node, RTree, RTreeResult};
 
 /// One side of a candidate pair: either stay at the current node or descend
@@ -32,6 +32,18 @@ pub(crate) struct Cand<const D: usize> {
     pub minmin: Dist2,
 }
 
+/// The projection of one leaf entry's MBR onto the sweep axis, plus enough
+/// to find the entry again.
+#[derive(Clone, Copy)]
+struct SweepProj {
+    /// Lower coordinate on the sweep axis (the sort key).
+    lo: f64,
+    /// Upper coordinate on the sweep axis (the gap is measured from here).
+    hi: f64,
+    /// Index into the originating leaf's entry slice.
+    idx: u32,
+}
+
 /// Mutable state of one query run, shared by all algorithm variants.
 pub(crate) struct Ctx<'a, const D: usize, O: SpatialObject<D>> {
     pub tp: &'a RTree<D, O>,
@@ -52,6 +64,20 @@ pub(crate) struct Ctx<'a, const D: usize, O: SpatialObject<D>> {
     /// witness pairs may be a point with itself when the two sides share a
     /// subtree.
     pub self_join: bool,
+    /// Scratch for the plane-sweep leaf scan (one buffer per side), reused
+    /// across leaf pairs.
+    sweep_p: Vec<SweepProj>,
+    sweep_q: Vec<SweepProj>,
+    /// Scratch for the two sides of candidate generation, reused across
+    /// calls (the recursion never re-enters `gen_cands` while these are
+    /// borrowed).
+    sides_p: Vec<(Descend<D>, Rect<D>, u64)>,
+    sides_q: Vec<(Descend<D>, Rect<D>, u64)>,
+    /// Pools of cleared vectors for the per-level candidate lists: each
+    /// recursion level takes one and returns it, so a steady-state descent
+    /// allocates nothing.
+    cand_pool: Vec<Vec<Cand<D>>>,
+    keyed_pool: Vec<Vec<(Cand<D>, f64)>>,
 }
 
 impl<'a, const D: usize, O: SpatialObject<D>> Ctx<'a, D, O> {
@@ -73,7 +99,35 @@ impl<'a, const D: usize, O: SpatialObject<D>> Ctx<'a, D, O> {
             root_area_p: 0.0,
             root_area_q: 0.0,
             self_join,
+            sweep_p: Vec::new(),
+            sweep_q: Vec::new(),
+            sides_p: Vec::new(),
+            sides_q: Vec::new(),
+            cand_pool: Vec::new(),
+            keyed_pool: Vec::new(),
         }
+    }
+
+    /// Takes a cleared candidate vector from the pool.
+    pub(crate) fn take_cands(&mut self) -> Vec<Cand<D>> {
+        self.cand_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a candidate vector to the pool for reuse.
+    pub(crate) fn return_cands(&mut self, mut v: Vec<Cand<D>>) {
+        v.clear();
+        self.cand_pool.push(v);
+    }
+
+    /// Takes a cleared keyed-candidate vector (STD's sort decoration).
+    pub(crate) fn take_keyed(&mut self) -> Vec<(Cand<D>, f64)> {
+        self.keyed_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a keyed-candidate vector to the pool for reuse.
+    pub(crate) fn return_keyed(&mut self, mut v: Vec<(Cand<D>, f64)>) {
+        v.clear();
+        self.keyed_pool.push(v);
     }
 
     /// The effective pruning threshold `T`.
@@ -82,8 +136,28 @@ impl<'a, const D: usize, O: SpatialObject<D>> Ctx<'a, D, O> {
         self.kheap.threshold().min(self.bound)
     }
 
-    /// Scans all object pairs of two leaves (step CP3 of every algorithm).
+    /// Scans the object pairs of two leaves (step CP3 of every algorithm),
+    /// dispatching on the configured [`LeafScan`] strategy.
+    ///
+    /// `stats.dist_computations` counts distance-kernel invocations: every
+    /// `|P| × |Q|` pair under [`LeafScan::BruteForce`]; only the pairs
+    /// surviving the axis-gap test under [`LeafScan::PlaneSweep`]. Results
+    /// are identical either way — the K-heap's total order makes the
+    /// retained set independent of enumeration order, and every pair skipped
+    /// by the sweep is strictly farther than the live threshold `T`, so it
+    /// can never belong to the K best.
     pub(crate) fn scan_leaves(&mut self, lp: &Node<D, O>, lq: &Node<D, O>) {
+        match self.cfg.leaf_scan {
+            // With `T` still infinite the gap test cannot reject anything,
+            // so the sweep would pay its sorting overhead for nothing;
+            // scan this pair exhaustively (it seeds the first threshold).
+            LeafScan::PlaneSweep if !self.t().is_infinite() => self.scan_leaves_sweep(lp, lq),
+            _ => self.scan_leaves_brute(lp, lq),
+        }
+    }
+
+    /// CP3 exactly as the paper states it: all `|P| × |Q|` distances.
+    fn scan_leaves_brute(&mut self, lp: &Node<D, O>, lq: &Node<D, O>) {
         for ep in lp.leaf_entries() {
             for eq in lq.leaf_entries() {
                 if self.self_join && ep.oid >= eq.oid {
@@ -95,9 +169,133 @@ impl<'a, const D: usize, O: SpatialObject<D>> Ctx<'a, D, O> {
         }
     }
 
-    /// Generates the candidate subtree pairs for a node pair, honoring the
-    /// height strategy (Section 3.7). Never called on two leaves.
-    pub(crate) fn gen_cands(&mut self, np: &Node<D, O>, nq: &Node<D, O>) -> Vec<Cand<D>> {
+    /// Distance-based plane sweep over the two leaves' entry sequences.
+    ///
+    /// Both leaves' entries are projected onto the axis with the largest
+    /// combined extent and each side is sorted by its lower coordinate
+    /// (reusing the configured [`SortAlgorithm`](crate::SortAlgorithm)).
+    /// Two cursors then walk the sorted runs in merged order: the run whose
+    /// head has the smaller `lo` yields the next *anchor*, which scans
+    /// forward through the other run only. Because lower coordinates ascend,
+    /// the axis separation `other.lo - anchor.hi` is non-decreasing along
+    /// that scan, and once its square alone exceeds the live threshold `T`
+    /// no later pair can qualify — the inner scan stops. Survivors go
+    /// through the threshold-aware distance kernel, which bails out
+    /// mid-accumulation when the partial sum exceeds `T`.
+    ///
+    /// Every cross pair `(p, q)` is visited exactly once, from whichever
+    /// entry comes first in merged order, so this enumerates the same pairs
+    /// as a sweep over the materialized merged sequence while never
+    /// stepping over same-side items.
+    fn scan_leaves_sweep(&mut self, lp: &Node<D, O>, lq: &Node<D, O>) {
+        let eps = lp.leaf_entries();
+        let eqs = lq.leaf_entries();
+        if eps.is_empty() || eqs.is_empty() {
+            return;
+        }
+        let bp = lp.mbr().expect("non-empty leaf has an MBR");
+        let bq = lq.mbr().expect("non-empty leaf has an MBR");
+        let mut axis = 0;
+        let mut best = f64::NEG_INFINITY;
+        for d in 0..D {
+            let lo = bp.lo().coord(d).min(bq.lo().coord(d));
+            let hi = bp.hi().coord(d).max(bq.hi().coord(d));
+            if hi - lo > best {
+                best = hi - lo;
+                axis = d;
+            }
+        }
+
+        let mut ps = std::mem::take(&mut self.sweep_p);
+        let mut qs = std::mem::take(&mut self.sweep_q);
+        for (side, entries) in [(&mut ps, eps), (&mut qs, eqs)] {
+            side.clear();
+            side.extend(entries.iter().enumerate().map(|(i, e)| {
+                let r = e.mbr();
+                SweepProj {
+                    lo: r.lo().coord(axis),
+                    hi: r.hi().coord(axis),
+                    idx: i as u32,
+                }
+            }));
+            // The `(lo, idx)` key is a total order, so stable and unstable
+            // sort algorithms all produce the same sequence.
+            self.cfg.sort.sort_by(side, |a, b| {
+                a.lo.total_cmp(&b.lo).then_with(|| a.idx.cmp(&b.idx))
+            });
+        }
+
+        // `T` only changes when an offer lands, so it is hoisted out of the
+        // loop and refreshed exactly then — the break still fires as early
+        // as the freshest bound allows.
+        let mut t = self.t();
+        let (mut i, mut j) = (0, 0);
+        while i < ps.len() && j < qs.len() {
+            if ps[i].lo <= qs[j].lo {
+                let a = ps[i];
+                i += 1;
+                for b in &qs[j..] {
+                    let gap = b.lo - a.hi;
+                    if gap > 0.0 && gap * gap > t.get() {
+                        break; // later items only move farther along the axis
+                    }
+                    let (ep, eq) = (&eps[a.idx as usize], &eqs[b.idx as usize]);
+                    if self.self_join && ep.oid >= eq.oid {
+                        continue; // one orientation per unordered pair
+                    }
+                    self.stats.dist_computations += 1;
+                    if let Some(d2) = min_min_dist2_within(&ep.mbr(), &eq.mbr(), t) {
+                        if self.kheap.offer(PairResult::with_dist2(*ep, *eq, d2)) {
+                            t = self.t();
+                        }
+                    }
+                }
+            } else {
+                let b = qs[j];
+                j += 1;
+                for a in &ps[i..] {
+                    let gap = a.lo - b.hi;
+                    if gap > 0.0 && gap * gap > t.get() {
+                        break;
+                    }
+                    let (ep, eq) = (&eps[a.idx as usize], &eqs[b.idx as usize]);
+                    if self.self_join && ep.oid >= eq.oid {
+                        continue;
+                    }
+                    self.stats.dist_computations += 1;
+                    if let Some(d2) = min_min_dist2_within(&ep.mbr(), &eq.mbr(), t) {
+                        if self.kheap.offer(PairResult::with_dist2(*ep, *eq, d2)) {
+                            t = self.t();
+                        }
+                    }
+                }
+            }
+        }
+        self.sweep_p = ps;
+        self.sweep_q = qs;
+    }
+
+    /// Generates the candidate subtree pairs for a node pair into `out`,
+    /// honoring the height strategy (Section 3.7). Never called on two
+    /// leaves.
+    ///
+    /// With `prune` set, combinations whose `MINMINDIST` exceeds the current
+    /// threshold `T` are dropped during generation (counted in
+    /// `pairs_pruned`) instead of being materialized and filtered later; the
+    /// threshold-aware kernel stops accumulating axis gaps as soon as the
+    /// partial sum crosses `T`. Dropping them cannot weaken
+    /// [`apply_bounds`](Self::apply_bounds): both `MINMAXDIST` and
+    /// `MAXMAXDIST` of a dropped candidate are `>= MINMINDIST > T`, so any
+    /// bound it could have contributed exceeds the current effective
+    /// threshold and would never bind. `Naive` passes `prune = false` — it
+    /// must descend into everything.
+    pub(crate) fn gen_cands(
+        &mut self,
+        np: &Node<D, O>,
+        nq: &Node<D, O>,
+        prune: bool,
+        out: &mut Vec<Cand<D>>,
+    ) {
         let descend_p; // descend into P's children?
         let descend_q;
         match (np.is_leaf(), nq.is_leaf()) {
@@ -128,38 +326,56 @@ impl<'a, const D: usize, O: SpatialObject<D>> Ctx<'a, D, O> {
         let whole_p = (np.mbr().expect("non-empty node"), np.subtree_count());
         let whole_q = (nq.mbr().expect("non-empty node"), nq.subtree_count());
 
-        let sides_p: Vec<(Descend<D>, Rect<D>, u64)> = if descend_p {
-            np.inner_entries()
-                .iter()
-                .map(|e| (Descend::Down(*e), e.mbr, e.count))
-                .collect()
+        let mut sides_p = std::mem::take(&mut self.sides_p);
+        let mut sides_q = std::mem::take(&mut self.sides_q);
+        sides_p.clear();
+        sides_q.clear();
+        if descend_p {
+            sides_p.extend(
+                np.inner_entries()
+                    .iter()
+                    .map(|e| (Descend::Down(*e), e.mbr, e.count)),
+            );
         } else {
-            vec![(Descend::Stay, whole_p.0, whole_p.1)]
-        };
-        let sides_q: Vec<(Descend<D>, Rect<D>, u64)> = if descend_q {
-            nq.inner_entries()
-                .iter()
-                .map(|e| (Descend::Down(*e), e.mbr, e.count))
-                .collect()
+            sides_p.push((Descend::Stay, whole_p.0, whole_p.1));
+        }
+        if descend_q {
+            sides_q.extend(
+                nq.inner_entries()
+                    .iter()
+                    .map(|e| (Descend::Down(*e), e.mbr, e.count)),
+            );
         } else {
-            vec![(Descend::Stay, whole_q.0, whole_q.1)]
-        };
+            sides_q.push((Descend::Stay, whole_q.0, whole_q.1));
+        }
 
-        let mut cands = Vec::with_capacity(sides_p.len() * sides_q.len());
+        // T cannot change during generation (no offers happen here), so one
+        // read suffices; `INFINITY` disables the prune and the kernel's
+        // early exit alike.
+        let t = if prune { self.t() } else { Dist2::INFINITY };
+        out.reserve(sides_p.len() * sides_q.len());
         for (dp, mbr_p, count_p) in &sides_p {
             for (dq, mbr_q, count_q) in &sides_q {
-                cands.push(Cand {
+                let minmin = match min_min_dist2_within(mbr_p, mbr_q, t) {
+                    Some(d) => d,
+                    None => {
+                        self.stats.pairs_pruned += 1;
+                        continue;
+                    }
+                };
+                out.push(Cand {
                     p: *dp,
                     q: *dq,
                     mbr_p: *mbr_p,
                     mbr_q: *mbr_q,
                     count_p: *count_p,
                     count_q: *count_q,
-                    minmin: min_min_dist2(mbr_p, mbr_q),
+                    minmin,
                 });
             }
         }
-        cands
+        self.sides_p = sides_p;
+        self.sides_q = sides_q;
     }
 
     /// Tightens `bound` from the candidates of the current node pair:
@@ -240,10 +456,7 @@ impl<'a, const D: usize, O: SpatialObject<D>> Ctx<'a, D, O> {
 
     /// Finishes the run: sorts the result pairs and fills in the disk-access
     /// deltas measured from the two buffer pools.
-    pub(crate) fn finish(
-        mut self,
-        misses_before: (u64, u64),
-    ) -> crate::types::QueryOutcome<D, O> {
+    pub(crate) fn finish(mut self, misses_before: (u64, u64)) -> crate::types::QueryOutcome<D, O> {
         self.stats.disk_accesses_p = self.tp.pool().buffer_stats().misses - misses_before.0;
         if std::ptr::eq(self.tp, self.tq) {
             // Self-join: both sides share one pool; report the total once.

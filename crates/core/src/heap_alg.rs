@@ -95,9 +95,10 @@ fn process_pair<const D: usize, O: SpatialObject<D>>(
         ctx.scan_leaves(np, nq);
         return Ok(());
     }
-    let cands = ctx.gen_cands(np, nq);
+    let mut cands = ctx.take_cands();
+    ctx.gen_cands(np, nq, true, &mut cands);
     ctx.apply_bounds(&cands);
-    for c in cands {
+    for c in cands.drain(..) {
         if c.minmin > ctx.t() {
             ctx.stats.pairs_pruned += 1;
             continue;
@@ -125,5 +126,6 @@ fn process_pair<const D: usize, O: SpatialObject<D>>(
         ctx.stats.queue_inserts += 1;
         ctx.stats.queue_peak = ctx.stats.queue_peak.max(heap.len());
     }
+    ctx.return_cands(cands);
     Ok(())
 }

@@ -41,11 +41,7 @@ pub enum Traversal {
 
 impl Traversal {
     /// All three policies (for the Figure 10 comparison).
-    pub const ALL: [Traversal; 3] = [
-        Traversal::Basic,
-        Traversal::Even,
-        Traversal::Simultaneous,
-    ];
+    pub const ALL: [Traversal; 3] = [Traversal::Basic, Traversal::Even, Traversal::Simultaneous];
 
     /// Short label matching the paper's figures.
     pub fn label(&self) -> &'static str {
@@ -308,35 +304,38 @@ impl<'a, const D: usize, O: SpatialObject<D>> DistanceJoin<'a, D, O> {
                             expand_a = false;
                             expand_b = true;
                         }
-                        (
-                            Item::Node { level: la, .. },
-                            Item::Node { level: lb, .. },
-                        ) => match self.cfg.traversal {
-                            Traversal::Basic => {
-                                expand_a = true;
-                                expand_b = false;
+                        (Item::Node { level: la, .. }, Item::Node { level: lb, .. }) => {
+                            match self.cfg.traversal {
+                                Traversal::Basic => {
+                                    expand_a = true;
+                                    expand_b = false;
+                                }
+                                Traversal::Even => {
+                                    // Shallower depth = higher level expands.
+                                    expand_a = la >= lb;
+                                    expand_b = lb > la;
+                                }
+                                Traversal::Simultaneous => {
+                                    expand_a = true;
+                                    expand_b = true;
+                                }
                             }
-                            Traversal::Even => {
-                                // Shallower depth = higher level expands.
-                                expand_a = la >= lb;
-                                expand_b = lb > la;
-                            }
-                            Traversal::Simultaneous => {
-                                expand_a = true;
-                                expand_b = true;
-                            }
-                        },
+                        }
                         (Item::Object(_), Item::Object(_)) => unreachable!(),
                     }
 
                     let kids_a: Vec<Item<D, O>> = if expand_a {
-                        let Item::Node { page, .. } = a else { unreachable!() };
+                        let Item::Node { page, .. } = a else {
+                            unreachable!()
+                        };
                         self.expand(*page, true)?
                     } else {
                         vec![*a]
                     };
                     let kids_b: Vec<Item<D, O>> = if expand_b {
-                        let Item::Node { page, .. } = b else { unreachable!() };
+                        let Item::Node { page, .. } = b else {
+                            unreachable!()
+                        };
                         self.expand(*page, false)?
                     } else {
                         vec![*b]

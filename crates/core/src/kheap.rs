@@ -9,12 +9,26 @@ use crate::types::PairResult;
 use cpq_geo::{Dist2, Point, SpatialObject};
 use std::collections::BinaryHeap;
 
-/// A wrapper ordering pairs by distance for the max-heap.
+/// A wrapper ordering pairs for the max-heap.
+///
+/// The order is **total**: distance first, then the pair of object ids.
+/// Making the tie-break part of the order (rather than keeping
+/// first-offered-wins semantics) means the retained K-set is independent of
+/// the order in which equal-distance pairs are discovered — brute-force and
+/// plane-sweep leaf scanning enumerate pairs in different orders and must
+/// produce identical results even on data with duplicate coordinates.
 struct ByDist<const D: usize, O: SpatialObject<D>>(PairResult<D, O>);
+
+impl<const D: usize, O: SpatialObject<D>> ByDist<D, O> {
+    #[inline]
+    fn key(&self) -> (Dist2, u64, u64) {
+        (self.0.dist2, self.0.p.oid, self.0.q.oid)
+    }
+}
 
 impl<const D: usize, O: SpatialObject<D>> PartialEq for ByDist<D, O> {
     fn eq(&self, other: &Self) -> bool {
-        self.0.dist2 == other.0.dist2
+        self.key() == other.key()
     }
 }
 impl<const D: usize, O: SpatialObject<D>> Eq for ByDist<D, O> {}
@@ -25,7 +39,7 @@ impl<const D: usize, O: SpatialObject<D>> PartialOrd for ByDist<D, O> {
 }
 impl<const D: usize, O: SpatialObject<D>> Ord for ByDist<D, O> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.dist2.cmp(&other.0.dist2)
+        self.key().cmp(&other.key())
     }
 }
 
@@ -76,25 +90,34 @@ impl<const D: usize, O: SpatialObject<D>> KHeap<D, O> {
     }
 
     /// Offers a pair: inserted while slots remain; once full it replaces the
-    /// top only when strictly closer. Returns `true` when retained.
+    /// top only when strictly smaller in the total `(distance, oids)` order —
+    /// in particular an equal-distance, equal-id pair never replaces.
+    /// Returns `true` when retained.
+    ///
+    /// The full-heap path compares against the top in place
+    /// ([`BinaryHeap::peek_mut`]) instead of a `pop` + `push`, so a rejected
+    /// offer costs one comparison and an accepted one a single sift-down.
     pub fn offer(&mut self, pair: PairResult<D, O>) -> bool {
         if self.heap.len() < self.k {
             self.heap.push(ByDist(pair));
             return true;
         }
-        if pair.dist2 < self.threshold() {
-            self.heap.pop();
-            self.heap.push(ByDist(pair));
-            return true;
+        let mut top = self.heap.peek_mut().expect("K >= 1: full heap has a top");
+        let cand = ByDist(pair);
+        if cand < *top {
+            *top = cand;
+            true
+        } else {
+            false
         }
-        false
     }
 
-    /// Consumes the heap, returning pairs sorted by ascending distance.
+    /// Consumes the heap, returning pairs sorted by ascending distance
+    /// (ties by object ids, matching the retention order).
     pub fn into_sorted(self) -> Vec<PairResult<D, O>> {
-        let mut v: Vec<PairResult<D, O>> = self.heap.into_iter().map(|b| b.0).collect();
-        v.sort_by_key(|a| a.dist2);
-        v
+        let mut v: Vec<ByDist<D, O>> = self.heap.into_vec();
+        v.sort_by_key(|a| a.key());
+        v.into_iter().map(|b| b.0).collect()
     }
 }
 
@@ -153,6 +176,26 @@ mod tests {
         let out = h.into_sorted();
         let d: Vec<f64> = out.iter().map(|p| p.dist2.get()).collect();
         assert_eq!(d, vec![1.0, 4.0, 16.0, 36.0, 64.0]);
+    }
+
+    #[test]
+    fn equal_distance_ties_are_canonical_by_oid() {
+        let with_oids = |x: f64, a: u64, b: u64| {
+            PairResult::new(
+                LeafEntry::new(Point([0.0, 0.0]), a),
+                LeafEntry::new(Point([x, 0.0]), b),
+            )
+        };
+        // Same distance, different ids: the retained pair must be the one
+        // with the smaller id key, in either offer order.
+        for order in [[(5, 6), (0, 1)], [(0, 1), (5, 6)]] {
+            let mut h = KHeap::new(1);
+            for (a, b) in order {
+                h.offer(with_oids(2.0, a, b));
+            }
+            let out = h.into_sorted();
+            assert_eq!((out[0].p.oid, out[0].q.oid), (0, 1));
+        }
     }
 
     #[test]

@@ -53,8 +53,8 @@
 mod api;
 pub mod batch;
 pub mod brute;
-pub mod costmodel;
 mod config;
+pub mod costmodel;
 mod engine;
 mod heap_alg;
 mod incremental;
@@ -68,10 +68,9 @@ mod ties;
 mod types;
 
 pub use api::{closest_pair, k_closest_pairs, self_closest_pairs, Algorithm};
-pub use config::{CpqConfig, HeightStrategy, KPruning};
+pub use config::{CpqConfig, HeightStrategy, KPruning, LeafScan};
 pub use incremental::{
-    distance_join, k_closest_pairs_incremental, DistanceJoin, IncTie, IncrementalConfig,
-    Traversal,
+    distance_join, k_closest_pairs_incremental, DistanceJoin, IncTie, IncrementalConfig, Traversal,
 };
 pub use kheap::KHeap;
 pub use metric_cpq::{k_closest_pairs_metric, MetricOutcome, MetricPair};

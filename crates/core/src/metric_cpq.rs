@@ -168,12 +168,18 @@ pub fn k_closest_pairs_metric<const D: usize, O: SpatialObject<D>>(
                 let descend_p = !np.is_leaf() && (nq.is_leaf() || np.level() >= nq.level());
                 let descend_q = !nq.is_leaf() && (np.is_leaf() || nq.level() >= np.level());
                 let sides_p: Vec<(PageId, cpq_geo::Rect<D>)> = if descend_p {
-                    np.inner_entries().iter().map(|e| (e.child, e.mbr)).collect()
+                    np.inner_entries()
+                        .iter()
+                        .map(|e| (e.child, e.mbr))
+                        .collect()
                 } else {
                     vec![(item.page_p, np.mbr().expect("non-empty"))]
                 };
                 let sides_q: Vec<(PageId, cpq_geo::Rect<D>)> = if descend_q {
-                    nq.inner_entries().iter().map(|e| (e.child, e.mbr)).collect()
+                    nq.inner_entries()
+                        .iter()
+                        .map(|e| (e.child, e.mbr))
+                        .collect()
                 } else {
                     vec![(item.page_q, nq.mbr().expect("non-empty"))]
                 };
@@ -209,14 +215,14 @@ pub fn k_closest_pairs_metric<const D: usize, O: SpatialObject<D>>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cpq_rng::Rng;
     use cpq_rtree::RTreeParams;
     use cpq_storage::{BufferPool, MemPageFile};
-    use rand::{Rng, SeedableRng};
 
     fn tree_and_points(n: usize, seed: u64) -> (RTree<2>, Vec<Point<2>>) {
         let pool = BufferPool::with_lru(Box::new(MemPageFile::new(1024)), 64);
         let mut tree = RTree::new(pool, RTreeParams::paper()).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let pts: Vec<Point<2>> = (0..n)
             .map(|_| Point([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]))
             .collect();

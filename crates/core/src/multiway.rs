@@ -150,7 +150,10 @@ pub fn k_closest_tuples<const D: usize, O: SpatialObject<D>>(
     k: usize,
     metric: TupleMetric,
 ) -> RTreeResult<MultiwayOutcome<D, O>> {
-    assert!(trees.len() >= 2, "multi-way CPQ needs at least two data sets");
+    assert!(
+        trees.len() >= 2,
+        "multi-way CPQ needs at least two data sets"
+    );
     let misses_before: u64 = trees.iter().map(|t| t.pool().buffer_stats().misses).sum();
     let mut stats = CpqStats::default();
     let mut out = MultiwayOutcome {

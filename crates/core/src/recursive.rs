@@ -11,7 +11,7 @@
 //! | SIM       | yes                    | yes                      | generation order  |
 //! | STD       | yes                    | yes                      | ascending MINMINDIST (+ tie strategy) |
 
-use crate::engine::{Cand, Ctx};
+use crate::engine::Ctx;
 use cpq_geo::SpatialObject;
 use cpq_rtree::{Node, RTreeResult};
 use std::cmp::Ordering;
@@ -28,10 +28,12 @@ pub(crate) fn naive<const D: usize, O: SpatialObject<D>>(
         ctx.scan_leaves(np, nq);
         return Ok(());
     }
-    let cands = ctx.gen_cands(np, nq);
-    for c in cands {
-        ctx.descend(np, nq, &c, naive)?;
+    let mut cands = ctx.take_cands();
+    ctx.gen_cands(np, nq, false, &mut cands);
+    for c in &cands {
+        ctx.descend(np, nq, c, naive)?;
     }
+    ctx.return_cands(cands);
     Ok(())
 }
 
@@ -47,15 +49,17 @@ pub(crate) fn exhaustive<const D: usize, O: SpatialObject<D>>(
         ctx.scan_leaves(np, nq);
         return Ok(());
     }
-    let cands = ctx.gen_cands(np, nq);
-    for c in cands {
+    let mut cands = ctx.take_cands();
+    ctx.gen_cands(np, nq, true, &mut cands);
+    for c in &cands {
         // T may have shrunk since candidate generation: re-check on use.
         if c.minmin <= ctx.t() {
-            ctx.descend(np, nq, &c, exhaustive)?;
+            ctx.descend(np, nq, c, exhaustive)?;
         } else {
             ctx.stats.pairs_pruned += 1;
         }
     }
+    ctx.return_cands(cands);
     Ok(())
 }
 
@@ -71,15 +75,17 @@ pub(crate) fn simple<const D: usize, O: SpatialObject<D>>(
         ctx.scan_leaves(np, nq);
         return Ok(());
     }
-    let cands = ctx.gen_cands(np, nq);
+    let mut cands = ctx.take_cands();
+    ctx.gen_cands(np, nq, true, &mut cands);
     ctx.apply_bounds(&cands);
-    for c in cands {
+    for c in &cands {
         if c.minmin <= ctx.t() {
-            ctx.descend(np, nq, &c, simple)?;
+            ctx.descend(np, nq, c, simple)?;
         } else {
             ctx.stats.pairs_pruned += 1;
         }
     }
+    ctx.return_cands(cands);
     Ok(())
 }
 
@@ -96,20 +102,20 @@ pub(crate) fn sorted<const D: usize, O: SpatialObject<D>>(
         ctx.scan_leaves(np, nq);
         return Ok(());
     }
-    let cands = ctx.gen_cands(np, nq);
+    let mut cands = ctx.take_cands();
+    ctx.gen_cands(np, nq, true, &mut cands);
     ctx.apply_bounds(&cands);
 
     // Decorate with the tie key so the comparator is cheap and the sort
     // algorithm choice (footnote 2) is honest about comparison counts.
     let tie = ctx.cfg.tie;
     let (rap, raq) = (ctx.root_area_p, ctx.root_area_q);
-    let mut keyed: Vec<(Cand<D>, f64)> = cands
-        .into_iter()
-        .map(|c| {
-            let key = tie.key(&c.mbr_p, &c.mbr_q, rap, raq);
-            (c, key)
-        })
-        .collect();
+    let mut keyed = ctx.take_keyed();
+    keyed.extend(cands.drain(..).map(|c| {
+        let key = tie.key(&c.mbr_p, &c.mbr_q, rap, raq);
+        (c, key)
+    }));
+    ctx.return_cands(cands);
     let sort = ctx.cfg.sort;
     sort.sort_by(&mut keyed, |a, b| {
         a.0.minmin
@@ -117,12 +123,13 @@ pub(crate) fn sorted<const D: usize, O: SpatialObject<D>>(
             .then_with(|| a.1.total_cmp(&b.1).then(Ordering::Equal))
     });
 
-    for (c, _) in keyed {
+    for (c, _) in &keyed {
         if c.minmin <= ctx.t() {
-            ctx.descend(np, nq, &c, sorted)?;
+            ctx.descend(np, nq, c, sorted)?;
         } else {
             ctx.stats.pairs_pruned += 1;
         }
     }
+    ctx.return_keyed(keyed);
     Ok(())
 }

@@ -49,11 +49,7 @@ pub fn semi_closest_pairs<const D: usize, O: SpatialObject<D>>(
                         .unwrap_or(Dist2::INFINITY);
                     let (q, d) = nn_bounded(tree_q, &p, warm, &mut stats)?
                         .expect("non-empty Q has a nearest neighbor");
-                    pairs.push(PairResult {
-                        p,
-                        q,
-                        dist2: d,
-                    });
+                    pairs.push(PairResult { p, q, dist2: d });
                     last_answer = Some(q);
                 }
             }

@@ -60,7 +60,12 @@ impl SortAlgorithm {
     }
 
     /// Sorts `items` by `cmp` using this algorithm.
-    pub fn sort_by<T, F: FnMut(&T, &T) -> Ordering>(&self, items: &mut [T], mut cmp: F) {
+    ///
+    /// The `Copy` bound reflects every payload sorted here (candidate
+    /// records, axis projections, plain keys) and lets merge sort move
+    /// elements through a flat scratch buffer instead of permuting through
+    /// an index table.
+    pub fn sort_by<T: Copy, F: FnMut(&T, &T) -> Ordering>(&self, items: &mut [T], mut cmp: F) {
         match self {
             SortAlgorithm::Merge => merge_sort(items, &mut cmp),
             SortAlgorithm::Quick => quick_sort(items, &mut cmp),
@@ -72,54 +77,58 @@ impl SortAlgorithm {
     }
 }
 
-fn merge_sort<T, F: FnMut(&T, &T) -> Ordering>(items: &mut [T], cmp: &mut F) {
+fn merge_sort<T: Copy, F: FnMut(&T, &T) -> Ordering>(items: &mut [T], cmp: &mut F) {
     let n = items.len();
     if n <= 1 {
         return;
     }
-    // Bottom-up merge using an index scratch buffer to avoid requiring
-    // T: Clone (we permute at the end).
-    let mut order: Vec<usize> = (0..n).collect();
-    let mut scratch = vec![0usize; n];
+    // Bottom-up merge, ping-ponging between `items` and one flat scratch
+    // buffer so each pass moves elements exactly once.
+    let mut scratch = items.to_vec();
+    let mut in_items = true;
     let mut width = 1;
     while width < n {
-        let mut lo = 0;
-        while lo < n {
-            let mid = (lo + width).min(n);
-            let hi = (lo + 2 * width).min(n);
-            let (mut i, mut j, mut o) = (lo, mid, lo);
-            while i < mid && j < hi {
-                // `<=` keeps stability: left element wins ties.
-                if cmp(&items[order[i]], &items[order[j]]) != Ordering::Greater {
-                    scratch[o] = order[i];
-                    i += 1;
-                } else {
-                    scratch[o] = order[j];
-                    j += 1;
-                }
-                o += 1;
-            }
-            scratch[o..o + (mid - i)].copy_from_slice(&order[i..mid]);
-            let o2 = o + (mid - i);
-            scratch[o2..o2 + (hi - j)].copy_from_slice(&order[j..hi]);
-            order[lo..hi].copy_from_slice(&scratch[lo..hi]);
-            lo = hi;
+        if in_items {
+            merge_pass(items, &mut scratch, width, cmp);
+        } else {
+            merge_pass(&scratch, items, width, cmp);
         }
+        in_items = !in_items;
         width *= 2;
     }
-    apply_permutation(items, &mut order);
+    if !in_items {
+        items.copy_from_slice(&scratch);
+    }
 }
 
-/// Rearranges `items` so `items[i] = old_items[order[i]]`, destroying `order`.
-fn apply_permutation<T>(items: &mut [T], order: &mut [usize]) {
-    for i in 0..items.len() {
-        let mut target = order[i];
-        // Follow already-moved slots to their current location.
-        while target < i {
-            target = order[target];
+/// Merges adjacent sorted runs of length `width` from `src` into `dst`.
+fn merge_pass<T: Copy, F: FnMut(&T, &T) -> Ordering>(
+    src: &[T],
+    dst: &mut [T],
+    width: usize,
+    cmp: &mut F,
+) {
+    let n = src.len();
+    let mut lo = 0;
+    while lo < n {
+        let mid = (lo + width).min(n);
+        let hi = (lo + 2 * width).min(n);
+        let (mut i, mut j, mut o) = (lo, mid, lo);
+        while i < mid && j < hi {
+            // `<=` keeps stability: left element wins ties.
+            if cmp(&src[i], &src[j]) != Ordering::Greater {
+                dst[o] = src[i];
+                i += 1;
+            } else {
+                dst[o] = src[j];
+                j += 1;
+            }
+            o += 1;
         }
-        items.swap(i, target);
-        order[i] = target;
+        dst[o..o + (mid - i)].copy_from_slice(&src[i..mid]);
+        let o2 = o + (mid - i);
+        dst[o2..o2 + (hi - j)].copy_from_slice(&src[j..hi]);
+        lo = hi;
     }
 }
 
@@ -260,9 +269,11 @@ mod tests {
 
     #[test]
     fn large_random_input() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-        let v: Vec<i64> = (0..2000).map(|_| rng.random_range(-1000..1000)).collect();
+        use cpq_rng::Rng;
+        let mut rng = Rng::seed_from_u64(5);
+        let v: Vec<i64> = (0..2000)
+            .map(|_| rng.random_range(-1000i64..1000))
+            .collect();
         check_sorts(v);
     }
 }

@@ -111,9 +111,7 @@ mod tests {
         let a = r([0.0, 0.0], [1.0, 1.0]);
         let near = r([2.0, 0.0], [3.0, 1.0]);
         let far = r([9.0, 0.0], [10.0, 1.0]);
-        assert!(
-            TieStrategy::T2.key(&a, &near, 1.0, 1.0) < TieStrategy::T2.key(&a, &far, 1.0, 1.0)
-        );
+        assert!(TieStrategy::T2.key(&a, &near, 1.0, 1.0) < TieStrategy::T2.key(&a, &far, 1.0, 1.0));
     }
 
     #[test]

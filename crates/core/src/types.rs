@@ -23,6 +23,18 @@ impl<const D: usize, O: SpatialObject<D>> PairResult<D, O> {
         PairResult { p, q, dist2 }
     }
 
+    /// Creates a pair result from an already-computed distance (the
+    /// plane-sweep leaf scan evaluates it under the live threshold and must
+    /// not pay for it twice).
+    ///
+    /// `dist2` must equal the value [`new`](Self::new) would compute; the
+    /// threshold-aware kernel accumulates axis contributions in the same
+    /// order as the full kernel, so the values are bitwise identical.
+    pub fn with_dist2(p: LeafEntry<D, O>, q: LeafEntry<D, O>, dist2: Dist2) -> Self {
+        debug_assert_eq!(dist2, cpq_geo::min_min_dist2(&p.mbr(), &q.mbr()));
+        PairResult { p, q, dist2 }
+    }
+
     /// The Euclidean (non-squared) distance.
     pub fn distance(&self) -> f64 {
         self.dist2.sqrt()
@@ -95,7 +107,11 @@ mod tests {
 
     #[test]
     fn stats_total() {
-        let s = CpqStats { disk_accesses_p: 3, disk_accesses_q: 4, ..Default::default() };
+        let s = CpqStats {
+            disk_accesses_p: 3,
+            disk_accesses_q: 4,
+            ..Default::default()
+        };
         assert_eq!(s.disk_accesses(), 7);
     }
 }

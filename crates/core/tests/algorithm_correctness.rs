@@ -106,9 +106,18 @@ fn every_tie_strategy_is_correct() {
     let tp = build(&p.points, 32);
     let tq = build(&q.points, 32);
     let expected = brute::k_closest_pairs_brute(&indexed(&p.points), &indexed(&q.points), 5);
-    for tie in [TieStrategy::None, TieStrategy::T1, TieStrategy::T2,
-                TieStrategy::T3, TieStrategy::T4, TieStrategy::T5] {
-        let cfg = CpqConfig { tie, ..CpqConfig::paper() };
+    for tie in [
+        TieStrategy::None,
+        TieStrategy::T1,
+        TieStrategy::T2,
+        TieStrategy::T3,
+        TieStrategy::T4,
+        TieStrategy::T5,
+    ] {
+        let cfg = CpqConfig {
+            tie,
+            ..CpqConfig::paper()
+        };
         for alg in [Algorithm::SortedDistances, Algorithm::Heap] {
             let out = k_closest_pairs(&tp, &tq, 5, alg, &cfg).unwrap();
             assert_distances_match(
@@ -128,7 +137,10 @@ fn every_sort_algorithm_is_correct() {
     let tq = build(&q.points, 32);
     let expected = brute::k_closest_pairs_brute(&indexed(&p.points), &indexed(&q.points), 3);
     for sort in SortAlgorithm::ALL {
-        let cfg = CpqConfig { sort, ..CpqConfig::paper() };
+        let cfg = CpqConfig {
+            sort,
+            ..CpqConfig::paper()
+        };
         let out = k_closest_pairs(&tp, &tq, 3, Algorithm::SortedDistances, &cfg).unwrap();
         assert_distances_match(&out.pairs, &expected, sort.label());
     }
@@ -144,7 +156,10 @@ fn different_heights_both_strategies() {
     assert!(tp.height() < tq.height(), "test requires different heights");
     let expected = brute::k_closest_pairs_brute(&indexed(&p.points), &indexed(&q.points), 8);
     for height in [HeightStrategy::FixAtLeaves, HeightStrategy::FixAtRoot] {
-        let cfg = CpqConfig { height, ..CpqConfig::paper() };
+        let cfg = CpqConfig {
+            height,
+            ..CpqConfig::paper()
+        };
         for alg in Algorithm::EVALUATED {
             // Both orders: taller tree as P and as Q.
             let out = k_closest_pairs(&tp, &tq, 8, alg, &cfg).unwrap();
@@ -170,7 +185,10 @@ fn kheap_only_pruning_is_correct() {
     let tp = build(&p.points, 32);
     let tq = build(&q.points, 32);
     let expected = brute::k_closest_pairs_brute(&indexed(&p.points), &indexed(&q.points), 50);
-    let cfg = CpqConfig { k_pruning: KPruning::KHeapOnly, ..CpqConfig::paper() };
+    let cfg = CpqConfig {
+        k_pruning: KPruning::KHeapOnly,
+        ..CpqConfig::paper()
+    };
     for alg in Algorithm::EVALUATED {
         let out = k_closest_pairs(&tp, &tq, 50, alg, &cfg).unwrap();
         assert_distances_match(&out.pairs, &expected, alg.label());
@@ -185,8 +203,7 @@ fn k_exceeding_all_pairs_returns_everything() {
     let tq = build(&q.points, 16);
     let out = k_closest_pairs(&tp, &tq, 1000, Algorithm::Heap, &CpqConfig::paper()).unwrap();
     assert_eq!(out.pairs.len(), 12 * 9);
-    let expected =
-        brute::k_closest_pairs_brute(&indexed(&p.points), &indexed(&q.points), 12 * 9);
+    let expected = brute::k_closest_pairs_brute(&indexed(&p.points), &indexed(&q.points), 12 * 9);
     assert_distances_match(&out.pairs, &expected, "all pairs");
 }
 
@@ -196,10 +213,22 @@ fn k_zero_and_empty_trees() {
     let tp = build(&p.points, 16);
     let empty = build(&[], 16);
     let cfg = CpqConfig::paper();
-    assert!(k_closest_pairs(&tp, &tp, 0, Algorithm::Heap, &cfg).unwrap().pairs.is_empty());
-    assert!(k_closest_pairs(&tp, &empty, 5, Algorithm::Heap, &cfg).unwrap().pairs.is_empty());
-    assert!(k_closest_pairs(&empty, &tp, 5, Algorithm::Exhaustive, &cfg).unwrap().pairs.is_empty());
-    assert!(k_closest_pairs(&empty, &empty, 5, Algorithm::Simple, &cfg).unwrap().pairs.is_empty());
+    assert!(k_closest_pairs(&tp, &tp, 0, Algorithm::Heap, &cfg)
+        .unwrap()
+        .pairs
+        .is_empty());
+    assert!(k_closest_pairs(&tp, &empty, 5, Algorithm::Heap, &cfg)
+        .unwrap()
+        .pairs
+        .is_empty());
+    assert!(k_closest_pairs(&empty, &tp, 5, Algorithm::Exhaustive, &cfg)
+        .unwrap()
+        .pairs
+        .is_empty());
+    assert!(k_closest_pairs(&empty, &empty, 5, Algorithm::Simple, &cfg)
+        .unwrap()
+        .pairs
+        .is_empty());
 }
 
 #[test]
@@ -230,11 +259,14 @@ fn incremental_all_policies_match_brute_force() {
     let tp = build(&p.points, 32);
     let tq = build(&q.points, 32);
     for k in [1usize, 10, 60] {
-        let expected =
-            brute::k_closest_pairs_brute(&indexed(&p.points), &indexed(&q.points), k);
+        let expected = brute::k_closest_pairs_brute(&indexed(&p.points), &indexed(&q.points), k);
         for traversal in Traversal::ALL {
             for tie in [IncTie::DepthFirst, IncTie::BreadthFirst] {
-                let cfg = IncrementalConfig { traversal, tie, k_bound: None };
+                let cfg = IncrementalConfig {
+                    traversal,
+                    tie,
+                    k_bound: None,
+                };
                 let out = k_closest_pairs_incremental(&tp, &tq, k, &cfg).unwrap();
                 assert_distances_match(
                     &out.pairs,
@@ -258,8 +290,7 @@ fn incremental_stream_is_nondecreasing_and_complete() {
     for w in all.windows(2) {
         assert!(w[0].dist2 <= w[1].dist2, "stream must be non-decreasing");
     }
-    let expected =
-        brute::k_closest_pairs_brute(&indexed(&p.points), &indexed(&q.points), 40 * 30);
+    let expected = brute::k_closest_pairs_brute(&indexed(&p.points), &indexed(&q.points), 40 * 30);
     assert_distances_match(&all, &expected, "full enumeration");
 }
 
@@ -298,8 +329,8 @@ fn semi_cpq_matches_brute_force() {
 
 #[test]
 fn three_dimensional_cpq() {
-    use rand::{Rng, SeedableRng};
-    let mut rng = rand::rngs::StdRng::seed_from_u64(26);
+    use cpq_rng::Rng;
+    let mut rng = Rng::seed_from_u64(26);
     let mut gen3 = |n: usize| -> Vec<(Point<3>, u64)> {
         (0..n)
             .map(|i| {
@@ -360,8 +391,8 @@ fn stats_are_populated() {
 #[test]
 fn heap_beats_exhaustive_on_disk_accesses() {
     // The paper's headline: HEAP/STD prune far better than EXH (Figure 4).
-    let p = clustered(2000, ClusterSpec::default(), 29);
-    let q = uniform(2000, 30);
+    let p = clustered(2000, ClusterSpec::default(), 42);
+    let q = uniform(2000, 43);
     let tp = build(&p.points, 0);
     let tq = build(&q.points, 0);
     let run = |alg| {

@@ -1,9 +1,14 @@
+//! Compiled only with `--features proptest`, which additionally requires
+//! restoring the `proptest = "1"` dev-dependency on a networked machine (the
+//! offline workspace carries no registry dependencies).
+#![cfg(feature = "proptest")]
+
 //! Property-based tests: all algorithms agree with brute force on random
 //! point sets of random sizes, shapes, and K values.
 
 use cpq_core::{
-    brute, k_closest_pairs, k_closest_pairs_incremental, Algorithm, CpqConfig,
-    HeightStrategy, IncrementalConfig, KPruning, TieStrategy, Traversal,
+    brute, k_closest_pairs, k_closest_pairs_incremental, Algorithm, CpqConfig, HeightStrategy,
+    IncrementalConfig, KPruning, TieStrategy, Traversal,
 };
 use cpq_geo::{Point, Point2};
 use cpq_rtree::{RTree, RTreeParams};
@@ -27,7 +32,11 @@ fn pointset(max: usize) -> impl Strategy<Value = Vec<Point2>> {
 }
 
 fn indexed(points: &[Point2]) -> Vec<(Point2, u64)> {
-    points.iter().enumerate().map(|(i, &p)| (p, i as u64)).collect()
+    points
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p, i as u64))
+        .collect()
 }
 
 proptest! {

@@ -40,7 +40,11 @@ fn predicted_accesses(tp: &RTree<2>, p: &Dataset, tq: &RTree<2>, q: &Dataset) ->
 
 #[test]
 fn model_within_factor_four_on_overlapping_uniform_data() {
-    for (np, nq, seed) in [(5_000, 5_000, 1u64), (10_000, 5_000, 3), (20_000, 20_000, 5)] {
+    for (np, nq, seed) in [
+        (5_000, 5_000, 1u64),
+        (10_000, 5_000, 3),
+        (20_000, 20_000, 5),
+    ] {
         let p = uniform(np, seed);
         let q = uniform(nq, seed + 1); // same workspace: 100% overlap
         let tp = build(&p);
@@ -70,10 +74,16 @@ fn model_tracks_partial_overlap() {
     // Both sequences increase with overlap, and the model stays within a
     // factor 4 at every point.
     for w in predictions.windows(2) {
-        assert!(w[0] < w[1], "prediction must grow with overlap: {predictions:?}");
+        assert!(
+            w[0] < w[1],
+            "prediction must grow with overlap: {predictions:?}"
+        );
     }
     for w in measurements.windows(2) {
-        assert!(w[0] < w[1], "measurement must grow with overlap: {measurements:?}");
+        assert!(
+            w[0] < w[1],
+            "measurement must grow with overlap: {measurements:?}"
+        );
     }
     for (pr, me) in predictions.iter().zip(&measurements) {
         let ratio = pr / me;

@@ -2,18 +2,18 @@
 //! either tree turns every algorithm's result into `Err`.
 
 use cpq_core::{
-    distance_join, k_closest_pairs, k_closest_tuples, semi_closest_pairs, Algorithm,
-    CpqConfig, IncrementalConfig, TupleMetric,
+    distance_join, k_closest_pairs, k_closest_tuples, semi_closest_pairs, Algorithm, CpqConfig,
+    IncrementalConfig, TupleMetric,
 };
 use cpq_geo::Point;
+use cpq_rng::Rng;
 use cpq_rtree::{RTree, RTreeParams};
 use cpq_storage::{BufferPool, MemPageFile, PageId};
-use rand::{Rng, SeedableRng};
 
 fn build(n: usize, seed: u64) -> RTree<2> {
     let pool = BufferPool::with_lru(Box::new(MemPageFile::new(1024)), 0);
     let mut tree = RTree::new(pool, RTreeParams::paper()).unwrap();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     for i in 0..n as u64 {
         tree.insert(
             Point([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]),

@@ -1,0 +1,136 @@
+//! The plane-sweep leaf scan must be a pure CPU optimization: for every
+//! algorithm, workload, and K it must return exactly the same pairs — same
+//! object ids, same distances, same order — and perform exactly the same
+//! disk accesses as the brute-force scan. The K-heap keeps the canonical
+//! K-set under the total order `(dist2, p.oid, q.oid)`, so even
+//! duplicate-coordinate ties cannot make the two scans diverge.
+
+use cpq_core::{k_closest_pairs, self_closest_pairs, Algorithm, CpqConfig, LeafScan, QueryOutcome};
+use cpq_datasets::{clustered, uniform, uniform_grid, ClusterSpec, Dataset, WORKSPACE_SIDE};
+use cpq_geo::Point2;
+use cpq_rng::Rng;
+use cpq_rtree::{RTree, RTreeParams};
+use cpq_storage::{BufferPool, MemPageFile};
+
+const ALGORITHMS: [Algorithm; 5] = [
+    Algorithm::Naive,
+    Algorithm::Exhaustive,
+    Algorithm::Simple,
+    Algorithm::SortedDistances,
+    Algorithm::Heap,
+];
+
+fn build(points: &[Point2], buffer: usize) -> RTree<2> {
+    let pool = BufferPool::with_lru(Box::new(MemPageFile::new(1024)), buffer);
+    let mut tree = RTree::new(pool, RTreeParams::paper()).unwrap();
+    for (i, &p) in points.iter().enumerate() {
+        tree.insert(p, i as u64).unwrap();
+    }
+    tree
+}
+
+fn config(leaf_scan: LeafScan) -> CpqConfig {
+    CpqConfig {
+        leaf_scan,
+        ..CpqConfig::paper()
+    }
+}
+
+/// Exact equality: oids, bitwise distances, order, and disk accesses.
+fn assert_identical(brute: &QueryOutcome<2>, sweep: &QueryOutcome<2>, label: &str) {
+    assert_eq!(
+        brute.pairs.len(),
+        sweep.pairs.len(),
+        "{label}: result cardinality"
+    );
+    for (i, (b, s)) in brute.pairs.iter().zip(&sweep.pairs).enumerate() {
+        assert!(
+            b.p.oid == s.p.oid && b.q.oid == s.q.oid && b.dist2 == s.dist2,
+            "{label}: pair {i} diverged: brute ({}, {}, {}) vs sweep ({}, {}, {})",
+            b.p.oid,
+            b.q.oid,
+            b.dist2.get(),
+            s.p.oid,
+            s.q.oid,
+            s.dist2.get(),
+        );
+    }
+    assert_eq!(
+        brute.stats.disk_accesses(),
+        sweep.stats.disk_accesses(),
+        "{label}: disk accesses must not depend on the leaf-scan strategy"
+    );
+}
+
+fn check_cross(p: &Dataset, q: &Dataset, ks: &[usize], label: &str) {
+    let tp = build(&p.points, 32);
+    let tq = build(&q.points, 32);
+    for &k in ks {
+        for alg in ALGORITHMS {
+            // Cold-start both pools before each query so the miss counts
+            // compare like with like (a warm pool would hide accesses).
+            tp.pool().clear();
+            tq.pool().clear();
+            let brute = k_closest_pairs(&tp, &tq, k, alg, &config(LeafScan::BruteForce)).unwrap();
+            tp.pool().clear();
+            tq.pool().clear();
+            let sweep = k_closest_pairs(&tp, &tq, k, alg, &config(LeafScan::PlaneSweep)).unwrap();
+            assert_identical(&brute, &sweep, &format!("{label} {} k={k}", alg.label()));
+        }
+    }
+}
+
+fn check_self(d: &Dataset, ks: &[usize], label: &str) {
+    let tree = build(&d.points, 32);
+    for &k in ks {
+        for alg in ALGORITHMS {
+            tree.pool().clear();
+            let brute = self_closest_pairs(&tree, k, alg, &config(LeafScan::BruteForce)).unwrap();
+            tree.pool().clear();
+            let sweep = self_closest_pairs(&tree, k, alg, &config(LeafScan::PlaneSweep)).unwrap();
+            assert_identical(
+                &brute,
+                &sweep,
+                &format!("{label} self-join {} k={k}", alg.label()),
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_matches_brute_on_randomized_workloads() {
+    let mut rng = Rng::seed_from_u64(0x1EAF_5CA9);
+    for case in 0..4 {
+        let np = rng.random_range(150usize..450);
+        let nq = rng.random_range(150usize..450);
+        let (sp, sq) = (
+            rng.random_range(0u64..10_000),
+            rng.random_range(0u64..10_000),
+        );
+        let p = if rng.random_bool(0.5) {
+            uniform(np, sp)
+        } else {
+            clustered(np, ClusterSpec::default(), sp)
+        };
+        let q = uniform(nq, sq);
+        check_cross(&p, &q, &[1, 9, 60], &format!("case {case}"));
+    }
+}
+
+#[test]
+fn sweep_matches_brute_on_duplicate_coordinate_ties() {
+    // A coarse grid snaps many points onto identical coordinates, so the
+    // result boundary is full of exactly-tied distances (including zero).
+    let cell = WORKSPACE_SIDE / 12.0;
+    let p = uniform_grid(320, 11, cell);
+    let q = uniform_grid(280, 12, cell);
+    check_cross(&p, &q, &[1, 10, 120], "grid ties");
+}
+
+#[test]
+fn sweep_matches_brute_on_self_joins() {
+    let u = uniform(400, 21);
+    check_self(&u, &[1, 8, 75], "uniform");
+    let g = uniform_grid(300, 22, WORKSPACE_SIDE / 10.0);
+    check_self(&g, &[1, 16], "grid");
+}

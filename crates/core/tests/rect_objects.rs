@@ -2,12 +2,11 @@
 //! trees of `Rect` objects with MBR distance semantics, verified against
 //! brute force.
 
-use cpq_core::{
-    brute, k_closest_pairs, k_closest_pairs_incremental, k_closest_tuples,
-    self_closest_pairs, semi_closest_pairs, Algorithm, CpqConfig, IncrementalConfig,
-    TupleMetric,
-};
 use cpq_core::multiway::k_closest_tuples_brute;
+use cpq_core::{
+    brute, k_closest_pairs, k_closest_pairs_incremental, k_closest_tuples, self_closest_pairs,
+    semi_closest_pairs, Algorithm, CpqConfig, IncrementalConfig, TupleMetric,
+};
 use cpq_datasets::uniform_rects;
 use cpq_geo::{min_min_dist2, Rect2};
 use cpq_rtree::{RTree, RTreeParams};
@@ -25,7 +24,11 @@ fn build(rects: &[Rect2]) -> RTree<2, Rect2> {
 }
 
 fn indexed(rects: &[Rect2]) -> Vec<(Rect2, u64)> {
-    rects.iter().enumerate().map(|(i, &r)| (r, i as u64)).collect()
+    rects
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| (r, i as u64))
+        .collect()
 }
 
 #[test]
@@ -39,7 +42,12 @@ fn rect_tree_valid_and_searchable() {
     }
     // Range query agrees with brute-force MBR intersection.
     let window = Rect2::from_corners([200.0, 200.0], [400.0, 400.0]);
-    let mut got: Vec<u64> = tree.range_query(&window).unwrap().iter().map(|e| e.oid).collect();
+    let mut got: Vec<u64> = tree
+        .range_query(&window)
+        .unwrap()
+        .iter()
+        .map(|e| e.oid)
+        .collect();
     got.sort_unstable();
     let mut expected: Vec<u64> = rects
         .iter()

@@ -2,9 +2,7 @@
 
 use crate::{Dataset, WORKSPACE_SIDE};
 use cpq_geo::{Point2, Rect2};
-use rand::Rng;
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use cpq_rng::Rng;
 
 /// Number of points in the paper's real data set (California sites from the
 /// Sequoia 2000 benchmark) and hence in [`california_surrogate`].
@@ -44,7 +42,7 @@ impl Default for ClusterSpec {
 pub fn clustered(n: usize, spec: ClusterSpec, seed: u64) -> Dataset {
     assert!(spec.clusters > 0, "need at least one cluster");
     assert!((0.0..=1.0).contains(&spec.noise), "noise must be in [0, 1]");
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
 
     // Cluster centers, uniform over the workspace.
     let centers: Vec<Point2> = (0..spec.clusters)
@@ -109,11 +107,7 @@ pub fn clustered(n: usize, spec: ClusterSpec, seed: u64) -> Dataset {
 /// findings hinge on spatial skew (clustered node MBRs rarely overlap the
 /// uniform tree's node MBRs), which this surrogate reproduces.
 pub fn california_surrogate() -> Dataset {
-    let mut ds = clustered(
-        CALIFORNIA_SURROGATE_SIZE,
-        ClusterSpec::default(),
-        0xCA11F0
-    );
+    let mut ds = clustered(CALIFORNIA_SURROGATE_SIZE, ClusterSpec::default(), 0xCA11F0);
     ds.name = "real".into();
     ds
 }

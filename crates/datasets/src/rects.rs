@@ -2,9 +2,7 @@
 
 use crate::WORKSPACE_SIDE;
 use cpq_geo::Rect2;
-use rand::Rng;
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use cpq_rng::Rng;
 
 /// `n` axis-aligned rectangles with centers uniform over the standard
 /// workspace and extents uniform in `(0, max_extent]` per dimension,
@@ -18,7 +16,7 @@ pub fn uniform_rects(n: usize, max_extent: f64, seed: u64) -> Vec<Rect2> {
         max_extent > 0.0 && max_extent <= WORKSPACE_SIDE,
         "extent must be in (0, workspace side]"
     );
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     (0..n)
         .map(|_| {
             let cx = rng.random_range(0.0..WORKSPACE_SIDE);

@@ -2,9 +2,7 @@
 
 use crate::{Dataset, WORKSPACE_SIDE};
 use cpq_geo::{Point2, Rect2};
-use rand::Rng;
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use cpq_rng::Rng;
 
 /// `n` points uniformly distributed over the standard workspace
 /// (a square of side [`WORKSPACE_SIDE`] anchored at the origin), matching
@@ -12,7 +10,7 @@ use rand_chacha::ChaCha8Rng;
 ///
 /// Deterministic in `seed`.
 pub fn uniform(n: usize, seed: u64) -> Dataset {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let points: Vec<Point2> = (0..n)
         .map(|_| {
             Point2::new([
@@ -39,10 +37,7 @@ pub fn uniform_grid(n: usize, seed: u64, cell: f64) -> Dataset {
     for p in &mut ds.points {
         let x = (p.coord(0) / cell).round() * cell;
         let y = (p.coord(1) / cell).round() * cell;
-        *p = Point2::new([
-            x.clamp(0.0, WORKSPACE_SIDE),
-            y.clamp(0.0, WORKSPACE_SIDE),
-        ]);
+        *p = Point2::new([x.clamp(0.0, WORKSPACE_SIDE), y.clamp(0.0, WORKSPACE_SIDE)]);
     }
     ds.name = format!("grid{}k", n / 1000);
     ds
@@ -92,6 +87,9 @@ mod tests {
             .iter()
             .filter(|p| p.coord(0) < half && p.coord(1) < half)
             .count();
-        assert!((2000..3000).contains(&q1), "quadrant count {q1} far from 2500");
+        assert!(
+            (2000..3000).contains(&q1),
+            "quadrant count {q1} far from 2500"
+        );
     }
 }

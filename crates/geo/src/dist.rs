@@ -86,7 +86,12 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_numeric() {
-        let mut v = [Dist2::new(4.0), Dist2::new(0.0), Dist2::INFINITY, Dist2::new(1.0)];
+        let mut v = [
+            Dist2::new(4.0),
+            Dist2::new(0.0),
+            Dist2::INFINITY,
+            Dist2::new(1.0),
+        ];
         v.sort();
         assert_eq!(
             v.iter().map(|d| d.get()).collect::<Vec<_>>(),

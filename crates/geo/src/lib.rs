@@ -40,8 +40,8 @@ mod rect;
 
 pub use dist::Dist2;
 pub use metrics::{
-    max_dist2, max_max_dist2, min_max_dist2, min_min_dist2, pt_dist2, pt_mindist2,
-    pt_minmaxdist2,
+    axis_gap, max_dist2, max_max_dist2, min_max_dist2, min_min_dist2, min_min_dist2_within,
+    pt_dist2, pt_dist2_within, pt_mindist2, pt_minmaxdist2,
 };
 pub use object::SpatialObject;
 pub use point::Point;

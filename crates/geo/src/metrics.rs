@@ -28,6 +28,60 @@ pub fn pt_dist2<const D: usize>(a: &Point<D>, b: &Point<D>) -> Dist2 {
     Dist2::new(a.dist2(b))
 }
 
+/// Squared point distance computed under a live threshold `t`: accumulates
+/// per-dimension contributions and bails out as soon as the partial sum alone
+/// exceeds `t`, returning `None`.
+///
+/// `Some(d)` therefore always satisfies `d <= t`, and for `t = Dist2::INFINITY`
+/// the function degenerates to [`pt_dist2`]. Pruning with a threshold obtained
+/// from `K` already-collected pairs is lossless: a pair rejected here is
+/// `> t` and can never displace a kept pair (offers must be strictly
+/// smaller).
+#[inline]
+pub fn pt_dist2_within<const D: usize>(a: &Point<D>, b: &Point<D>, t: Dist2) -> Option<Dist2> {
+    let bound = t.get();
+    let mut acc = 0.0;
+    for d in 0..D {
+        let delta = a.coord(d) - b.coord(d);
+        acc += delta * delta;
+        if acc > bound {
+            return None;
+        }
+    }
+    Some(Dist2::new(acc))
+}
+
+/// `MINMINDIST` under a live threshold `t`: per-dimension accumulation with
+/// the same early exit as [`pt_dist2_within`]. `None` means
+/// `MINMINDIST(a, b) > t`, i.e. the pair of MBRs is prunable.
+#[inline]
+pub fn min_min_dist2_within<const D: usize>(a: &Rect<D>, b: &Rect<D>, t: Dist2) -> Option<Dist2> {
+    let bound = t.get();
+    let mut acc = 0.0;
+    for d in 0..D {
+        let gap = axis_gap(a, b, d);
+        acc += gap * gap;
+        if acc > bound {
+            return None;
+        }
+    }
+    Some(Dist2::new(acc))
+}
+
+/// Separation between `a` and `b` along a single `axis`: the (non-squared)
+/// contribution of that axis to `MINMINDIST`, zero when the extents overlap.
+///
+/// This is the plane-sweep break test: with entries sorted by their lower
+/// coordinate on `axis`, once `later.lo - earlier.hi` exceeds the (square
+/// root of the) pruning threshold, every later entry is at least that far
+/// from `earlier` and the inner scan can stop.
+#[inline]
+pub fn axis_gap<const D: usize>(a: &Rect<D>, b: &Rect<D>, axis: usize) -> f64 {
+    (b.lo().coord(axis) - a.hi().coord(axis))
+        .max(a.lo().coord(axis) - b.hi().coord(axis))
+        .max(0.0)
+}
+
 /// `MINMINDIST`: squared minimum distance between any point of `a` and any
 /// point of `b`. Zero when the rectangles intersect.
 ///
@@ -37,9 +91,7 @@ pub fn pt_dist2<const D: usize>(a: &Point<D>, b: &Point<D>) -> Dist2 {
 pub fn min_min_dist2<const D: usize>(a: &Rect<D>, b: &Rect<D>) -> Dist2 {
     let mut acc = 0.0;
     for d in 0..D {
-        let gap = (b.lo().coord(d) - a.hi().coord(d))
-            .max(a.lo().coord(d) - b.hi().coord(d))
-            .max(0.0);
+        let gap = axis_gap(a, b, d);
         acc += gap * gap;
     }
     Dist2::new(acc)
@@ -214,6 +266,57 @@ mod tests {
         assert_eq!(max_max_dist2(&a, &b).get(), 18.0);
         // MINMAX: facet x=1 of a vs facet x=3 of b: dx=2, dy,dz max 1 -> 6
         assert_eq!(min_max_dist2(&a, &b).get(), 6.0);
+    }
+
+    #[test]
+    fn within_kernels_agree_with_full_kernels_under_infinity() {
+        let p = Point([1.0, 2.0]);
+        let q = Point([4.0, 6.0]);
+        assert_eq!(
+            pt_dist2_within(&p, &q, Dist2::INFINITY),
+            Some(pt_dist2(&p, &q))
+        );
+        let a = r([0.0, 0.0], [1.0, 1.0]);
+        let b = r([4.0, 5.0], [6.0, 7.0]);
+        assert_eq!(
+            min_min_dist2_within(&a, &b, Dist2::INFINITY),
+            Some(min_min_dist2(&a, &b))
+        );
+    }
+
+    #[test]
+    fn within_kernels_reject_above_threshold_and_keep_equal() {
+        let p = Point([0.0, 0.0]);
+        let q = Point([3.0, 4.0]); // dist2 = 25
+        assert_eq!(pt_dist2_within(&p, &q, Dist2::new(24.9)), None);
+        assert_eq!(
+            pt_dist2_within(&p, &q, Dist2::new(25.0)).unwrap().get(),
+            25.0
+        );
+        // Early exit on the first axis alone: 3^2 = 9 > 8.
+        assert_eq!(pt_dist2_within(&p, &q, Dist2::new(8.0)), None);
+        let a = r([0.0, 0.0], [1.0, 1.0]);
+        let b = r([4.0, 5.0], [6.0, 7.0]); // minmin2 = 25
+        assert_eq!(min_min_dist2_within(&a, &b, Dist2::new(24.0)), None);
+        assert_eq!(
+            min_min_dist2_within(&a, &b, Dist2::new(25.0))
+                .unwrap()
+                .get(),
+            25.0
+        );
+    }
+
+    #[test]
+    fn axis_gap_is_the_per_axis_minmindist_contribution() {
+        let a = r([0.0, 0.0], [1.0, 1.0]);
+        let b = r([4.0, 5.0], [6.0, 7.0]);
+        assert_eq!(axis_gap(&a, &b, 0), 3.0);
+        assert_eq!(axis_gap(&a, &b, 1), 4.0);
+        // Symmetric, and zero on overlap.
+        assert_eq!(axis_gap(&b, &a, 0), 3.0);
+        let c = r([0.5, -2.0], [2.0, -1.0]);
+        assert_eq!(axis_gap(&a, &c, 0), 0.0);
+        assert_eq!(axis_gap(&a, &c, 1), 1.0);
     }
 
     #[test]

@@ -54,13 +54,8 @@ impl Minkowski {
         };
         match *self {
             Minkowski::L1 => (0..D).map(gap).sum(),
-            Minkowski::L2 => {
-                (0..D).map(|d| gap(d) * gap(d)).sum::<f64>().sqrt()
-            }
-            Minkowski::Lp(p) => (0..D)
-                .map(|d| gap(d).powf(p))
-                .sum::<f64>()
-                .powf(1.0 / p),
+            Minkowski::L2 => (0..D).map(|d| gap(d) * gap(d)).sum::<f64>().sqrt(),
+            Minkowski::Lp(p) => (0..D).map(|d| gap(d).powf(p)).sum::<f64>().powf(1.0 / p),
             Minkowski::LInf => (0..D).map(gap).fold(0.0, f64::max),
         }
     }
@@ -75,10 +70,7 @@ impl Minkowski {
         match *self {
             Minkowski::L1 => (0..D).map(span).sum(),
             Minkowski::L2 => (0..D).map(|d| span(d) * span(d)).sum::<f64>().sqrt(),
-            Minkowski::Lp(p) => (0..D)
-                .map(|d| span(d).powf(p))
-                .sum::<f64>()
-                .powf(1.0 / p),
+            Minkowski::Lp(p) => (0..D).map(|d| span(d).powf(p)).sum::<f64>().powf(1.0 / p),
             Minkowski::LInf => (0..D).map(span).fold(0.0, f64::max),
         }
     }

@@ -1,6 +1,5 @@
 //! `D`-dimensional points with `f64` coordinates.
 
-
 /// A point in `D`-dimensional Euclidean space.
 ///
 /// Coordinates are `f64`; the type is `Copy` and deliberately tiny so it can
@@ -51,8 +50,8 @@ impl<const D: usize> Point<D> {
     #[inline]
     pub fn component_min(&self, other: &Self) -> Self {
         let mut out = [0.0; D];
-        for d in 0..D {
-            out[d] = self.0[d].min(other.0[d]);
+        for (d, o) in out.iter_mut().enumerate() {
+            *o = self.0[d].min(other.0[d]);
         }
         Point(out)
     }
@@ -61,8 +60,8 @@ impl<const D: usize> Point<D> {
     #[inline]
     pub fn component_max(&self, other: &Self) -> Self {
         let mut out = [0.0; D];
-        for d in 0..D {
-            out[d] = self.0[d].max(other.0[d]);
+        for (d, o) in out.iter_mut().enumerate() {
+            *o = self.0[d].max(other.0[d]);
         }
         Point(out)
     }

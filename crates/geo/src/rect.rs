@@ -77,8 +77,8 @@ impl<const D: usize> Rect<D> {
     #[inline]
     pub fn center(&self) -> Point<D> {
         let mut c = [0.0; D];
-        for d in 0..D {
-            c[d] = 0.5 * (self.lo.coord(d) + self.hi.coord(d));
+        for (d, cd) in c.iter_mut().enumerate() {
+            *cd = 0.5 * (self.lo.coord(d) + self.hi.coord(d));
         }
         Point(c)
     }
@@ -118,17 +118,15 @@ impl<const D: usize> Rect<D> {
     /// `true` when `other` lies fully inside (or on the boundary of) `self`.
     #[inline]
     pub fn contains_rect(&self, other: &Rect<D>) -> bool {
-        (0..D).all(|d| {
-            self.lo.coord(d) <= other.lo.coord(d) && other.hi.coord(d) <= self.hi.coord(d)
-        })
+        (0..D)
+            .all(|d| self.lo.coord(d) <= other.lo.coord(d) && other.hi.coord(d) <= self.hi.coord(d))
     }
 
     /// `true` when the rectangles share at least one point (boundaries count).
     #[inline]
     pub fn intersects(&self, other: &Rect<D>) -> bool {
-        (0..D).all(|d| {
-            self.lo.coord(d) <= other.hi.coord(d) && other.lo.coord(d) <= self.hi.coord(d)
-        })
+        (0..D)
+            .all(|d| self.lo.coord(d) <= other.hi.coord(d) && other.lo.coord(d) <= self.hi.coord(d))
     }
 
     /// The intersection rectangle, or `None` when disjoint.

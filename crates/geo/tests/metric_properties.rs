@@ -1,9 +1,13 @@
+//! Compiled only with `--features proptest`, which additionally requires
+//! restoring the `proptest = "1"` dev-dependency on a networked machine (the
+//! offline workspace carries no registry dependencies).
+#![cfg(feature = "proptest")]
+
 //! Property-based tests for the metric kernels: the paper's Inequalities 1
 //! and 2 must hold for *every* pair of MBRs built over random point sets.
 
 use cpq_geo::{
-    max_max_dist2, min_max_dist2, min_min_dist2, pt_dist2, pt_mindist2, pt_minmaxdist2, Point,
-    Rect,
+    max_max_dist2, min_max_dist2, min_min_dist2, pt_dist2, pt_mindist2, pt_minmaxdist2, Point, Rect,
 };
 use proptest::prelude::*;
 

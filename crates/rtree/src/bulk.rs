@@ -105,7 +105,10 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
         objects: &[(O, u64)],
         fill: f64,
     ) -> RTreeResult<Self> {
-        assert!((0.0..=1.0).contains(&fill) && fill > 0.0, "fill must be in (0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fill) && fill > 0.0,
+            "fill must be in (0, 1]"
+        );
         let mut tree = RTree::new(pool, params)?;
         if objects.is_empty() {
             return Ok(tree);

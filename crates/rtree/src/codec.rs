@@ -235,11 +235,7 @@ mod tests {
                     PageId(17),
                     12345,
                 ),
-                InnerEntry::new(
-                    Rect::from_corners([-5.0, -5.0], [5.0, 5.0]),
-                    PageId(99),
-                    1,
-                ),
+                InnerEntry::new(Rect::from_corners([-5.0, -5.0], [5.0, 5.0]), PageId(99), 1),
             ],
         };
         let mut buf = vec![0u8; 1024];

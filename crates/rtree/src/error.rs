@@ -58,7 +58,10 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = RTreeError::CorruptNode { page: PageId(3), reason: "bad level".into() };
+        let e = RTreeError::CorruptNode {
+            page: PageId(3),
+            reason: "bad level".into(),
+        };
         assert!(e.to_string().contains("PageId(3)"));
         let e: RTreeError = StorageError::PageOutOfBounds(PageId(1)).into();
         assert!(std::error::Error::source(&e).is_some());

@@ -159,24 +159,47 @@ mod tests {
                 .unwrap_or_else(|e| panic!("page {ps} d {d}: {e}"));
             // Maximality: M+1 must not fit.
             let bigger = RTreeParams::with_max_entries(p.max_entries + 1);
-            assert!(bigger.validate(ps, d).is_err(), "page {ps} d {d} not maximal");
+            assert!(
+                bigger.validate(ps, d).is_err(),
+                "page {ps} d {d} not maximal"
+            );
         }
     }
 
     #[test]
     fn invalid_params_rejected() {
-        assert!(RTreeParams { max_entries: 1, min_entries: 1, reinsert_count: 1, split_policy: SplitPolicy::RStar }
-            .validate(1024, 2)
-            .is_err());
-        assert!(RTreeParams { max_entries: 10, min_entries: 6, reinsert_count: 3, split_policy: SplitPolicy::RStar }
-            .validate(1024, 2)
-            .is_err());
-        assert!(RTreeParams { max_entries: 10, min_entries: 3, reinsert_count: 0, split_policy: SplitPolicy::RStar }
-            .validate(1024, 2)
-            .is_err());
-        assert!(RTreeParams { max_entries: 10, min_entries: 3, reinsert_count: 8, split_policy: SplitPolicy::RStar }
-            .validate(1024, 2)
-            .is_err());
+        assert!(RTreeParams {
+            max_entries: 1,
+            min_entries: 1,
+            reinsert_count: 1,
+            split_policy: SplitPolicy::RStar
+        }
+        .validate(1024, 2)
+        .is_err());
+        assert!(RTreeParams {
+            max_entries: 10,
+            min_entries: 6,
+            reinsert_count: 3,
+            split_policy: SplitPolicy::RStar
+        }
+        .validate(1024, 2)
+        .is_err());
+        assert!(RTreeParams {
+            max_entries: 10,
+            min_entries: 3,
+            reinsert_count: 0,
+            split_policy: SplitPolicy::RStar
+        }
+        .validate(1024, 2)
+        .is_err());
+        assert!(RTreeParams {
+            max_entries: 10,
+            min_entries: 3,
+            reinsert_count: 8,
+            split_policy: SplitPolicy::RStar
+        }
+        .validate(1024, 2)
+        .is_err());
         // Page too small.
         assert!(RTreeParams::paper().validate(128, 2).is_err());
     }

@@ -5,7 +5,7 @@ use crate::entry::LeafEntry;
 use crate::error::RTreeResult;
 use crate::node::Node;
 use crate::tree::RTree;
-use cpq_geo::{pt_mindist2, Dist2, Point, Rect, SpatialObject};
+use cpq_geo::{min_min_dist2_within, Dist2, Point, Rect, SpatialObject};
 use cpq_storage::PageId;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -82,6 +82,13 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
     /// K nearest neighbors of `query`, closest first (ties broken
     /// arbitrarily; MBR distance for extended objects). Uses the best-first
     /// traversal of Hjaltason & Samet with a MINDIST-ordered priority queue.
+    ///
+    /// The queue is kept small with a running bound: once `k` candidate
+    /// points have been seen, the k-th smallest pending point distance
+    /// upper-bounds the final answer, and entries farther than that — nodes
+    /// and points alike — are never pushed. Distances are evaluated with the
+    /// threshold-aware kernel, which stops accumulating per-axis
+    /// contributions as soon as the partial sum crosses the bound.
     pub fn knn(&self, query: &Point<D>, k: usize) -> RTreeResult<Vec<KnnNeighbor<D, O>>> {
         let mut out = Vec::with_capacity(k.min(self.len() as usize));
         if k == 0 || !self.root().is_valid() {
@@ -94,10 +101,21 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
             /// Index into `pending` of a data point awaiting output.
             Point(usize),
         }
+        let qrect = Rect::point(*query);
         let mut heap: BinaryHeap<(Reverse<Dist2>, usize, Item)> = BinaryHeap::new();
         let mut seq = 0usize; // FIFO tie-breaker for deterministic order
         heap.push((Reverse(Dist2::ZERO), seq, Item::Node(self.root())));
         let mut pending: Vec<LeafEntry<D, O>> = Vec::new(); // store for Point items
+                                                            // Max-heap of the k smallest point distances seen so far; its top is
+                                                            // the pruning bound once k candidates exist.
+        let mut worst: BinaryHeap<Dist2> = BinaryHeap::with_capacity(k + 1);
+        let bound = |worst: &BinaryHeap<Dist2>| {
+            if worst.len() >= k {
+                *worst.peek().expect("k >= 1")
+            } else {
+                Dist2::INFINITY
+            }
+        };
         while let Some((Reverse(d), _, item)) = heap.pop() {
             match item {
                 Item::Point(idx) => {
@@ -112,7 +130,14 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
                 Item::Node(id) => match self.read_node(id)? {
                     Node::Leaf(es) => {
                         for e in es {
-                            let dd = pt_mindist2(query, &e.mbr());
+                            let b = bound(&worst);
+                            let Some(dd) = min_min_dist2_within(&qrect, &e.mbr(), b) else {
+                                continue; // farther than k candidates already seen
+                            };
+                            worst.push(dd);
+                            if worst.len() > k {
+                                worst.pop();
+                            }
                             seq += 1;
                             pending.push(e);
                             heap.push((Reverse(dd), seq, Item::Point(pending.len() - 1)));
@@ -120,7 +145,10 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
                     }
                     Node::Inner { entries, .. } => {
                         for e in entries {
-                            let dd = pt_mindist2(query, &e.mbr);
+                            let Some(dd) = min_min_dist2_within(&qrect, &e.mbr, bound(&worst))
+                            else {
+                                continue; // subtree cannot contain a top-k point
+                            };
                             seq += 1;
                             heap.push((Reverse(dd), seq, Item::Node(e.child)));
                         }

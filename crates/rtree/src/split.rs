@@ -14,9 +14,7 @@ pub(crate) trait SplitItem<const D: usize>: Clone {
     fn mbr(&self) -> Rect<D>;
 }
 
-impl<const D: usize, O: cpq_geo::SpatialObject<D>> SplitItem<D>
-    for crate::entry::LeafEntry<D, O>
-{
+impl<const D: usize, O: cpq_geo::SpatialObject<D>> SplitItem<D> for crate::entry::LeafEntry<D, O> {
     fn mbr(&self) -> Rect<D> {
         self.object.mbr()
     }
@@ -73,7 +71,12 @@ pub(crate) fn rstar_split<const D: usize, T: SplitItem<D>>(
                 .lo()
                 .coord(axis)
                 .total_cmp(&b.mbr().lo().coord(axis))
-                .then(a.mbr().hi().coord(axis).total_cmp(&b.mbr().hi().coord(axis)))
+                .then(
+                    a.mbr()
+                        .hi()
+                        .coord(axis)
+                        .total_cmp(&b.mbr().hi().coord(axis)),
+                )
         });
         let mut by_hi = items.clone();
         by_hi.sort_by(|a, b| {
@@ -81,7 +84,12 @@ pub(crate) fn rstar_split<const D: usize, T: SplitItem<D>>(
                 .hi()
                 .coord(axis)
                 .total_cmp(&b.mbr().hi().coord(axis))
-                .then(a.mbr().lo().coord(axis).total_cmp(&b.mbr().lo().coord(axis)))
+                .then(
+                    a.mbr()
+                        .lo()
+                        .coord(axis)
+                        .total_cmp(&b.mbr().lo().coord(axis)),
+                )
         });
         let margin = margin_sum(&by_lo, min) + margin_sum(&by_hi, min);
         if margin < best_axis_margin {
@@ -104,9 +112,7 @@ pub(crate) fn rstar_split<const D: usize, T: SplitItem<D>>(
             let area = r1.area() + r2.area();
             let better = match &best {
                 None => true,
-                Some((bo, ba, _, _)) => {
-                    overlap < *bo || (overlap == *bo && area < *ba)
-                }
+                Some((bo, ba, _, _)) => overlap < *bo || (overlap == *bo && area < *ba),
             };
             if better {
                 best = Some((overlap, area, s, k));
@@ -130,7 +136,10 @@ pub(crate) fn quadratic_split<const D: usize, T: SplitItem<D>>(
     min: usize,
 ) -> (Vec<T>, Vec<T>) {
     let n = items.len();
-    assert!(n >= 2 * min, "cannot split {n} items with minimum group size {min}");
+    assert!(
+        n >= 2 * min,
+        "cannot split {n} items with minimum group size {min}"
+    );
 
     // PickSeeds: maximize dead area.
     let mut seed = (0usize, 1usize);
@@ -224,7 +233,10 @@ pub(crate) fn linear_split<const D: usize, T: SplitItem<D>>(
     min: usize,
 ) -> (Vec<T>, Vec<T>) {
     let n = items.len();
-    assert!(n >= 2 * min, "cannot split {n} items with minimum group size {min}");
+    assert!(
+        n >= 2 * min,
+        "cannot split {n} items with minimum group size {min}"
+    );
 
     let total = bbox(&items);
     let mut best_sep = f64::NEG_INFINITY;
@@ -245,8 +257,7 @@ pub(crate) fn linear_split<const D: usize, T: SplitItem<D>>(
         }
         let extent = total.extent(d);
         let sep = if extent > 0.0 {
-            (items[highest_lo].mbr().lo().coord(d) - items[lowest_hi].mbr().hi().coord(d))
-                / extent
+            (items[highest_lo].mbr().lo().coord(d) - items[lowest_hi].mbr().hi().coord(d)) / extent
         } else {
             f64::NEG_INFINITY
         };
@@ -322,7 +333,10 @@ mod tests {
         let xb: Vec<f64> = b.iter().map(|e| e.object.coord(0)).collect();
         let a_low = xa.iter().all(|&x| x < 50.0);
         let b_low = xb.iter().all(|&x| x < 50.0);
-        assert_ne!(a_low, b_low, "groups must separate the clusters: {xa:?} vs {xb:?}");
+        assert_ne!(
+            a_low, b_low,
+            "groups must separate the clusters: {xa:?} vs {xb:?}"
+        );
         assert_eq!(a.len() + b.len(), 6);
     }
 
@@ -377,10 +391,9 @@ mod tests {
         assert_eq!(a.len() + b.len(), 8);
     }
 
-    fn all_splitters() -> Vec<(
-        &'static str,
-        fn(Vec<LeafEntry<2>>, usize) -> (Vec<LeafEntry<2>>, Vec<LeafEntry<2>>),
-    )> {
+    type Splitter = fn(Vec<LeafEntry<2>>, usize) -> (Vec<LeafEntry<2>>, Vec<LeafEntry<2>>);
+
+    fn all_splitters() -> Vec<(&'static str, Splitter)> {
         vec![
             ("rstar", rstar_split::<2, LeafEntry<2>>),
             ("quadratic", quadratic_split::<2, LeafEntry<2>>),
@@ -433,8 +446,8 @@ mod tests {
 
     #[test]
     fn every_splitter_respects_min_occupancy() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        use cpq_rng::Rng;
+        let mut rng = Rng::seed_from_u64(77);
         for trial in 0..50 {
             let n = rng.random_range(6..30usize);
             let min = rng.random_range(1..=n / 2);
@@ -478,6 +491,9 @@ mod tests {
         let (a, b) = quadratic_split(items, 2);
         let a_has_origin = a.iter().any(|e| e.object == Point([0.0, 0.0]));
         let a_has_corner = a.iter().any(|e| e.object == Point([100.0, 100.0]));
-        assert_ne!(a_has_origin, a_has_corner, "seeds must separate: {a:?} {b:?}");
+        assert_ne!(
+            a_has_origin, a_has_corner,
+            "seeds must separate: {a:?} {b:?}"
+        );
     }
 }

@@ -267,10 +267,7 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
             let (a, b) = self.split_node(node);
             self.write_node(node_id, &a)?;
             let b_id = self.alloc_write(&b)?;
-            return Ok((
-                self.entry_for(node_id, &a),
-                Some(self.entry_for(b_id, &b)),
-            ));
+            return Ok((self.entry_for(node_id, &a), Some(self.entry_for(b_id, &b))));
         }
 
         self.write_node(node_id, &node)?;
@@ -303,11 +300,7 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
                     overlap_delta += enlarged.intersection_area(&other.mbr)
                         - e.mbr.intersection_area(&other.mbr);
                 }
-                let key = (
-                    overlap_delta,
-                    enlarged.area() - e.mbr.area(),
-                    e.mbr.area(),
-                );
+                let key = (overlap_delta, enlarged.area() - e.mbr.area(), e.mbr.area());
                 if key < best_key {
                     best_key = key;
                     best = i;
@@ -332,13 +325,17 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
     /// farthest from the node MBR's center and returns them sorted by
     /// *increasing* distance (Beckmann et al.'s "close reinsert").
     fn reinsert_select(&self, node: &mut Node<D, O>) -> Vec<AnyEntry<D, O>> {
-        let p = self.params.reinsert_count.min(node.len() - self.params.min_entries);
+        let p = self
+            .params
+            .reinsert_count
+            .min(node.len() - self.params.min_entries);
         let center = node.mbr().expect("reinsert on empty node").center();
         match node {
             Node::Leaf(es) => {
                 let mut idx: Vec<usize> = (0..es.len()).collect();
                 idx.sort_by(|&a, &b| {
-                    es[b].mbr()
+                    es[b]
+                        .mbr()
                         .center()
                         .dist2(&center)
                         .total_cmp(&es[a].mbr().center().dist2(&center))
@@ -346,12 +343,7 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
                 let removed_set: Vec<usize> = idx[..p].to_vec();
                 let mut removed: Vec<(f64, AnyEntry<D, O>)> = removed_set
                     .iter()
-                    .map(|&i| {
-                        (
-                            es[i].mbr().center().dist2(&center),
-                            AnyEntry::Leaf(es[i]),
-                        )
-                    })
+                    .map(|&i| (es[i].mbr().center().dist2(&center), AnyEntry::Leaf(es[i])))
                     .collect();
                 let mut keep: Vec<LeafEntry<D, O>> = Vec::with_capacity(es.len() - p);
                 for (i, e) in es.iter().enumerate() {
@@ -433,13 +425,14 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
         }
         let mut orphans: Vec<(AnyEntry<D, O>, u8)> = Vec::new();
         let root_level = self.height - 1;
-        let found = match self.delete_rec(self.root, root_level, true, &object, oid, &mut orphans)? {
-            DeleteOutcome::NotFound => false,
-            DeleteOutcome::Updated(_) => true,
-            DeleteOutcome::Removed => {
-                unreachable!("the root is never condensed away by delete_rec")
-            }
-        };
+        let found =
+            match self.delete_rec(self.root, root_level, true, &object, oid, &mut orphans)? {
+                DeleteOutcome::NotFound => false,
+                DeleteOutcome::Updated(_) => true,
+                DeleteOutcome::Removed => {
+                    unreachable!("the root is never condensed away by delete_rec")
+                }
+            };
         if !found {
             debug_assert!(orphans.is_empty());
             return Ok(false);
@@ -486,8 +479,7 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
         let mut node = self.read_node(node_id)?;
         match &mut node {
             Node::Leaf(es) => {
-                let Some(pos) = es.iter().position(|e| e.object == *object && e.oid == oid)
-                else {
+                let Some(pos) = es.iter().position(|e| e.object == *object && e.oid == oid) else {
                     return Ok(DeleteOutcome::NotFound);
                 };
                 es.remove(pos);

@@ -39,8 +39,8 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
             nodes[l] += 1;
             occupancy_sum[l] += node.len() as u64;
             if let Some(mbr) = node.mbr() {
-                for d in 0..D {
-                    extent_sum[l][d] += mbr.extent(d);
+                for (d, e) in extent_sum[l].iter_mut().enumerate() {
+                    *e += mbr.extent(d);
                 }
             }
             if let Node::Inner { entries, .. } = &node {
@@ -103,14 +103,14 @@ mod tests {
     use super::*;
     use crate::params::RTreeParams;
     use cpq_geo::Point;
+    use cpq_rng::Rng;
     use cpq_storage::{BufferPool, MemPageFile};
-    use rand::{Rng, SeedableRng};
 
     #[test]
     fn level_stats_reflect_structure() {
         let pool = BufferPool::with_lru(Box::new(MemPageFile::new(1024)), 64);
         let mut tree = RTree::new(pool, RTreeParams::paper()).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         for i in 0..3000u64 {
             tree.insert(
                 Point([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]),
@@ -149,7 +149,7 @@ mod tests {
     fn pin_upper_levels_keeps_directory_resident() {
         let pool = BufferPool::with_lru(Box::new(MemPageFile::new(1024)), 64);
         let mut tree = RTree::new(pool, RTreeParams::paper()).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let pts: Vec<Point<2>> = (0..3000)
             .map(|_| Point([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]))
             .collect();

@@ -102,9 +102,9 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
         }
         if is_root {
             match node {
-                Node::Inner { entries, .. } if entries.len() < 2 => report
-                    .violations
-                    .push(format!("{id}: inner root with {} < 2 entries", entries.len())),
+                Node::Inner { entries, .. } if entries.len() < 2 => report.violations.push(
+                    format!("{id}: inner root with {} < 2 entries", entries.len()),
+                ),
                 Node::Leaf(es) if es.is_empty() => report
                     .violations
                     .push(format!("{id}: empty leaf root should have been dropped")),

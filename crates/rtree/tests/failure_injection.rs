@@ -2,14 +2,14 @@
 //! `Err` through every query path — never a panic, never silent garbage.
 
 use cpq_geo::Point;
+use cpq_rng::Rng;
 use cpq_rtree::{RTree, RTreeError, RTreeParams};
 use cpq_storage::{BufferPool, MemPageFile, PageId};
-use rand::{Rng, SeedableRng};
 
 fn build(n: usize, seed: u64) -> RTree<2> {
     let pool = BufferPool::with_lru(Box::new(MemPageFile::new(1024)), 0);
     let mut tree = RTree::new(pool, RTreeParams::paper()).unwrap();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     for i in 0..n as u64 {
         tree.insert(
             Point([rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)]),
@@ -32,7 +32,9 @@ fn corrupted_root_fails_queries_cleanly() {
     corrupt_page(&tree, tree.root(), 0xFF);
     let err = tree.knn(&Point([50.0, 50.0]), 3).unwrap_err();
     assert!(matches!(err, RTreeError::CorruptNode { .. }), "got {err}");
-    assert!(tree.range_query(&cpq_geo::Rect::from_corners([0.0, 0.0], [10.0, 10.0])).is_err());
+    assert!(tree
+        .range_query(&cpq_geo::Rect::from_corners([0.0, 0.0], [10.0, 10.0]))
+        .is_err());
     assert!(tree.all_objects().is_err());
     assert!(tree.validate().is_err());
 }
@@ -63,12 +65,12 @@ fn zeroed_page_decodes_as_empty_leaf_and_validator_objects() {
         .find(|&p| p != tree.root())
         .unwrap();
     corrupt_page(&tree, victim, 0x00);
-    match tree.validate() {
-        Ok(report) => assert!(
+    // An Err is also acceptable: the structural walk failed outright.
+    if let Ok(report) = tree.validate() {
+        assert!(
             !report.is_valid(),
             "validator must flag a zeroed page; got a clean report"
-        ),
-        Err(_) => {} // also acceptable: structural walk failed outright
+        );
     }
 }
 

@@ -2,17 +2,16 @@
 //! force, invariants hold after mutation, trees persist across reopen.
 
 use cpq_geo::{Point, Rect};
+use cpq_rng::Rng;
 use cpq_rtree::{RTree, RTreeParams};
 use cpq_storage::{BufferPool, DiskPageFile, MemPageFile, PageId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn mem_pool(buffer: usize) -> BufferPool {
     BufferPool::with_lru(Box::new(MemPageFile::new(1024)), buffer)
 }
 
-fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+fn rng(seed: u64) -> Rng {
+    Rng::seed_from_u64(seed)
 }
 
 fn random_points(n: usize, seed: u64) -> Vec<Point<2>> {
@@ -173,7 +172,10 @@ fn delete_missing_point_returns_false() {
     let points = random_points(50, 61);
     let mut tree = build_tree(&points, 32);
     assert!(!tree.delete(Point([-5.0, -5.0]), 0).unwrap());
-    assert!(!tree.delete(points[0], 999_999).unwrap(), "wrong oid must not match");
+    assert!(
+        !tree.delete(points[0], 999_999).unwrap(),
+        "wrong oid must not match"
+    );
     assert_eq!(tree.len(), 50);
 }
 
@@ -246,7 +248,10 @@ fn bulk_load_is_shallower_or_equal_to_inserted() {
     assert!(packed.height() <= inserted.height());
     let rep_packed = packed.validate().unwrap();
     let rep_ins = inserted.validate().unwrap();
-    assert!(rep_packed.nodes <= rep_ins.nodes, "packing must not use more nodes");
+    assert!(
+        rep_packed.nodes <= rep_ins.nodes,
+        "packing must not use more nodes"
+    );
 }
 
 #[test]

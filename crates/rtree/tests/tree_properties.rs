@@ -1,3 +1,8 @@
+//! Compiled only with `--features proptest`, which additionally requires
+//! restoring the `proptest = "1"` dev-dependency on a networked machine (the
+//! offline workspace carries no registry dependencies).
+#![cfg(feature = "proptest")]
+
 //! Property-based tests: random insert/delete interleavings preserve every
 //! structural invariant and query correctness.
 

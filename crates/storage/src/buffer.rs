@@ -9,9 +9,13 @@ use crate::error::StorageResult;
 use crate::file::PageFile;
 use crate::page::PageId;
 use crate::stats::IoStats;
-use bytes::Bytes;
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Immutable page contents, cheaply cloneable (one atomic increment per
+/// clone, like the `bytes::Bytes` it replaces — dropped so the workspace
+/// builds without registry access).
+pub type PageBytes = Arc<[u8]>;
 
 /// Page-replacement policy interface.
 ///
@@ -201,7 +205,7 @@ impl BufferStats {
 
 struct Frame {
     page: PageId,
-    data: Bytes,
+    data: PageBytes,
 }
 
 struct Inner {
@@ -219,7 +223,7 @@ struct Inner {
 /// A page cache in front of a [`PageFile`].
 ///
 /// * Read path: [`read_page`](BufferPool::read_page) returns the page
-///   contents as cheaply-cloneable [`Bytes`]; a miss faults the page in and
+///   contents as cheaply-cloneable [`PageBytes`]; a miss faults the page in and
 ///   (capacity permitting) caches it, evicting per the policy.
 /// * Write path: write-through — the file always holds the latest data, and
 ///   a cached copy is refreshed in place.
@@ -257,34 +261,40 @@ impl BufferPool {
         Self::new(file, capacity, Box::new(LruPolicy::new()))
     }
 
+    /// Locks the pool state. Poisoning is unrecoverable here: a panic while
+    /// holding the lock leaves frame bookkeeping undefined.
+    fn guard(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().expect("buffer pool mutex poisoned")
+    }
+
     /// Page size of the underlying file.
     pub fn page_size(&self) -> usize {
-        self.inner.lock().file.page_size()
+        self.guard().file.page_size()
     }
 
     /// Number of pages in the underlying file.
     pub fn num_pages(&self) -> u32 {
-        self.inner.lock().file.num_pages()
+        self.guard().file.num_pages()
     }
 
     /// Current frame capacity.
     pub fn capacity(&self) -> usize {
-        self.inner.lock().capacity
+        self.guard().capacity
     }
 
     /// Name of the replacement policy.
     pub fn policy_name(&self) -> &'static str {
-        self.inner.lock().policy.name()
+        self.guard().policy.name()
     }
 
     /// Allocates a fresh page in the underlying file.
     pub fn allocate(&self) -> StorageResult<PageId> {
-        self.inner.lock().file.allocate()
+        self.guard().file.allocate()
     }
 
     /// Reads a page, through the cache.
-    pub fn read_page(&self, id: PageId) -> StorageResult<Bytes> {
-        let mut g = self.inner.lock();
+    pub fn read_page(&self, id: PageId) -> StorageResult<PageBytes> {
+        let mut g = self.guard();
         g.stats.logical_reads += 1;
         if let Some(&f) = g.map.get(&id) {
             g.stats.hits += 1;
@@ -299,7 +309,7 @@ impl BufferPool {
         let ps = g.file.page_size();
         let mut buf = vec![0u8; ps];
         g.file.read(id, &mut buf)?;
-        let data = Bytes::from(buf);
+        let data = PageBytes::from(buf);
         if g.capacity > 0 {
             let frame = match g.free_frames.pop() {
                 Some(f) => f,
@@ -330,14 +340,14 @@ impl BufferPool {
 
     /// Writes a page, write-through, refreshing any cached copy.
     pub fn write_page(&self, id: PageId, data: &[u8]) -> StorageResult<()> {
-        let mut g = self.inner.lock();
+        let mut g = self.guard();
         g.stats.writes += 1;
         g.file.write(id, data)?;
         if let Some(&f) = g.map.get(&id) {
             g.frames[f]
                 .as_mut()
                 .expect("mapped frame must be occupied")
-                .data = Bytes::copy_from_slice(data);
+                .data = PageBytes::from(data);
             g.policy.on_hit(f);
         }
         Ok(())
@@ -345,7 +355,7 @@ impl BufferPool {
 
     /// Frees a page and drops any cached copy (clearing any pin).
     pub fn free_page(&self, id: PageId) -> StorageResult<()> {
-        let mut g = self.inner.lock();
+        let mut g = self.guard();
         if let Some(f) = g.map.remove(&id) {
             g.frames[f] = None;
             g.free_frames.push(f);
@@ -369,7 +379,7 @@ impl BufferPool {
     pub fn pin_page(&self, id: PageId) -> StorageResult<bool> {
         // Fault it in through the normal path first.
         self.read_page(id)?;
-        let mut g = self.inner.lock();
+        let mut g = self.guard();
         match g.map.get(&id).copied() {
             Some(f) => {
                 if !g.pinned[f] {
@@ -384,7 +394,7 @@ impl BufferPool {
 
     /// Removes the pin from a page, if it was pinned.
     pub fn unpin_page(&self, id: PageId) {
-        let mut g = self.inner.lock();
+        let mut g = self.guard();
         if let Some(&f) = g.map.get(&id) {
             if g.pinned[f] {
                 g.pinned[f] = false;
@@ -395,29 +405,29 @@ impl BufferPool {
 
     /// Number of currently pinned pages.
     pub fn pinned_pages(&self) -> usize {
-        self.inner.lock().pinned_count
+        self.guard().pinned_count
     }
 
     /// Buffer-level counters.
     pub fn buffer_stats(&self) -> BufferStats {
-        self.inner.lock().stats
+        self.guard().stats
     }
 
     /// Physical counters of the underlying file.
     pub fn io_stats(&self) -> IoStats {
-        self.inner.lock().file.stats()
+        self.guard().file.stats()
     }
 
     /// Resets both buffer and file counters.
     pub fn reset_stats(&self) {
-        let mut g = self.inner.lock();
+        let mut g = self.guard();
         g.stats = BufferStats::default();
         g.file.reset_stats();
     }
 
     /// Drops every cached page and pin (counters are kept).
     pub fn clear(&self) {
-        let mut g = self.inner.lock();
+        let mut g = self.guard();
         let capacity = g.capacity;
         g.map.clear();
         g.frames = (0..capacity).map(|_| None).collect();
@@ -433,7 +443,7 @@ impl BufferPool {
     /// per-tree budget `B/2` (and [`reset_stats`](Self::reset_stats)) before
     /// measuring queries.
     pub fn set_capacity(&self, capacity: usize) {
-        let mut g = self.inner.lock();
+        let mut g = self.guard();
         g.capacity = capacity;
         g.map.clear();
         g.frames = (0..capacity).map(|_| None).collect();
@@ -560,7 +570,10 @@ mod tests {
         let ids = fill(&pool, 1);
         pool.read_page(ids[0]).unwrap();
         pool.free_page(ids[0]).unwrap();
-        assert!(pool.read_page(ids[0]).is_err(), "freed page must not be readable");
+        assert!(
+            pool.read_page(ids[0]).is_err(),
+            "freed page must not be readable"
+        );
     }
 
     #[test]
@@ -648,7 +661,11 @@ mod tests {
 
     #[test]
     fn hit_rate() {
-        let s = BufferStats { logical_reads: 10, hits: 4, ..Default::default() };
+        let s = BufferStats {
+            logical_reads: 10,
+            hits: 4,
+            ..Default::default()
+        };
         assert_eq!(s.hit_rate(), 0.4);
         assert_eq!(BufferStats::default().hit_rate(), 0.0);
     }

@@ -33,7 +33,10 @@ impl fmt::Display for StorageError {
             StorageError::PageOutOfBounds(id) => write!(f, "page {id} is out of bounds"),
             StorageError::PageFreed(id) => write!(f, "page {id} has been freed"),
             StorageError::WrongBufferSize { expected, actual } => {
-                write!(f, "buffer size {actual} does not match page size {expected}")
+                write!(
+                    f,
+                    "buffer size {actual} does not match page size {expected}"
+                )
             }
             StorageError::CorruptHeader(msg) => write!(f, "corrupt file header: {msg}"),
             StorageError::Io(e) => write!(f, "I/O error: {e}"),
@@ -64,7 +67,10 @@ mod tests {
     fn display_messages() {
         let e = StorageError::PageOutOfBounds(PageId(9));
         assert!(e.to_string().contains("out of bounds"));
-        let e = StorageError::WrongBufferSize { expected: 1024, actual: 10 };
+        let e = StorageError::WrongBufferSize {
+            expected: 1024,
+            actual: 10,
+        };
         assert!(e.to_string().contains("1024"));
     }
 

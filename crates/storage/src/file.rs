@@ -199,9 +199,7 @@ impl DiskPageFile {
         file.read_exact(&mut header)?;
         let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
         if magic != DISK_MAGIC {
-            return Err(StorageError::CorruptHeader(format!(
-                "bad magic {magic:#x}"
-            )));
+            return Err(StorageError::CorruptHeader(format!("bad magic {magic:#x}")));
         }
         let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
         if version != 1 {

@@ -18,9 +18,10 @@
 //!   logical read misses, which reproduces the paper's "zero buffer"
 //!   configuration).
 //!
-//! The pool uses interior mutability (`parking_lot::Mutex`) so query
+//! The pool uses interior mutability (`std::sync::Mutex`) so query
 //! algorithms can hold shared references to two trees and still fault pages
-//! in through either.
+//! in through either. Page contents are returned as [`PageBytes`]
+//! (`Arc<[u8]>`), cheap to clone and immutable.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,7 +32,9 @@ mod file;
 mod page;
 mod stats;
 
-pub use buffer::{BufferPool, BufferStats, ClockPolicy, FifoPolicy, LruPolicy, ReplacementPolicy};
+pub use buffer::{
+    BufferPool, BufferStats, ClockPolicy, FifoPolicy, LruPolicy, PageBytes, ReplacementPolicy,
+};
 pub use error::{StorageError, StorageResult};
 pub use file::{DiskPageFile, MemPageFile, PageFile};
 pub use page::{PageId, DEFAULT_PAGE_SIZE};

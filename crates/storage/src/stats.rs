@@ -41,8 +41,18 @@ mod tests {
 
     #[test]
     fn since_subtracts() {
-        let a = IoStats { reads: 10, writes: 5, allocations: 2, frees: 1 };
-        let b = IoStats { reads: 4, writes: 5, allocations: 0, frees: 0 };
+        let a = IoStats {
+            reads: 10,
+            writes: 5,
+            allocations: 2,
+            frees: 1,
+        };
+        let b = IoStats {
+            reads: 4,
+            writes: 5,
+            allocations: 0,
+            frees: 0,
+        };
         let d = a.since(&b);
         assert_eq!(d.reads, 6);
         assert_eq!(d.writes, 0);

@@ -58,8 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         worst.p.oid,
         worst.distance()
     );
-    let mean: f64 =
-        out.pairs.iter().map(|p| p.distance()).sum::<f64>() / out.pairs.len() as f64;
+    let mean: f64 = out.pairs.iter().map(|p| p.distance()).sum::<f64>() / out.pairs.len() as f64;
     println!("  mean station->hospital distance: {mean:.2}");
 
     // Self-CPQ: the 5 most redundant hospital pairs.

@@ -45,7 +45,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The advertising budget pays for 15 pairs.
     let k = 15;
-    let out = k_closest_pairs(&t_sites, &t_resorts, k, Algorithm::Heap, &CpqConfig::paper())?;
+    let out = k_closest_pairs(
+        &t_sites,
+        &t_resorts,
+        k,
+        Algorithm::Heap,
+        &CpqConfig::paper(),
+    )?;
     println!("top {k} site/resort pairs for the campaign:");
     for (i, pair) in out.pairs.iter().enumerate() {
         println!(
@@ -64,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Which algorithm should the optimizer pick? Compare the paper's four
     // on this workload with no buffer (worst case).
     println!("\nalgorithm comparison (zero buffer):");
-    println!("  {:<6} {:>14} {:>12} {:>12}", "algo", "disk accesses", "node pairs", "pruned");
+    println!(
+        "  {:<6} {:>14} {:>12} {:>12}",
+        "algo", "disk accesses", "node pairs", "pruned"
+    );
     for alg in Algorithm::EVALUATED {
         t_sites.pool().set_capacity(0);
         t_resorts.pool().set_capacity(0);

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Offline CI gate: formatting, lints, release build, full test suite.
+# The workspace has zero registry dependencies, so every step runs
+# without network access.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test --workspace -q
+
+echo "==> CI green"

@@ -89,9 +89,9 @@ impl Shell {
         let n: usize = rest.first().map_or(Ok(10_000), |s| {
             s.parse().map_err(|_| format!("bad count {s:?}"))
         })?;
-        let seed: u64 = rest.get(1).map_or(Ok(1), |s| {
-            s.parse().map_err(|_| format!("bad seed {s:?}"))
-        })?;
+        let seed: u64 = rest
+            .get(1)
+            .map_or(Ok(1), |s| s.parse().map_err(|_| format!("bad seed {s:?}")))?;
         let ds = match *kind {
             "uniform" => uniform(n, seed),
             "clustered" => clustered(n, ClusterSpec::default(), seed),
@@ -165,11 +165,15 @@ impl Shell {
         let [name, frames] = args else {
             return Err("usage: buffer <index> <frames>".into());
         };
-        let frames: usize = frames.parse().map_err(|_| format!("bad frame count {frames:?}"))?;
+        let frames: usize = frames
+            .parse()
+            .map_err(|_| format!("bad frame count {frames:?}"))?;
         let tree = self.tree(name)?;
         tree.pool().set_capacity(frames);
         tree.pool().reset_stats();
-        Ok(format!("index {name}: buffer set to {frames} frames, counters reset"))
+        Ok(format!(
+            "index {name}: buffer set to {frames} frames, counters reset"
+        ))
     }
 
     fn cmd_pin(&mut self, args: &[&str]) -> ShellResult {
@@ -257,7 +261,10 @@ impl Shell {
                     "bas" => Traversal::Basic,
                     _ => Traversal::Simultaneous,
                 };
-                let cfg = IncrementalConfig { traversal, ..Default::default() };
+                let cfg = IncrementalConfig {
+                    traversal,
+                    ..Default::default()
+                };
                 k_closest_pairs_incremental(ta, tb, k, &cfg).map_err(|e| e.to_string())?
             }
             other => return Err(format!("unknown algorithm {other:?}")),
@@ -279,7 +286,11 @@ impl Shell {
         let _ = write!(
             text,
             "{} via {label}: {} disk accesses, {} node pairs, peak queue {}",
-            if out.pairs.is_empty() { "no pairs" } else { "done" },
+            if out.pairs.is_empty() {
+                "no pairs"
+            } else {
+                "done"
+            },
             out.stats.disk_accesses(),
             out.stats.node_pairs_processed,
             out.stats.queue_peak
@@ -299,7 +310,14 @@ impl Shell {
         let best = out
             .pairs
             .first()
-            .map(|p| format!("closest: #{} <-> #{} at {:.4}", p.p.oid, p.q.oid, p.distance()))
+            .map(|p| {
+                format!(
+                    "closest: #{} <-> #{} at {:.4}",
+                    p.p.oid,
+                    p.q.oid,
+                    p.distance()
+                )
+            })
             .unwrap_or_else(|| "no pairs".into());
         Ok(format!(
             "{} self pairs; {best} ({} disk accesses)",
@@ -406,7 +424,9 @@ mod tests {
     use super::*;
 
     fn run(shell: &mut Shell, cmd: &str) -> String {
-        shell.execute(cmd).unwrap_or_else(|e| panic!("{cmd:?} failed: {e}"))
+        shell
+            .execute(cmd)
+            .unwrap_or_else(|e| panic!("{cmd:?} failed: {e}"))
     }
 
     #[test]

@@ -3,10 +3,8 @@
 //! algorithm, exercised through the `cpq` facade exactly as a downstream
 //! user would.
 
-use cpq::core::{
-    self_closest_pairs, semi_closest_pairs, Algorithm, CpqConfig, IncrementalConfig,
-};
 use cpq::core::{brute, distance_join, k_closest_pairs, k_closest_pairs_incremental};
+use cpq::core::{self_closest_pairs, semi_closest_pairs, Algorithm, CpqConfig, IncrementalConfig};
 use cpq::datasets::{california_surrogate, clustered, uniform, ClusterSpec, Dataset};
 use cpq::geo::Point2;
 use cpq::rtree::{RTree, RTreeParams};
@@ -22,7 +20,11 @@ fn build(ds: &Dataset) -> RTree<2> {
 }
 
 fn indexed(points: &[Point2]) -> Vec<(Point2, u64)> {
-    points.iter().enumerate().map(|(i, &p)| (p, i as u64)).collect()
+    points
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (p, i as u64))
+        .collect()
 }
 
 #[test]
@@ -39,7 +41,11 @@ fn full_pipeline_clustered_vs_uniform() {
         let out = k_closest_pairs(&tp, &tq, 20, alg, &CpqConfig::paper()).unwrap();
         assert_eq!(out.pairs.len(), 20);
         for (g, e) in out.pairs.iter().zip(&expected) {
-            assert!((g.dist2.get() - e.dist2.get()).abs() < 1e-9, "{}", alg.label());
+            assert!(
+                (g.dist2.get() - e.dist2.get()).abs() < 1e-9,
+                "{}",
+                alg.label()
+            );
         }
     }
     let out = k_closest_pairs_incremental(&tp, &tq, 20, &IncrementalConfig::default()).unwrap();
@@ -54,11 +60,7 @@ fn surrogate_dataset_is_usable_end_to_end() {
     let real = california_surrogate();
     assert_eq!(real.len(), 62_536);
     // Index a slice of it to keep the test quick; validate invariants.
-    let subset = Dataset::new(
-        "real-subset",
-        real.points[..5_000].to_vec(),
-        real.workspace,
-    );
+    let subset = Dataset::new("real-subset", real.points[..5_000].to_vec(), real.workspace);
     let tree = build(&subset);
     tree.assert_valid();
     assert_eq!(tree.len(), 5_000);
@@ -84,7 +86,7 @@ fn disk_backed_end_to_end() {
             tree.insert(pt, i as u64).unwrap();
         }
         tree
-    };
+    }
     let (desc_p, desc_q);
     {
         let tp = build_disk(&path_p, &p);
@@ -112,8 +114,7 @@ fn disk_backed_end_to_end() {
         .unwrap();
         tp.assert_valid();
         let out =
-            k_closest_pairs(&tp, &tq, 5, Algorithm::SortedDistances, &CpqConfig::paper())
-                .unwrap();
+            k_closest_pairs(&tp, &tq, 5, Algorithm::SortedDistances, &CpqConfig::paper()).unwrap();
         for (g, e) in out.pairs.iter().zip(&expected) {
             assert!((g.dist2.get() - e.dist2.get()).abs() < 1e-9);
         }
@@ -136,9 +137,14 @@ fn buffer_budget_changes_only_cost_not_result() {
         tq.pool().set_capacity(b / 2);
         tp.pool().reset_stats();
         tq.pool().reset_stats();
-        let out =
-            k_closest_pairs(&tp, &tq, 50, Algorithm::SortedDistances, &CpqConfig::paper())
-                .unwrap();
+        let out = k_closest_pairs(
+            &tp,
+            &tq,
+            50,
+            Algorithm::SortedDistances,
+            &CpqConfig::paper(),
+        )
+        .unwrap();
         let dists: Vec<f64> = out.pairs.iter().map(|r| r.dist2.get()).collect();
         match &reference {
             None => reference = Some(dists),
