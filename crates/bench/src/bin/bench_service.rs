@@ -1,0 +1,278 @@
+//! Load generator for the `cpq-service` query-serving subsystem.
+//!
+//! Drives a [`CpqService`] with a deterministic 16-combo workload mix
+//! (EXH/SIM/STD/HEAP × K ∈ {1, 100} × cross/self-join) in either of two
+//! classic load-testing shapes:
+//!
+//! * **closed loop** (default): `--clients` threads, each submit-and-wait —
+//!   offered load adapts to service speed, nothing sheds;
+//! * **open loop** (`--rate` > 0): arrivals on a fixed schedule regardless
+//!   of completions — overload surfaces as admission-control sheds.
+//!
+//! Every completed response is checked **bit-identically** against a
+//! memoized direct `k_closest_pairs` / `self_closest_pairs` call for its
+//! combo; any divergence fails the run. Writes `BENCH_service.json`.
+//!
+//! ```text
+//! cargo run --release --bin bench_service -- [--smoke] \
+//!     [--n 10000] [--queries 10000] [--workers 4] [--clients 8] \
+//!     [--queue 0 (= clients+workers)] [--rate 0 (= closed loop)] \
+//!     [--deadline-ms 0 (= none; else every 4th query carries it)] \
+//!     [--seed 42] [--out BENCH_service.json]
+//! ```
+
+use cpq_bench::{build_tree, uniform_dataset, Args};
+use cpq_core::{k_closest_pairs, self_closest_pairs, Algorithm, CpqConfig, PairResult};
+use cpq_service::{
+    CpqService, Percentiles, QueryKind, QueryRequest, QueryStatus, ServiceConfig, TreePair,
+};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// One workload-mix entry with its memoized single-threaded reference
+/// answer.
+struct Combo {
+    algorithm: Algorithm,
+    k: usize,
+    kind: QueryKind,
+    expected: Vec<PairResult<2>>,
+}
+
+/// The fixed mix: the paper's four evaluated algorithms × K ∈ {1, 100} ×
+/// both join kinds — 16 combos, cycled in order by query index.
+fn combo_mix() -> Vec<(Algorithm, usize, QueryKind)> {
+    let mut mix = Vec::new();
+    for algorithm in Algorithm::EVALUATED {
+        for k in [1usize, 100] {
+            for kind in [QueryKind::Cross, QueryKind::SelfJoin] {
+                mix.push((algorithm, k, kind));
+            }
+        }
+    }
+    mix
+}
+
+/// `true` when the response's pairs are bit-identical to the reference.
+fn matches_expected(got: &[PairResult<2>], expected: &[PairResult<2>]) -> bool {
+    got.len() == expected.len()
+        && got.iter().zip(expected).all(|(g, w)| {
+            g.p.oid == w.p.oid
+                && g.q.oid == w.q.oid
+                && g.dist2.get().to_bits() == w.dist2.get().to_bits()
+        })
+}
+
+fn json_percentiles(p: &Percentiles) -> String {
+    format!(
+        concat!(
+            "{{ \"count\": {}, \"mean_us\": {}, \"p50_us\": {}, ",
+            "\"p95_us\": {}, \"p99_us\": {}, \"max_us\": {} }}"
+        ),
+        p.count, p.mean_us, p.p50_us, p.p95_us, p.p99_us, p.max_us,
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.flag("smoke");
+    // --smoke: the ~2-second CI preset (2 workers, 100 queries, tiny data).
+    let n = args.get_usize("n", if smoke { 2_000 } else { 10_000 });
+    let queries = args.get_usize("queries", if smoke { 100 } else { 10_000 });
+    let workers = args.get_usize("workers", if smoke { 2 } else { 4 });
+    let clients = args.get_usize("clients", 8);
+    let rate = args.get_f64("rate", 0.0);
+    let deadline_ms = args.get_usize("deadline-ms", 0);
+    let seed = args.get_usize("seed", 42) as u64;
+    let out_path = args.get_str("out", "BENCH_service.json");
+    let queue_capacity = match args.get_usize("queue", 0) {
+        0 => clients + workers,
+        c => c,
+    };
+    let open_loop = rate > 0.0;
+    let cfg = CpqConfig::paper();
+
+    eprintln!(
+        "building two {n}-point uniform R*-trees (seeds {seed}, {})...",
+        seed + 1
+    );
+    let tp = build_tree(&uniform_dataset(n, 1.0, seed)).expect("build P tree");
+    let tq = build_tree(&uniform_dataset(n, 1.0, seed + 1)).expect("build Q tree");
+
+    eprintln!("memoizing the 16 reference answers (direct single-threaded calls)...");
+    let combos: Vec<Combo> = combo_mix()
+        .into_iter()
+        .map(|(algorithm, k, kind)| {
+            let expected = match kind {
+                QueryKind::Cross => k_closest_pairs(&tp, &tq, k, algorithm, &cfg),
+                QueryKind::SelfJoin => self_closest_pairs(&tp, k, algorithm, &cfg),
+            }
+            .expect("reference query")
+            .pairs;
+            Combo {
+                algorithm,
+                k,
+                kind,
+                expected,
+            }
+        })
+        .collect();
+
+    let service: CpqService<2> = CpqService::start(
+        TreePair::new(tp, tq),
+        ServiceConfig {
+            workers,
+            queue_capacity,
+            cpq: cfg,
+            default_deadline: None,
+        },
+    );
+
+    let request_for = |i: usize| -> (usize, QueryRequest) {
+        let ci = i % combos.len();
+        let c = &combos[ci];
+        let mut req = match c.kind {
+            QueryKind::Cross => QueryRequest::cross(c.k, c.algorithm),
+            QueryKind::SelfJoin => QueryRequest::self_join(c.k, c.algorithm),
+        };
+        if deadline_ms > 0 && i.is_multiple_of(4) {
+            req = req.with_deadline(Duration::from_millis(deadline_ms as u64));
+        }
+        (ci, req)
+    };
+
+    let divergences = AtomicU64::new(0);
+    let verify = |ci: usize, status: &QueryStatus, pairs: &[PairResult<2>]| {
+        // Only completed answers are exact; TimedOut partials are best-effort
+        // by contract and sheds/drops never executed.
+        if *status == QueryStatus::Completed && !matches_expected(pairs, &combos[ci].expected) {
+            divergences.fetch_add(1, Ordering::Relaxed);
+        }
+    };
+
+    eprintln!(
+        "running {queries} queries, {} mode, {workers} workers, queue {queue_capacity}...",
+        if open_loop {
+            format!("open-loop @ {rate} qps")
+        } else {
+            format!("closed-loop × {clients} clients")
+        }
+    );
+    let wall_start = Instant::now();
+    if open_loop {
+        // One dispatcher on the arrival schedule; tickets are awaited after
+        // dispatch ends, so admission is never throttled by slow queries.
+        let interarrival = Duration::from_secs_f64(1.0 / rate);
+        let mut tickets = Vec::with_capacity(queries);
+        let epoch = Instant::now();
+        for i in 0..queries {
+            let due = epoch + interarrival * i as u32;
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            let (ci, req) = request_for(i);
+            if let Ok(t) = service.submit(req) {
+                tickets.push((ci, t));
+            } // Err: shed, already counted by the service.
+        }
+        for (ci, t) in tickets {
+            let resp = t.wait();
+            verify(ci, &resp.status, &resp.pairs);
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..clients.max(1) {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= queries {
+                        break;
+                    }
+                    let (ci, req) = request_for(i);
+                    loop {
+                        match service.submit(req) {
+                            Ok(t) => {
+                                let resp = t.wait();
+                                verify(ci, &resp.status, &resp.pairs);
+                                break;
+                            }
+                            // Closed-loop offered load ≤ clients, but a burst
+                            // can still catch a small queue: back off and retry.
+                            Err(_) => std::thread::yield_now(),
+                        }
+                    }
+                });
+            }
+        });
+    }
+    let wall = wall_start.elapsed();
+
+    let (pool_p, _) = service.trees().p.pool().stats_snapshot();
+    let (pool_q, _) = service.trees().q.pool().stats_snapshot();
+    let stats = service.shutdown();
+    let divergences = divergences.load(Ordering::Relaxed);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"service\",\n",
+            "  \"workload\": {{\n",
+            "    \"n_p\": {n}, \"n_q\": {n}, \"queries\": {queries},\n",
+            "    \"mix\": \"EXH|SIM|STD|HEAP x K(1|100) x cross|self\",\n",
+            "    \"mode\": \"{mode}\", \"clients\": {clients}, \"rate_qps\": {rate},\n",
+            "    \"deadline_ms\": {deadline_ms}, \"seed\": {seed}\n",
+            "  }},\n",
+            "  \"service\": {{ \"workers\": {workers}, \"queue_capacity\": {queue} }},\n",
+            "  \"outcome\": {{\n",
+            "    \"completed\": {completed}, \"timed_out\": {timed_out},\n",
+            "    \"failed\": {failed}, \"shed\": {shed},\n",
+            "    \"divergences\": {divergences}\n",
+            "  }},\n",
+            "  \"latency\": {latency},\n",
+            "  \"queue_wait\": {queue_wait},\n",
+            "  \"throughput_qps\": {qps:.1},\n",
+            "  \"wall_seconds\": {wall:.3},\n",
+            "  \"query_disk_accesses\": {qda},\n",
+            "  \"pool_hit_rate\": {{ \"p\": {hrp:.4}, \"q\": {hrq:.4} }}\n",
+            "}}\n"
+        ),
+        n = n,
+        queries = queries,
+        mode = if open_loop { "open" } else { "closed" },
+        clients = clients,
+        rate = rate,
+        deadline_ms = deadline_ms,
+        seed = seed,
+        workers = workers,
+        queue = queue_capacity,
+        completed = stats.completed,
+        timed_out = stats.timed_out,
+        failed = stats.failed,
+        shed = stats.shed,
+        divergences = divergences,
+        latency = json_percentiles(&stats.latency),
+        queue_wait = json_percentiles(&stats.queue_wait),
+        qps = stats.throughput_qps,
+        wall = wall.as_secs_f64(),
+        qda = stats.query_disk_accesses,
+        hrp = pool_p.hit_rate(),
+        hrq = pool_q.hit_rate(),
+    );
+
+    std::fs::write(&out_path, &json).expect("write JSON");
+    println!("{json}");
+    eprintln!(
+        "{} queries in {:.2}s ({:.0} qps), p50 {}us p99 {}us, {} shed, {} timed out; wrote {}",
+        stats.completed + stats.timed_out + stats.failed,
+        wall.as_secs_f64(),
+        stats.throughput_qps,
+        stats.latency.p50_us,
+        stats.latency.p99_us,
+        stats.shed,
+        stats.timed_out,
+        out_path
+    );
+
+    assert_eq!(stats.failed, 0, "no query may fail");
+    assert_eq!(divergences, 0, "service results diverged from direct calls");
+    eprintln!("zero divergence: every completed response bit-identical to its reference");
+}

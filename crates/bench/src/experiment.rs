@@ -6,24 +6,74 @@
 //! the number of buffer misses ("disk accesses") during the query only —
 //! tree-building I/O is excluded by resetting the counters.
 
+use crate::args::scaled;
 use cpq_core::{
     k_closest_pairs, k_closest_pairs_incremental, Algorithm, CpqConfig, IncrementalConfig,
     QueryOutcome,
 };
-use cpq_datasets::Dataset;
+use cpq_datasets::{clustered, uniform, ClusterSpec, Dataset, CALIFORNIA_SURROGATE_SIZE};
 use cpq_rtree::{RTree, RTreeParams, RTreeResult};
-use cpq_storage::{BufferPool, MemPageFile, DEFAULT_PAGE_SIZE};
+use cpq_storage::{
+    BufferPool, ClockPolicy, FifoPolicy, LruPolicy, MemPageFile, ReplacementPolicy,
+    DEFAULT_PAGE_SIZE,
+};
 
-/// Builds an insertion-built R*-tree over a fresh in-memory page file with
-/// the paper's parameters. A roomy build-time buffer keeps construction
-/// fast; callers reconfigure the buffer before measuring.
-pub fn build_tree(ds: &Dataset) -> RTreeResult<RTree<2>> {
-    let pool = BufferPool::with_lru(Box::new(MemPageFile::new(DEFAULT_PAGE_SIZE)), 512);
-    let mut tree = RTree::new(pool, RTreeParams::paper())?;
+/// The "real" data set (Sequoia surrogate), scaled. Shared by the figure
+/// binaries and `bench_service` so every harness runs the same workload.
+pub fn real_dataset(scale: f64) -> Dataset {
+    let mut ds = clustered(
+        scaled(CALIFORNIA_SURROGATE_SIZE, scale),
+        ClusterSpec::default(),
+        0xCA11F0,
+    );
+    ds.name = "R".into();
+    ds
+}
+
+/// A uniform data set of the paper's cardinality `n`, scaled.
+pub fn uniform_dataset(n: usize, scale: f64, seed: u64) -> Dataset {
+    let mut ds = uniform(scaled(n, scale), seed);
+    ds.name = format!("{}K", n / 1000);
+    ds
+}
+
+/// Instantiates a buffer replacement policy from its CLI name
+/// (`lru` / `fifo` / `clock`).
+pub fn policy_by_name(name: &str) -> Option<Box<dyn ReplacementPolicy>> {
+    match name {
+        "lru" => Some(Box::new(LruPolicy::new())),
+        "fifo" => Some(Box::new(FifoPolicy::new())),
+        "clock" => Some(Box::new(ClockPolicy::new())),
+        _ => None,
+    }
+}
+
+/// The general tree builder every harness funnels through: an
+/// insertion-built tree over a fresh in-memory page file, with explicit
+/// R-tree parameters, replacement policy, and build-time buffer capacity.
+pub fn build_tree_with(
+    ds: &Dataset,
+    params: RTreeParams,
+    policy: Box<dyn ReplacementPolicy>,
+    cache_pages: usize,
+) -> RTreeResult<RTree<2>> {
+    let pool = BufferPool::new(
+        Box::new(MemPageFile::new(DEFAULT_PAGE_SIZE)),
+        cache_pages,
+        policy,
+    );
+    let mut tree = RTree::new(pool, params)?;
     for (i, &p) in ds.points.iter().enumerate() {
         tree.insert(p, i as u64)?;
     }
     Ok(tree)
+}
+
+/// Builds an insertion-built R*-tree with the paper's parameters and an LRU
+/// buffer. A roomy build-time buffer keeps construction fast; callers
+/// reconfigure the buffer before measuring.
+pub fn build_tree(ds: &Dataset) -> RTreeResult<RTree<2>> {
+    build_tree_with(ds, RTreeParams::paper(), Box::new(LruPolicy::new()), 512)
 }
 
 /// Builds an STR bulk-loaded tree (for the tree-construction ablation).

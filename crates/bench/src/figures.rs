@@ -7,34 +7,16 @@
 //! are stable in it, which is what EXPERIMENTS.md records.
 
 use crate::args::scaled;
-use crate::experiment::{build_tree, build_tree_bulk, run_incremental, run_query};
+use crate::experiment::{
+    build_tree, build_tree_bulk, build_tree_with, policy_by_name, real_dataset as real,
+    run_incremental, run_query, uniform_dataset as uni,
+};
 use crate::table::Table;
 use cpq_core::{
     Algorithm, CpqConfig, HeightStrategy, IncrementalConfig, KPruning, TieStrategy, Traversal,
 };
-use cpq_datasets::{
-    clustered, uniform, uniform_grid, ClusterSpec, Dataset, CALIFORNIA_SURROGATE_SIZE,
-};
-use cpq_rtree::{RTree, RTreeParams, RTreeResult};
-use cpq_storage::{BufferPool, ClockPolicy, FifoPolicy, LruPolicy, MemPageFile, DEFAULT_PAGE_SIZE};
-
-/// The "real" data set (Sequoia surrogate), scaled.
-fn real(scale: f64) -> Dataset {
-    let mut ds = clustered(
-        scaled(CALIFORNIA_SURROGATE_SIZE, scale),
-        ClusterSpec::default(),
-        0xCA11F0,
-    );
-    ds.name = "R".into();
-    ds
-}
-
-/// A uniform data set of the paper's cardinality `n`, scaled.
-fn uni(n: usize, scale: f64, seed: u64) -> Dataset {
-    let mut ds = uniform(scaled(n, scale), seed);
-    ds.name = format!("{}K", n / 1000);
-    ds
-}
+use cpq_datasets::{uniform_grid, CALIFORNIA_SURROGATE_SIZE};
+use cpq_rtree::{RTreeParams, RTreeResult};
 
 /// K values of the paper's K-CPQ sweeps.
 const K_SWEEP: [usize; 6] = [1, 10, 100, 1_000, 10_000, 100_000];
@@ -457,19 +439,13 @@ pub fn ablation_buffer_policy(scale: f64) -> RTreeResult<Vec<Table>> {
     let p = uni(40_000, scale, 1201);
     let q = uni(40_000, scale, 1202).with_overlap(&p, 1.0);
 
-    let build_with = |ds: &Dataset, which: &str| -> RTreeResult<RTree<2>> {
-        let policy: Box<dyn cpq_storage::ReplacementPolicy> = match which {
-            "lru" => Box::new(LruPolicy::new()),
-            "fifo" => Box::new(FifoPolicy::new()),
-            "clock" => Box::new(ClockPolicy::new()),
-            _ => unreachable!(),
-        };
-        let pool = BufferPool::new(Box::new(MemPageFile::new(DEFAULT_PAGE_SIZE)), 512, policy);
-        let mut tree = RTree::new(pool, RTreeParams::paper())?;
-        for (i, &pt) in ds.points.iter().enumerate() {
-            tree.insert(pt, i as u64)?;
-        }
-        Ok(tree)
+    let build_with = |ds, which| {
+        build_tree_with(
+            ds,
+            RTreeParams::paper(),
+            policy_by_name(which).expect("known policy"),
+            512,
+        )
     };
 
     let mut t = Table::new(
@@ -542,17 +518,12 @@ pub fn ablation_rtree_variant(scale: f64) -> RTreeResult<Vec<Table>> {
     let p = uni(40_000, scale, 1501);
     let q = uni(40_000, scale, 1502).with_overlap(&p, 1.0);
 
-    let build_variant = |ds: &Dataset, policy: SplitPolicy| -> RTreeResult<RTree<2>> {
-        let pool = BufferPool::with_lru(Box::new(MemPageFile::new(DEFAULT_PAGE_SIZE)), 512);
+    let build_variant = |ds, policy| {
         let params = RTreeParams {
             split_policy: policy,
             ..RTreeParams::paper()
         };
-        let mut tree = RTree::new(pool, params)?;
-        for (i, &pt) in ds.points.iter().enumerate() {
-            tree.insert(pt, i as u64)?;
-        }
-        Ok(tree)
+        build_tree_with(ds, params, policy_by_name("lru").expect("lru exists"), 512)
     };
 
     let mut t = Table::new(

@@ -22,7 +22,10 @@ pub mod table;
 
 pub use args::Args;
 pub use chart::Chart;
-pub use experiment::{build_tree, build_tree_bulk, run_incremental, run_query};
+pub use experiment::{
+    build_tree, build_tree_bulk, build_tree_with, policy_by_name, real_dataset, run_incremental,
+    run_query, uniform_dataset,
+};
 pub use table::Table;
 
 /// Prints every table and (unless `--no-csv`) writes each as CSV under the

@@ -1,12 +1,13 @@
 //! Public entry points for the non-incremental algorithms.
 
+use crate::cancel::CancelToken;
 use crate::config::CpqConfig;
 use crate::engine::Ctx;
 use crate::heap_alg::heap_run;
 use crate::recursive::{exhaustive, naive, simple, sorted};
-use crate::types::{CpqStats, QueryOutcome};
+use crate::types::{CpqStats, QueryOutcome, QueryRun};
 use cpq_geo::SpatialObject;
-use cpq_rtree::{RTree, RTreeResult};
+use cpq_rtree::{RTree, RTreeError, RTreeResult};
 
 /// The five algorithms of the paper (Sections 3.1–3.5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,7 +63,26 @@ pub fn k_closest_pairs<const D: usize, O: SpatialObject<D>>(
     algorithm: Algorithm,
     config: &CpqConfig,
 ) -> RTreeResult<QueryOutcome<D, O>> {
-    run(tree_p, tree_q, k, algorithm, config, false)
+    Ok(run(tree_p, tree_q, k, algorithm, config, false, None)?.outcome)
+}
+
+/// [`k_closest_pairs`] under a cooperative [`CancelToken`], the form the
+/// `cpq-service` worker pool uses to enforce per-request deadlines.
+///
+/// The token is polled once per node-pair visit. When it trips, the run
+/// stops within one node visit and returns the K-heap's contents so far
+/// with [`QueryRun::completed`]` = false` — a best-effort partial answer,
+/// never an error. With a token that never trips, the result is identical
+/// (pairs and work counters alike) to [`k_closest_pairs`].
+pub fn k_closest_pairs_cancellable<const D: usize, O: SpatialObject<D>>(
+    tree_p: &RTree<D, O>,
+    tree_q: &RTree<D, O>,
+    k: usize,
+    algorithm: Algorithm,
+    config: &CpqConfig,
+    cancel: &CancelToken,
+) -> RTreeResult<QueryRun<D, O>> {
+    run(tree_p, tree_q, k, algorithm, config, false, Some(cancel))
 }
 
 /// The 1-CP convenience wrapper: the single closest pair.
@@ -84,9 +104,22 @@ pub fn self_closest_pairs<const D: usize, O: SpatialObject<D>>(
     algorithm: Algorithm,
     config: &CpqConfig,
 ) -> RTreeResult<QueryOutcome<D, O>> {
-    run(tree, tree, k, algorithm, config, true)
+    Ok(run(tree, tree, k, algorithm, config, true, None)?.outcome)
 }
 
+/// [`self_closest_pairs`] under a cooperative [`CancelToken`]; semantics as
+/// in [`k_closest_pairs_cancellable`].
+pub fn self_closest_pairs_cancellable<const D: usize, O: SpatialObject<D>>(
+    tree: &RTree<D, O>,
+    k: usize,
+    algorithm: Algorithm,
+    config: &CpqConfig,
+    cancel: &CancelToken,
+) -> RTreeResult<QueryRun<D, O>> {
+    run(tree, tree, k, algorithm, config, true, Some(cancel))
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run<const D: usize, O: SpatialObject<D>>(
     tree_p: &RTree<D, O>,
     tree_q: &RTree<D, O>,
@@ -94,18 +127,31 @@ fn run<const D: usize, O: SpatialObject<D>>(
     algorithm: Algorithm,
     config: &CpqConfig,
     self_join: bool,
-) -> RTreeResult<QueryOutcome<D, O>> {
+    cancel: Option<&CancelToken>,
+) -> RTreeResult<QueryRun<D, O>> {
     let misses_before = (
         tree_p.pool().buffer_stats().misses,
         tree_q.pool().buffer_stats().misses,
     );
     if k == 0 || tree_p.is_empty() || tree_q.is_empty() {
-        return Ok(QueryOutcome {
-            pairs: Vec::new(),
-            stats: CpqStats::default(),
+        return Ok(QueryRun {
+            outcome: QueryOutcome {
+                pairs: Vec::new(),
+                stats: CpqStats::default(),
+            },
+            completed: true,
         });
     }
-    let mut ctx = Ctx::new(tree_p, tree_q, k, config, self_join);
+    let mut ctx = Ctx::new(tree_p, tree_q, k, config, self_join, cancel);
+
+    // A token that is already tripped (deadline expired while queued) stops
+    // the run before it pays for the two root reads.
+    if ctx.check_cancel().is_err() {
+        return Ok(QueryRun {
+            outcome: ctx.finish(misses_before),
+            completed: false,
+        });
+    }
 
     // CP1: start from the two roots (one page access each; for a self-join
     // the second read hits the same pool).
@@ -114,12 +160,19 @@ fn run<const D: usize, O: SpatialObject<D>>(
     ctx.root_area_p = root_p.mbr().expect("non-empty root").area();
     ctx.root_area_q = root_q.mbr().expect("non-empty root").area();
 
-    match algorithm {
-        Algorithm::Naive => naive(&mut ctx, &root_p, &root_q)?,
-        Algorithm::Exhaustive => exhaustive(&mut ctx, &root_p, &root_q)?,
-        Algorithm::Simple => simple(&mut ctx, &root_p, &root_q)?,
-        Algorithm::SortedDistances => sorted(&mut ctx, &root_p, &root_q)?,
-        Algorithm::Heap => heap_run(&mut ctx, &root_p, &root_q)?,
-    }
-    Ok(ctx.finish(misses_before))
+    let completed = match match algorithm {
+        Algorithm::Naive => naive(&mut ctx, &root_p, &root_q),
+        Algorithm::Exhaustive => exhaustive(&mut ctx, &root_p, &root_q),
+        Algorithm::Simple => simple(&mut ctx, &root_p, &root_q),
+        Algorithm::SortedDistances => sorted(&mut ctx, &root_p, &root_q),
+        Algorithm::Heap => heap_run(&mut ctx, &root_p, &root_q),
+    } {
+        Ok(()) => true,
+        Err(RTreeError::Cancelled) => false,
+        Err(e) => return Err(e),
+    };
+    Ok(QueryRun {
+        outcome: ctx.finish(misses_before),
+        completed,
+    })
 }

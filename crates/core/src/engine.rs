@@ -2,11 +2,12 @@
 //! generation honoring the height strategy, leaf scanning, and the
 //! threshold bounds of Inequalities 1 and 2.
 
+use crate::cancel::CancelToken;
 use crate::config::{CpqConfig, HeightStrategy, KPruning, LeafScan};
 use crate::kheap::KHeap;
 use crate::types::{CpqStats, PairResult};
 use cpq_geo::{max_max_dist2, min_max_dist2, min_min_dist2_within, Dist2, Rect, SpatialObject};
-use cpq_rtree::{InnerEntry, Node, RTree, RTreeResult};
+use cpq_rtree::{InnerEntry, Node, RTree, RTreeError, RTreeResult};
 
 /// One side of a candidate pair: either stay at the current node or descend
 /// into one of its children.
@@ -64,6 +65,10 @@ pub(crate) struct Ctx<'a, const D: usize, O: SpatialObject<D>> {
     /// witness pairs may be a point with itself when the two sides share a
     /// subtree.
     pub self_join: bool,
+    /// Cooperative cancellation token, polled once per node-pair visit.
+    /// `None` (the plain entry points) compiles down to a no-op check, so
+    /// single-threaded results and work counters are untouched.
+    pub cancel: Option<&'a CancelToken>,
     /// Scratch for the plane-sweep leaf scan (one buffer per side), reused
     /// across leaf pairs.
     sweep_p: Vec<SweepProj>,
@@ -87,6 +92,7 @@ impl<'a, const D: usize, O: SpatialObject<D>> Ctx<'a, D, O> {
         k: usize,
         cfg: &'a CpqConfig,
         self_join: bool,
+        cancel: Option<&'a CancelToken>,
     ) -> Self {
         Ctx {
             tp,
@@ -99,6 +105,7 @@ impl<'a, const D: usize, O: SpatialObject<D>> Ctx<'a, D, O> {
             root_area_p: 0.0,
             root_area_q: 0.0,
             self_join,
+            cancel,
             sweep_p: Vec::new(),
             sweep_q: Vec::new(),
             sides_p: Vec::new(),
@@ -134,6 +141,18 @@ impl<'a, const D: usize, O: SpatialObject<D>> Ctx<'a, D, O> {
     #[inline]
     pub(crate) fn t(&self) -> Dist2 {
         self.kheap.threshold().min(self.bound)
+    }
+
+    /// Cancellation point, called once per node-pair visit by every
+    /// algorithm's main loop. [`RTreeError::Cancelled`] unwinds the run;
+    /// the cancellable entry points catch it and hand back the K-heap's
+    /// partial contents.
+    #[inline]
+    pub(crate) fn check_cancel(&self) -> RTreeResult<()> {
+        match self.cancel {
+            Some(token) if token.is_cancelled() => Err(RTreeError::Cancelled),
+            _ => Ok(()),
+        }
     }
 
     /// Scans the object pairs of two leaves (step CP3 of every algorithm),

@@ -90,6 +90,7 @@ fn process_pair<const D: usize, O: SpatialObject<D>>(
     heap: &mut BinaryHeap<Reverse<HeapItem>>,
     seq: &mut u64,
 ) -> RTreeResult<()> {
+    ctx.check_cancel()?;
     ctx.stats.node_pairs_processed += 1;
     if np.is_leaf() && nq.is_leaf() {
         ctx.scan_leaves(np, nq);

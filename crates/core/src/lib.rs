@@ -53,6 +53,7 @@
 mod api;
 pub mod batch;
 pub mod brute;
+mod cancel;
 mod config;
 pub mod costmodel;
 mod engine;
@@ -67,7 +68,11 @@ mod sorting;
 mod ties;
 mod types;
 
-pub use api::{closest_pair, k_closest_pairs, self_closest_pairs, Algorithm};
+pub use api::{
+    closest_pair, k_closest_pairs, k_closest_pairs_cancellable, self_closest_pairs,
+    self_closest_pairs_cancellable, Algorithm,
+};
+pub use cancel::CancelToken;
 pub use config::{CpqConfig, HeightStrategy, KPruning, LeafScan};
 pub use incremental::{
     distance_join, k_closest_pairs_incremental, DistanceJoin, IncTie, IncrementalConfig, Traversal,
@@ -78,4 +83,4 @@ pub use multiway::{k_closest_tuples, MultiwayOutcome, TupleMetric, TupleResult};
 pub use semi::semi_closest_pairs;
 pub use sorting::SortAlgorithm;
 pub use ties::TieStrategy;
-pub use types::{CpqStats, PairResult, QueryOutcome};
+pub use types::{CpqStats, PairResult, QueryOutcome, QueryRun};

@@ -23,6 +23,7 @@ pub(crate) fn naive<const D: usize, O: SpatialObject<D>>(
     np: &Node<D, O>,
     nq: &Node<D, O>,
 ) -> RTreeResult<()> {
+    ctx.check_cancel()?;
     ctx.stats.node_pairs_processed += 1;
     if np.is_leaf() && nq.is_leaf() {
         ctx.scan_leaves(np, nq);
@@ -44,6 +45,7 @@ pub(crate) fn exhaustive<const D: usize, O: SpatialObject<D>>(
     np: &Node<D, O>,
     nq: &Node<D, O>,
 ) -> RTreeResult<()> {
+    ctx.check_cancel()?;
     ctx.stats.node_pairs_processed += 1;
     if np.is_leaf() && nq.is_leaf() {
         ctx.scan_leaves(np, nq);
@@ -70,6 +72,7 @@ pub(crate) fn simple<const D: usize, O: SpatialObject<D>>(
     np: &Node<D, O>,
     nq: &Node<D, O>,
 ) -> RTreeResult<()> {
+    ctx.check_cancel()?;
     ctx.stats.node_pairs_processed += 1;
     if np.is_leaf() && nq.is_leaf() {
         ctx.scan_leaves(np, nq);
@@ -97,6 +100,7 @@ pub(crate) fn sorted<const D: usize, O: SpatialObject<D>>(
     np: &Node<D, O>,
     nq: &Node<D, O>,
 ) -> RTreeResult<()> {
+    ctx.check_cancel()?;
     ctx.stats.node_pairs_processed += 1;
     if np.is_leaf() && nq.is_leaf() {
         ctx.scan_leaves(np, nq);

@@ -90,6 +90,20 @@ impl<const D: usize, O: SpatialObject<D>> QueryOutcome<D, O> {
     }
 }
 
+/// Outcome of a cancellable query run (see
+/// [`k_closest_pairs_cancellable`](crate::k_closest_pairs_cancellable)).
+#[derive(Debug, Clone)]
+pub struct QueryRun<const D: usize, O: SpatialObject<D> = Point<D>> {
+    /// The result pairs and work counters. When the run was interrupted,
+    /// `outcome.pairs` holds the best pairs discovered up to that point —
+    /// a valid (possibly non-final) partial answer, still sorted by
+    /// ascending distance.
+    pub outcome: QueryOutcome<D, O>,
+    /// `true` when the run finished normally; `false` when the cancel token
+    /// tripped (deadline expiry or explicit cancellation) first.
+    pub completed: bool,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -22,6 +22,11 @@ pub enum RTreeError {
     InvalidParams(String),
     /// Structural invariant violated (reported by the validator).
     InvariantViolation(String),
+    /// A cooperative cancellation point observed a tripped token (deadline
+    /// expiry or explicit cancel). Query drivers catch this to return the
+    /// partial result accumulated so far; it never escapes the cancellable
+    /// entry points.
+    Cancelled,
 }
 
 impl fmt::Display for RTreeError {
@@ -33,6 +38,7 @@ impl fmt::Display for RTreeError {
             }
             RTreeError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
             RTreeError::InvariantViolation(msg) => write!(f, "invariant violation: {msg}"),
+            RTreeError::Cancelled => write!(f, "operation cancelled"),
         }
     }
 }

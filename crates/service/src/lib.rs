@@ -1,0 +1,101 @@
+//! # cpq-service — a concurrent closest-pair query-serving subsystem
+//!
+//! The engine crates answer *one* query at a time; this crate turns them
+//! into a long-lived, embeddable service that answers a *stream* of
+//! queries on a fixed pool of worker threads over shared read-only
+//! R*-trees and buffer pools:
+//!
+//! ```text
+//!  clients                 CpqService
+//!  ───────      ┌────────────────────────────────┐
+//!  submit ──────►  AdmissionQueue (bounded MPMC) │
+//!    │ full     │     │        │        │        │
+//!    ▼          │  worker-0 worker-1 … worker-N  │
+//!  Rejected     │     └───┬────┴────┬───┘        │
+//!               │   RTree P,Q  (read-only,       │
+//!               │   shared BufferPools)          │
+//!               └─────────┬──────────────────────┘
+//!                         ▼
+//!                  QueryTicket.wait() → QueryResponse
+//! ```
+//!
+//! Per-request `K`, algorithm, join kind, and deadline; shed-on-full
+//! admission control; cooperative deadline cancellation at node-visit
+//! granularity with partial results; and latency/queue-wait/throughput
+//! statistics. Everything is `std`-only.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cpq_service::{CpqService, QueryRequest, QueryStatus, ServiceConfig, TreePair};
+//! use cpq_core::Algorithm;
+//! use cpq_rtree::{RTree, RTreeParams};
+//! use cpq_storage::{BufferPool, MemPageFile};
+//! use cpq_geo::Point;
+//!
+//! let build = || {
+//!     let pool = BufferPool::with_lru(Box::new(MemPageFile::new(1024)), 32);
+//!     RTree::<2>::new(pool, RTreeParams::paper()).unwrap()
+//! };
+//! let (mut p, mut q) = (build(), build());
+//! for i in 0..100u64 {
+//!     let x = i as f64;
+//!     p.insert(Point([x, 0.0]), i).unwrap();
+//!     q.insert(Point([x, 3.0]), i).unwrap();
+//! }
+//!
+//! let service = CpqService::start(
+//!     TreePair::new(p, q),
+//!     ServiceConfig { workers: 2, ..ServiceConfig::default() },
+//! );
+//! let resp = service
+//!     .execute(QueryRequest::cross(5, Algorithm::Heap))
+//!     .unwrap();
+//! assert_eq!(resp.status, QueryStatus::Completed);
+//! assert_eq!(resp.pairs.len(), 5);
+//! let stats = service.shutdown();
+//! assert_eq!(stats.completed, 1);
+//! ```
+
+mod queue;
+mod request;
+mod service;
+mod stats;
+
+pub use queue::AdmissionQueue;
+pub use request::{QueryKind, QueryRequest, QueryResponse, QueryStatus, Rejected};
+pub use service::{CpqService, QueryTicket, ServiceConfig, TreePair};
+pub use stats::{Percentiles, ServiceStats, StatsSummary};
+
+// Re-exported so embedders can drive cancellation themselves without
+// depending on cpq-core directly.
+pub use cpq_core::CancelToken;
+
+// Compile-time thread-safety contract of the subsystem. Service handles
+// are shared across client threads and worker threads; if a refactor ever
+// introduces an un-Sync field (an `Rc`, a bare `Cell`, …) these stop
+// compiling rather than letting the API silently lose its guarantee.
+#[cfg(test)]
+mod thread_safety {
+    use super::*;
+    use cpq_geo::Point;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn service_types_are_send_sync() {
+        assert_send_sync::<CpqService<2, Point<2>>>();
+        assert_send_sync::<TreePair<2, Point<2>>>();
+        assert_send_sync::<AdmissionQueue<QueryRequest>>();
+        assert_send_sync::<QueryRequest>();
+        assert_send_sync::<QueryResponse<2, Point<2>>>();
+        assert_send_sync::<ServiceStats>();
+        assert_send_sync::<StatsSummary>();
+        assert_send_sync::<CancelToken>();
+        // Tickets move to whichever thread awaits them (Send), but a
+        // single ticket is owned by one waiter, so Sync is not required
+        // (mpsc::Receiver is !Sync by design).
+        fn assert_send<T: Send>() {}
+        assert_send::<QueryTicket<2, Point<2>>>();
+    }
+}

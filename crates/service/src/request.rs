@@ -1,0 +1,150 @@
+//! The request/response vocabulary of the query service.
+
+use cpq_core::{Algorithm, CpqStats, PairResult};
+use cpq_geo::{Point, SpatialObject};
+use std::time::Duration;
+
+/// Which join shape a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// K closest pairs between the service's `P` and `Q` trees.
+    Cross,
+    /// K closest pairs **within** the `P` tree (Self-CPQ; distinct objects,
+    /// each unordered pair once).
+    SelfJoin,
+}
+
+impl QueryKind {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueryKind::Cross => "cross",
+            QueryKind::SelfJoin => "self",
+        }
+    }
+}
+
+/// One closest-pair query, as admitted by
+/// [`CpqService::submit`](crate::CpqService::submit).
+///
+/// `K`, the algorithm, and the deadline are all per-request — the serving
+/// shape of the range closest-pair literature, where one preprocessed
+/// structure answers a stream of differently-parameterized queries.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryRequest {
+    /// Number of closest pairs wanted (`1` enables the 1-CP special case).
+    pub k: usize,
+    /// Which of the paper's algorithms executes the query.
+    pub algorithm: Algorithm,
+    /// Cross-tree K-CPQ or self-join.
+    pub kind: QueryKind,
+    /// End-to-end budget measured from admission (queue wait counts
+    /// against it). `None` falls back to the service default; `Some` here
+    /// overrides it. An expired query stops within one node visit and
+    /// responds [`QueryStatus::TimedOut`] with its partial result.
+    pub deadline: Option<Duration>,
+}
+
+impl QueryRequest {
+    /// A cross-tree K-CPQ with no per-request deadline override.
+    pub fn cross(k: usize, algorithm: Algorithm) -> Self {
+        QueryRequest {
+            k,
+            algorithm,
+            kind: QueryKind::Cross,
+            deadline: None,
+        }
+    }
+
+    /// A self-join K-CPQ with no per-request deadline override.
+    pub fn self_join(k: usize, algorithm: Algorithm) -> Self {
+        QueryRequest {
+            k,
+            algorithm,
+            kind: QueryKind::SelfJoin,
+            deadline: None,
+        }
+    }
+
+    /// Sets the per-request deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Terminal state of an executed query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryStatus {
+    /// The query ran to completion; `pairs` is the exact answer.
+    Completed,
+    /// The deadline expired mid-run; `pairs` holds the best pairs found
+    /// before the cutoff (possibly none) — a partial, not-necessarily-final
+    /// answer. The worker was released, not blocked.
+    TimedOut,
+    /// The engine failed (storage error, corrupt node, …).
+    Failed(String),
+    /// The service shut down before the query was executed. Produced only
+    /// by [`QueryTicket::wait`](crate::QueryTicket::wait) when the reply
+    /// channel died.
+    Dropped,
+}
+
+impl QueryStatus {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueryStatus::Completed => "completed",
+            QueryStatus::TimedOut => "timed-out",
+            QueryStatus::Failed(_) => "failed",
+            QueryStatus::Dropped => "dropped",
+        }
+    }
+}
+
+/// The answer to one [`QueryRequest`], delivered through the request's
+/// [`QueryTicket`](crate::QueryTicket).
+#[derive(Debug, Clone)]
+pub struct QueryResponse<const D: usize, O: SpatialObject<D> = Point<D>> {
+    /// Service-assigned id (admission order).
+    pub id: u64,
+    /// The request this answers.
+    pub request: QueryRequest,
+    /// How the query ended.
+    pub status: QueryStatus,
+    /// Result pairs, ascending by distance (partial when `TimedOut`).
+    pub pairs: Vec<PairResult<D, O>>,
+    /// Engine work counters. `dist_computations` / `node_pairs_processed`
+    /// are exact and deterministic; the `disk_accesses_*` deltas are exact
+    /// in a single-worker service but *approximate* under concurrency,
+    /// since other workers' faults on the shared pools land in the same
+    /// counters (aggregate pool stats remain exact — see
+    /// [`BufferPool::stats_snapshot`](cpq_storage::BufferPool::stats_snapshot)).
+    pub stats: CpqStats,
+    /// Time spent queued before a worker picked the query up.
+    pub queue_wait: Duration,
+    /// Execution time on the worker.
+    pub exec: Duration,
+    /// End-to-end latency: admission to response (`queue_wait + exec`).
+    pub latency: Duration,
+}
+
+/// The admission-time rejection: the queue was full (or the service was
+/// shutting down), so the request was shed without executing. Contains the
+/// request so callers can retry or degrade.
+#[derive(Debug, Clone, Copy)]
+pub struct Rejected(pub QueryRequest);
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "query rejected by admission control (k={}, {} {})",
+            self.0.k,
+            self.0.algorithm.label(),
+            self.0.kind.label()
+        )
+    }
+}
+
+impl std::error::Error for Rejected {}

@@ -1,0 +1,293 @@
+//! The query service proper: admission, the worker pool, and tickets.
+
+use crate::queue::AdmissionQueue;
+use crate::request::{QueryKind, QueryRequest, QueryResponse, QueryStatus, Rejected};
+use crate::stats::{ServiceStats, StatsSummary};
+use cpq_core::{
+    k_closest_pairs_cancellable, self_closest_pairs_cancellable, CancelToken, CpqConfig, CpqStats,
+};
+use cpq_geo::{Point, SpatialObject};
+use cpq_rtree::RTree;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The two read-only trees a service answers queries over.
+///
+/// Workers never mutate them — the whole query path is `&self` — so one
+/// pair (and its two buffer pools) is shared by every worker without
+/// copying. Self-join requests run on `p`.
+pub struct TreePair<const D: usize, O: SpatialObject<D> = Point<D>> {
+    /// The `P` tree (also the self-join target).
+    pub p: RTree<D, O>,
+    /// The `Q` tree.
+    pub q: RTree<D, O>,
+}
+
+impl<const D: usize, O: SpatialObject<D>> TreePair<D, O> {
+    /// Bundles two trees for serving.
+    pub fn new(p: RTree<D, O>, q: RTree<D, O>) -> Self {
+        TreePair { p, q }
+    }
+}
+
+/// Tuning knobs of a [`CpqService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads executing queries. `0` is allowed (admission-only;
+    /// nothing drains the queue — useful for testing shed behavior).
+    pub workers: usize,
+    /// Admission-queue capacity; the `workers + queue_capacity` bound on
+    /// in-flight queries is the service's whole memory commitment. Pushes
+    /// beyond it shed.
+    pub queue_capacity: usize,
+    /// Engine configuration shared by all queries.
+    pub cpq: CpqConfig,
+    /// Deadline applied when a request does not carry its own. `None`
+    /// means admitted queries may run arbitrarily long.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            queue_capacity: 64,
+            cpq: CpqConfig::paper(),
+            default_deadline: None,
+        }
+    }
+}
+
+struct Job<const D: usize, O: SpatialObject<D>> {
+    id: u64,
+    req: QueryRequest,
+    enqueued: Instant,
+    deadline_at: Option<Instant>,
+    reply: mpsc::Sender<QueryResponse<D, O>>,
+}
+
+struct Shared<const D: usize, O: SpatialObject<D>> {
+    trees: TreePair<D, O>,
+    queue: AdmissionQueue<Job<D, O>>,
+    stats: ServiceStats,
+    cpq: CpqConfig,
+    default_deadline: Option<Duration>,
+    next_id: AtomicU64,
+}
+
+/// Handle for awaiting one submitted query's [`QueryResponse`].
+pub struct QueryTicket<const D: usize, O: SpatialObject<D> = Point<D>> {
+    id: u64,
+    req: QueryRequest,
+    rx: mpsc::Receiver<QueryResponse<D, O>>,
+}
+
+impl<const D: usize, O: SpatialObject<D>> QueryTicket<D, O> {
+    /// The service-assigned query id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the response arrives. If the service is torn down
+    /// before the query executes, returns a [`QueryStatus::Dropped`]
+    /// response instead of hanging.
+    pub fn wait(self) -> QueryResponse<D, O> {
+        match self.rx.recv() {
+            Ok(resp) => resp,
+            Err(_) => QueryResponse {
+                id: self.id,
+                request: self.req,
+                status: QueryStatus::Dropped,
+                pairs: Vec::new(),
+                stats: CpqStats::default(),
+                queue_wait: Duration::ZERO,
+                exec: Duration::ZERO,
+                latency: Duration::ZERO,
+            },
+        }
+    }
+}
+
+/// A multi-threaded closest-pair query service.
+///
+/// ```text
+/// submit() ──► [bounded admission queue] ──► worker × N ──► QueryTicket
+///    │ full?                                   │
+///    └──► Rejected (shed)          shared read-only R*-trees + buffer pools
+/// ```
+///
+/// * **Admission control** — the queue is bounded; a full queue sheds
+///   (`Err(Rejected)`) instead of buffering unboundedly or blocking the
+///   producer.
+/// * **Deadlines** — each query runs under a [`CancelToken`] carrying its
+///   end-to-end deadline (queue wait included). Expiry stops the engine
+///   within one node visit; the response is `TimedOut` with the partial
+///   result, and the worker moves on.
+/// * **Determinism** — workers execute queries with the plain
+///   single-threaded engine over shared `&RTree`s; a query's result pairs
+///   are bit-identical to a direct [`cpq_core::k_closest_pairs`] call no
+///   matter how many workers run beside it.
+pub struct CpqService<const D: usize, O: SpatialObject<D> = Point<D>> {
+    shared: Arc<Shared<D, O>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<const D: usize, O: SpatialObject<D>> CpqService<D, O> {
+    /// Starts the worker pool over `trees`.
+    pub fn start(trees: TreePair<D, O>, config: ServiceConfig) -> Self {
+        let shared = Arc::new(Shared {
+            trees,
+            queue: AdmissionQueue::new(config.queue_capacity),
+            stats: ServiceStats::new(),
+            cpq: config.cpq,
+            default_deadline: config.default_deadline,
+            next_id: AtomicU64::new(0),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cpq-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        CpqService { shared, workers }
+    }
+
+    /// Admits a query, or sheds it when the queue is full.
+    ///
+    /// Admission stamps the queue-entry time; the effective deadline (the
+    /// request's own, falling back to the service default) starts counting
+    /// here, so time spent queued eats into the budget — a query that waits
+    /// out its whole deadline in the queue is answered `TimedOut` without
+    /// the engine doing any work.
+    pub fn submit(&self, req: QueryRequest) -> Result<QueryTicket<D, O>, Rejected> {
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        let enqueued = Instant::now();
+        let deadline_at = req
+            .deadline
+            .or(self.shared.default_deadline)
+            .map(|d| enqueued + d);
+        let job = Job {
+            id,
+            req,
+            enqueued,
+            deadline_at,
+            reply: tx,
+        };
+        match self.shared.queue.try_push(job) {
+            Ok(()) => Ok(QueryTicket { id, req, rx }),
+            Err(job) => {
+                self.shared.stats.record_shed();
+                Err(Rejected(job.req))
+            }
+        }
+    }
+
+    /// Convenience: submit and block for the response.
+    pub fn execute(&self, req: QueryRequest) -> Result<QueryResponse<D, O>, Rejected> {
+        self.submit(req).map(QueryTicket::wait)
+    }
+
+    /// Aggregated service statistics so far.
+    pub fn stats(&self) -> StatsSummary {
+        self.shared.stats.summary()
+    }
+
+    /// Requests currently waiting for a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// The shared trees (for reading pool statistics).
+    pub fn trees(&self) -> &TreePair<D, O> {
+        &self.shared.trees
+    }
+
+    fn stop(&mut self) {
+        self.shared.queue.close();
+        for h in self.workers.drain(..) {
+            h.join().expect("worker thread panicked");
+        }
+    }
+
+    /// Stops admission, drains the backlog (admitted queries still
+    /// execute), joins the workers, and returns the final statistics.
+    pub fn shutdown(mut self) -> StatsSummary {
+        self.stop();
+        self.shared.stats.summary()
+    }
+}
+
+impl<const D: usize, O: SpatialObject<D>> Drop for CpqService<D, O> {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn worker_loop<const D: usize, O: SpatialObject<D>>(shared: &Shared<D, O>) {
+    while let Some(job) = shared.queue.pop() {
+        let start = Instant::now();
+        let queue_wait = start.duration_since(job.enqueued);
+        let cancel = match job.deadline_at {
+            Some(at) => CancelToken::with_deadline(at),
+            None => CancelToken::new(),
+        };
+        let result = match job.req.kind {
+            QueryKind::Cross => k_closest_pairs_cancellable(
+                &shared.trees.p,
+                &shared.trees.q,
+                job.req.k,
+                job.req.algorithm,
+                &shared.cpq,
+                &cancel,
+            ),
+            QueryKind::SelfJoin => self_closest_pairs_cancellable(
+                &shared.trees.p,
+                job.req.k,
+                job.req.algorithm,
+                &shared.cpq,
+                &cancel,
+            ),
+        };
+        let (status, pairs, stats) = match result {
+            Ok(run) => (
+                if run.completed {
+                    QueryStatus::Completed
+                } else {
+                    QueryStatus::TimedOut
+                },
+                run.outcome.pairs,
+                run.outcome.stats,
+            ),
+            Err(e) => (
+                QueryStatus::Failed(e.to_string()),
+                Vec::new(),
+                CpqStats::default(),
+            ),
+        };
+        let exec = start.elapsed();
+        let latency = job.enqueued.elapsed();
+        shared
+            .stats
+            .record_executed(&status, latency, queue_wait, stats.disk_accesses());
+        // A client may have dropped its ticket; the response is then
+        // discarded, which is fine — stats already captured it.
+        let _ = job.reply.send(QueryResponse {
+            id: job.id,
+            request: job.req,
+            status,
+            pairs,
+            stats,
+            queue_wait,
+            exec,
+            latency,
+        });
+    }
+}

@@ -1,0 +1,206 @@
+//! Service-level statistics: per-query samples aggregated into counts,
+//! latency/queue-wait percentiles, and throughput.
+
+use crate::request::QueryStatus;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Latency distribution summary, in microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Percentiles {
+    /// Number of samples summarized.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean_us: u64,
+    /// Median.
+    pub p50_us: u64,
+    /// 95th percentile.
+    pub p95_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Largest sample.
+    pub max_us: u64,
+}
+
+impl Percentiles {
+    /// Summarizes `samples` (sorted in place). The nearest-rank convention:
+    /// p-th percentile = the sample at ceil(p/100 · n), 1-indexed.
+    fn from_samples(samples: &mut [u64]) -> Self {
+        if samples.is_empty() {
+            return Percentiles::default();
+        }
+        samples.sort_unstable();
+        let n = samples.len();
+        let rank = |p: f64| -> u64 {
+            let idx = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n) - 1;
+            samples[idx]
+        };
+        Percentiles {
+            count: n as u64,
+            mean_us: samples.iter().sum::<u64>() / n as u64,
+            p50_us: rank(50.0),
+            p95_us: rank(95.0),
+            p99_us: rank(99.0),
+            max_us: samples[n - 1],
+        }
+    }
+}
+
+#[derive(Default)]
+struct Agg {
+    latencies_us: Vec<u64>,
+    queue_waits_us: Vec<u64>,
+    completed: u64,
+    timed_out: u64,
+    failed: u64,
+    shed: u64,
+    query_disk_accesses: u64,
+    first_response: Option<Instant>,
+    last_response: Option<Instant>,
+}
+
+/// Aggregated view of a service's lifetime, as returned by
+/// [`ServiceStats::summary`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StatsSummary {
+    /// Queries that ran to completion.
+    pub completed: u64,
+    /// Queries cut off by their deadline (answered partially).
+    pub timed_out: u64,
+    /// Queries that failed in the engine.
+    pub failed: u64,
+    /// Requests shed by admission control (never executed).
+    pub shed: u64,
+    /// End-to-end latency distribution over executed queries.
+    pub latency: Percentiles,
+    /// Queue-wait distribution over executed queries.
+    pub queue_wait: Percentiles,
+    /// Sum of per-query disk-access deltas (see the caveat on
+    /// [`QueryResponse::stats`](crate::QueryResponse::stats)).
+    pub query_disk_accesses: u64,
+    /// Executed queries per second, measured first-response → last-response.
+    /// Zero until two responses exist.
+    pub throughput_qps: f64,
+}
+
+/// Thread-safe collector the workers feed; readable at any time.
+///
+/// Samples are kept raw (8 bytes per executed query) and summarized on
+/// demand — exact percentiles at serving-benchmark scale; a streaming
+/// histogram can replace the buffers if a deployment ever keeps a service
+/// up for billions of queries.
+#[derive(Default)]
+pub struct ServiceStats {
+    agg: Mutex<Agg>,
+}
+
+impl ServiceStats {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Agg> {
+        self.agg.lock().expect("service stats mutex poisoned")
+    }
+
+    /// Records one executed query (any terminal status except `Dropped`).
+    pub fn record_executed(
+        &self,
+        status: &QueryStatus,
+        latency: Duration,
+        queue_wait: Duration,
+        disk_accesses: u64,
+    ) {
+        let now = Instant::now();
+        let mut g = self.lock();
+        match status {
+            QueryStatus::Completed => g.completed += 1,
+            QueryStatus::TimedOut => g.timed_out += 1,
+            QueryStatus::Failed(_) => g.failed += 1,
+            QueryStatus::Dropped => {}
+        }
+        g.latencies_us.push(latency.as_micros() as u64);
+        g.queue_waits_us.push(queue_wait.as_micros() as u64);
+        g.query_disk_accesses += disk_accesses;
+        g.first_response.get_or_insert(now);
+        g.last_response = Some(now);
+    }
+
+    /// Records one request shed at admission.
+    pub fn record_shed(&self) {
+        self.lock().shed += 1;
+    }
+
+    /// Summarizes everything recorded so far.
+    pub fn summary(&self) -> StatsSummary {
+        let mut g = self.lock();
+        let executed = g.completed + g.timed_out + g.failed;
+        let throughput = match (g.first_response, g.last_response) {
+            (Some(a), Some(b)) if b > a && executed >= 2 => {
+                (executed - 1) as f64 / (b - a).as_secs_f64()
+            }
+            _ => 0.0,
+        };
+        let latency = Percentiles::from_samples(&mut g.latencies_us);
+        let queue_wait = Percentiles::from_samples(&mut g.queue_waits_us);
+        StatsSummary {
+            completed: g.completed,
+            timed_out: g.timed_out,
+            failed: g.failed,
+            shed: g.shed,
+            latency,
+            queue_wait,
+            query_disk_accesses: g.query_disk_accesses,
+            throughput_qps: throughput,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s: Vec<u64> = (1..=100).collect();
+        let p = Percentiles::from_samples(&mut s);
+        assert_eq!(p.count, 100);
+        assert_eq!(p.p50_us, 50);
+        assert_eq!(p.p95_us, 95);
+        assert_eq!(p.p99_us, 99);
+        assert_eq!(p.max_us, 100);
+        assert_eq!(p.mean_us, 50); // 50.5 truncated
+
+        let mut one = vec![7u64];
+        let p = Percentiles::from_samples(&mut one);
+        assert_eq!((p.p50_us, p.p99_us, p.max_us), (7, 7, 7));
+        assert_eq!(Percentiles::from_samples(&mut []), Percentiles::default());
+    }
+
+    #[test]
+    fn record_and_summarize() {
+        let stats = ServiceStats::new();
+        stats.record_executed(
+            &QueryStatus::Completed,
+            Duration::from_micros(100),
+            Duration::from_micros(10),
+            5,
+        );
+        stats.record_executed(
+            &QueryStatus::TimedOut,
+            Duration::from_micros(300),
+            Duration::from_micros(30),
+            2,
+        );
+        stats.record_shed();
+        let s = stats.summary();
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.timed_out, 1);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.query_disk_accesses, 7);
+        assert_eq!(s.latency.count, 2);
+        assert_eq!(s.latency.max_us, 300);
+        assert_eq!(s.queue_wait.p50_us, 10);
+    }
+}

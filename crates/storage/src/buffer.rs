@@ -418,6 +418,21 @@ impl BufferPool {
         self.guard().file.stats()
     }
 
+    /// Both counter sets, read under a **single** lock acquisition.
+    ///
+    /// Every counter is updated inside the same critical section as the page
+    /// operation it describes, so within one snapshot the books always
+    /// balance: `logical_reads == hits + misses` and `misses == io.reads`.
+    /// Calling [`buffer_stats`](Self::buffer_stats) and
+    /// [`io_stats`](Self::io_stats) separately while other threads fault
+    /// pages in can observe a torn view across the two lock acquisitions;
+    /// concurrent consumers (the `cpq-service` metrics layer) use this
+    /// method instead.
+    pub fn stats_snapshot(&self) -> (BufferStats, IoStats) {
+        let g = self.guard();
+        (g.stats, g.file.stats())
+    }
+
     /// Resets both buffer and file counters.
     pub fn reset_stats(&self) {
         let mut g = self.guard();

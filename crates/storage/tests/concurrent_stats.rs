@@ -1,0 +1,138 @@
+//! Concurrency guarantees of the buffer pool.
+//!
+//! The serving layer shares one [`BufferPool`] between many worker threads,
+//! so two properties must hold under contention:
+//!
+//! 1. the pool is `Send + Sync` **by construction** (compile-time asserted
+//!    here, so a future `RefCell`/`Rc` regression fails to compile);
+//! 2. the counters are exact, not approximate: every counter is bumped in
+//!    the same critical section as the page operation it describes, so
+//!    after any concurrent workload `logical_reads == hits + misses` and
+//!    `misses` equals the physical reads of the backing file.
+
+use cpq_storage::{BufferPool, BufferStats, IoStats, MemPageFile, PageBytes, PageId};
+use std::sync::Arc;
+
+fn assert_send_sync<T: Send + Sync>() {}
+
+#[test]
+fn pool_and_stats_types_are_send_sync() {
+    assert_send_sync::<BufferPool>();
+    assert_send_sync::<BufferStats>();
+    assert_send_sync::<IoStats>();
+    assert_send_sync::<PageBytes>();
+}
+
+/// A deterministic page-access pattern per thread: a simple LCG keeps the
+/// test free of external randomness while still mixing hits and misses.
+fn page_sequence(thread: u64, pages: u64, len: usize) -> Vec<PageId> {
+    let mut state = thread.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            PageId((state >> 33) as u32 % pages as u32)
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_hammer_keeps_stats_exact() {
+    const PAGES: usize = 64;
+    const FRAMES: usize = 8;
+    const THREADS: u64 = 8;
+    const READS_PER_THREAD: usize = 2_000;
+
+    let pool = Arc::new(BufferPool::with_lru(
+        Box::new(MemPageFile::new(128)),
+        FRAMES,
+    ));
+    let ids: Vec<PageId> = (0..PAGES)
+        .map(|i| {
+            let id = pool.allocate().unwrap();
+            pool.write_page(id, &[i as u8; 128]).unwrap();
+            id
+        })
+        .collect();
+    pool.reset_stats();
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let pool = Arc::clone(&pool);
+            let ids = ids.clone();
+            std::thread::spawn(move || {
+                for pid in page_sequence(t + 1, PAGES as u64, READS_PER_THREAD) {
+                    let bytes = pool.read_page(ids[pid.index()]).unwrap();
+                    // Data integrity under concurrent eviction: the page
+                    // must hold the pattern written to it.
+                    assert!(bytes.iter().all(|&b| b == pid.index() as u8));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("reader thread panicked");
+    }
+
+    let (buf, io) = pool.stats_snapshot();
+    let total = THREADS * READS_PER_THREAD as u64;
+    assert_eq!(buf.logical_reads, total, "every logical read counted");
+    assert_eq!(
+        buf.hits + buf.misses,
+        buf.logical_reads,
+        "reads must partition exactly into hits and misses"
+    );
+    assert_eq!(
+        io.reads, buf.misses,
+        "each miss does exactly one physical read"
+    );
+    assert!(buf.hits > 0, "an 8-frame cache over 64 pages must hit");
+    assert!(
+        buf.misses > FRAMES as u64,
+        "64 pages cannot fit in 8 frames; evictions imply repeated misses"
+    );
+    assert_eq!(
+        buf.evictions,
+        buf.misses - FRAMES as u64,
+        "every miss beyond the initial fill evicts exactly one page"
+    );
+    let rate = buf.hit_rate();
+    assert!(rate > 0.0 && rate < 1.0, "hit rate {rate} out of range");
+}
+
+#[test]
+fn snapshot_is_torn_free_under_load() {
+    // One writer thread faults pages through a tiny pool while the main
+    // thread snapshots repeatedly: every snapshot must balance internally,
+    // which the two-call API cannot guarantee.
+    let pool = Arc::new(BufferPool::with_lru(Box::new(MemPageFile::new(64)), 2));
+    let ids: Vec<PageId> = (0..16)
+        .map(|i| {
+            let id = pool.allocate().unwrap();
+            pool.write_page(id, &[i as u8; 64]).unwrap();
+            id
+        })
+        .collect();
+    pool.reset_stats();
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writer = {
+        let pool = Arc::clone(&pool);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut i = 0usize;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                pool.read_page(ids[i % ids.len()]).unwrap();
+                i += 1;
+            }
+        })
+    };
+    for _ in 0..5_000 {
+        let (buf, io) = pool.stats_snapshot();
+        assert_eq!(buf.hits + buf.misses, buf.logical_reads);
+        assert_eq!(io.reads, buf.misses);
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    writer.join().unwrap();
+}

@@ -18,4 +18,7 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test --workspace -q
 
+echo "==> bench_service --smoke (service end-to-end + divergence gate)"
+./target/release/bench_service --smoke --out /tmp/BENCH_service_smoke.json >/dev/null
+
 echo "==> CI green"

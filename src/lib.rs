@@ -13,7 +13,9 @@
 //! * [`storage`] — page files, buffer pools, I/O accounting;
 //! * [`rtree`] — the R*-tree access method;
 //! * [`core`] — the closest-pair query algorithms (the paper's contribution);
-//! * [`datasets`] — deterministic workload generators.
+//! * [`datasets`] — deterministic workload generators;
+//! * [`service`] — the concurrent query-serving subsystem (worker pool,
+//!   admission control, deadlines).
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -25,4 +27,5 @@ pub use cpq_core as core;
 pub use cpq_datasets as datasets;
 pub use cpq_geo as geo;
 pub use cpq_rtree as rtree;
+pub use cpq_service as service;
 pub use cpq_storage as storage;
