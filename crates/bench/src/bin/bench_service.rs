@@ -13,18 +13,26 @@
 //! memoized direct `k_closest_pairs` / `self_closest_pairs` call for its
 //! combo; any divergence fails the run. Writes `BENCH_service.json`.
 //!
+//! With `--profile` the service runs with observability on: queries slower
+//! than `--slow-ms` land in the slow-query log, and a second report
+//! (`BENCH_obs.json`) carries the lint-checked `/metrics` exposition plus
+//! the captured slow-query profiles.
+//!
 //! ```text
 //! cargo run --release --bin bench_service -- [--smoke] \
 //!     [--n 10000] [--queries 10000] [--workers 4] [--clients 8] \
 //!     [--queue 0 (= clients+workers)] [--rate 0 (= closed loop)] \
 //!     [--deadline-ms 0 (= none; else every 4th query carries it)] \
-//!     [--seed 42] [--out BENCH_service.json]
+//!     [--profile] [--slow-ms 0 (= capture everything)] \
+//!     [--seed 42] [--out BENCH_service.json] [--obs-out BENCH_obs.json]
 //! ```
 
 use cpq_bench::{build_tree, uniform_dataset, Args};
 use cpq_core::{k_closest_pairs, self_closest_pairs, Algorithm, CpqConfig, PairResult};
+use cpq_obs::lint_exposition;
 use cpq_service::{
-    CpqService, Percentiles, QueryKind, QueryRequest, QueryStatus, ServiceConfig, TreePair,
+    CpqService, ObsConfig, Percentiles, QueryKind, QueryRequest, QueryStatus, ServiceConfig,
+    TreePair,
 };
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
@@ -83,7 +91,10 @@ fn main() {
     let rate = args.get_f64("rate", 0.0);
     let deadline_ms = args.get_usize("deadline-ms", 0);
     let seed = args.get_usize("seed", 42) as u64;
+    let profile = args.flag("profile");
+    let slow_ms = args.get_usize("slow-ms", 0);
     let out_path = args.get_str("out", "BENCH_service.json");
+    let obs_out_path = args.get_str("obs-out", "BENCH_obs.json");
     let queue_capacity = match args.get_usize("queue", 0) {
         0 => clients + workers,
         c => c,
@@ -124,6 +135,17 @@ fn main() {
             queue_capacity,
             cpq: cfg,
             default_deadline: None,
+            // Off by default so the load test measures the uninstrumented
+            // path; --profile turns the full pipeline on.
+            obs: if profile {
+                ObsConfig {
+                    enabled: true,
+                    slow_query_threshold: Some(Duration::from_millis(slow_ms as u64)),
+                    slow_log_capacity: 256,
+                }
+            } else {
+                ObsConfig::disabled()
+            },
         },
     );
 
@@ -208,6 +230,56 @@ fn main() {
 
     let (pool_p, _) = service.trees().p.pool().stats_snapshot();
     let (pool_q, _) = service.trees().q.pool().stats_snapshot();
+
+    // --profile: scrape, lint, and dump the observability report before the
+    // service (and its registry) shuts down.
+    if profile {
+        let exposition = service.render_metrics();
+        let lint = match lint_exposition(&exposition) {
+            Ok(()) => "clean".to_string(),
+            Err(errors) => {
+                for e in &errors {
+                    eprintln!("metrics lint: {e}");
+                }
+                format!("{} errors", errors.len())
+            }
+        };
+        let profiles = service.drain_slow_queries();
+        let profile_lines: Vec<String> = profiles
+            .iter()
+            .map(|p| format!("    {}", p.to_json()))
+            .collect();
+        let obs = service.obs().expect("--profile enables observability");
+        let obs_json = format!(
+            concat!(
+                "{{\n",
+                "  \"bench\": \"service_obs\",\n",
+                "  \"slow_threshold_ms\": {slow_ms},\n",
+                "  \"slow_queries_observed\": {observed},\n",
+                "  \"slow_log_evictions\": {evicted},\n",
+                "  \"metrics_lint\": \"{lint}\",\n",
+                "  \"metrics_series_lines\": {series},\n",
+                "  \"slow_profiles\": [\n{profiles}\n  ]\n",
+                "}}\n"
+            ),
+            slow_ms = slow_ms,
+            observed = obs.slow_log().observed(),
+            evicted = obs.slow_log().evicted(),
+            lint = lint,
+            series = exposition
+                .lines()
+                .filter(|l| !l.starts_with('#') && !l.is_empty())
+                .count(),
+            profiles = profile_lines.join(",\n"),
+        );
+        std::fs::write(&obs_out_path, &obs_json).expect("write obs JSON");
+        assert_eq!(lint, "clean", "metrics exposition must lint clean");
+        eprintln!(
+            "observability: {} slow profiles captured (threshold {slow_ms}ms), exposition lint clean; wrote {obs_out_path}",
+            profiles.len()
+        );
+    }
+
     let stats = service.shutdown();
     let divergences = divergences.load(Ordering::Relaxed);
 

@@ -1,0 +1,98 @@
+//! CI metrics smoke gate: boots a small observable service, scrapes
+//! `GET /metrics` over a real TCP connection (the same path `curl` takes),
+//! runs the exposition-format linter over every line, and fails unless the
+//! core series the dashboards need are present:
+//!
+//! * `cpq_queries_total{algorithm,outcome}` — the query matrix;
+//! * `cpq_query_latency_microseconds` — the latency histogram;
+//! * `cpq_node_accesses_total{tree}` — the paper's cost metric, live;
+//! * `cpq_buffer_hit_ratio{tree}` — the bridged pool series.
+//!
+//! Exits non-zero (panics) on any lint error or missing series, so
+//! `scripts/ci.sh` can gate on it directly.
+
+use cpq_bench::{build_tree, uniform_dataset};
+use cpq_core::Algorithm;
+use cpq_obs::lint_exposition;
+use cpq_service::{CpqService, ObsConfig, QueryRequest, ServiceConfig, TreePair};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+fn main() {
+    eprintln!("building 1000-point trees and serving...");
+    let tp = build_tree(&uniform_dataset(1_000, 1.0, 42)).expect("build P tree");
+    let tq = build_tree(&uniform_dataset(1_000, 1.0, 43)).expect("build Q tree");
+    let service: CpqService<2> = CpqService::start(
+        TreePair::new(tp, tq),
+        ServiceConfig {
+            workers: 2,
+            obs: ObsConfig::default(),
+            ..ServiceConfig::default()
+        },
+    );
+
+    // Touch every algorithm so the exposition carries live counts, not
+    // just pre-registered zeros.
+    for algorithm in [
+        Algorithm::Naive,
+        Algorithm::Exhaustive,
+        Algorithm::Simple,
+        Algorithm::SortedDistances,
+        Algorithm::Heap,
+    ] {
+        let resp = service
+            .execute(QueryRequest::cross(10, algorithm))
+            .expect("query execution");
+        assert!(resp.profile.is_some(), "profiles attached when obs is on");
+    }
+
+    let server = service.serve_metrics("127.0.0.1:0").expect("bind listener");
+    eprintln!("scraping http://{}/metrics ...", server.addr());
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    write!(stream, "GET /metrics HTTP/1.1\r\nHost: ci\r\n\r\n").expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("http header/body split");
+    assert!(head.starts_with("HTTP/1.1 200"), "bad status: {head}");
+    assert!(
+        head.contains("text/plain; version=0.0.4"),
+        "bad content type: {head}"
+    );
+
+    if let Err(errors) = lint_exposition(body) {
+        for e in &errors {
+            eprintln!("LINT: {e}");
+        }
+        panic!("{} exposition lint errors", errors.len());
+    }
+
+    let required = [
+        "cpq_queries_total{algorithm=\"HEAP\",outcome=\"completed\"} 1",
+        "cpq_queries_total{algorithm=\"NAIVE\",outcome=\"completed\"} 1",
+        "cpq_query_latency_microseconds_count 5",
+        "cpq_query_latency_microseconds_bucket",
+        "cpq_queue_wait_microseconds_count 5",
+        "cpq_node_accesses_total{tree=\"p\"}",
+        "cpq_node_accesses_total{tree=\"q\"}",
+        "cpq_dist_computations_total",
+        "cpq_buffer_reads_total{tree=\"p\",result=\"hit\"}",
+        "cpq_buffer_hit_ratio{tree=\"p\"}",
+        "cpq_buffer_hit_ratio{tree=\"q\"}",
+        "cpq_queue_depth 0",
+        "cpq_sheds_total 0",
+    ];
+    for series in required {
+        assert!(
+            body.contains(series),
+            "required series missing from /metrics: {series}"
+        );
+    }
+
+    let samples = body
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .count();
+    server.stop();
+    service.shutdown();
+    eprintln!("metrics smoke: exposition lint clean, {samples} samples, all core series present");
+}

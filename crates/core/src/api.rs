@@ -7,6 +7,7 @@ use crate::heap_alg::heap_run;
 use crate::recursive::{exhaustive, naive, simple, sorted};
 use crate::types::{CpqStats, QueryOutcome, QueryRun};
 use cpq_geo::SpatialObject;
+use cpq_obs::{NullProbe, Probe, ProbeSide};
 use cpq_rtree::{RTree, RTreeError, RTreeResult};
 
 /// The five algorithms of the paper (Sections 3.1–3.5).
@@ -63,7 +64,17 @@ pub fn k_closest_pairs<const D: usize, O: SpatialObject<D>>(
     algorithm: Algorithm,
     config: &CpqConfig,
 ) -> RTreeResult<QueryOutcome<D, O>> {
-    Ok(run(tree_p, tree_q, k, algorithm, config, false, None)?.outcome)
+    Ok(run(
+        tree_p,
+        tree_q,
+        k,
+        algorithm,
+        config,
+        false,
+        None,
+        &mut NullProbe,
+    )?
+    .outcome)
 }
 
 /// [`k_closest_pairs`] under a cooperative [`CancelToken`], the form the
@@ -82,7 +93,47 @@ pub fn k_closest_pairs_cancellable<const D: usize, O: SpatialObject<D>>(
     config: &CpqConfig,
     cancel: &CancelToken,
 ) -> RTreeResult<QueryRun<D, O>> {
-    run(tree_p, tree_q, k, algorithm, config, false, Some(cancel))
+    run(
+        tree_p,
+        tree_q,
+        k,
+        algorithm,
+        config,
+        false,
+        Some(cancel),
+        &mut NullProbe,
+    )
+}
+
+/// [`k_closest_pairs_cancellable`] with a caller-supplied [`Probe`]: the
+/// instrumented entry point.
+///
+/// The probe receives per-node-access, per-leaf-scan, and per-phase
+/// callbacks during the run (see [`cpq_obs::Probe`]); pass a
+/// [`cpq_obs::ProfileProbe`] to accumulate a full
+/// [`cpq_obs::QueryProfile`]. Results and work counters are identical to
+/// the uninstrumented entry points — instrumentation observes, it never
+/// steers.
+#[allow(clippy::too_many_arguments)]
+pub fn k_closest_pairs_instrumented<const D: usize, O: SpatialObject<D>, P: Probe>(
+    tree_p: &RTree<D, O>,
+    tree_q: &RTree<D, O>,
+    k: usize,
+    algorithm: Algorithm,
+    config: &CpqConfig,
+    cancel: &CancelToken,
+    probe: &mut P,
+) -> RTreeResult<QueryRun<D, O>> {
+    run(
+        tree_p,
+        tree_q,
+        k,
+        algorithm,
+        config,
+        false,
+        Some(cancel),
+        probe,
+    )
 }
 
 /// The 1-CP convenience wrapper: the single closest pair.
@@ -104,7 +155,7 @@ pub fn self_closest_pairs<const D: usize, O: SpatialObject<D>>(
     algorithm: Algorithm,
     config: &CpqConfig,
 ) -> RTreeResult<QueryOutcome<D, O>> {
-    Ok(run(tree, tree, k, algorithm, config, true, None)?.outcome)
+    Ok(run(tree, tree, k, algorithm, config, true, None, &mut NullProbe)?.outcome)
 }
 
 /// [`self_closest_pairs`] under a cooperative [`CancelToken`]; semantics as
@@ -116,11 +167,33 @@ pub fn self_closest_pairs_cancellable<const D: usize, O: SpatialObject<D>>(
     config: &CpqConfig,
     cancel: &CancelToken,
 ) -> RTreeResult<QueryRun<D, O>> {
-    run(tree, tree, k, algorithm, config, true, Some(cancel))
+    run(
+        tree,
+        tree,
+        k,
+        algorithm,
+        config,
+        true,
+        Some(cancel),
+        &mut NullProbe,
+    )
+}
+
+/// [`self_closest_pairs_cancellable`] with a caller-supplied [`Probe`];
+/// semantics as in [`k_closest_pairs_instrumented`].
+pub fn self_closest_pairs_instrumented<const D: usize, O: SpatialObject<D>, P: Probe>(
+    tree: &RTree<D, O>,
+    k: usize,
+    algorithm: Algorithm,
+    config: &CpqConfig,
+    cancel: &CancelToken,
+    probe: &mut P,
+) -> RTreeResult<QueryRun<D, O>> {
+    run(tree, tree, k, algorithm, config, true, Some(cancel), probe)
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run<const D: usize, O: SpatialObject<D>>(
+fn run<const D: usize, O: SpatialObject<D>, P: Probe>(
     tree_p: &RTree<D, O>,
     tree_q: &RTree<D, O>,
     k: usize,
@@ -128,6 +201,7 @@ fn run<const D: usize, O: SpatialObject<D>>(
     config: &CpqConfig,
     self_join: bool,
     cancel: Option<&CancelToken>,
+    probe: &mut P,
 ) -> RTreeResult<QueryRun<D, O>> {
     let misses_before = (
         tree_p.pool().buffer_stats().misses,
@@ -142,7 +216,7 @@ fn run<const D: usize, O: SpatialObject<D>>(
             completed: true,
         });
     }
-    let mut ctx = Ctx::new(tree_p, tree_q, k, config, self_join, cancel);
+    let mut ctx = Ctx::new(tree_p, tree_q, k, config, self_join, cancel, probe);
 
     // A token that is already tripped (deadline expired while queued) stops
     // the run before it pays for the two root reads.
@@ -157,6 +231,10 @@ fn run<const D: usize, O: SpatialObject<D>>(
     // the second read hits the same pool).
     let root_p = tree_p.read_node(tree_p.root())?;
     let root_q = tree_q.read_node(tree_q.root())?;
+    if P::ENABLED {
+        ctx.probe.node_access(ProbeSide::P, root_p.level());
+        ctx.probe.node_access(ProbeSide::Q, root_q.level());
+    }
     ctx.root_area_p = root_p.mbr().expect("non-empty root").area();
     ctx.root_area_q = root_q.mbr().expect("non-empty root").area();
 

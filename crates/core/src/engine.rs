@@ -7,7 +7,9 @@ use crate::config::{CpqConfig, HeightStrategy, KPruning, LeafScan};
 use crate::kheap::KHeap;
 use crate::types::{CpqStats, PairResult};
 use cpq_geo::{max_max_dist2, min_max_dist2, min_min_dist2_within, Dist2, Rect, SpatialObject};
+use cpq_obs::{Probe, ProbeSide};
 use cpq_rtree::{InnerEntry, Node, RTree, RTreeError, RTreeResult};
+use std::time::Instant;
 
 /// One side of a candidate pair: either stay at the current node or descend
 /// into one of its children.
@@ -46,7 +48,11 @@ struct SweepProj {
 }
 
 /// Mutable state of one query run, shared by all algorithm variants.
-pub(crate) struct Ctx<'a, const D: usize, O: SpatialObject<D>> {
+///
+/// Generic over the [`Probe`] so instrumentation monomorphizes away: with
+/// [`cpq_obs::NullProbe`] (`ENABLED = false`) every probe call site and its
+/// `Instant::now()` guard compiles to nothing.
+pub(crate) struct Ctx<'a, const D: usize, O: SpatialObject<D>, P: Probe> {
     pub tp: &'a RTree<D, O>,
     pub tq: &'a RTree<D, O>,
     pub cfg: &'a CpqConfig,
@@ -69,6 +75,8 @@ pub(crate) struct Ctx<'a, const D: usize, O: SpatialObject<D>> {
     /// `None` (the plain entry points) compiles down to a no-op check, so
     /// single-threaded results and work counters are untouched.
     pub cancel: Option<&'a CancelToken>,
+    /// Per-query instrumentation sink (see the struct docs).
+    pub probe: &'a mut P,
     /// Scratch for the plane-sweep leaf scan (one buffer per side), reused
     /// across leaf pairs.
     sweep_p: Vec<SweepProj>,
@@ -85,7 +93,7 @@ pub(crate) struct Ctx<'a, const D: usize, O: SpatialObject<D>> {
     keyed_pool: Vec<Vec<(Cand<D>, f64)>>,
 }
 
-impl<'a, const D: usize, O: SpatialObject<D>> Ctx<'a, D, O> {
+impl<'a, const D: usize, O: SpatialObject<D>, P: Probe> Ctx<'a, D, O, P> {
     pub(crate) fn new(
         tp: &'a RTree<D, O>,
         tq: &'a RTree<D, O>,
@@ -93,6 +101,7 @@ impl<'a, const D: usize, O: SpatialObject<D>> Ctx<'a, D, O> {
         cfg: &'a CpqConfig,
         self_join: bool,
         cancel: Option<&'a CancelToken>,
+        probe: &'a mut P,
     ) -> Self {
         Ctx {
             tp,
@@ -106,6 +115,7 @@ impl<'a, const D: usize, O: SpatialObject<D>> Ctx<'a, D, O> {
             root_area_q: 0.0,
             self_join,
             cancel,
+            probe,
             sweep_p: Vec::new(),
             sweep_q: Vec::new(),
             sides_p: Vec::new(),
@@ -166,17 +176,36 @@ impl<'a, const D: usize, O: SpatialObject<D>> Ctx<'a, D, O> {
     /// by the sweep is strictly farther than the live threshold `T`, so it
     /// can never belong to the K best.
     pub(crate) fn scan_leaves(&mut self, lp: &Node<D, O>, lq: &Node<D, O>) {
-        match self.cfg.leaf_scan {
+        // The probe wrapper: clock reads and the dist-computation delta are
+        // gated on `P::ENABLED`, so `NullProbe` pays for neither.
+        let start = if P::ENABLED {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let dist_before = self.stats.dist_computations;
+        let (kernel_early_outs, sweep_pairs_skipped) = match self.cfg.leaf_scan {
             // With `T` still infinite the gap test cannot reject anything,
             // so the sweep would pay its sorting overhead for nothing;
             // scan this pair exhaustively (it seeds the first threshold).
             LeafScan::PlaneSweep if !self.t().is_infinite() => self.scan_leaves_sweep(lp, lq),
             _ => self.scan_leaves_brute(lp, lq),
+        };
+        if let Some(start) = start {
+            self.probe.leaf_scan(
+                self.stats.dist_computations - dist_before,
+                kernel_early_outs,
+                sweep_pairs_skipped,
+                start.elapsed().as_nanos() as u64,
+            );
         }
     }
 
     /// CP3 exactly as the paper states it: all `|P| × |Q|` distances.
-    fn scan_leaves_brute(&mut self, lp: &Node<D, O>, lq: &Node<D, O>) {
+    ///
+    /// Returns `(kernel_early_outs, sweep_pairs_skipped)` — both zero here:
+    /// the brute path computes full distances and visits every pair.
+    fn scan_leaves_brute(&mut self, lp: &Node<D, O>, lq: &Node<D, O>) -> (u64, u64) {
         for ep in lp.leaf_entries() {
             for eq in lq.leaf_entries() {
                 if self.self_join && ep.oid >= eq.oid {
@@ -186,6 +215,7 @@ impl<'a, const D: usize, O: SpatialObject<D>> Ctx<'a, D, O> {
                 self.kheap.offer(PairResult::new(*ep, *eq));
             }
         }
+        (0, 0)
     }
 
     /// Distance-based plane sweep over the two leaves' entry sequences.
@@ -206,11 +236,16 @@ impl<'a, const D: usize, O: SpatialObject<D>> Ctx<'a, D, O> {
     /// entry comes first in merged order, so this enumerates the same pairs
     /// as a sweep over the materialized merged sequence while never
     /// stepping over same-side items.
-    fn scan_leaves_sweep(&mut self, lp: &Node<D, O>, lq: &Node<D, O>) {
+    ///
+    /// Returns `(kernel_early_outs, sweep_pairs_skipped)`: kernel calls that
+    /// bailed out on the threshold, and pairs never visited thanks to the
+    /// axis-gap break. Both counters are gated on `P::ENABLED`, so the
+    /// uninstrumented monomorphization carries no bookkeeping (they read 0).
+    fn scan_leaves_sweep(&mut self, lp: &Node<D, O>, lq: &Node<D, O>) -> (u64, u64) {
         let eps = lp.leaf_entries();
         let eqs = lq.leaf_entries();
         if eps.is_empty() || eqs.is_empty() {
-            return;
+            return (0, 0);
         }
         let bp = lp.mbr().expect("non-empty leaf has an MBR");
         let bq = lq.mbr().expect("non-empty leaf has an MBR");
@@ -248,6 +283,8 @@ impl<'a, const D: usize, O: SpatialObject<D>> Ctx<'a, D, O> {
         // loop and refreshed exactly then — the break still fires as early
         // as the freshest bound allows.
         let mut t = self.t();
+        let mut early_outs = 0u64;
+        let mut visited = 0u64;
         let (mut i, mut j) = (0, 0);
         while i < ps.len() && j < qs.len() {
             if ps[i].lo <= qs[j].lo {
@@ -258,14 +295,24 @@ impl<'a, const D: usize, O: SpatialObject<D>> Ctx<'a, D, O> {
                     if gap > 0.0 && gap * gap > t.get() {
                         break; // later items only move farther along the axis
                     }
+                    if P::ENABLED {
+                        visited += 1;
+                    }
                     let (ep, eq) = (&eps[a.idx as usize], &eqs[b.idx as usize]);
                     if self.self_join && ep.oid >= eq.oid {
                         continue; // one orientation per unordered pair
                     }
                     self.stats.dist_computations += 1;
-                    if let Some(d2) = min_min_dist2_within(&ep.mbr(), &eq.mbr(), t) {
-                        if self.kheap.offer(PairResult::with_dist2(*ep, *eq, d2)) {
-                            t = self.t();
+                    match min_min_dist2_within(&ep.mbr(), &eq.mbr(), t) {
+                        Some(d2) => {
+                            if self.kheap.offer(PairResult::with_dist2(*ep, *eq, d2)) {
+                                t = self.t();
+                            }
+                        }
+                        None => {
+                            if P::ENABLED {
+                                early_outs += 1;
+                            }
                         }
                     }
                 }
@@ -277,21 +324,37 @@ impl<'a, const D: usize, O: SpatialObject<D>> Ctx<'a, D, O> {
                     if gap > 0.0 && gap * gap > t.get() {
                         break;
                     }
+                    if P::ENABLED {
+                        visited += 1;
+                    }
                     let (ep, eq) = (&eps[a.idx as usize], &eqs[b.idx as usize]);
                     if self.self_join && ep.oid >= eq.oid {
                         continue;
                     }
                     self.stats.dist_computations += 1;
-                    if let Some(d2) = min_min_dist2_within(&ep.mbr(), &eq.mbr(), t) {
-                        if self.kheap.offer(PairResult::with_dist2(*ep, *eq, d2)) {
-                            t = self.t();
+                    match min_min_dist2_within(&ep.mbr(), &eq.mbr(), t) {
+                        Some(d2) => {
+                            if self.kheap.offer(PairResult::with_dist2(*ep, *eq, d2)) {
+                                t = self.t();
+                            }
+                        }
+                        None => {
+                            if P::ENABLED {
+                                early_outs += 1;
+                            }
                         }
                     }
                 }
             }
         }
+        let skipped = if P::ENABLED {
+            (eps.len() as u64) * (eqs.len() as u64) - visited
+        } else {
+            0
+        };
         self.sweep_p = ps;
         self.sweep_q = qs;
+        (early_outs, skipped)
     }
 
     /// Generates the candidate subtree pairs for a node pair into `out`,
@@ -315,6 +378,11 @@ impl<'a, const D: usize, O: SpatialObject<D>> Ctx<'a, D, O> {
         prune: bool,
         out: &mut Vec<Cand<D>>,
     ) {
+        let start = if P::ENABLED {
+            Some(Instant::now())
+        } else {
+            None
+        };
         let descend_p; // descend into P's children?
         let descend_q;
         match (np.is_leaf(), nq.is_leaf()) {
@@ -395,6 +463,9 @@ impl<'a, const D: usize, O: SpatialObject<D>> Ctx<'a, D, O> {
         }
         self.sides_p = sides_p;
         self.sides_q = sides_q;
+        if let Some(start) = start {
+            self.probe.gen_phase(start.elapsed().as_nanos() as u64);
+        }
     }
 
     /// Tightens `bound` from the candidates of the current node pair:
@@ -457,14 +528,24 @@ impl<'a, const D: usize, O: SpatialObject<D>> Ctx<'a, D, O> {
             (Descend::Down(ep), Descend::Down(eq)) => {
                 let a = self.tp.read_node(ep.child)?;
                 let b = self.tq.read_node(eq.child)?;
+                if P::ENABLED {
+                    self.probe.node_access(ProbeSide::P, a.level());
+                    self.probe.node_access(ProbeSide::Q, b.level());
+                }
                 f(self, &a, &b)
             }
             (Descend::Down(ep), Descend::Stay) => {
                 let a = self.tp.read_node(ep.child)?;
+                if P::ENABLED {
+                    self.probe.node_access(ProbeSide::P, a.level());
+                }
                 f(self, &a, nq)
             }
             (Descend::Stay, Descend::Down(eq)) => {
                 let b = self.tq.read_node(eq.child)?;
+                if P::ENABLED {
+                    self.probe.node_access(ProbeSide::Q, b.level());
+                }
                 f(self, np, &b)
             }
             (Descend::Stay, Descend::Stay) => {

@@ -9,6 +9,7 @@
 
 use crate::engine::{Ctx, Descend};
 use cpq_geo::{Dist2, SpatialObject};
+use cpq_obs::{Probe, ProbeSide};
 use cpq_rtree::{Node, RTreeResult};
 use cpq_storage::PageId;
 use std::cmp::{Ordering, Reverse};
@@ -45,8 +46,8 @@ impl Ord for HeapItem {
 
 /// Runs the Heap algorithm starting from the two root nodes (already read by
 /// the caller, which also charged those two page accesses).
-pub(crate) fn heap_run<const D: usize, O: SpatialObject<D>>(
-    ctx: &mut Ctx<'_, D, O>,
+pub(crate) fn heap_run<const D: usize, O: SpatialObject<D>, P: Probe>(
+    ctx: &mut Ctx<'_, D, O, P>,
     root_p: &Node<D, O>,
     root_q: &Node<D, O>,
 ) -> RTreeResult<()> {
@@ -71,6 +72,10 @@ pub(crate) fn heap_run<const D: usize, O: SpatialObject<D>>(
         }
         let np = ctx.tp.read_node(item.page_p)?;
         let nq = ctx.tq.read_node(item.page_q)?;
+        if P::ENABLED {
+            ctx.probe.node_access(ProbeSide::P, np.level());
+            ctx.probe.node_access(ProbeSide::Q, nq.level());
+        }
         process_pair(ctx, &np, item.page_p, &nq, item.page_q, &mut heap, &mut seq)?;
     }
     Ok(())
@@ -81,8 +86,8 @@ pub(crate) fn heap_run<const D: usize, O: SpatialObject<D>>(
 /// current page id — the node will simply be re-read when the pair is
 /// popped, which is exactly the I/O a paged implementation performs).
 #[allow(clippy::too_many_arguments)]
-fn process_pair<const D: usize, O: SpatialObject<D>>(
-    ctx: &mut Ctx<'_, D, O>,
+fn process_pair<const D: usize, O: SpatialObject<D>, P: Probe>(
+    ctx: &mut Ctx<'_, D, O, P>,
     np: &Node<D, O>,
     page_p: PageId,
     nq: &Node<D, O>,

@@ -69,11 +69,13 @@ mod ties;
 mod types;
 
 pub use api::{
-    closest_pair, k_closest_pairs, k_closest_pairs_cancellable, self_closest_pairs,
-    self_closest_pairs_cancellable, Algorithm,
+    closest_pair, k_closest_pairs, k_closest_pairs_cancellable, k_closest_pairs_instrumented,
+    self_closest_pairs, self_closest_pairs_cancellable, self_closest_pairs_instrumented, Algorithm,
 };
 pub use cancel::CancelToken;
+// Re-exported so instrumented callers need not name `cpq-obs` directly.
 pub use config::{CpqConfig, HeightStrategy, KPruning, LeafScan};
+pub use cpq_obs::{NullProbe, Probe, ProbeSide, ProfileProbe, QueryProfile};
 pub use incremental::{
     distance_join, k_closest_pairs_incremental, DistanceJoin, IncTie, IncrementalConfig, Traversal,
 };

@@ -1,0 +1,161 @@
+//! The zero-overhead contract of the instrumentation layer.
+//!
+//! The `*_instrumented` entry points monomorphize over a [`Probe`]; with
+//! [`NullProbe`] (ENABLED = false) every probe call site must vanish, so
+//! the instrumented path has to produce **bit-identical pairs and
+//! identical deterministic work counters** to the plain entry points for
+//! all five algorithms, both join kinds, and K ∈ {1, 100}. A divergence
+//! means a probe hook leaked work (a counter bump, a clock read, an
+//! ordering change) into the uninstrumented hot path.
+//!
+//! The same sweep with a [`ProfileProbe`] cross-checks the profile against
+//! `CpqStats`: the probe's independently-accumulated distance count must
+//! equal the engine's, and node accesses must be non-zero wherever the
+//! engine did work — catching hooks that are wired but miscounting.
+//!
+//! Every run gets **freshly built identical trees**: `disk_accesses_*` are
+//! buffer-pool miss deltas, so a cache warmed by a previous run would make
+//! them diverge for environmental (not instrumentation) reasons.
+
+use cpq_core::{
+    k_closest_pairs, k_closest_pairs_instrumented, self_closest_pairs,
+    self_closest_pairs_instrumented, Algorithm, CancelToken, CpqConfig, NullProbe, PairResult,
+    ProfileProbe,
+};
+use cpq_datasets::uniform;
+use cpq_geo::Point2;
+use cpq_rtree::{RTree, RTreeParams};
+use cpq_storage::{BufferPool, MemPageFile};
+
+fn build(points: &[Point2]) -> RTree<2> {
+    let pool = BufferPool::with_lru(Box::new(MemPageFile::new(1024)), 32);
+    let mut tree = RTree::new(pool, RTreeParams::paper()).unwrap();
+    for (i, &p) in points.iter().enumerate() {
+        tree.insert(p, i as u64).unwrap();
+    }
+    tree
+}
+
+/// A deterministic fresh tree pair: identical across calls (same seeds,
+/// same insertion order, cold caches), so repeated runs see identical
+/// buffer behavior.
+fn fresh_pair() -> (RTree<2>, RTree<2>) {
+    (
+        build(&uniform(400, 11).points),
+        build(&uniform(350, 12).points),
+    )
+}
+
+const ALL_ALGORITHMS: [Algorithm; 5] = [
+    Algorithm::Naive,
+    Algorithm::Exhaustive,
+    Algorithm::Simple,
+    Algorithm::SortedDistances,
+    Algorithm::Heap,
+];
+
+fn assert_bit_identical(got: &[PairResult<2>], want: &[PairResult<2>], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: result count");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.p.oid, w.p.oid, "{what}: pair {i} p-oid");
+        assert_eq!(g.q.oid, w.q.oid, "{what}: pair {i} q-oid");
+        assert_eq!(
+            g.dist2.get().to_bits(),
+            w.dist2.get().to_bits(),
+            "{what}: pair {i} dist2 bits"
+        );
+    }
+}
+
+#[test]
+fn null_probe_is_bit_identical_to_plain_path() {
+    let cfg = CpqConfig::paper();
+    for algorithm in ALL_ALGORITHMS {
+        for k in [1usize, 100] {
+            let what = format!("{} k={k}", algorithm.label());
+
+            let (tp, tq) = fresh_pair();
+            let plain = k_closest_pairs(&tp, &tq, k, algorithm, &cfg).unwrap();
+            let (tp, tq) = fresh_pair();
+            let inst = k_closest_pairs_instrumented(
+                &tp,
+                &tq,
+                k,
+                algorithm,
+                &cfg,
+                &CancelToken::new(),
+                &mut NullProbe,
+            )
+            .unwrap();
+            assert!(inst.completed, "{what}: uncancelled run completes");
+            assert_bit_identical(&inst.outcome.pairs, &plain.pairs, &format!("cross {what}"));
+            assert_eq!(
+                inst.outcome.stats, plain.stats,
+                "cross {what}: CpqStats must be identical"
+            );
+
+            let (tp, _) = fresh_pair();
+            let plain = self_closest_pairs(&tp, k, algorithm, &cfg).unwrap();
+            let (tp, _) = fresh_pair();
+            let inst = self_closest_pairs_instrumented(
+                &tp,
+                k,
+                algorithm,
+                &cfg,
+                &CancelToken::new(),
+                &mut NullProbe,
+            )
+            .unwrap();
+            assert_bit_identical(&inst.outcome.pairs, &plain.pairs, &format!("self {what}"));
+            assert_eq!(
+                inst.outcome.stats, plain.stats,
+                "self {what}: CpqStats must be identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn profile_probe_agrees_with_engine_counters() {
+    let cfg = CpqConfig::paper();
+    for algorithm in ALL_ALGORITHMS {
+        let what = algorithm.label();
+        let (tp, tq) = fresh_pair();
+        let mut probe = ProfileProbe::new();
+        let run = k_closest_pairs_instrumented(
+            &tp,
+            &tq,
+            100,
+            algorithm,
+            &cfg,
+            &CancelToken::new(),
+            &mut probe,
+        )
+        .unwrap();
+        let profile = probe.into_profile();
+
+        // Results are also unchanged under an *active* probe.
+        let (tp, tq) = fresh_pair();
+        let plain = k_closest_pairs(&tp, &tq, 100, algorithm, &cfg).unwrap();
+        assert_bit_identical(&run.outcome.pairs, &plain.pairs, what);
+        assert_eq!(run.outcome.stats, plain.stats, "{what}: stats under probe");
+
+        // The probe counts distances independently of CpqStats (deltas per
+        // leaf scan vs. a global counter); they must agree exactly.
+        assert_eq!(
+            profile.dist_computations, run.outcome.stats.dist_computations,
+            "{what}: probe vs engine distance count"
+        );
+        // Both roots were visited, and leaves were reached on both sides
+        // (level 0 is the leaf level in the per-level vectors).
+        assert!(
+            profile.node_accesses_p.first().copied().unwrap_or(0) > 0,
+            "{what}: p-tree leaf accesses"
+        );
+        assert!(
+            profile.node_accesses_q.first().copied().unwrap_or(0) > 0,
+            "{what}: q-tree leaf accesses"
+        );
+        assert!(profile.scan_ns > 0, "{what}: leaf scans timed");
+    }
+}

@@ -1,0 +1,375 @@
+//! A small Prometheus text-exposition linter.
+//!
+//! Used by the CI metrics smoke step: scrape `/metrics`, feed the body
+//! through [`lint_exposition`], fail the build on any malformed line. It is
+//! deliberately stricter than a scraper needs to be — it lints *our own*
+//! renderer's output, so unknown constructs are errors, not extensions.
+
+use std::collections::HashMap;
+
+/// One problem found in an exposition body, with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintError {
+    /// 1-based line number (0 for document-level problems).
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+fn is_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_value(s: &str) -> Option<f64> {
+    match s {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        _ => s.parse().ok(),
+    }
+}
+
+/// Splits `name{labels}` into the name and the raw label block (without
+/// braces); `None` on unbalanced braces.
+fn split_labels(sample: &str) -> Option<(&str, Option<&str>)> {
+    match sample.find('{') {
+        None => Some((sample, None)),
+        Some(open) => {
+            let rest = &sample[open..];
+            if !rest.ends_with('}') {
+                return None;
+            }
+            Some((&sample[..open], Some(&rest[1..rest.len() - 1])))
+        }
+    }
+}
+
+/// Parses a label block like `a="x",le="+Inf"`; `None` on malformed input.
+fn parse_labels(block: &str) -> Option<Vec<(String, String)>> {
+    let mut out = Vec::new();
+    let mut rest = block;
+    while !rest.is_empty() {
+        let eq = rest.find('=')?;
+        let key = &rest[..eq];
+        if !is_name(key) {
+            return None;
+        }
+        rest = rest[eq + 1..].strip_prefix('"')?;
+        // Find the closing quote, honoring backslash escapes.
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let close = loop {
+            let (i, c) = chars.next()?;
+            match c {
+                '"' => break i,
+                '\\' => {
+                    let (_, esc) = chars.next()?;
+                    match esc {
+                        '\\' => value.push('\\'),
+                        '"' => value.push('"'),
+                        'n' => value.push('\n'),
+                        _ => return None,
+                    }
+                }
+                c => value.push(c),
+            }
+        };
+        out.push((key.to_string(), value));
+        rest = &rest[close + 1..];
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r;
+        } else if !rest.is_empty() {
+            return None;
+        }
+    }
+    Some(out)
+}
+
+/// The family a sample name belongs to: `x_bucket`/`x_sum`/`x_count` roll up
+/// to the histogram family `x` when such a family was declared.
+fn family_of<'a>(name: &'a str, histograms: &HashMap<&str, ()>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if histograms.contains_key(base) {
+                return base;
+            }
+        }
+    }
+    name
+}
+
+/// Lints a Prometheus text-exposition body.
+///
+/// Checks, per line: `# HELP`/`# TYPE` shape (no other comments), valid
+/// metric and label names, parseable values, label-block syntax. Checks,
+/// per family: `TYPE` declared before samples, known type, no duplicate
+/// `TYPE`; for histograms, a `+Inf` bucket per series whose cumulative
+/// buckets are non-decreasing and whose `_count` equals the `+Inf` bucket.
+/// Returns every problem found (empty `Ok` means the body is clean).
+pub fn lint_exposition(body: &str) -> Result<(), Vec<LintError>> {
+    let mut errors = Vec::new();
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut histograms: HashMap<&str, ()> = HashMap::new();
+    // Histogram per-series state: (family, labels-without-le) → last
+    // cumulative bucket value, +Inf value, _count value.
+    type SeriesKey = (String, Vec<(String, String)>);
+    let mut bucket_last: HashMap<SeriesKey, (u64, f64)> = HashMap::new();
+    let mut bucket_inf: HashMap<SeriesKey, u64> = HashMap::new();
+    let mut counts: HashMap<SeriesKey, u64> = HashMap::new();
+    let mut sums: HashMap<SeriesKey, ()> = HashMap::new();
+
+    // First pass for TYPE lines so `family_of` knows the histogram names
+    // even if a sample preceded its TYPE (which is itself reported below).
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            if let (Some(name), Some("histogram")) = (it.next(), it.next()) {
+                histograms.insert(name, ());
+            }
+        }
+    }
+    // `histograms` borrows from `body`, which outlives the loop.
+    let histograms = histograms;
+
+    for (idx, line) in body.lines().enumerate() {
+        let lineno = idx + 1;
+        let mut err = |message: String| {
+            errors.push(LintError {
+                line: lineno,
+                message,
+            })
+        };
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or("");
+            if !is_name(name) {
+                err(format!("malformed HELP line: {line:?}"));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            match parts.as_slice() {
+                [name, kind] if is_name(name) => {
+                    if !matches!(*kind, "counter" | "gauge" | "histogram") {
+                        err(format!("unknown metric type {kind:?}"));
+                    }
+                    if types.insert(name.to_string(), kind.to_string()).is_some() {
+                        err(format!("duplicate TYPE for {name:?}"));
+                    }
+                }
+                _ => err(format!("malformed TYPE line: {line:?}")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            err(format!(
+                "unexpected comment (only HELP/TYPE allowed): {line:?}"
+            ));
+            continue;
+        }
+
+        // Sample line: `name[{labels}] value`.
+        let Some((sample, value_str)) = line.rsplit_once(' ') else {
+            err(format!("sample line without value: {line:?}"));
+            continue;
+        };
+        let Some(value) = parse_value(value_str) else {
+            err(format!("unparseable sample value {value_str:?}"));
+            continue;
+        };
+        let Some((name, label_block)) = split_labels(sample) else {
+            err(format!("unbalanced label braces: {sample:?}"));
+            continue;
+        };
+        if !is_name(name) {
+            err(format!("invalid metric name {name:?}"));
+            continue;
+        }
+        let labels = match label_block {
+            None => Vec::new(),
+            Some(block) => match parse_labels(block) {
+                Some(l) => l,
+                None => {
+                    err(format!("malformed label block {block:?}"));
+                    continue;
+                }
+            },
+        };
+        let family = family_of(name, &histograms);
+        if !types.contains_key(family) {
+            err(format!("sample for {name:?} precedes its TYPE declaration"));
+        }
+
+        // Histogram bookkeeping.
+        if histograms.contains_key(family) {
+            let bare: Vec<(String, String)> =
+                labels.iter().filter(|(k, _)| k != "le").cloned().collect();
+            let key = (family.to_string(), bare);
+            if name.ends_with("_bucket") {
+                let le = labels.iter().find(|(k, _)| k == "le");
+                let Some((_, le)) = le else {
+                    err(format!("histogram bucket without le label: {line:?}"));
+                    continue;
+                };
+                let Some(le_v) = parse_value(le) else {
+                    err(format!("unparseable le bound {le:?}"));
+                    continue;
+                };
+                let cum = value as u64;
+                if let Some((prev, prev_le)) = bucket_last.get(&key) {
+                    if le_v < *prev_le {
+                        err(format!("bucket le bounds out of order at {line:?}"));
+                    }
+                    if cum < *prev {
+                        err(format!("cumulative bucket decreased at {line:?}"));
+                    }
+                }
+                bucket_last.insert(key.clone(), (cum, le_v));
+                if le_v.is_infinite() {
+                    bucket_inf.insert(key, cum);
+                }
+            } else if name.ends_with("_count") {
+                counts.insert(key, value as u64);
+            } else if name.ends_with("_sum") {
+                sums.insert(key, ());
+            }
+        }
+    }
+
+    // Per-series histogram invariants.
+    for (key, inf) in &bucket_inf {
+        match counts.get(key) {
+            Some(c) if c == inf => {}
+            Some(c) => errors.push(LintError {
+                line: 0,
+                message: format!("histogram {:?}: _count {c} != +Inf bucket {inf}", key.0),
+            }),
+            None => errors.push(LintError {
+                line: 0,
+                message: format!("histogram {:?}: missing _count", key.0),
+            }),
+        }
+        if !sums.contains_key(key) {
+            errors.push(LintError {
+                line: 0,
+                message: format!("histogram {:?}: missing _sum", key.0),
+            });
+        }
+    }
+    for key in bucket_last.keys() {
+        if !bucket_inf.contains_key(key) {
+            errors.push(LintError {
+                line: 0,
+                message: format!("histogram {:?}: missing +Inf bucket", key.0),
+            });
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_body_passes() {
+        let body = "\
+# HELP q_total queries served
+# TYPE q_total counter
+q_total{algo=\"HEAP\"} 3
+# HELP lat latency
+# TYPE lat histogram
+lat_bucket{le=\"1\"} 1
+lat_bucket{le=\"2\"} 2
+lat_bucket{le=\"+Inf\"} 3
+lat_sum 12
+lat_count 3
+";
+        lint_exposition(body).expect("clean body");
+    }
+
+    #[test]
+    fn missing_type_rejected() {
+        let err = lint_exposition("q_total 3\n").unwrap_err();
+        assert!(err[0].message.contains("precedes its TYPE"));
+    }
+
+    #[test]
+    fn bad_value_rejected() {
+        let body = "# TYPE x gauge\nx notanumber\n";
+        let err = lint_exposition(body).unwrap_err();
+        assert!(err.iter().any(|e| e.message.contains("unparseable")));
+    }
+
+    #[test]
+    fn decreasing_bucket_rejected() {
+        let body = "\
+# TYPE lat histogram
+lat_bucket{le=\"1\"} 5
+lat_bucket{le=\"2\"} 3
+lat_bucket{le=\"+Inf\"} 5
+lat_sum 1
+lat_count 5
+";
+        let err = lint_exposition(body).unwrap_err();
+        assert!(err.iter().any(|e| e.message.contains("decreased")));
+    }
+
+    #[test]
+    fn count_mismatch_rejected() {
+        let body = "\
+# TYPE lat histogram
+lat_bucket{le=\"+Inf\"} 5
+lat_sum 1
+lat_count 4
+";
+        let err = lint_exposition(body).unwrap_err();
+        assert!(err
+            .iter()
+            .any(|e| e.message.contains("_count 4 != +Inf bucket 5")));
+    }
+
+    #[test]
+    fn missing_inf_bucket_rejected() {
+        let body = "\
+# TYPE lat histogram
+lat_bucket{le=\"1\"} 5
+lat_sum 1
+lat_count 5
+";
+        let err = lint_exposition(body).unwrap_err();
+        assert!(err.iter().any(|e| e.message.contains("missing +Inf")));
+    }
+
+    #[test]
+    fn stray_comment_rejected() {
+        let err = lint_exposition("# hello world\n").unwrap_err();
+        assert!(err[0].message.contains("unexpected comment"));
+    }
+
+    #[test]
+    fn malformed_labels_rejected() {
+        let body = "# TYPE x counter\nx{oops} 1\n";
+        let err = lint_exposition(body).unwrap_err();
+        assert!(err.iter().any(|e| e.message.contains("malformed label")));
+    }
+}

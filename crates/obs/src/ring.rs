@@ -1,0 +1,269 @@
+//! A bounded multi-producer multi-consumer event ring buffer.
+//!
+//! Vyukov-style sequence-gated ring: `head`/`tail` are atomic cursors and
+//! every slot carries a sequence number that tells producers and consumers
+//! whose turn it is, so cursor claims are single CAS operations and threads
+//! never spin on each other's slots. The payload move itself goes through a
+//! per-slot mutex — the workspace forbids `unsafe`, and that lock is
+//! uncontended by construction (the sequence protocol admits exactly one
+//! thread per slot turn), so it costs an uncontended lock/unlock, not a
+//! blocking wait.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+struct Slot<T> {
+    /// Turn counter: `seq == index` means free for the producer of turn
+    /// `index`; `seq == index + 1` means filled for the consumer of turn
+    /// `index`; the consumer releases it as `index + capacity`.
+    seq: AtomicUsize,
+    item: Mutex<Option<T>>,
+}
+
+/// A bounded lock-free MPMC ring buffer of events.
+///
+/// `try_push` fails when the ring is full (counted in
+/// [`dropped`](Self::dropped)); [`force_push`](Self::force_push) instead
+/// evicts the oldest event, which is what the slow-query log wants — recent
+/// forensics beat ancient ones.
+pub struct EventRing<T> {
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+    head: AtomicUsize,
+    tail: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+impl<T> EventRing<T> {
+    /// Creates a ring holding at least `capacity` events (rounded up to the
+    /// next power of two; minimum 2).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        EventRing {
+            slots: (0..cap)
+                .map(|i| Slot {
+                    seq: AtomicUsize::new(i),
+                    item: Mutex::new(None),
+                })
+                .collect(),
+            mask: cap - 1,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Slot capacity (a power of two).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Events currently buffered (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        self.tail
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.head.load(Ordering::Relaxed))
+    }
+
+    /// `true` when no events are buffered (approximate under concurrency).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events rejected by [`try_push`](Self::try_push) or evicted by
+    /// [`force_push`](Self::force_push) since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Pushes an event, failing (and counting a drop) when the ring is full.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut pos = self.tail.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == pos {
+                match self.tail.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        *slot.item.lock().expect("ring slot poisoned") = Some(item);
+                        slot.seq.store(pos + 1, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(now) => pos = now,
+                }
+            } else if seq < pos {
+                // The consumer of `pos - capacity` has not freed the slot:
+                // the ring is full.
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return Err(item);
+            } else {
+                // Another producer claimed this turn; chase the cursor.
+                pos = self.tail.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Pushes an event, evicting the oldest one when the ring is full
+    /// (the eviction is counted in [`dropped`](Self::dropped)).
+    pub fn force_push(&self, mut item: T) {
+        loop {
+            match self.try_push(item) {
+                Ok(()) => return,
+                Err(back) => {
+                    item = back;
+                    // Free a slot by consuming the oldest event. If a racing
+                    // consumer beat us to it, the retry finds room anyway.
+                    let _evicted = self.pop();
+                }
+            }
+        }
+    }
+
+    /// Pops the oldest event, or `None` when the ring is empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut pos = self.head.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == pos + 1 {
+                match self.head.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let item = slot.item.lock().expect("ring slot poisoned").take();
+                        slot.seq.store(pos + self.slots.len(), Ordering::Release);
+                        return item;
+                    }
+                    Err(now) => pos = now,
+                }
+            } else if seq <= pos {
+                // The producer of this turn has not arrived: empty.
+                return None;
+            } else {
+                pos = self.head.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drains every buffered event, oldest first.
+    pub fn drain(&self) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(item) = self.pop() {
+            out.push(item);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let ring = EventRing::new(8);
+        for i in 0..5 {
+            ring.try_push(i).unwrap();
+        }
+        assert_eq!(ring.drain(), vec![0, 1, 2, 3, 4]);
+        assert!(ring.pop().is_none());
+    }
+
+    #[test]
+    fn full_ring_rejects_and_counts() {
+        let ring = EventRing::new(4);
+        for i in 0..4 {
+            ring.try_push(i).unwrap();
+        }
+        assert_eq!(ring.try_push(99), Err(99));
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn force_push_evicts_oldest() {
+        let ring = EventRing::new(4);
+        for i in 0..6 {
+            ring.force_push(i);
+        }
+        assert_eq!(ring.drain(), vec![2, 3, 4, 5], "keeps the newest events");
+        assert_eq!(ring.dropped(), 2);
+    }
+
+    #[test]
+    fn wraparound_reuses_slots() {
+        let ring = EventRing::new(2);
+        for round in 0..10 {
+            ring.try_push(round * 2).unwrap();
+            ring.try_push(round * 2 + 1).unwrap();
+            assert_eq!(ring.drain(), vec![round * 2, round * 2 + 1]);
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_lose_nothing() {
+        const PRODUCERS: u64 = 4;
+        const PER_PRODUCER: u64 = 5_000;
+        let ring = Arc::new(EventRing::new(64));
+        let consumed = Arc::new(Mutex::new(Vec::new()));
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|s| {
+            let producers: Vec<_> = (0..PRODUCERS)
+                .map(|p| {
+                    let ring = Arc::clone(&ring);
+                    s.spawn(move || {
+                        for i in 0..PER_PRODUCER {
+                            let mut v = p * PER_PRODUCER + i;
+                            // Spin until accepted: this test wants zero losses.
+                            loop {
+                                match ring.try_push(v) {
+                                    Ok(()) => break,
+                                    Err(back) => {
+                                        v = back;
+                                        std::thread::yield_now();
+                                    }
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for _ in 0..2 {
+                let ring = Arc::clone(&ring);
+                let consumed = Arc::clone(&consumed);
+                let done = Arc::clone(&done);
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    // Keep draining until the producers are done AND the
+                    // ring reads empty — never exit while pushes are still
+                    // possible, so producers can't wedge on a full ring.
+                    loop {
+                        match ring.pop() {
+                            Some(v) => got.push(v),
+                            None if done.load(Ordering::Relaxed) => break,
+                            None => std::thread::yield_now(),
+                        }
+                    }
+                    consumed.lock().unwrap().extend(got);
+                });
+            }
+            for h in producers {
+                h.join().unwrap();
+            }
+            done.store(true, Ordering::Relaxed);
+        });
+        let mut all = consumed.lock().unwrap().clone();
+        all.extend(ring.drain());
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..PRODUCERS * PER_PRODUCER).collect();
+        assert_eq!(all, expect, "every pushed event is popped exactly once");
+    }
+}

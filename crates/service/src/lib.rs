@@ -57,11 +57,15 @@
 //! assert_eq!(stats.completed, 1);
 //! ```
 
+mod http;
+mod obs;
 mod queue;
 mod request;
 mod service;
 mod stats;
 
+pub use http::MetricsServer;
+pub use obs::{ObsConfig, ServiceObs};
 pub use queue::AdmissionQueue;
 pub use request::{QueryKind, QueryRequest, QueryResponse, QueryStatus, Rejected};
 pub use service::{CpqService, QueryTicket, ServiceConfig, TreePair};
@@ -70,6 +74,9 @@ pub use stats::{Percentiles, ServiceStats, StatsSummary};
 // Re-exported so embedders can drive cancellation themselves without
 // depending on cpq-core directly.
 pub use cpq_core::CancelToken;
+// Re-exported so embedders can consume slow-query profiles without
+// depending on cpq-obs directly.
+pub use cpq_obs::QueryProfile;
 
 // Compile-time thread-safety contract of the subsystem. Service handles
 // are shared across client threads and worker threads; if a refactor ever

@@ -1,0 +1,279 @@
+//! Service-level observability: the metrics registry wiring, the bridged
+//! buffer-pool counters, and the slow-query log.
+//!
+//! One [`ServiceObs`] lives inside a [`CpqService`](crate::CpqService) when
+//! observability is on. Workers feed it one [`QueryProfile`] per executed
+//! query; scrapers read it through
+//! [`CpqService::render_metrics`](crate::CpqService::render_metrics) (or the
+//! HTTP listener in [`crate::http`]), which refreshes the bridged series
+//! from the buffer pools at scrape time.
+
+use crate::service::TreePair;
+use cpq_geo::SpatialObject;
+use cpq_obs::{Counter, Gauge, Histogram, QueryProfile, Registry, SlowQueryLog};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Observability knobs of a [`CpqService`](crate::CpqService).
+#[derive(Debug, Clone, Copy)]
+pub struct ObsConfig {
+    /// Master switch. Off: workers run the uninstrumented engine path
+    /// (`NullProbe` — zero overhead), no registry exists, and
+    /// [`CpqService::render_metrics`](crate::CpqService::render_metrics)
+    /// returns an empty body.
+    pub enabled: bool,
+    /// Queries with end-to-end latency at or above this threshold have
+    /// their full profile captured in the slow-query log. `None` disables
+    /// capture (counters still run).
+    pub slow_query_threshold: Option<Duration>,
+    /// Profiles retained by the slow-query log (oldest evicted).
+    pub slow_log_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            enabled: true,
+            slow_query_threshold: Some(Duration::from_millis(100)),
+            slow_log_capacity: 128,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// Observability fully off (the pre-observability service behavior).
+    pub fn disabled() -> Self {
+        ObsConfig {
+            enabled: false,
+            slow_query_threshold: None,
+            slow_log_capacity: 0,
+        }
+    }
+}
+
+/// Algorithm labels pre-registered so `/metrics` shows the full query
+/// matrix (as zeros) before any traffic arrives.
+const ALGORITHMS: [&str; 5] = ["NAIVE", "EXH", "SIM", "STD", "HEAP"];
+const OUTCOMES: [&str; 3] = ["completed", "timed-out", "failed"];
+
+struct TreeBridge {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    hit_ratio: Arc<Gauge>,
+}
+
+/// The observability state of one service: registry, pre-registered
+/// instruments, and the slow-query log.
+pub struct ServiceObs {
+    registry: Registry,
+    latency_us: Arc<Histogram>,
+    queue_wait_us: Arc<Histogram>,
+    node_accesses_p: Arc<Counter>,
+    node_accesses_q: Arc<Counter>,
+    dist_computations: Arc<Counter>,
+    kernel_early_outs: Arc<Counter>,
+    sweep_pairs_skipped: Arc<Counter>,
+    pairs_pruned: Arc<Counter>,
+    node_pairs_processed: Arc<Counter>,
+    heap_inserts: Arc<Counter>,
+    sheds: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    slow_observed: Arc<Counter>,
+    slow_evicted: Arc<Counter>,
+    bridge_p: TreeBridge,
+    bridge_q: TreeBridge,
+    slow_log: SlowQueryLog,
+}
+
+fn bridge(registry: &Registry, tree: &str) -> TreeBridge {
+    TreeBridge {
+        hits: registry.counter(
+            "cpq_buffer_reads_total",
+            "buffer-pool logical reads by tree and result (bridged from the pool at scrape time)",
+            &[("tree", tree), ("result", "hit")],
+        ),
+        misses: registry.counter(
+            "cpq_buffer_reads_total",
+            "buffer-pool logical reads by tree and result (bridged from the pool at scrape time)",
+            &[("tree", tree), ("result", "miss")],
+        ),
+        hit_ratio: registry.gauge(
+            "cpq_buffer_hit_ratio",
+            "buffer-pool hit ratio in [0,1] (bridged from the pool at scrape time)",
+            &[("tree", tree)],
+        ),
+    }
+}
+
+impl ServiceObs {
+    /// Builds the registry with every family pre-registered.
+    pub fn new(config: &ObsConfig) -> Self {
+        let registry = Registry::new();
+        for algo in ALGORITHMS {
+            for outcome in OUTCOMES {
+                registry.counter(
+                    "cpq_queries_total",
+                    "queries executed, by algorithm and outcome",
+                    &[("algorithm", algo), ("outcome", outcome)],
+                );
+            }
+        }
+        let threshold_us = config
+            .slow_query_threshold
+            .map(|d| d.as_micros() as u64)
+            // No threshold: nothing is slow enough; capacity 0 keeps the
+            // ring trivial.
+            .unwrap_or(u64::MAX);
+        let capacity = if config.slow_query_threshold.is_some() {
+            config.slow_log_capacity
+        } else {
+            0
+        };
+        ServiceObs {
+            latency_us: registry.histogram(
+                "cpq_query_latency_microseconds",
+                "end-to-end query latency (admission to response), microseconds",
+                &[],
+            ),
+            queue_wait_us: registry.histogram(
+                "cpq_queue_wait_microseconds",
+                "time queued before a worker picked the query up, microseconds",
+                &[],
+            ),
+            node_accesses_p: registry.counter(
+                "cpq_node_accesses_total",
+                "R-tree node accesses during query execution, by tree",
+                &[("tree", "p")],
+            ),
+            node_accesses_q: registry.counter(
+                "cpq_node_accesses_total",
+                "R-tree node accesses during query execution, by tree",
+                &[("tree", "q")],
+            ),
+            dist_computations: registry.counter(
+                "cpq_dist_computations_total",
+                "leaf-level distance-kernel invocations",
+                &[],
+            ),
+            kernel_early_outs: registry.counter(
+                "cpq_kernel_early_outs_total",
+                "distance-kernel calls that bailed out on the threshold",
+                &[],
+            ),
+            sweep_pairs_skipped: registry.counter(
+                "cpq_sweep_pairs_skipped_total",
+                "leaf pairs never visited thanks to the plane-sweep axis-gap break",
+                &[],
+            ),
+            pairs_pruned: registry.counter(
+                "cpq_pairs_pruned_total",
+                "candidate node pairs pruned by MINMINDIST > T",
+                &[],
+            ),
+            node_pairs_processed: registry.counter(
+                "cpq_node_pairs_processed_total",
+                "node pairs processed (recursive calls or heap pops)",
+                &[],
+            ),
+            heap_inserts: registry.counter(
+                "cpq_heap_inserts_total",
+                "insertions into the HEAP algorithm's priority queue",
+                &[],
+            ),
+            sheds: registry.counter(
+                "cpq_sheds_total",
+                "requests shed by admission control (never executed)",
+                &[],
+            ),
+            queue_depth: registry.gauge(
+                "cpq_queue_depth",
+                "requests currently waiting for a worker (read at scrape time)",
+                &[],
+            ),
+            slow_observed: registry.counter(
+                "cpq_slow_queries_total",
+                "queries at or above the slow-query latency threshold",
+                &[],
+            ),
+            slow_evicted: registry.counter(
+                "cpq_slow_log_evictions_total",
+                "slow-query profiles evicted because the log was full",
+                &[],
+            ),
+            bridge_p: bridge(&registry, "p"),
+            bridge_q: bridge(&registry, "q"),
+            slow_log: SlowQueryLog::new(threshold_us, capacity.max(1)),
+            registry,
+        }
+    }
+
+    /// The underlying registry (for snapshots or extra instruments).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The slow-query log.
+    pub fn slow_log(&self) -> &SlowQueryLog {
+        &self.slow_log
+    }
+
+    /// Records one shed request.
+    pub fn record_shed(&self) {
+        self.sheds.inc();
+    }
+
+    /// Records one executed query from its completed profile, and offers it
+    /// to the slow-query log.
+    pub fn record_query(&self, profile: &QueryProfile) {
+        self.registry
+            .counter(
+                "cpq_queries_total",
+                "queries executed, by algorithm and outcome",
+                &[
+                    ("algorithm", profile.algorithm.as_str()),
+                    ("outcome", profile.status.as_str()),
+                ],
+            )
+            .inc();
+        self.latency_us.record(profile.latency_us());
+        self.queue_wait_us.record(profile.queue_wait_us);
+        self.node_accesses_p
+            .add(profile.node_accesses_p.iter().sum());
+        self.node_accesses_q
+            .add(profile.node_accesses_q.iter().sum());
+        self.dist_computations.add(profile.dist_computations);
+        self.kernel_early_outs.add(profile.kernel_early_outs);
+        self.sweep_pairs_skipped.add(profile.sweep_pairs_skipped);
+        self.pairs_pruned.add(profile.pairs_pruned);
+        self.node_pairs_processed.add(profile.node_pairs_processed);
+        self.heap_inserts.add(profile.heap_inserts);
+        self.slow_log.observe(profile.clone());
+    }
+
+    /// Refreshes the series that mirror external state — the bridged
+    /// buffer-pool counters/ratios and the queue-depth gauge — then renders
+    /// the registry in Prometheus text-exposition format.
+    ///
+    /// The bridge uses `Counter::store` with the pools' *cumulative* totals
+    /// (taken under each pool's single-lock
+    /// [`stats_snapshot`](cpq_storage::BufferPool::stats_snapshot)), so the
+    /// exposed series can never disagree with the pools' own books.
+    pub fn render<const D: usize, O: SpatialObject<D>>(
+        &self,
+        trees: &TreePair<D, O>,
+        queue_depth: usize,
+    ) -> String {
+        let (bp, _) = trees.p.pool().stats_snapshot();
+        self.bridge_p.hits.store(bp.hits);
+        self.bridge_p.misses.store(bp.misses);
+        self.bridge_p.hit_ratio.set(bp.hit_rate());
+        let (bq, _) = trees.q.pool().stats_snapshot();
+        self.bridge_q.hits.store(bq.hits);
+        self.bridge_q.misses.store(bq.misses);
+        self.bridge_q.hit_ratio.set(bq.hit_rate());
+        self.queue_depth.set(queue_depth as f64);
+        self.slow_observed.store(self.slow_log.observed());
+        self.slow_evicted.store(self.slow_log.evicted());
+        self.registry.render_prometheus()
+    }
+}

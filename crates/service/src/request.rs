@@ -2,6 +2,7 @@
 
 use cpq_core::{Algorithm, CpqStats, PairResult};
 use cpq_geo::{Point, SpatialObject};
+use cpq_obs::QueryProfile;
 use std::time::Duration;
 
 /// Which join shape a request asks for.
@@ -127,6 +128,11 @@ pub struct QueryResponse<const D: usize, O: SpatialObject<D> = Point<D>> {
     pub exec: Duration,
     /// End-to-end latency: admission to response (`queue_wait + exec`).
     pub latency: Duration,
+    /// The full work profile of this query, present when the service runs
+    /// with observability on ([`ObsConfig::enabled`](crate::ObsConfig)).
+    /// Boxed: the profile is an order of magnitude larger than the rest of
+    /// the response and most callers only forward it.
+    pub profile: Option<Box<QueryProfile>>,
 }
 
 /// The admission-time rejection: the queue was full (or the service was

@@ -1,10 +1,13 @@
 //! The query service proper: admission, the worker pool, and tickets.
 
+use crate::http::MetricsServer;
+use crate::obs::{ObsConfig, ServiceObs};
 use crate::queue::AdmissionQueue;
 use crate::request::{QueryKind, QueryRequest, QueryResponse, QueryStatus, Rejected};
 use crate::stats::{ServiceStats, StatsSummary};
 use cpq_core::{
-    k_closest_pairs_cancellable, self_closest_pairs_cancellable, CancelToken, CpqConfig, CpqStats,
+    k_closest_pairs_cancellable, k_closest_pairs_instrumented, self_closest_pairs_cancellable,
+    self_closest_pairs_instrumented, CancelToken, CpqConfig, CpqStats, ProfileProbe, QueryProfile,
 };
 use cpq_geo::{Point, SpatialObject};
 use cpq_rtree::RTree;
@@ -47,6 +50,8 @@ pub struct ServiceConfig {
     /// Deadline applied when a request does not carry its own. `None`
     /// means admitted queries may run arbitrarily long.
     pub default_deadline: Option<Duration>,
+    /// Observability: metrics registry, per-query profiles, slow-query log.
+    pub obs: ObsConfig,
 }
 
 impl Default for ServiceConfig {
@@ -58,6 +63,7 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             cpq: CpqConfig::paper(),
             default_deadline: None,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -77,6 +83,9 @@ struct Shared<const D: usize, O: SpatialObject<D>> {
     cpq: CpqConfig,
     default_deadline: Option<Duration>,
     next_id: AtomicU64,
+    /// `Some` when observability is on; workers then run the instrumented
+    /// engine path and feed profiles here.
+    obs: Option<ServiceObs>,
 }
 
 /// Handle for awaiting one submitted query's [`QueryResponse`].
@@ -107,6 +116,7 @@ impl<const D: usize, O: SpatialObject<D>> QueryTicket<D, O> {
                 queue_wait: Duration::ZERO,
                 exec: Duration::ZERO,
                 latency: Duration::ZERO,
+                profile: None,
             },
         }
     }
@@ -146,6 +156,7 @@ impl<const D: usize, O: SpatialObject<D>> CpqService<D, O> {
             cpq: config.cpq,
             default_deadline: config.default_deadline,
             next_id: AtomicU64::new(0),
+            obs: config.obs.enabled.then(|| ServiceObs::new(&config.obs)),
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -185,6 +196,9 @@ impl<const D: usize, O: SpatialObject<D>> CpqService<D, O> {
             Ok(()) => Ok(QueryTicket { id, req, rx }),
             Err(job) => {
                 self.shared.stats.record_shed();
+                if let Some(obs) = &self.shared.obs {
+                    obs.record_shed();
+                }
                 Err(Rejected(job.req))
             }
         }
@@ -210,6 +224,55 @@ impl<const D: usize, O: SpatialObject<D>> CpqService<D, O> {
         &self.shared.trees
     }
 
+    /// The observability state, when enabled in [`ServiceConfig::obs`].
+    pub fn obs(&self) -> Option<&ServiceObs> {
+        self.shared.obs.as_ref()
+    }
+
+    /// Renders the Prometheus text exposition of the service's metrics,
+    /// refreshing the bridged buffer-pool series at call time. Empty string
+    /// when observability is off.
+    pub fn render_metrics(&self) -> String {
+        match &self.shared.obs {
+            Some(obs) => obs.render(&self.shared.trees, self.shared.queue.len()),
+            None => String::new(),
+        }
+    }
+
+    /// Drains the slow-query log (oldest first). Empty when observability
+    /// is off or no query crossed the threshold.
+    pub fn drain_slow_queries(&self) -> Vec<QueryProfile> {
+        match &self.shared.obs {
+            Some(obs) => obs.slow_log().drain(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Drains the slow-query log as JSONL, one profile per line.
+    pub fn drain_slow_queries_jsonl(&self) -> String {
+        match &self.shared.obs {
+            Some(obs) => obs.slow_log().drain_jsonl(),
+            None => String::new(),
+        }
+    }
+
+    /// Starts an HTTP listener serving `GET /metrics` (the exposition of
+    /// [`render_metrics`](Self::render_metrics)) and `GET /healthz` on
+    /// `addr` (port 0 binds an ephemeral port; see
+    /// [`MetricsServer::addr`]). The listener holds the service state alive
+    /// until dropped, so it keeps serving final metrics even after
+    /// [`shutdown`](Self::shutdown).
+    pub fn serve_metrics<A: std::net::ToSocketAddrs>(
+        &self,
+        addr: A,
+    ) -> std::io::Result<MetricsServer> {
+        let shared = Arc::clone(&self.shared);
+        MetricsServer::start(addr, move || match &shared.obs {
+            Some(obs) => obs.render(&shared.trees, shared.queue.len()),
+            None => String::new(),
+        })
+    }
+
     fn stop(&mut self) {
         self.shared.queue.close();
         for h in self.workers.drain(..) {
@@ -231,6 +294,25 @@ impl<const D: usize, O: SpatialObject<D>> Drop for CpqService<D, O> {
     }
 }
 
+/// Buffer-pool totals the trees have accumulated so far; the worker takes
+/// this before and after a query and reports the delta in the profile.
+/// Under concurrency other workers' faults land in the same pools, so the
+/// delta is exact for a single-worker service and approximate otherwise
+/// (same caveat as [`QueryResponse::stats`]'s disk accesses).
+fn pool_totals<const D: usize, O: SpatialObject<D>>(
+    shared: &Shared<D, O>,
+    kind: QueryKind,
+) -> (u64, u64) {
+    let (p, _) = shared.trees.p.pool().stats_snapshot();
+    match kind {
+        QueryKind::SelfJoin => (p.hits, p.misses),
+        QueryKind::Cross => {
+            let (q, _) = shared.trees.q.pool().stats_snapshot();
+            (p.hits + q.hits, p.misses + q.misses)
+        }
+    }
+}
+
 fn worker_loop<const D: usize, O: SpatialObject<D>>(shared: &Shared<D, O>) {
     while let Some(job) = shared.queue.pop() {
         let start = Instant::now();
@@ -239,8 +321,14 @@ fn worker_loop<const D: usize, O: SpatialObject<D>>(shared: &Shared<D, O>) {
             Some(at) => CancelToken::with_deadline(at),
             None => CancelToken::new(),
         };
-        let result = match job.req.kind {
-            QueryKind::Cross => k_closest_pairs_cancellable(
+        let instrument = shared.obs.is_some();
+        let (buf_before, mut probe) = if instrument {
+            (pool_totals(shared, job.req.kind), ProfileProbe::new())
+        } else {
+            ((0, 0), ProfileProbe::new())
+        };
+        let result = match (job.req.kind, instrument) {
+            (QueryKind::Cross, false) => k_closest_pairs_cancellable(
                 &shared.trees.p,
                 &shared.trees.q,
                 job.req.k,
@@ -248,12 +336,29 @@ fn worker_loop<const D: usize, O: SpatialObject<D>>(shared: &Shared<D, O>) {
                 &shared.cpq,
                 &cancel,
             ),
-            QueryKind::SelfJoin => self_closest_pairs_cancellable(
+            (QueryKind::SelfJoin, false) => self_closest_pairs_cancellable(
                 &shared.trees.p,
                 job.req.k,
                 job.req.algorithm,
                 &shared.cpq,
                 &cancel,
+            ),
+            (QueryKind::Cross, true) => k_closest_pairs_instrumented(
+                &shared.trees.p,
+                &shared.trees.q,
+                job.req.k,
+                job.req.algorithm,
+                &shared.cpq,
+                &cancel,
+                &mut probe,
+            ),
+            (QueryKind::SelfJoin, true) => self_closest_pairs_instrumented(
+                &shared.trees.p,
+                job.req.k,
+                job.req.algorithm,
+                &shared.cpq,
+                &cancel,
+                &mut probe,
             ),
         };
         let (status, pairs, stats) = match result {
@@ -277,6 +382,13 @@ fn worker_loop<const D: usize, O: SpatialObject<D>>(shared: &Shared<D, O>) {
         shared
             .stats
             .record_executed(&status, latency, queue_wait, stats.disk_accesses());
+        let profile = shared.obs.as_ref().map(|obs| {
+            let profile = complete_profile(
+                probe, shared, &job, &status, &stats, buf_before, queue_wait, exec,
+            );
+            obs.record_query(&profile);
+            Box::new(profile)
+        });
         // A client may have dropped its ticket; the response is then
         // discarded, which is fine — stats already captured it.
         let _ = job.reply.send(QueryResponse {
@@ -288,6 +400,40 @@ fn worker_loop<const D: usize, O: SpatialObject<D>>(shared: &Shared<D, O>) {
             queue_wait,
             exec,
             latency,
+            profile,
         });
     }
+}
+
+/// Fills the serving-layer fields of a probe-accumulated profile: identity,
+/// outcome, buffer deltas, stats-only counters, and timings. The
+/// engine-observable fields (node accesses per level, kernel counters,
+/// phase timings) were already written by the [`ProfileProbe`] callbacks.
+#[allow(clippy::too_many_arguments)]
+fn complete_profile<const D: usize, O: SpatialObject<D>>(
+    probe: ProfileProbe,
+    shared: &Shared<D, O>,
+    job: &Job<D, O>,
+    status: &QueryStatus,
+    stats: &CpqStats,
+    buf_before: (u64, u64),
+    queue_wait: Duration,
+    exec: Duration,
+) -> QueryProfile {
+    let mut profile = probe.into_profile();
+    profile.query_id = job.id;
+    profile.algorithm = job.req.algorithm.label().to_string();
+    profile.kind = job.req.kind.label().to_string();
+    profile.status = status.label().to_string();
+    profile.k = job.req.k as u64;
+    let (hits_after, misses_after) = pool_totals(shared, job.req.kind);
+    profile.buffer_hits = hits_after.saturating_sub(buf_before.0);
+    profile.buffer_misses = misses_after.saturating_sub(buf_before.1);
+    profile.pairs_pruned = stats.pairs_pruned;
+    profile.node_pairs_processed = stats.node_pairs_processed;
+    profile.heap_inserts = stats.queue_inserts;
+    profile.heap_high_watermark = stats.queue_peak as u64;
+    profile.queue_wait_us = queue_wait.as_micros() as u64;
+    profile.exec_us = exec.as_micros() as u64;
+    profile
 }

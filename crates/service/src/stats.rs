@@ -5,46 +5,10 @@ use crate::request::QueryStatus;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-/// Latency distribution summary, in microseconds.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct Percentiles {
-    /// Number of samples summarized.
-    pub count: u64,
-    /// Arithmetic mean.
-    pub mean_us: u64,
-    /// Median.
-    pub p50_us: u64,
-    /// 95th percentile.
-    pub p95_us: u64,
-    /// 99th percentile.
-    pub p99_us: u64,
-    /// Largest sample.
-    pub max_us: u64,
-}
-
-impl Percentiles {
-    /// Summarizes `samples` (sorted in place). The nearest-rank convention:
-    /// p-th percentile = the sample at ceil(p/100 · n), 1-indexed.
-    fn from_samples(samples: &mut [u64]) -> Self {
-        if samples.is_empty() {
-            return Percentiles::default();
-        }
-        samples.sort_unstable();
-        let n = samples.len();
-        let rank = |p: f64| -> u64 {
-            let idx = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n) - 1;
-            samples[idx]
-        };
-        Percentiles {
-            count: n as u64,
-            mean_us: samples.iter().sum::<u64>() / n as u64,
-            p50_us: rank(50.0),
-            p95_us: rank(95.0),
-            p99_us: rank(99.0),
-            max_us: samples[n - 1],
-        }
-    }
-}
+// The percentile math lives in cpq-obs (one implementation for the service
+// and the benchmark harness); re-exported here so `cpq_service::Percentiles`
+// keeps working.
+pub use cpq_obs::Percentiles;
 
 #[derive(Default)]
 struct Agg {
@@ -160,23 +124,6 @@ impl ServiceStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn percentiles_nearest_rank() {
-        let mut s: Vec<u64> = (1..=100).collect();
-        let p = Percentiles::from_samples(&mut s);
-        assert_eq!(p.count, 100);
-        assert_eq!(p.p50_us, 50);
-        assert_eq!(p.p95_us, 95);
-        assert_eq!(p.p99_us, 99);
-        assert_eq!(p.max_us, 100);
-        assert_eq!(p.mean_us, 50); // 50.5 truncated
-
-        let mut one = vec![7u64];
-        let p = Percentiles::from_samples(&mut one);
-        assert_eq!((p.p50_us, p.p99_us, p.max_us), (7, 7, 7));
-        assert_eq!(Percentiles::from_samples(&mut []), Percentiles::default());
-    }
 
     #[test]
     fn record_and_summarize() {

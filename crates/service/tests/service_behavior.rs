@@ -7,7 +7,9 @@ use cpq_core::{k_closest_pairs, self_closest_pairs, Algorithm, CpqConfig, PairRe
 use cpq_datasets::uniform;
 use cpq_geo::Point2;
 use cpq_rtree::{RTree, RTreeParams};
-use cpq_service::{CpqService, QueryKind, QueryRequest, QueryStatus, ServiceConfig, TreePair};
+use cpq_service::{
+    CpqService, ObsConfig, QueryKind, QueryRequest, QueryStatus, ServiceConfig, TreePair,
+};
 use cpq_storage::{BufferPool, MemPageFile};
 use std::time::Duration;
 
@@ -85,6 +87,7 @@ fn service_results_bit_identical_to_direct_calls() {
             queue_capacity: 128,
             cpq: cfg,
             default_deadline: None,
+            obs: ObsConfig::default(),
         },
     );
 
@@ -136,6 +139,7 @@ fn full_queue_sheds_and_dropped_tickets_resolve() {
             queue_capacity: 2,
             cpq: CpqConfig::paper(),
             default_deadline: None,
+            obs: ObsConfig::default(),
         },
     );
 
@@ -168,6 +172,7 @@ fn expired_deadline_times_out_without_wedging_the_worker() {
             queue_capacity: 8,
             cpq: CpqConfig::paper(),
             default_deadline: None,
+            obs: ObsConfig::default(),
         },
     );
 
@@ -204,6 +209,7 @@ fn default_deadline_applies_and_is_overridable() {
             queue_capacity: 8,
             cpq: CpqConfig::paper(),
             default_deadline: Some(Duration::ZERO), // everything times out…
+            obs: ObsConfig::default(),
         },
     );
 
@@ -232,6 +238,7 @@ fn shutdown_drains_admitted_backlog() {
             queue_capacity: 16,
             cpq: CpqConfig::paper(),
             default_deadline: None,
+            obs: ObsConfig::default(),
         },
     );
 
@@ -263,6 +270,7 @@ fn timing_and_summary_bookkeeping() {
             queue_capacity: 32,
             cpq: CpqConfig::paper(),
             default_deadline: None,
+            obs: ObsConfig::default(),
         },
     );
 

@@ -293,10 +293,18 @@ impl BufferPool {
     }
 
     /// Reads a page, through the cache.
+    ///
+    /// Counters move only when the read *succeeds*: a failed physical read
+    /// (out of bounds, freed page, I/O error, corrupt checksum) leaves
+    /// `logical_reads`, `hits`, and `misses` all untouched. That preserves
+    /// the bookkeeping invariants `logical_reads == hits + misses` and
+    /// `misses == io.reads` in every [`stats_snapshot`](Self::stats_snapshot)
+    /// — counting the miss up front would let the two sides disagree
+    /// forever after the first failed read.
     pub fn read_page(&self, id: PageId) -> StorageResult<PageBytes> {
         let mut g = self.guard();
-        g.stats.logical_reads += 1;
         if let Some(&f) = g.map.get(&id) {
+            g.stats.logical_reads += 1;
             g.stats.hits += 1;
             g.policy.on_hit(f);
             return Ok(g.frames[f]
@@ -305,10 +313,11 @@ impl BufferPool {
                 .data
                 .clone());
         }
-        g.stats.misses += 1;
         let ps = g.file.page_size();
         let mut buf = vec![0u8; ps];
         g.file.read(id, &mut buf)?;
+        g.stats.logical_reads += 1;
+        g.stats.misses += 1;
         let data = PageBytes::from(buf);
         if g.capacity > 0 {
             let frame = match g.free_frames.pop() {
@@ -338,11 +347,13 @@ impl BufferPool {
         Ok(data)
     }
 
-    /// Writes a page, write-through, refreshing any cached copy.
+    /// Writes a page, write-through, refreshing any cached copy. As with
+    /// [`read_page`](Self::read_page), the `writes` counter moves only on
+    /// success, keeping it equal to the file's physical write count.
     pub fn write_page(&self, id: PageId, data: &[u8]) -> StorageResult<()> {
         let mut g = self.guard();
-        g.stats.writes += 1;
         g.file.write(id, data)?;
+        g.stats.writes += 1;
         if let Some(&f) = g.map.get(&id) {
             g.frames[f]
                 .as_mut()

@@ -23,6 +23,16 @@ pub enum StorageError {
     },
     /// The on-disk file header is missing or malformed.
     CorruptHeader(String),
+    /// A page's stored checksum does not match its contents — the bytes
+    /// rotted on disk (or were tampered with) between write and read.
+    Corrupt {
+        /// The page whose checksum failed.
+        page: PageId,
+        /// The checksum stored alongside the page.
+        stored: u32,
+        /// The checksum computed from the bytes actually read.
+        computed: u32,
+    },
     /// Underlying I/O failure (file-backed stores only).
     Io(io::Error),
 }
@@ -39,6 +49,14 @@ impl fmt::Display for StorageError {
                 )
             }
             StorageError::CorruptHeader(msg) => write!(f, "corrupt file header: {msg}"),
+            StorageError::Corrupt {
+                page,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "page {page} is corrupt: stored checksum {stored:#010x}, computed {computed:#010x}"
+            ),
             StorageError::Io(e) => write!(f, "I/O error: {e}"),
         }
     }

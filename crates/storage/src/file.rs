@@ -1,5 +1,6 @@
 //! Page file implementations: a simulated in-memory disk and a real file.
 
+use crate::crc32::crc32;
 use crate::error::{StorageError, StorageResult};
 use crate::page::PageId;
 use crate::stats::IoStats;
@@ -156,18 +157,27 @@ impl PageFile for MemPageFile {
 
 const DISK_MAGIC: u32 = 0x5250_5146; // "RPQF"
 const HEADER_LEN: u64 = 16;
+/// Bytes of the per-page CRC-32 trailer (format version 2).
+const CRC_LEN: usize = 4;
 
 /// File-backed page store.
 ///
 /// Layout: a 16-byte header (magic, version, page size, page count) followed
 /// by the pages. The free list is kept in memory only; it is rebuilt empty on
 /// open, which is sound (freed pages are simply not reused across sessions).
+///
+/// Format version 2 (what [`create`](Self::create) writes) stores a CRC-32
+/// trailer after every page, verified on each read — a flipped byte on disk
+/// surfaces as [`StorageError::Corrupt`] instead of silently feeding garbage
+/// to the R-tree decoder. Version-1 files (no trailers) still open and read.
 pub struct DiskPageFile {
     file: File,
     page_size: usize,
     num_pages: u32,
     free_list: Vec<PageId>,
     stats: IoStats,
+    /// Version-2 layout: per-page CRC trailers present and verified.
+    checksums: bool,
 }
 
 impl DiskPageFile {
@@ -186,6 +196,7 @@ impl DiskPageFile {
             num_pages: 0,
             free_list: Vec::new(),
             stats: IoStats::default(),
+            checksums: true,
         };
         this.write_header()?;
         Ok(this)
@@ -202,11 +213,15 @@ impl DiskPageFile {
             return Err(StorageError::CorruptHeader(format!("bad magic {magic:#x}")));
         }
         let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
-        if version != 1 {
-            return Err(StorageError::CorruptHeader(format!(
-                "unsupported version {version}"
-            )));
-        }
+        let checksums = match version {
+            1 => false, // pre-checksum layout: pages are packed back to back
+            2 => true,
+            _ => {
+                return Err(StorageError::CorruptHeader(format!(
+                    "unsupported version {version}"
+                )))
+            }
+        };
         let page_size = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
         let num_pages = u32::from_le_bytes(header[12..16].try_into().unwrap());
         if page_size == 0 {
@@ -218,13 +233,15 @@ impl DiskPageFile {
             num_pages,
             free_list: Vec::new(),
             stats: IoStats::default(),
+            checksums,
         })
     }
 
     fn write_header(&mut self) -> StorageResult<()> {
         let mut header = [0u8; HEADER_LEN as usize];
+        let version: u32 = if self.checksums { 2 } else { 1 };
         header[0..4].copy_from_slice(&DISK_MAGIC.to_le_bytes());
-        header[4..8].copy_from_slice(&1u32.to_le_bytes());
+        header[4..8].copy_from_slice(&version.to_le_bytes());
         header[8..12].copy_from_slice(&(self.page_size as u32).to_le_bytes());
         header[12..16].copy_from_slice(&self.num_pages.to_le_bytes());
         self.file.seek(SeekFrom::Start(0))?;
@@ -232,8 +249,14 @@ impl DiskPageFile {
         Ok(())
     }
 
+    /// On-disk bytes each page occupies: the page itself plus, in the
+    /// checksummed layout, its CRC trailer.
+    fn stride(&self) -> u64 {
+        self.page_size as u64 + if self.checksums { CRC_LEN as u64 } else { 0 }
+    }
+
     fn offset(&self, id: PageId) -> u64 {
-        HEADER_LEN + id.index() as u64 * self.page_size as u64
+        HEADER_LEN + id.index() as u64 * self.stride()
     }
 
     fn check_id(&self, id: PageId) -> StorageResult<()> {
@@ -281,6 +304,9 @@ impl PageFile for DiskPageFile {
         let zeros = vec![0u8; self.page_size];
         self.file.seek(SeekFrom::Start(self.offset(id)))?;
         self.file.write_all(&zeros)?;
+        if self.checksums {
+            self.file.write_all(&crc32(&zeros).to_le_bytes())?;
+        }
         self.write_header()?;
         Ok(id)
     }
@@ -290,6 +316,19 @@ impl PageFile for DiskPageFile {
         self.check_len(buf.len())?;
         self.file.seek(SeekFrom::Start(self.offset(id)))?;
         self.file.read_exact(buf)?;
+        if self.checksums {
+            let mut trailer = [0u8; CRC_LEN];
+            self.file.read_exact(&mut trailer)?;
+            let stored = u32::from_le_bytes(trailer);
+            let computed = crc32(buf);
+            if stored != computed {
+                return Err(StorageError::Corrupt {
+                    page: id,
+                    stored,
+                    computed,
+                });
+            }
+        }
         self.stats.reads += 1;
         Ok(())
     }
@@ -299,6 +338,9 @@ impl PageFile for DiskPageFile {
         self.check_len(data.len())?;
         self.file.seek(SeekFrom::Start(self.offset(id)))?;
         self.file.write_all(data)?;
+        if self.checksums {
+            self.file.write_all(&crc32(data).to_le_bytes())?;
+        }
         self.stats.writes += 1;
         Ok(())
     }
@@ -415,6 +457,73 @@ mod tests {
             f.read(PageId(0), &mut buf).unwrap();
             assert_eq!(buf, vec![0xAB; 128]);
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn disk_detects_byte_flip_on_disk() {
+        let path = temp_path("byteflip");
+        let page_size = 128usize;
+        {
+            let mut f = DiskPageFile::create(&path, page_size).unwrap();
+            let a = f.allocate().unwrap();
+            let b = f.allocate().unwrap();
+            f.write(a, &[0x5A; 128]).unwrap();
+            f.write(b, &[0xA5; 128]).unwrap();
+            f.sync().unwrap();
+        }
+        // Flip one byte in the middle of page 1's on-disk data (v2 stride is
+        // page_size + 4 trailer bytes).
+        {
+            let mut raw = std::fs::read(&path).unwrap();
+            let off = HEADER_LEN as usize + (page_size + CRC_LEN) + page_size / 2;
+            raw[off] ^= 0x40;
+            std::fs::write(&path, raw).unwrap();
+        }
+        {
+            let mut f = DiskPageFile::open(&path).unwrap();
+            let mut buf = vec![0u8; page_size];
+            // The untouched page still reads clean...
+            f.read(PageId(0), &mut buf).unwrap();
+            assert_eq!(buf, vec![0x5A; page_size]);
+            // ...the flipped one surfaces as Corrupt with both checksums.
+            match f.read(PageId(1), &mut buf) {
+                Err(StorageError::Corrupt {
+                    page,
+                    stored,
+                    computed,
+                }) => {
+                    assert_eq!(page, PageId(1));
+                    assert_ne!(stored, computed);
+                }
+                other => panic!("expected Corrupt, got {other:?}"),
+            }
+            // A corrupt read must not count as a successful physical read.
+            assert_eq!(f.stats().reads, 1);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn disk_v1_files_still_open() {
+        // Hand-build a version-1 file (no CRC trailers) and read it back.
+        let path = temp_path("v1compat");
+        let page_size = 64usize;
+        {
+            let mut raw = Vec::new();
+            raw.extend_from_slice(&DISK_MAGIC.to_le_bytes());
+            raw.extend_from_slice(&1u32.to_le_bytes());
+            raw.extend_from_slice(&(page_size as u32).to_le_bytes());
+            raw.extend_from_slice(&2u32.to_le_bytes()); // two pages
+            raw.extend_from_slice(&vec![0x11; page_size]);
+            raw.extend_from_slice(&vec![0x22; page_size]);
+            std::fs::write(&path, raw).unwrap();
+        }
+        let mut f = DiskPageFile::open(&path).unwrap();
+        assert_eq!(f.num_pages(), 2);
+        let mut buf = vec![0u8; page_size];
+        f.read(PageId(1), &mut buf).unwrap();
+        assert_eq!(buf, vec![0x22; page_size]);
         std::fs::remove_file(&path).ok();
     }
 

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 mod buffer;
+mod crc32;
 mod error;
 mod file;
 mod page;
@@ -35,6 +36,7 @@ mod stats;
 pub use buffer::{
     BufferPool, BufferStats, ClockPolicy, FifoPolicy, LruPolicy, PageBytes, ReplacementPolicy,
 };
+pub use crc32::crc32;
 pub use error::{StorageError, StorageResult};
 pub use file::{DiskPageFile, MemPageFile, PageFile};
 pub use page::{PageId, DEFAULT_PAGE_SIZE};

@@ -136,3 +136,88 @@ fn snapshot_is_torn_free_under_load() {
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
     writer.join().unwrap();
 }
+
+#[test]
+fn failed_reads_never_unbalance_the_books() {
+    // Four threads mix valid reads with reads that *fail* at the page file
+    // (out-of-bounds ids) while a snapshotter continuously cross-checks the
+    // invariants. Counters move only on success, so a failed physical read
+    // must leave `misses == io.reads` intact — this is exactly the
+    // accounting bug where misses were counted before the file read could
+    // fail.
+    const THREADS: u64 = 4;
+    const OPS_PER_THREAD: usize = 2_000;
+    const PAGES: usize = 16;
+
+    let pool = Arc::new(BufferPool::with_lru(Box::new(MemPageFile::new(64)), 4));
+    let ids: Vec<PageId> = (0..PAGES)
+        .map(|i| {
+            let id = pool.allocate().unwrap();
+            pool.write_page(id, &[i as u8; 64]).unwrap();
+            id
+        })
+        .collect();
+    pool.reset_stats();
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let snapshotter = {
+        let pool = Arc::clone(&pool);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut iterations = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let (buf, io) = pool.stats_snapshot();
+                assert_eq!(
+                    buf.hits + buf.misses,
+                    buf.logical_reads,
+                    "snapshot out of balance mid-flight"
+                );
+                assert_eq!(io.reads, buf.misses, "bridged counters disagree");
+                iterations += 1;
+            }
+            iterations
+        })
+    };
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let pool = Arc::clone(&pool);
+            let ids = ids.clone();
+            std::thread::spawn(move || {
+                let mut failures = 0u64;
+                for (n, pid) in page_sequence(t + 100, PAGES as u64, OPS_PER_THREAD)
+                    .into_iter()
+                    .enumerate()
+                {
+                    if n % 7 == 3 {
+                        // Past the end of the file: the physical read fails.
+                        assert!(pool.read_page(PageId(u32::MAX - t as u32)).is_err());
+                        failures += 1;
+                    } else {
+                        pool.read_page(ids[pid.index()]).unwrap();
+                    }
+                }
+                failures
+            })
+        })
+        .collect();
+    let mut total_failures = 0u64;
+    let mut total_ok = 0u64;
+    for h in workers {
+        let f = h.join().expect("worker panicked");
+        total_failures += f;
+        total_ok += OPS_PER_THREAD as u64 - f;
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let snaps = snapshotter.join().expect("snapshotter panicked");
+    assert!(snaps > 0, "snapshotter must have run");
+    assert!(total_failures > 0, "the workload must include failures");
+
+    let (buf, io) = pool.stats_snapshot();
+    assert_eq!(
+        buf.logical_reads, total_ok,
+        "only successful reads are counted"
+    );
+    assert_eq!(buf.hits + buf.misses, buf.logical_reads);
+    assert_eq!(io.reads, buf.misses);
+}

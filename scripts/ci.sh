@@ -18,7 +18,11 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test --workspace -q
 
-echo "==> bench_service --smoke (service end-to-end + divergence gate)"
-./target/release/bench_service --smoke --out /tmp/BENCH_service_smoke.json >/dev/null
+echo "==> bench_service --smoke --profile (service end-to-end + divergence + obs gate)"
+./target/release/bench_service --smoke --profile \
+    --out /tmp/BENCH_service_smoke.json --obs-out /tmp/BENCH_obs_smoke.json >/dev/null
+
+echo "==> metrics smoke (serve, scrape /metrics, exposition lint, core-series check)"
+./target/release/metrics_lint
 
 echo "==> CI green"

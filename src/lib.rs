@@ -15,7 +15,9 @@
 //! * [`core`] — the closest-pair query algorithms (the paper's contribution);
 //! * [`datasets`] — deterministic workload generators;
 //! * [`service`] — the concurrent query-serving subsystem (worker pool,
-//!   admission control, deadlines).
+//!   admission control, deadlines);
+//! * [`obs`] — observability: metrics registry, per-query work profiles,
+//!   slow-query forensics, Prometheus exposition.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -26,6 +28,7 @@ pub mod shell;
 pub use cpq_core as core;
 pub use cpq_datasets as datasets;
 pub use cpq_geo as geo;
+pub use cpq_obs as obs;
 pub use cpq_rtree as rtree;
 pub use cpq_service as service;
 pub use cpq_storage as storage;
