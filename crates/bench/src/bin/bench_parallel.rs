@@ -1,0 +1,214 @@
+//! Benchmark: intra-query parallel K-CPQ descent vs the sequential engine.
+//!
+//! The executor targets I/O-bound queries: page reads carry real latency
+//! (disk, network storage), and speculative workers overlap many reads
+//! where the sequential engine waits on each in turn. This harness
+//! reproduces that regime with a [`FailingPageFile`] injecting a fixed
+//! per-read sleep under unbuffered pools (the paper's zero-buffer
+//! configuration), then sweeps threads × K × dataset:
+//!
+//! * threads ∈ {1, 2, 4, 8} (1 = the plain sequential engine),
+//! * K ∈ {1, 100, 10000},
+//! * workloads: uniform⋈uniform, clustered⋈clustered, real⋈uniform
+//!   (the paper's California-surrogate real data set).
+//!
+//! Every parallel cell is gated on **zero divergence** from its sequential
+//! twin: identical pair objects, bit-identical distances, identical disk
+//! accesses. Any mismatch aborts the run — a benchmark of a wrong answer
+//! is worthless.
+//!
+//! Writes `BENCH_parallel.json` (repo root by default).
+//!
+//! ```text
+//! cargo run --release --bin bench_parallel -- [--n 20000] [--latency-us 200] \
+//!     [--out BENCH_parallel.json] [--smoke]
+//! ```
+
+use cpq_bench::{real_dataset, Args};
+use cpq_core::{k_closest_pairs, Algorithm, CpqConfig, QueryOutcome};
+use cpq_datasets::{clustered, uniform, ClusterSpec, Dataset};
+use cpq_rtree::{RTree, RTreeParams};
+use cpq_storage::{BufferPool, FailingPageFile, FailureControl, MemPageFile, DEFAULT_PAGE_SIZE};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Builds the paper-parameter tree over a latency-injecting page file.
+/// The latency is armed by the caller after the build, so construction
+/// runs at memory speed.
+fn build_slow(ds: &Dataset) -> (RTree<2>, Arc<FailureControl>) {
+    let control = FailureControl::new();
+    let file = FailingPageFile::new(
+        Box::new(MemPageFile::new(DEFAULT_PAGE_SIZE)),
+        control.clone(),
+    );
+    let pool = BufferPool::with_lru(Box::new(file), 512);
+    let mut tree = RTree::new(pool, RTreeParams::paper()).expect("tree params");
+    for (i, &p) in ds.points.iter().enumerate() {
+        tree.insert(p, i as u64).expect("insert");
+    }
+    (tree, control)
+}
+
+struct Cell {
+    threads: usize,
+    wall_ns: u64,
+    disk_accesses: u64,
+    speedup: f64,
+}
+
+fn measure(tp: &RTree<2>, tq: &RTree<2>, k: usize, threads: usize) -> (u64, QueryOutcome<2>) {
+    // Unbuffered pools every run: each logical read pays the latency, and
+    // the parallel ledger equals the sequential miss delta exactly.
+    tp.pool().set_capacity(0);
+    tq.pool().set_capacity(0);
+    tp.pool().reset_stats();
+    tq.pool().reset_stats();
+    let cfg = CpqConfig::paper().with_parallelism(threads);
+    let start = Instant::now();
+    let outcome = k_closest_pairs(tp, tq, k, Algorithm::Heap, &cfg).expect("query");
+    (start.elapsed().as_nanos() as u64, outcome)
+}
+
+fn gate(seq: &QueryOutcome<2>, par: &QueryOutcome<2>, label: &str) {
+    assert_eq!(seq.pairs.len(), par.pairs.len(), "{label}: result length");
+    for (i, (s, p)) in seq.pairs.iter().zip(&par.pairs).enumerate() {
+        assert!(
+            s.p.oid == p.p.oid
+                && s.q.oid == p.q.oid
+                && s.dist2.get().to_bits() == p.dist2.get().to_bits(),
+            "{label}: pair #{i} diverged — ({},{}) vs ({},{})",
+            s.p.oid,
+            s.q.oid,
+            p.p.oid,
+            p.q.oid
+        );
+    }
+    assert_eq!(seq.stats, par.stats, "{label}: work counters diverged");
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.flag("smoke");
+    let n = args.get_usize("n", if smoke { 2_000 } else { 20_000 });
+    let latency_us = args.get_usize("latency-us", if smoke { 100 } else { 200 }) as u64;
+    let out_path = args.get_str("out", "BENCH_parallel.json");
+    let thread_counts: &[usize] = if smoke { &[1, 8] } else { &[1, 2, 4, 8] };
+    let k_values: &[usize] = if smoke { &[1, 100] } else { &[1, 100, 10_000] };
+
+    let workloads: Vec<(&str, Dataset, Dataset)> = if smoke {
+        vec![("uniform", uniform(n, 1), uniform(n, 2))]
+    } else {
+        vec![
+            ("uniform", uniform(n, 1), uniform(n, 2)),
+            (
+                "clustered",
+                clustered(n, ClusterSpec::default(), 3),
+                clustered(n, ClusterSpec::default(), 4),
+            ),
+            ("real", real_dataset(n as f64 / 62_556.0), uniform(n, 5)),
+        ]
+    };
+
+    let mut max_speedup_max_threads = 0.0f64;
+    let mut workload_json = Vec::new();
+    for (name, dp, dq) in &workloads {
+        eprintln!(
+            "building {name} trees ({} / {} points)...",
+            dp.len(),
+            dq.len()
+        );
+        let (tp, cp) = build_slow(dp);
+        let (tq, cq) = build_slow(dq);
+        cp.slow_reads(Duration::from_micros(latency_us));
+        cq.slow_reads(Duration::from_micros(latency_us));
+
+        let mut series_json = Vec::new();
+        for &k in k_values {
+            let mut cells: Vec<Cell> = Vec::new();
+            let mut reference: Option<QueryOutcome<2>> = None;
+            for &threads in thread_counts {
+                let (wall_ns, outcome) = measure(&tp, &tq, k, threads);
+                match &reference {
+                    None => reference = Some(outcome.clone()),
+                    Some(seq) => gate(seq, &outcome, &format!("{name} k={k} t={threads}")),
+                }
+                let base_ns = cells.first().map_or(wall_ns, |c| c.wall_ns);
+                let speedup = base_ns as f64 / wall_ns as f64;
+                eprintln!(
+                    "  {name} k={k} threads={threads}: {:.1} ms ({speedup:.2}x, {} accesses)",
+                    wall_ns as f64 / 1e6,
+                    outcome.stats.disk_accesses(),
+                );
+                if threads == *thread_counts.last().unwrap() {
+                    max_speedup_max_threads = max_speedup_max_threads.max(speedup);
+                }
+                cells.push(Cell {
+                    threads,
+                    wall_ns,
+                    disk_accesses: outcome.stats.disk_accesses(),
+                    speedup,
+                });
+            }
+            let runs = cells
+                .iter()
+                .map(|c| {
+                    format!(
+                        concat!(
+                            "{{ \"threads\": {}, \"wall_ns\": {}, ",
+                            "\"disk_accesses\": {}, \"mismatched_pairs\": 0, ",
+                            "\"speedup\": {:.3} }}"
+                        ),
+                        c.threads, c.wall_ns, c.disk_accesses, c.speedup
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",\n          ");
+            series_json.push(format!(
+                "{{\n        \"k\": {k},\n        \"runs\": [\n          {runs}\n        ]\n      }}"
+            ));
+        }
+        workload_json.push(format!(
+            concat!(
+                "{{\n",
+                "      \"name\": \"{}\",\n",
+                "      \"n_p\": {},\n",
+                "      \"n_q\": {},\n",
+                "      \"series\": [\n      {}\n      ]\n",
+                "    }}"
+            ),
+            name,
+            dp.len(),
+            dq.len(),
+            series_json.join(",\n      "),
+        ));
+    }
+
+    let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"parallel\",\n",
+            "  \"algorithm\": \"heap\",\n",
+            "  \"machine_cpus\": {cpus},\n",
+            "  \"read_latency_us\": {lat},\n",
+            "  \"buffer_pages\": 0,\n",
+            "  \"smoke\": {smoke},\n",
+            "  \"zero_divergence\": true,\n",
+            "  \"max_speedup_at_{maxt}_threads\": {best:.3},\n",
+            "  \"workloads\": [\n    {wl}\n  ]\n",
+            "}}\n"
+        ),
+        cpus = cpus,
+        lat = latency_us,
+        smoke = smoke,
+        maxt = thread_counts.last().unwrap(),
+        best = max_speedup_max_threads,
+        wl = workload_json.join(",\n    "),
+    );
+    std::fs::write(&out_path, &json).expect("write JSON");
+    eprintln!(
+        "zero divergence across all cells; best speedup at {} threads: {:.2}x; wrote {out_path}",
+        thread_counts.last().unwrap(),
+        max_speedup_max_threads
+    );
+}

@@ -134,6 +134,7 @@ fn main() {
             workers,
             queue_capacity,
             cpq: cfg,
+            max_parallelism: 1,
             default_deadline: None,
             // Off by default so the load test measures the uninstrumented
             // path; --profile turns the full pipeline on.

@@ -216,7 +216,54 @@ fn run<const D: usize, O: SpatialObject<D>, P: Probe>(
             completed: true,
         });
     }
-    let mut ctx = Ctx::new(tree_p, tree_q, k, config, self_join, cancel, probe);
+    if config.parallelism > 1 {
+        // Intra-query parallel mode: same driver control flow (run by
+        // `run_leader` below through `parallel::run_parallel`), plus
+        // speculative workers. Results are bit-identical (see `parallel`).
+        return crate::parallel::run_parallel(
+            tree_p,
+            tree_q,
+            k,
+            algorithm,
+            config,
+            self_join,
+            cancel,
+            probe,
+            misses_before,
+        );
+    }
+    run_leader(
+        tree_p,
+        tree_q,
+        k,
+        algorithm,
+        config,
+        self_join,
+        cancel,
+        probe,
+        None,
+        misses_before,
+    )
+}
+
+/// The driver: the sequential control flow shared verbatim by sequential
+/// runs (`par = None`) and the parallel executor's leader thread
+/// (`par = Some`), which is what guarantees the two modes traverse, prune,
+/// and retain identically.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_leader<const D: usize, O: SpatialObject<D>, P: Probe>(
+    tree_p: &RTree<D, O>,
+    tree_q: &RTree<D, O>,
+    k: usize,
+    algorithm: Algorithm,
+    config: &CpqConfig,
+    self_join: bool,
+    cancel: Option<&CancelToken>,
+    probe: &mut P,
+    par: Option<&crate::parallel::SpecRuntime<D, O>>,
+    misses_before: (u64, u64),
+) -> RTreeResult<QueryRun<D, O>> {
+    let mut ctx = Ctx::new(tree_p, tree_q, k, config, self_join, cancel, probe, par);
 
     // A token that is already tripped (deadline expired while queued) stops
     // the run before it pays for the two root reads.
@@ -229,20 +276,22 @@ fn run<const D: usize, O: SpatialObject<D>, P: Probe>(
 
     // CP1: start from the two roots (one page access each; for a self-join
     // the second read hits the same pool).
-    let root_p = tree_p.read_node(tree_p.root())?;
-    let root_q = tree_q.read_node(tree_q.root())?;
-    if P::ENABLED {
-        ctx.probe.node_access(ProbeSide::P, root_p.level());
-        ctx.probe.node_access(ProbeSide::Q, root_q.level());
-    }
+    let (page_p, page_q) = (tree_p.root(), tree_q.root());
+    let root_p = ctx.read_side(ProbeSide::P, page_p)?;
+    let root_q = ctx.read_side(ProbeSide::Q, page_q)?;
     ctx.root_area_p = root_p.mbr().expect("non-empty root").area();
     ctx.root_area_q = root_q.mbr().expect("non-empty root").area();
+    if let Some(rt) = par {
+        // Seed speculation with the root pair so the workers start
+        // descending immediately.
+        rt.push_spec(cpq_geo::Dist2::ZERO, page_p, page_q);
+    }
 
     let completed = match match algorithm {
-        Algorithm::Naive => naive(&mut ctx, &root_p, &root_q),
-        Algorithm::Exhaustive => exhaustive(&mut ctx, &root_p, &root_q),
-        Algorithm::Simple => simple(&mut ctx, &root_p, &root_q),
-        Algorithm::SortedDistances => sorted(&mut ctx, &root_p, &root_q),
+        Algorithm::Naive => naive(&mut ctx, &root_p, &root_q, page_p, page_q),
+        Algorithm::Exhaustive => exhaustive(&mut ctx, &root_p, &root_q, page_p, page_q),
+        Algorithm::Simple => simple(&mut ctx, &root_p, &root_q, page_p, page_q),
+        Algorithm::SortedDistances => sorted(&mut ctx, &root_p, &root_q, page_p, page_q),
         Algorithm::Heap => heap_run(&mut ctx, &root_p, &root_q),
     } {
         Ok(()) => true,

@@ -1,12 +1,14 @@
 //! Brute-force reference implementations, used by the test-suite and the
 //! benchmark harness to verify every tree-based algorithm.
 
-use crate::types::PairResult;
+use crate::types::{pair_cmp, PairResult};
 use cpq_geo::SpatialObject;
 use cpq_rtree::LeafEntry;
 
 /// The `K` closest pairs between two object slices, by exhaustive scan.
-/// Pairs are returned sorted by ascending distance.
+/// Pairs are returned sorted in the canonical `(distance, p.oid, q.oid)`
+/// order ([`pair_cmp`]) — the same total order the tree algorithms' K-heap
+/// retains, so references and engine agree bit-for-bit on distance ties.
 pub fn k_closest_pairs_brute<const D: usize, O: SpatialObject<D>>(
     ps: &[(O, u64)],
     qs: &[(O, u64)],
@@ -21,7 +23,7 @@ pub fn k_closest_pairs_brute<const D: usize, O: SpatialObject<D>>(
             ));
         }
     }
-    all.sort_by_key(|a| a.dist2);
+    all.sort_by(pair_cmp);
     all.truncate(k);
     all
 }
@@ -46,7 +48,7 @@ pub fn self_k_closest_pairs_brute<const D: usize, O: SpatialObject<D>>(
             ));
         }
     }
-    all.sort_by_key(|a| a.dist2);
+    all.sort_by(pair_cmp);
     all.truncate(k);
     all
 }
@@ -71,7 +73,7 @@ pub fn semi_closest_pairs_brute<const D: usize, O: SpatialObject<D>>(
             PairResult::new(LeafEntry::new(p, poid), LeafEntry::new(q, qoid))
         })
         .collect();
-    out.sort_by_key(|a| a.dist2);
+    out.sort_by(pair_cmp);
     out
 }
 

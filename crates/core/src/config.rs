@@ -95,6 +95,18 @@ pub struct CpqConfig {
     pub sort: SortAlgorithm,
     /// Leaf/leaf scanning strategy for step CP3.
     pub leaf_scan: LeafScan,
+    /// Total thread count for intra-query parallel execution: `0` or `1`
+    /// runs the classic sequential engine; `n > 1` runs the sequential
+    /// driver plus `n - 1` speculative workers that prefetch and precompute
+    /// node pairs against a shared global bound (see the `parallel` module).
+    /// Results are bit-identical to sequential for any value.
+    pub parallelism: usize,
+    /// When set, speculative workers inject `thread::yield_now()` calls at
+    /// scheduling points, driven by a deterministic per-worker RNG derived
+    /// from this seed — a stress-testing knob that shakes out interleaving
+    /// bugs (steal races, empty-queue shutdown, cancel-during-steal) without
+    /// affecting results. `None` (the default) injects nothing.
+    pub parallel_yield_seed: Option<u64>,
 }
 
 impl CpqConfig {
@@ -109,7 +121,16 @@ impl CpqConfig {
             k_pruning: KPruning::MaxMaxDist,
             sort: SortAlgorithm::Merge,
             leaf_scan: LeafScan::BruteForce,
+            parallelism: 0,
+            parallel_yield_seed: None,
         }
+    }
+
+    /// This configuration with intra-query parallelism set to `threads`
+    /// total threads (builder-style convenience for benchmarks and tests).
+    pub fn with_parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = threads;
+        self
     }
 }
 

@@ -5,10 +5,13 @@
 use crate::cancel::CancelToken;
 use crate::config::{CpqConfig, HeightStrategy, KPruning, LeafScan};
 use crate::kheap::KHeap;
+use crate::parallel::{SpecRuntime, TaskOut};
 use crate::types::{CpqStats, PairResult};
 use cpq_geo::{max_max_dist2, min_max_dist2, min_min_dist2_within, Dist2, Rect, SpatialObject};
 use cpq_obs::{Probe, ProbeSide};
 use cpq_rtree::{InnerEntry, Node, RTree, RTreeError, RTreeResult};
+use cpq_storage::PageId;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One side of a candidate pair: either stay at the current node or descend
@@ -20,6 +23,31 @@ pub(crate) enum Descend<const D: usize> {
     Stay,
     /// Descend into this child.
     Down(InnerEntry<D>),
+}
+
+/// Decides which sides of a node pair descend, honoring the height strategy
+/// (Section 3.7). Shared by [`Ctx::gen_cands`] and the speculative workers'
+/// candidate precomputation, which must replicate the driver's decision
+/// exactly for the pair cache to be consistent.
+pub(crate) fn descend_sides(
+    p_leaf: bool,
+    q_leaf: bool,
+    level_p: u8,
+    level_q: u8,
+    height: HeightStrategy,
+) -> (bool, bool) {
+    match (p_leaf, q_leaf) {
+        (true, true) => unreachable!("candidate generation on two leaves"),
+        (true, false) => (false, true),
+        (false, true) => (true, false),
+        (false, false) => match height {
+            // Lockstep whenever both are internal; levels may differ.
+            HeightStrategy::FixAtLeaves => (true, true),
+            // Equalize levels first: only the deeper-rooted (higher level)
+            // side descends until levels match.
+            HeightStrategy::FixAtRoot => (level_p >= level_q, level_q >= level_p),
+        },
+    }
 }
 
 /// A candidate pair of subtrees generated from one node pair.
@@ -77,6 +105,19 @@ pub(crate) struct Ctx<'a, const D: usize, O: SpatialObject<D>, P: Probe> {
     pub cancel: Option<&'a CancelToken>,
     /// Per-query instrumentation sink (see the struct docs).
     pub probe: &'a mut P,
+    /// The speculative-execution runtime when this query runs in parallel
+    /// mode (`CpqConfig::parallelism > 1`). The driver thread — the one that
+    /// owns this context — still executes the unchanged sequential control
+    /// flow; the runtime only lets it consult caches that worker threads
+    /// warm ahead of it. `None` compiles the consults away.
+    pub par: Option<&'a SpecRuntime<D, O>>,
+    /// Logical node reads on `P` (every [`read_side`](Self::read_side) call,
+    /// cache hit or not). In parallel mode this ledger — not the buffer-pool
+    /// miss delta, which speculation perturbs — is what
+    /// [`finish`](Self::finish) reports as `disk_accesses_p`.
+    pub ledger_p: u64,
+    /// Logical node reads on `Q` (see `ledger_p`).
+    pub ledger_q: u64,
     /// Scratch for the plane-sweep leaf scan (one buffer per side), reused
     /// across leaf pairs.
     sweep_p: Vec<SweepProj>,
@@ -93,7 +134,13 @@ pub(crate) struct Ctx<'a, const D: usize, O: SpatialObject<D>, P: Probe> {
     keyed_pool: Vec<Vec<(Cand<D>, f64)>>,
 }
 
+/// The recursion step the four recursive algorithms hand to
+/// [`Ctx::descend`]: process one child node pair at its pages.
+pub(crate) type RecurseFn<'a, const D: usize, O, P> =
+    fn(&mut Ctx<'a, D, O, P>, &Node<D, O>, &Node<D, O>, PageId, PageId) -> RTreeResult<()>;
+
 impl<'a, const D: usize, O: SpatialObject<D>, P: Probe> Ctx<'a, D, O, P> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         tp: &'a RTree<D, O>,
         tq: &'a RTree<D, O>,
@@ -102,6 +149,7 @@ impl<'a, const D: usize, O: SpatialObject<D>, P: Probe> Ctx<'a, D, O, P> {
         self_join: bool,
         cancel: Option<&'a CancelToken>,
         probe: &'a mut P,
+        par: Option<&'a SpecRuntime<D, O>>,
     ) -> Self {
         Ctx {
             tp,
@@ -116,6 +164,9 @@ impl<'a, const D: usize, O: SpatialObject<D>, P: Probe> Ctx<'a, D, O, P> {
             self_join,
             cancel,
             probe,
+            par,
+            ledger_p: 0,
+            ledger_q: 0,
             sweep_p: Vec::new(),
             sweep_q: Vec::new(),
             sides_p: Vec::new(),
@@ -157,12 +208,59 @@ impl<'a, const D: usize, O: SpatialObject<D>, P: Probe> Ctx<'a, D, O, P> {
     /// algorithm's main loop. [`RTreeError::Cancelled`] unwinds the run;
     /// the cancellable entry points catch it and hand back the K-heap's
     /// partial contents.
+    ///
+    /// In parallel mode this is also where a speculative worker's storage
+    /// error surfaces into the driver: any error observed anywhere fails the
+    /// query with exactly that one error, within one node visit.
     #[inline]
     pub(crate) fn check_cancel(&self) -> RTreeResult<()> {
+        if let Some(rt) = self.par {
+            rt.check_error()?;
+        }
         match self.cancel {
             Some(token) if token.is_cancelled() => Err(RTreeError::Cancelled),
             _ => Ok(()),
         }
+    }
+
+    /// Reads one node of the given side, charging exactly one logical
+    /// access to the side's ledger and probing it.
+    ///
+    /// Sequentially this is `RTree::read_node` plus the probe call the
+    /// algorithms previously made inline. In parallel mode the node cache
+    /// warmed by the speculative workers is consulted first; hit or miss,
+    /// the ledger records the same +1 the sequential run's buffer pool
+    /// would, which keeps reported disk accesses identical to a sequential
+    /// run against unbuffered (`capacity = 0`) pools.
+    pub(crate) fn read_side(
+        &mut self,
+        side: ProbeSide,
+        page: PageId,
+    ) -> RTreeResult<Arc<Node<D, O>>> {
+        let tree = match side {
+            ProbeSide::P => self.tp,
+            ProbeSide::Q => self.tq,
+        };
+        let node = if let Some(rt) = self.par {
+            match side {
+                ProbeSide::P => self.ledger_p += 1,
+                ProbeSide::Q => self.ledger_q += 1,
+            }
+            match rt.cached_node(side, page) {
+                Some(node) => node,
+                None => {
+                    let node = Arc::new(tree.read_node(page)?);
+                    rt.insert_node(side, page, node.clone());
+                    node
+                }
+            }
+        } else {
+            Arc::new(tree.read_node(page)?)
+        };
+        if P::ENABLED {
+            self.probe.node_access(side, node.level());
+        }
+        Ok(node)
     }
 
     /// Scans the object pairs of two leaves (step CP3 of every algorithm),
@@ -196,6 +294,64 @@ impl<'a, const D: usize, O: SpatialObject<D>, P: Probe> Ctx<'a, D, O, P> {
                 self.stats.dist_computations - dist_before,
                 kernel_early_outs,
                 sweep_pairs_skipped,
+                start.elapsed().as_nanos() as u64,
+            );
+        }
+    }
+
+    /// [`scan_leaves`](Self::scan_leaves) with the pair's page identity,
+    /// the form every algorithm now calls.
+    ///
+    /// Sequentially it forwards unchanged. In parallel mode the pair cache
+    /// is consulted: a speculative worker may already have scanned this
+    /// leaf pair, recording its task-local top-K offers and the full
+    /// brute-force kernel count. Replaying those offers into the global
+    /// K-heap is lossless — an offer the task-local heap rejected was
+    /// dominated by K recorded, canonically-smaller offers from the same
+    /// task, so the global heap would reject it too — and the K-heap's
+    /// total retention order makes the result independent of offer order.
+    /// Parallel mode always uses brute-force scan semantics (even under
+    /// [`LeafScan::PlaneSweep`]) so `dist_computations` is deterministic
+    /// and thread-count-invariant; pairs are bit-identical either way.
+    pub(crate) fn scan_leaves_at(
+        &mut self,
+        lp: &Node<D, O>,
+        lq: &Node<D, O>,
+        page_p: PageId,
+        page_q: PageId,
+    ) {
+        let Some(rt) = self.par else {
+            self.scan_leaves(lp, lq);
+            return;
+        };
+        let start = if P::ENABLED {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let dist_before = self.stats.dist_computations;
+        match rt.cached_pair(page_p, page_q) {
+            Some(task) => match &*task {
+                TaskOut::Leaf { offers, dists } => {
+                    self.stats.dist_computations += dists;
+                    for offer in offers {
+                        self.kheap.offer(*offer);
+                    }
+                }
+                // Same pages mean the same nodes, so the worker classified
+                // this pair as leaf/leaf exactly like the driver did.
+                TaskOut::Inner(_) => unreachable!("leaf pair cached as inner"),
+            },
+            None => {
+                self.scan_leaves_brute(lp, lq);
+            }
+        }
+        rt.publish_threshold(self.t());
+        if let Some(start) = start {
+            self.probe.leaf_scan(
+                self.stats.dist_computations - dist_before,
+                0,
+                0,
                 start.elapsed().as_nanos() as u64,
             );
         }
@@ -383,32 +539,13 @@ impl<'a, const D: usize, O: SpatialObject<D>, P: Probe> Ctx<'a, D, O, P> {
         } else {
             None
         };
-        let descend_p; // descend into P's children?
-        let descend_q;
-        match (np.is_leaf(), nq.is_leaf()) {
-            (true, true) => unreachable!("gen_cands on two leaves"),
-            (true, false) => {
-                descend_p = false;
-                descend_q = true;
-            }
-            (false, true) => {
-                descend_p = true;
-                descend_q = false;
-            }
-            (false, false) => match self.cfg.height {
-                // Lockstep whenever both are internal; levels may differ.
-                HeightStrategy::FixAtLeaves => {
-                    descend_p = true;
-                    descend_q = true;
-                }
-                // Equalize levels first: only the deeper-rooted (higher
-                // level) side descends until levels match.
-                HeightStrategy::FixAtRoot => {
-                    descend_p = np.level() >= nq.level();
-                    descend_q = nq.level() >= np.level();
-                }
-            },
-        }
+        let (descend_p, descend_q) = descend_sides(
+            np.is_leaf(),
+            nq.is_leaf(),
+            np.level(),
+            nq.level(),
+            self.cfg.height,
+        );
 
         let whole_p = (np.mbr().expect("non-empty node"), np.subtree_count());
         let whole_q = (nq.mbr().expect("non-empty node"), nq.subtree_count());
@@ -468,6 +605,70 @@ impl<'a, const D: usize, O: SpatialObject<D>, P: Probe> Ctx<'a, D, O, P> {
         }
     }
 
+    /// [`gen_cands`](Self::gen_cands) with the pair's page identity, the
+    /// form every algorithm now calls.
+    ///
+    /// Sequentially it forwards unchanged. In parallel mode the pair cache
+    /// is consulted first: speculative workers precompute the full
+    /// candidate list at `T = ∞` (no pruning), so the driver filters it by
+    /// the live threshold instead of re-running the kernels. The filter is
+    /// exact: the threshold-aware kernel returns `None` iff the full
+    /// `MINMINDIST` (which the worker recorded, bitwise) exceeds `T`, so
+    /// surviving candidates, their order, and the `pairs_pruned` increments
+    /// all match the sequential run. On a cache miss the driver computes
+    /// inline and pushes the surviving candidates to the speculation queue
+    /// as look-ahead for the workers.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn gen_cands_at(
+        &mut self,
+        np: &Node<D, O>,
+        nq: &Node<D, O>,
+        page_p: PageId,
+        page_q: PageId,
+        prune: bool,
+        out: &mut Vec<Cand<D>>,
+    ) {
+        let Some(rt) = self.par else {
+            self.gen_cands(np, nq, prune, out);
+            return;
+        };
+        match rt.cached_pair(page_p, page_q) {
+            Some(task) => {
+                let start = if P::ENABLED {
+                    Some(Instant::now())
+                } else {
+                    None
+                };
+                match &*task {
+                    TaskOut::Inner(cands) => {
+                        let t = if prune { self.t() } else { Dist2::INFINITY };
+                        for c in cands {
+                            if c.minmin > t {
+                                self.stats.pairs_pruned += 1;
+                            } else {
+                                out.push(*c);
+                            }
+                        }
+                    }
+                    TaskOut::Leaf { .. } => unreachable!("inner pair cached as leaf"),
+                }
+                if let Some(start) = start {
+                    self.probe.gen_phase(start.elapsed().as_nanos() as u64);
+                }
+            }
+            None => {
+                self.gen_cands(np, nq, prune, out);
+                // Look-ahead: offer the surviving candidates to the workers
+                // (the worker that would have produced this pair's cache
+                // entry never ran, so nobody else will push its children).
+                for c in out.iter() {
+                    rt.push_spec(c.minmin, spec_page(&c.p, page_p), spec_page(&c.q, page_q));
+                }
+            }
+        }
+        rt.publish_threshold(self.t());
+    }
+
     /// Tightens `bound` from the candidates of the current node pair:
     ///
     /// * `K = 1`: Inequality 2 — at least one point pair lies within
@@ -513,40 +714,35 @@ impl<'a, const D: usize, O: SpatialObject<D>, P: Probe> Ctx<'a, D, O, P> {
     }
 
     /// Reads the child nodes named by a candidate (re-using the current
-    /// nodes for `Stay` sides) and invokes `f` on the pair.
+    /// nodes for `Stay` sides) and invokes `f` on the pair, passing the
+    /// pair's page identity through for the speculation caches.
     ///
-    /// Each `Down` side costs one page read on the corresponding tree —
-    /// this is where the algorithms' disk accesses happen.
+    /// Each `Down` side costs one logical page read on the corresponding
+    /// tree — this is where the algorithms' disk accesses happen (see
+    /// [`read_side`](Self::read_side) for what that means in parallel
+    /// mode).
     pub(crate) fn descend(
         &mut self,
         np: &Node<D, O>,
         nq: &Node<D, O>,
+        page_p: PageId,
+        page_q: PageId,
         cand: &Cand<D>,
-        f: fn(&mut Self, &Node<D, O>, &Node<D, O>) -> RTreeResult<()>,
+        f: RecurseFn<'a, D, O, P>,
     ) -> RTreeResult<()> {
         match (&cand.p, &cand.q) {
             (Descend::Down(ep), Descend::Down(eq)) => {
-                let a = self.tp.read_node(ep.child)?;
-                let b = self.tq.read_node(eq.child)?;
-                if P::ENABLED {
-                    self.probe.node_access(ProbeSide::P, a.level());
-                    self.probe.node_access(ProbeSide::Q, b.level());
-                }
-                f(self, &a, &b)
+                let a = self.read_side(ProbeSide::P, ep.child)?;
+                let b = self.read_side(ProbeSide::Q, eq.child)?;
+                f(self, &a, &b, ep.child, eq.child)
             }
             (Descend::Down(ep), Descend::Stay) => {
-                let a = self.tp.read_node(ep.child)?;
-                if P::ENABLED {
-                    self.probe.node_access(ProbeSide::P, a.level());
-                }
-                f(self, &a, nq)
+                let a = self.read_side(ProbeSide::P, ep.child)?;
+                f(self, &a, nq, ep.child, page_q)
             }
             (Descend::Stay, Descend::Down(eq)) => {
-                let b = self.tq.read_node(eq.child)?;
-                if P::ENABLED {
-                    self.probe.node_access(ProbeSide::Q, b.level());
-                }
-                f(self, np, &b)
+                let b = self.read_side(ProbeSide::Q, eq.child)?;
+                f(self, np, &b, page_p, eq.child)
             }
             (Descend::Stay, Descend::Stay) => {
                 unreachable!("candidate with no descent")
@@ -556,17 +752,49 @@ impl<'a, const D: usize, O: SpatialObject<D>, P: Probe> Ctx<'a, D, O, P> {
 
     /// Finishes the run: sorts the result pairs and fills in the disk-access
     /// deltas measured from the two buffer pools.
+    ///
+    /// In parallel mode the pools also absorb the speculative workers'
+    /// traffic, so the physical miss delta no longer describes the query;
+    /// the driver's logical ledger — which charges +1 per node read whether
+    /// it was served from the speculation cache or the pool — is reported
+    /// instead. The ledger equals the sequential miss delta exactly when
+    /// the pools cache nothing (`capacity = 0`, the paper's zero-buffer
+    /// configuration); with a warm buffer the two modes count different
+    /// things by design (logical vs. physical reads).
     pub(crate) fn finish(mut self, misses_before: (u64, u64)) -> crate::types::QueryOutcome<D, O> {
-        self.stats.disk_accesses_p = self.tp.pool().buffer_stats().misses - misses_before.0;
-        if std::ptr::eq(self.tp, self.tq) {
-            // Self-join: both sides share one pool; report the total once.
-            self.stats.disk_accesses_q = 0;
+        let same_tree = std::ptr::eq(self.tp, self.tq);
+        if self.par.is_some() {
+            // Self-join: both sides read the one shared tree; fold the
+            // charges into P like the pool-delta path does.
+            self.stats.disk_accesses_p = if same_tree {
+                self.ledger_p + self.ledger_q
+            } else {
+                self.ledger_p
+            };
+            self.stats.disk_accesses_q = if same_tree { 0 } else { self.ledger_q };
         } else {
-            self.stats.disk_accesses_q = self.tq.pool().buffer_stats().misses - misses_before.1;
+            self.stats.disk_accesses_p = self.tp.pool().buffer_stats().misses - misses_before.0;
+            if same_tree {
+                // Self-join: both sides share one pool; report the total once.
+                self.stats.disk_accesses_q = 0;
+            } else {
+                self.stats.disk_accesses_q = self.tq.pool().buffer_stats().misses - misses_before.1;
+            }
         }
         crate::types::QueryOutcome {
             pairs: self.kheap.into_sorted(),
             stats: self.stats,
         }
+    }
+}
+
+/// The page a candidate side leads to: the child page for a `Down` side,
+/// the unchanged current page for a `Stay` side. Shared by the heap
+/// algorithm's queue items and the speculation pushes.
+#[inline]
+pub(crate) fn spec_page<const D: usize>(side: &Descend<D>, current: PageId) -> PageId {
+    match side {
+        Descend::Down(e) => e.child,
+        Descend::Stay => current,
     }
 }

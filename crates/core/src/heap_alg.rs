@@ -7,7 +7,7 @@
 //! (Section 3.9). Ties of `MINMINDIST` are resolved by the configured
 //! strategy T1–T5, then FIFO.
 
-use crate::engine::{Ctx, Descend};
+use crate::engine::{spec_page, Ctx};
 use cpq_geo::{Dist2, SpatialObject};
 use cpq_obs::{Probe, ProbeSide};
 use cpq_rtree::{Node, RTreeResult};
@@ -70,12 +70,8 @@ pub(crate) fn heap_run<const D: usize, O: SpatialObject<D>, P: Probe>(
         if item.minmin > ctx.t() {
             break;
         }
-        let np = ctx.tp.read_node(item.page_p)?;
-        let nq = ctx.tq.read_node(item.page_q)?;
-        if P::ENABLED {
-            ctx.probe.node_access(ProbeSide::P, np.level());
-            ctx.probe.node_access(ProbeSide::Q, nq.level());
-        }
+        let np = ctx.read_side(ProbeSide::P, item.page_p)?;
+        let nq = ctx.read_side(ProbeSide::Q, item.page_q)?;
         process_pair(ctx, &np, item.page_p, &nq, item.page_q, &mut heap, &mut seq)?;
     }
     Ok(())
@@ -98,25 +94,19 @@ fn process_pair<const D: usize, O: SpatialObject<D>, P: Probe>(
     ctx.check_cancel()?;
     ctx.stats.node_pairs_processed += 1;
     if np.is_leaf() && nq.is_leaf() {
-        ctx.scan_leaves(np, nq);
+        ctx.scan_leaves_at(np, nq, page_p, page_q);
         return Ok(());
     }
     let mut cands = ctx.take_cands();
-    ctx.gen_cands(np, nq, true, &mut cands);
+    ctx.gen_cands_at(np, nq, page_p, page_q, true, &mut cands);
     ctx.apply_bounds(&cands);
     for c in cands.drain(..) {
         if c.minmin > ctx.t() {
             ctx.stats.pairs_pruned += 1;
             continue;
         }
-        let next_p = match c.p {
-            Descend::Down(e) => e.child,
-            Descend::Stay => page_p,
-        };
-        let next_q = match c.q {
-            Descend::Down(e) => e.child,
-            Descend::Stay => page_q,
-        };
+        let next_p = spec_page(&c.p, page_p);
+        let next_q = spec_page(&c.q, page_q);
         let tie_key = ctx
             .cfg
             .tie

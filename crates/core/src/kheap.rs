@@ -11,18 +11,20 @@ use std::collections::BinaryHeap;
 
 /// A wrapper ordering pairs for the max-heap.
 ///
-/// The order is **total**: distance first, then the pair of object ids.
-/// Making the tie-break part of the order (rather than keeping
-/// first-offered-wins semantics) means the retained K-set is independent of
-/// the order in which equal-distance pairs are discovered — brute-force and
-/// plane-sweep leaf scanning enumerate pairs in different orders and must
-/// produce identical results even on data with duplicate coordinates.
+/// The order is **total**: the canonical `(distance, p.oid, q.oid)` key of
+/// [`PairResult::sort_key`], shared with the brute-force references and the
+/// parallel merge path. Making the tie-break part of the order (rather than
+/// keeping first-offered-wins semantics) means the retained K-set is
+/// independent of the order in which equal-distance pairs are discovered —
+/// brute-force and plane-sweep leaf scanning enumerate pairs in different
+/// orders and must produce identical results even on data with duplicate
+/// coordinates.
 struct ByDist<const D: usize, O: SpatialObject<D>>(PairResult<D, O>);
 
 impl<const D: usize, O: SpatialObject<D>> ByDist<D, O> {
     #[inline]
     fn key(&self) -> (Dist2, u64, u64) {
-        (self.0.dist2, self.0.p.oid, self.0.q.oid)
+        self.0.sort_key()
     }
 }
 

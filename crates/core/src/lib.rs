@@ -62,6 +62,7 @@ mod incremental;
 mod kheap;
 pub mod metric_cpq;
 pub mod multiway;
+mod parallel;
 mod recursive;
 mod semi;
 mod sorting;
@@ -75,7 +76,7 @@ pub use api::{
 pub use cancel::CancelToken;
 // Re-exported so instrumented callers need not name `cpq-obs` directly.
 pub use config::{CpqConfig, HeightStrategy, KPruning, LeafScan};
-pub use cpq_obs::{NullProbe, Probe, ProbeSide, ProfileProbe, QueryProfile};
+pub use cpq_obs::{NullProbe, ParallelReport, Probe, ProbeSide, ProfileProbe, QueryProfile};
 pub use incremental::{
     distance_join, k_closest_pairs_incremental, DistanceJoin, IncTie, IncrementalConfig, Traversal,
 };
@@ -85,4 +86,4 @@ pub use multiway::{k_closest_tuples, MultiwayOutcome, TupleMetric, TupleResult};
 pub use semi::semi_closest_pairs;
 pub use sorting::SortAlgorithm;
 pub use ties::TieStrategy;
-pub use types::{CpqStats, PairResult, QueryOutcome, QueryRun};
+pub use types::{pair_cmp, CpqStats, PairResult, QueryOutcome, QueryRun};

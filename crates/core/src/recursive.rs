@@ -15,6 +15,7 @@ use crate::engine::Ctx;
 use cpq_geo::SpatialObject;
 use cpq_obs::Probe;
 use cpq_rtree::{Node, RTreeResult};
+use cpq_storage::PageId;
 use std::cmp::Ordering;
 
 /// Naive (Section 3.1): recurse into **every** candidate pair; `T` only
@@ -23,17 +24,19 @@ pub(crate) fn naive<const D: usize, O: SpatialObject<D>, P: Probe>(
     ctx: &mut Ctx<'_, D, O, P>,
     np: &Node<D, O>,
     nq: &Node<D, O>,
+    page_p: PageId,
+    page_q: PageId,
 ) -> RTreeResult<()> {
     ctx.check_cancel()?;
     ctx.stats.node_pairs_processed += 1;
     if np.is_leaf() && nq.is_leaf() {
-        ctx.scan_leaves(np, nq);
+        ctx.scan_leaves_at(np, nq, page_p, page_q);
         return Ok(());
     }
     let mut cands = ctx.take_cands();
-    ctx.gen_cands(np, nq, false, &mut cands);
+    ctx.gen_cands_at(np, nq, page_p, page_q, false, &mut cands);
     for c in &cands {
-        ctx.descend(np, nq, c, naive)?;
+        ctx.descend(np, nq, page_p, page_q, c, naive)?;
     }
     ctx.return_cands(cands);
     Ok(())
@@ -45,19 +48,21 @@ pub(crate) fn exhaustive<const D: usize, O: SpatialObject<D>, P: Probe>(
     ctx: &mut Ctx<'_, D, O, P>,
     np: &Node<D, O>,
     nq: &Node<D, O>,
+    page_p: PageId,
+    page_q: PageId,
 ) -> RTreeResult<()> {
     ctx.check_cancel()?;
     ctx.stats.node_pairs_processed += 1;
     if np.is_leaf() && nq.is_leaf() {
-        ctx.scan_leaves(np, nq);
+        ctx.scan_leaves_at(np, nq, page_p, page_q);
         return Ok(());
     }
     let mut cands = ctx.take_cands();
-    ctx.gen_cands(np, nq, true, &mut cands);
+    ctx.gen_cands_at(np, nq, page_p, page_q, true, &mut cands);
     for c in &cands {
         // T may have shrunk since candidate generation: re-check on use.
         if c.minmin <= ctx.t() {
-            ctx.descend(np, nq, c, exhaustive)?;
+            ctx.descend(np, nq, page_p, page_q, c, exhaustive)?;
         } else {
             ctx.stats.pairs_pruned += 1;
         }
@@ -72,19 +77,21 @@ pub(crate) fn simple<const D: usize, O: SpatialObject<D>, P: Probe>(
     ctx: &mut Ctx<'_, D, O, P>,
     np: &Node<D, O>,
     nq: &Node<D, O>,
+    page_p: PageId,
+    page_q: PageId,
 ) -> RTreeResult<()> {
     ctx.check_cancel()?;
     ctx.stats.node_pairs_processed += 1;
     if np.is_leaf() && nq.is_leaf() {
-        ctx.scan_leaves(np, nq);
+        ctx.scan_leaves_at(np, nq, page_p, page_q);
         return Ok(());
     }
     let mut cands = ctx.take_cands();
-    ctx.gen_cands(np, nq, true, &mut cands);
+    ctx.gen_cands_at(np, nq, page_p, page_q, true, &mut cands);
     ctx.apply_bounds(&cands);
     for c in &cands {
         if c.minmin <= ctx.t() {
-            ctx.descend(np, nq, c, simple)?;
+            ctx.descend(np, nq, page_p, page_q, c, simple)?;
         } else {
             ctx.stats.pairs_pruned += 1;
         }
@@ -100,15 +107,17 @@ pub(crate) fn sorted<const D: usize, O: SpatialObject<D>, P: Probe>(
     ctx: &mut Ctx<'_, D, O, P>,
     np: &Node<D, O>,
     nq: &Node<D, O>,
+    page_p: PageId,
+    page_q: PageId,
 ) -> RTreeResult<()> {
     ctx.check_cancel()?;
     ctx.stats.node_pairs_processed += 1;
     if np.is_leaf() && nq.is_leaf() {
-        ctx.scan_leaves(np, nq);
+        ctx.scan_leaves_at(np, nq, page_p, page_q);
         return Ok(());
     }
     let mut cands = ctx.take_cands();
-    ctx.gen_cands(np, nq, true, &mut cands);
+    ctx.gen_cands_at(np, nq, page_p, page_q, true, &mut cands);
     ctx.apply_bounds(&cands);
 
     // Decorate with the tie key so the comparator is cheap and the sort
@@ -130,7 +139,7 @@ pub(crate) fn sorted<const D: usize, O: SpatialObject<D>, P: Probe>(
 
     for (c, _) in &keyed {
         if c.minmin <= ctx.t() {
-            ctx.descend(np, nq, c, sorted)?;
+            ctx.descend(np, nq, page_p, page_q, c, sorted)?;
         } else {
             ctx.stats.pairs_pruned += 1;
         }

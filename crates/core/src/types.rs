@@ -39,6 +39,31 @@ impl<const D: usize, O: SpatialObject<D>> PairResult<D, O> {
     pub fn distance(&self) -> f64 {
         self.dist2.sqrt()
     }
+
+    /// The canonical result ordering key: distance first, then the two
+    /// object ids.
+    ///
+    /// This is **the** tie-break every result path shares — the K-heap's
+    /// retention order, the brute-force references' sort, and the parallel
+    /// executor's merge of per-worker K-heaps. Because the key is a total
+    /// order over distinct pairs, the retained K-set (and its sorted output)
+    /// is independent of discovery order, which is what makes brute-force,
+    /// plane-sweep, and parallel execution bit-identical even on data with
+    /// duplicate coordinates. Compare with [`pair_cmp`].
+    #[inline]
+    pub fn sort_key(&self) -> (Dist2, u64, u64) {
+        (self.dist2, self.p.oid, self.q.oid)
+    }
+}
+
+/// Compares two results in the canonical `(distance, p.oid, q.oid)` order
+/// (see [`PairResult::sort_key`]); pass to `sort_by`/`sort_unstable_by`.
+#[inline]
+pub fn pair_cmp<const D: usize, O: SpatialObject<D>>(
+    a: &PairResult<D, O>,
+    b: &PairResult<D, O>,
+) -> std::cmp::Ordering {
+    a.sort_key().cmp(&b.sort_key())
 }
 
 /// Work counters reported by every query run.
@@ -127,5 +152,25 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(s.disk_accesses(), 7);
+    }
+
+    #[test]
+    fn canonical_order_is_distance_then_p_oid_then_q_oid() {
+        let mk = |x: f64, a: u64, b: u64| {
+            PairResult::new(
+                LeafEntry::new(Point([0.0, 0.0]), a),
+                LeafEntry::new(Point([x, 0.0]), b),
+            )
+        };
+        // Deliberately shuffled: two distance ties (one resolved by p.oid,
+        // one by q.oid) plus a strictly farther pair.
+        let mut v = [mk(2.0, 7, 1), mk(3.0, 0, 0), mk(2.0, 4, 9), mk(2.0, 4, 2)];
+        v.sort_by(pair_cmp);
+        let keys: Vec<(u64, u64)> = v.iter().map(|r| (r.p.oid, r.q.oid)).collect();
+        assert_eq!(keys, vec![(4, 2), (4, 9), (7, 1), (0, 0)]);
+        assert_eq!(v[0].sort_key(), (v[0].dist2, 4, 2));
+        // The order is total: equal keys mean the same logical pair.
+        assert_eq!(pair_cmp(&v[1], &v[1]), std::cmp::Ordering::Equal);
+        assert!(pair_cmp(&v[0], &v[3]).is_lt());
     }
 }

@@ -1,0 +1,187 @@
+//! Bit-identical parity between sequential and parallel execution.
+//!
+//! The parallel executor's contract is that speculation is invisible: for
+//! every algorithm, join kind, and `K`, the result pairs (objects *and*
+//! bitwise distances) and the reported disk accesses must equal the
+//! sequential run's. Under brute-force leaf scanning the *entire*
+//! `CpqStats` must match, because parallel mode always scans leaves with
+//! brute-force semantics (under plane-sweep configs only
+//! `dist_computations` may legitimately differ).
+//!
+//! Trees are built over unbuffered pools (`capacity = 0`, the paper's
+//! zero-buffer configuration), where the parallel mode's logical read
+//! ledger and the sequential mode's pool miss delta count the same thing.
+
+use cpq_core::{k_closest_pairs, self_closest_pairs, Algorithm, CpqConfig, LeafScan, QueryOutcome};
+use cpq_datasets::{clustered, uniform, ClusterSpec};
+use cpq_geo::Point2;
+use cpq_rng::Rng;
+use cpq_rtree::{RTree, RTreeParams};
+use cpq_storage::{BufferPool, MemPageFile};
+
+const ALL: [Algorithm; 5] = [
+    Algorithm::Naive,
+    Algorithm::Exhaustive,
+    Algorithm::Simple,
+    Algorithm::SortedDistances,
+    Algorithm::Heap,
+];
+
+fn build(points: &[Point2]) -> RTree<2> {
+    let pool = BufferPool::with_lru(Box::new(MemPageFile::new(1024)), 0);
+    let mut tree = RTree::new(pool, RTreeParams::paper()).unwrap();
+    for (i, &p) in points.iter().enumerate() {
+        tree.insert(p, i as u64).unwrap();
+    }
+    tree
+}
+
+/// A duplicate-point tie storm: few distinct coordinates, many copies each,
+/// so equal distances (including exact zeros) are everywhere and every
+/// retention decision exercises the canonical tie-break.
+fn tie_storm(n: usize, distinct: usize, seed: u64) -> Vec<Point2> {
+    let mut rng = Rng::seed_from_u64(seed);
+    let sites: Vec<Point2> = (0..distinct)
+        .map(|_| {
+            Point2::from([
+                (rng.random_range(0..20u32) as f64) * 5.0,
+                (rng.random_range(0..20u32) as f64) * 5.0,
+            ])
+        })
+        .collect();
+    (0..n)
+        .map(|_| sites[rng.random_range(0..sites.len())])
+        .collect()
+}
+
+fn assert_pairs_bitwise(seq: &QueryOutcome<2>, par: &QueryOutcome<2>, label: &str) {
+    assert_eq!(seq.pairs.len(), par.pairs.len(), "{label}: result length");
+    for (i, (s, p)) in seq.pairs.iter().zip(&par.pairs).enumerate() {
+        assert_eq!(
+            (s.p.oid, s.q.oid),
+            (p.p.oid, p.q.oid),
+            "{label}: pair #{i} objects"
+        );
+        assert_eq!(
+            s.dist2.get().to_bits(),
+            p.dist2.get().to_bits(),
+            "{label}: pair #{i} distance bits"
+        );
+    }
+}
+
+fn assert_parity(
+    tp: &RTree<2>,
+    tq: Option<&RTree<2>>,
+    k: usize,
+    cfg_base: &CpqConfig,
+    threads: usize,
+    label: &str,
+) {
+    let par_cfg = cfg_base.with_parallelism(threads);
+    for alg in ALL {
+        let (seq, par) = match tq {
+            Some(tq) => (
+                k_closest_pairs(tp, tq, k, alg, cfg_base).unwrap(),
+                k_closest_pairs(tp, tq, k, alg, &par_cfg).unwrap(),
+            ),
+            None => (
+                self_closest_pairs(tp, k, alg, cfg_base).unwrap(),
+                self_closest_pairs(tp, k, alg, &par_cfg).unwrap(),
+            ),
+        };
+        let label = format!("{label} {} k={k} t={threads}", alg.label());
+        assert_pairs_bitwise(&seq, &par, &label);
+        assert_eq!(
+            (seq.stats.disk_accesses_p, seq.stats.disk_accesses_q),
+            (par.stats.disk_accesses_p, par.stats.disk_accesses_q),
+            "{label}: disk accesses"
+        );
+        if cfg_base.leaf_scan == LeafScan::BruteForce {
+            assert_eq!(seq.stats, par.stats, "{label}: full stats");
+        } else {
+            // Under plane-sweep configs parallel mode still scans leaves
+            // brute-force (for thread-count-invariant counters), so only
+            // dist_computations may differ — and never downward.
+            assert!(
+                par.stats.dist_computations >= seq.stats.dist_computations,
+                "{label}: parallel brute-force leaf scans compute at least as much"
+            );
+            assert_eq!(
+                (seq.stats.node_pairs_processed, seq.stats.pairs_pruned),
+                (par.stats.node_pairs_processed, par.stats.pairs_pruned),
+                "{label}: traversal counters"
+            );
+        }
+    }
+}
+
+#[test]
+fn cross_join_parity_all_algorithms() {
+    let p = uniform(600, 11);
+    let q = uniform(500, 12);
+    let (tp, tq) = (build(&p.points), build(&q.points));
+    let cfg = CpqConfig::paper();
+    for k in [1usize, 10, 1000] {
+        for threads in [2usize, 8] {
+            assert_parity(&tp, Some(&tq), k, &cfg, threads, "uniform-cross");
+        }
+    }
+}
+
+#[test]
+fn cross_join_parity_clustered_plane_sweep() {
+    let p = clustered(600, ClusterSpec::default(), 13);
+    let q = uniform(500, 14);
+    let (tp, tq) = (build(&p.points), build(&q.points));
+    let mut cfg = CpqConfig::paper();
+    cfg.leaf_scan = LeafScan::PlaneSweep;
+    for k in [1usize, 10, 1000] {
+        assert_parity(&tp, Some(&tq), k, &cfg, 8, "clustered-sweep");
+    }
+}
+
+#[test]
+fn self_join_parity_all_algorithms() {
+    let p = uniform(500, 15);
+    let tp = build(&p.points);
+    let cfg = CpqConfig::paper();
+    for k in [1usize, 10, 1000] {
+        for threads in [2usize, 8] {
+            assert_parity(&tp, None, k, &cfg, threads, "uniform-self");
+        }
+    }
+}
+
+#[test]
+fn tie_storm_parity_cross_and_self() {
+    let p = tie_storm(400, 30, 16);
+    let q = tie_storm(400, 30, 17);
+    let (tp, tq) = (build(&p), build(&q));
+    let cfg = CpqConfig::paper();
+    for k in [1usize, 10, 1000] {
+        assert_parity(&tp, Some(&tq), k, &cfg, 8, "tie-storm-cross");
+        assert_parity(&tp, None, k, &cfg, 8, "tie-storm-self");
+    }
+}
+
+#[test]
+fn parallelism_one_and_zero_are_sequential() {
+    let p = uniform(300, 18);
+    let q = uniform(300, 19);
+    let (tp, tq) = (build(&p.points), build(&q.points));
+    let base = CpqConfig::paper();
+    let seq = k_closest_pairs(&tp, &tq, 20, Algorithm::Heap, &base).unwrap();
+    for threads in [0usize, 1] {
+        let out = k_closest_pairs(
+            &tp,
+            &tq,
+            20,
+            Algorithm::Heap,
+            &base.with_parallelism(threads),
+        )
+        .unwrap();
+        assert_pairs_bitwise(&seq, &out, "degenerate-parallelism");
+        assert_eq!(seq.stats, out.stats, "degenerate parallelism is sequential");
+    }
+}

@@ -18,6 +18,30 @@ pub enum ProbeSide {
     Q,
 }
 
+/// Summary of one intra-query parallel execution, reported once per run by
+/// the parallel executor's teardown (see `cpq-core`'s `parallel` module).
+///
+/// All counters describe *speculative* work — prefetch/precompute tasks the
+/// worker threads performed alongside the deterministic sequential driver —
+/// so none of them affect results or the paper's work counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParallelReport {
+    /// Worker threads that ran (total threads minus the driver).
+    pub workers: u64,
+    /// Speculative tasks executed across all workers.
+    pub tasks: u64,
+    /// Driver-side consultations answered from the speculation caches.
+    pub cache_hits: u64,
+    /// Tasks a worker popped from another worker's queue shard.
+    pub steals: u64,
+    /// Steal attempts that found every foreign shard empty.
+    pub steal_misses: u64,
+    /// Successful CAS-tightenings of the shared global bound.
+    pub bound_updates: u64,
+    /// Per-worker time spent executing tasks, nanoseconds.
+    pub worker_busy_ns: Vec<u64>,
+}
+
 /// Per-query instrumentation callbacks.
 ///
 /// Methods default to empty bodies so implementations override only what
@@ -59,6 +83,13 @@ pub trait Probe {
     #[inline]
     fn gen_phase(&mut self, elapsed_ns: u64) {
         let _ = elapsed_ns;
+    }
+
+    /// The parallel executor finished: speculation counters and per-worker
+    /// phase timings for this run. Never called by sequential runs.
+    #[inline]
+    fn parallel_exec(&mut self, report: &ParallelReport) {
+        let _ = report;
     }
 }
 
@@ -129,6 +160,17 @@ impl Probe for ProfileProbe {
     fn gen_phase(&mut self, elapsed_ns: u64) {
         self.profile.gen_ns += elapsed_ns;
     }
+
+    #[inline]
+    fn parallel_exec(&mut self, report: &ParallelReport) {
+        self.profile.parallel_workers = report.workers;
+        self.profile.parallel_tasks = report.tasks;
+        self.profile.parallel_cache_hits = report.cache_hits;
+        self.profile.parallel_steals = report.steals;
+        self.profile.parallel_steal_misses = report.steal_misses;
+        self.profile.parallel_bound_updates = report.bound_updates;
+        self.profile.worker_busy_ns = report.worker_busy_ns.clone();
+    }
 }
 
 #[cfg(test)]
@@ -156,6 +198,15 @@ mod tests {
         p.leaf_scan(10, 2, 40, 100);
         p.leaf_scan(5, 1, 0, 50);
         p.gen_phase(7);
+        p.parallel_exec(&ParallelReport {
+            workers: 3,
+            tasks: 17,
+            cache_hits: 9,
+            steals: 4,
+            steal_misses: 2,
+            bound_updates: 6,
+            worker_busy_ns: vec![100, 200, 300],
+        });
         let prof = p.into_profile();
         assert_eq!(prof.node_accesses_p, vec![2, 0, 1]);
         assert_eq!(prof.node_accesses_q, vec![0, 1]);
@@ -165,5 +216,12 @@ mod tests {
         assert_eq!(prof.scan_ns, 150);
         assert_eq!(prof.gen_ns, 7);
         assert_eq!(prof.node_accesses(), 4);
+        assert_eq!(prof.parallel_workers, 3);
+        assert_eq!(prof.parallel_tasks, 17);
+        assert_eq!(prof.parallel_cache_hits, 9);
+        assert_eq!(prof.parallel_steals, 4);
+        assert_eq!(prof.parallel_steal_misses, 2);
+        assert_eq!(prof.parallel_bound_updates, 6);
+        assert_eq!(prof.worker_busy_ns, vec![100, 200, 300]);
     }
 }

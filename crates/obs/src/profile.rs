@@ -55,6 +55,22 @@ pub struct QueryProfile {
     pub gen_ns: u64,
     /// Time inside leaf scanning (`scan_leaves`), nanoseconds.
     pub scan_ns: u64,
+    /// Speculative worker threads used by the parallel executor (0 for a
+    /// sequential run; all `parallel_*` fields stay 0 then).
+    pub parallel_workers: u64,
+    /// Speculative tasks executed across all workers.
+    pub parallel_tasks: u64,
+    /// Driver-side consultations answered from the speculation caches.
+    pub parallel_cache_hits: u64,
+    /// Tasks popped from another worker's queue shard.
+    pub parallel_steals: u64,
+    /// Steal attempts that found every foreign shard empty.
+    pub parallel_steal_misses: u64,
+    /// Successful CAS-tightenings of the shared global bound.
+    pub parallel_bound_updates: u64,
+    /// Per-worker time spent executing speculative tasks, nanoseconds
+    /// (empty for sequential runs).
+    pub worker_busy_ns: Vec<u64>,
 }
 
 fn json_str(s: &str) -> String {
@@ -103,7 +119,11 @@ impl QueryProfile {
                 "\"dist_computations\":{},\"kernel_early_outs\":{},",
                 "\"sweep_pairs_skipped\":{},\"pairs_pruned\":{},",
                 "\"node_pairs_processed\":{},\"heap_inserts\":{},",
-                "\"heap_high_watermark\":{},\"gen_ns\":{},\"scan_ns\":{}}}"
+                "\"heap_high_watermark\":{},\"gen_ns\":{},\"scan_ns\":{},",
+                "\"parallel_workers\":{},\"parallel_tasks\":{},",
+                "\"parallel_cache_hits\":{},\"parallel_steals\":{},",
+                "\"parallel_steal_misses\":{},\"parallel_bound_updates\":{},",
+                "\"worker_busy_ns\":{}}}"
             ),
             self.query_id,
             json_str(&self.algorithm),
@@ -126,6 +146,13 @@ impl QueryProfile {
             self.heap_high_watermark,
             self.gen_ns,
             self.scan_ns,
+            self.parallel_workers,
+            self.parallel_tasks,
+            self.parallel_cache_hits,
+            self.parallel_steals,
+            self.parallel_steal_misses,
+            self.parallel_bound_updates,
+            json_arr(&self.worker_busy_ns),
         )
     }
 }
@@ -154,6 +181,24 @@ mod tests {
         assert!(j.contains("\"algorithm\":\"HEAP\""));
         assert!(j.contains("\"node_accesses_p\":[5,2,1]"));
         assert!(j.contains("\"latency_us\":100"));
+        assert!(j.contains("\"parallel_workers\":0"));
+        assert!(j.contains("\"worker_busy_ns\":[]"));
+    }
+
+    #[test]
+    fn parallel_fields_serialize() {
+        let p = QueryProfile {
+            parallel_workers: 7,
+            parallel_tasks: 42,
+            parallel_steals: 3,
+            worker_busy_ns: vec![11, 22],
+            ..Default::default()
+        };
+        let j = p.to_json();
+        assert!(j.contains("\"parallel_workers\":7"));
+        assert!(j.contains("\"parallel_tasks\":42"));
+        assert!(j.contains("\"parallel_steals\":3"));
+        assert!(j.contains("\"worker_busy_ns\":[11,22]"));
     }
 
     #[test]

@@ -122,6 +122,19 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
         decode_node(id, &bytes)
     }
 
+    /// Reads and decodes several nodes through one batched pool fetch
+    /// ([`BufferPool::get_many`]): the pool classifies hits/misses in one
+    /// pass and serves all miss I/O under a single shared file guard, so
+    /// concurrent callers (the parallel K-CPQ executor's prefetch workers)
+    /// overlap their physical reads instead of serializing per page.
+    pub fn read_nodes(&self, ids: &[PageId]) -> RTreeResult<Vec<Node<D, O>>> {
+        let pages = self.pool.get_many(ids)?;
+        ids.iter()
+            .zip(pages.iter())
+            .map(|(&id, bytes)| decode_node(id, bytes))
+            .collect()
+    }
+
     /// MBR of the whole tree (reads the root page), or `None` when empty.
     pub fn root_mbr(&self) -> RTreeResult<Option<Rect<D>>> {
         if !self.root.is_valid() {

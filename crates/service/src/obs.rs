@@ -76,6 +76,12 @@ pub struct ServiceObs {
     pairs_pruned: Arc<Counter>,
     node_pairs_processed: Arc<Counter>,
     heap_inserts: Arc<Counter>,
+    parallel_queries: Arc<Counter>,
+    parallel_tasks: Arc<Counter>,
+    parallel_cache_hits: Arc<Counter>,
+    parallel_steals: Arc<Counter>,
+    parallel_steal_misses: Arc<Counter>,
+    parallel_bound_updates: Arc<Counter>,
     sheds: Arc<Counter>,
     queue_depth: Arc<Gauge>,
     slow_observed: Arc<Counter>,
@@ -180,6 +186,36 @@ impl ServiceObs {
                 "insertions into the HEAP algorithm's priority queue",
                 &[],
             ),
+            parallel_queries: registry.counter(
+                "cpq_parallel_queries_total",
+                "queries executed by the intra-query parallel engine",
+                &[],
+            ),
+            parallel_tasks: registry.counter(
+                "cpq_parallel_tasks_total",
+                "node-pair tasks executed speculatively by parallel workers",
+                &[],
+            ),
+            parallel_cache_hits: registry.counter(
+                "cpq_parallel_cache_hits_total",
+                "driver node-pair visits answered from the speculation cache",
+                &[],
+            ),
+            parallel_steals: registry.counter(
+                "cpq_parallel_steals_total",
+                "tasks a parallel worker stole from another worker's shard",
+                &[],
+            ),
+            parallel_steal_misses: registry.counter(
+                "cpq_parallel_steal_misses_total",
+                "full steal sweeps that found every shard empty",
+                &[],
+            ),
+            parallel_bound_updates: registry.counter(
+                "cpq_parallel_bound_updates_total",
+                "successful tightenings of the shared global distance bound",
+                &[],
+            ),
             sheds: registry.counter(
                 "cpq_sheds_total",
                 "requests shed by admission control (never executed)",
@@ -247,6 +283,16 @@ impl ServiceObs {
         self.pairs_pruned.add(profile.pairs_pruned);
         self.node_pairs_processed.add(profile.node_pairs_processed);
         self.heap_inserts.add(profile.heap_inserts);
+        if profile.parallel_workers > 0 {
+            self.parallel_queries.inc();
+        }
+        self.parallel_tasks.add(profile.parallel_tasks);
+        self.parallel_cache_hits.add(profile.parallel_cache_hits);
+        self.parallel_steals.add(profile.parallel_steals);
+        self.parallel_steal_misses
+            .add(profile.parallel_steal_misses);
+        self.parallel_bound_updates
+            .add(profile.parallel_bound_updates);
         self.slow_log.observe(profile.clone());
     }
 

@@ -44,6 +44,12 @@ pub struct QueryRequest {
     /// overrides it. An expired query stops within one node visit and
     /// responds [`QueryStatus::TimedOut`] with its partial result.
     pub deadline: Option<Duration>,
+    /// Intra-query parallelism requested for this query (total threads,
+    /// driver included). `None` or values `≤ 1` run the plain sequential
+    /// engine; larger values are clamped to the service's
+    /// [`max_parallelism`](crate::ServiceConfig::max_parallelism). Results
+    /// are bit-identical either way — parallelism only buys latency.
+    pub parallelism: Option<usize>,
 }
 
 impl QueryRequest {
@@ -54,6 +60,7 @@ impl QueryRequest {
             algorithm,
             kind: QueryKind::Cross,
             deadline: None,
+            parallelism: None,
         }
     }
 
@@ -64,12 +71,20 @@ impl QueryRequest {
             algorithm,
             kind: QueryKind::SelfJoin,
             deadline: None,
+            parallelism: None,
         }
     }
 
     /// Sets the per-request deadline.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Requests intra-query parallelism (total threads, driver included);
+    /// clamped to the service's configured maximum at execution time.
+    pub fn with_parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = Some(threads);
         self
     }
 }

@@ -47,6 +47,15 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Engine configuration shared by all queries.
     pub cpq: CpqConfig,
+    /// Ceiling on per-request intra-query parallelism
+    /// ([`QueryRequest::parallelism`]). The default of `1` keeps every
+    /// query on the plain sequential engine regardless of what requests
+    /// ask for; raising it lets a request fan one query out over up to
+    /// this many threads (deadlines and cancellation still stop the query
+    /// within one node visit — workers poll the token inside stolen
+    /// tasks, and a `TimedOut` partial stays the deterministic sequential
+    /// prefix). Total thread pressure is `workers × max_parallelism`.
+    pub max_parallelism: usize,
     /// Deadline applied when a request does not carry its own. `None`
     /// means admitted queries may run arbitrarily long.
     pub default_deadline: Option<Duration>,
@@ -62,6 +71,7 @@ impl Default for ServiceConfig {
                 .unwrap_or(4),
             queue_capacity: 64,
             cpq: CpqConfig::paper(),
+            max_parallelism: 1,
             default_deadline: None,
             obs: ObsConfig::default(),
         }
@@ -81,6 +91,7 @@ struct Shared<const D: usize, O: SpatialObject<D>> {
     queue: AdmissionQueue<Job<D, O>>,
     stats: ServiceStats,
     cpq: CpqConfig,
+    max_parallelism: usize,
     default_deadline: Option<Duration>,
     next_id: AtomicU64,
     /// `Some` when observability is on; workers then run the instrumented
@@ -154,6 +165,7 @@ impl<const D: usize, O: SpatialObject<D>> CpqService<D, O> {
             queue: AdmissionQueue::new(config.queue_capacity),
             stats: ServiceStats::new(),
             cpq: config.cpq,
+            max_parallelism: config.max_parallelism.max(1),
             default_deadline: config.default_deadline,
             next_id: AtomicU64::new(0),
             obs: config.obs.enabled.then(|| ServiceObs::new(&config.obs)),
@@ -327,20 +339,26 @@ fn worker_loop<const D: usize, O: SpatialObject<D>>(shared: &Shared<D, O>) {
         } else {
             ((0, 0), ProfileProbe::new())
         };
+        // The per-query engine config: the shared one, plus this request's
+        // intra-query parallelism clamped to the service ceiling. The token
+        // travels into the parallel executor, so a deadline expiring
+        // mid-steal still stops the query within one node visit.
+        let mut cpq = shared.cpq;
+        cpq.parallelism = job.req.parallelism.unwrap_or(0).min(shared.max_parallelism);
         let result = match (job.req.kind, instrument) {
             (QueryKind::Cross, false) => k_closest_pairs_cancellable(
                 &shared.trees.p,
                 &shared.trees.q,
                 job.req.k,
                 job.req.algorithm,
-                &shared.cpq,
+                &cpq,
                 &cancel,
             ),
             (QueryKind::SelfJoin, false) => self_closest_pairs_cancellable(
                 &shared.trees.p,
                 job.req.k,
                 job.req.algorithm,
-                &shared.cpq,
+                &cpq,
                 &cancel,
             ),
             (QueryKind::Cross, true) => k_closest_pairs_instrumented(
@@ -348,7 +366,7 @@ fn worker_loop<const D: usize, O: SpatialObject<D>>(shared: &Shared<D, O>) {
                 &shared.trees.q,
                 job.req.k,
                 job.req.algorithm,
-                &shared.cpq,
+                &cpq,
                 &cancel,
                 &mut probe,
             ),
@@ -356,7 +374,7 @@ fn worker_loop<const D: usize, O: SpatialObject<D>>(shared: &Shared<D, O>) {
                 &shared.trees.p,
                 job.req.k,
                 job.req.algorithm,
-                &shared.cpq,
+                &cpq,
                 &cancel,
                 &mut probe,
             ),

@@ -6,14 +6,21 @@ use crate::page::PageId;
 use crate::stats::IoStats;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
+use std::os::unix::fs::FileExt;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A flat, growable array of fixed-size pages with a free list.
 ///
 /// This is the "disk" of the reproduction. Implementations count every
 /// physical read/write in [`IoStats`]; the benchmark harness reports those
 /// counts as the paper's *disk accesses*.
-pub trait PageFile: Send {
+///
+/// `read` takes `&self` so independent reads may proceed concurrently (the
+/// buffer pool holds the file behind a `RwLock` and performs miss I/O under
+/// the read guard); mutating operations (`allocate`/`write`/`free`) take
+/// `&mut self` and are serialized by the pool's write guard.
+pub trait PageFile: Send + Sync {
     /// Size of every page in bytes.
     fn page_size(&self) -> usize;
 
@@ -24,7 +31,7 @@ pub trait PageFile: Send {
     fn allocate(&mut self) -> StorageResult<PageId>;
 
     /// Reads page `id` into `buf` (`buf.len()` must equal `page_size`).
-    fn read(&mut self, id: PageId, buf: &mut [u8]) -> StorageResult<()>;
+    fn read(&self, id: PageId, buf: &mut [u8]) -> StorageResult<()>;
 
     /// Writes `data` (exactly `page_size` bytes) to page `id`.
     fn write(&mut self, id: PageId, data: &[u8]) -> StorageResult<()>;
@@ -50,6 +57,9 @@ pub struct MemPageFile {
     pages: Vec<Option<Box<[u8]>>>,
     free_list: Vec<PageId>,
     stats: IoStats,
+    /// Successful physical reads. Atomic because `read` takes `&self` and
+    /// may run concurrently from several threads.
+    reads: AtomicU64,
 }
 
 impl MemPageFile {
@@ -61,6 +71,7 @@ impl MemPageFile {
             pages: Vec::new(),
             free_list: Vec::new(),
             stats: IoStats::default(),
+            reads: AtomicU64::new(0),
         }
     }
 
@@ -102,12 +113,12 @@ impl PageFile for MemPageFile {
         Ok(id)
     }
 
-    fn read(&mut self, id: PageId, buf: &mut [u8]) -> StorageResult<()> {
+    fn read(&self, id: PageId, buf: &mut [u8]) -> StorageResult<()> {
         self.check_len(buf.len())?;
         match self.slot(id)? {
             Some(data) => {
                 buf.copy_from_slice(data);
-                self.stats.reads += 1;
+                self.reads.fetch_add(1, Ordering::Relaxed);
                 Ok(())
             }
             None => Err(StorageError::PageFreed(id)),
@@ -147,11 +158,15 @@ impl PageFile for MemPageFile {
     }
 
     fn stats(&self) -> IoStats {
-        self.stats
+        IoStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            ..self.stats
+        }
     }
 
     fn reset_stats(&mut self) {
         self.stats = IoStats::default();
+        self.reads.store(0, Ordering::Relaxed);
     }
 }
 
@@ -170,12 +185,17 @@ const CRC_LEN: usize = 4;
 /// trailer after every page, verified on each read — a flipped byte on disk
 /// surfaces as [`StorageError::Corrupt`] instead of silently feeding garbage
 /// to the R-tree decoder. Version-1 files (no trailers) still open and read.
+///
+/// Reads use positioned I/O (`pread`), so concurrent readers never contend
+/// on a shared cursor; the cursor is only used by `&mut self` operations.
 pub struct DiskPageFile {
     file: File,
     page_size: usize,
     num_pages: u32,
     free_list: Vec<PageId>,
     stats: IoStats,
+    /// Successful physical reads (atomic: `read` takes `&self`).
+    reads: AtomicU64,
     /// Version-2 layout: per-page CRC trailers present and verified.
     checksums: bool,
 }
@@ -196,6 +216,7 @@ impl DiskPageFile {
             num_pages: 0,
             free_list: Vec::new(),
             stats: IoStats::default(),
+            reads: AtomicU64::new(0),
             checksums: true,
         };
         this.write_header()?;
@@ -233,6 +254,7 @@ impl DiskPageFile {
             num_pages,
             free_list: Vec::new(),
             stats: IoStats::default(),
+            reads: AtomicU64::new(0),
             checksums,
         })
     }
@@ -311,14 +333,15 @@ impl PageFile for DiskPageFile {
         Ok(id)
     }
 
-    fn read(&mut self, id: PageId, buf: &mut [u8]) -> StorageResult<()> {
+    fn read(&self, id: PageId, buf: &mut [u8]) -> StorageResult<()> {
         self.check_id(id)?;
         self.check_len(buf.len())?;
-        self.file.seek(SeekFrom::Start(self.offset(id)))?;
-        self.file.read_exact(buf)?;
+        let off = self.offset(id);
+        self.file.read_exact_at(buf, off)?;
         if self.checksums {
             let mut trailer = [0u8; CRC_LEN];
-            self.file.read_exact(&mut trailer)?;
+            self.file
+                .read_exact_at(&mut trailer, off + self.page_size as u64)?;
             let stored = u32::from_le_bytes(trailer);
             let computed = crc32(buf);
             if stored != computed {
@@ -329,7 +352,7 @@ impl PageFile for DiskPageFile {
                 });
             }
         }
-        self.stats.reads += 1;
+        self.reads.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -353,11 +376,15 @@ impl PageFile for DiskPageFile {
     }
 
     fn stats(&self) -> IoStats {
-        self.stats
+        IoStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            ..self.stats
+        }
     }
 
     fn reset_stats(&mut self) {
         self.stats = IoStats::default();
+        self.reads.store(0, Ordering::Relaxed);
     }
 }
 
@@ -430,8 +457,29 @@ mod tests {
         let mut f = MemPageFile::new(64);
         let a = f.allocate().unwrap();
         f.write(a, &[0; 64]).unwrap();
+        f.read(a, &mut [0; 64]).unwrap();
         f.reset_stats();
         assert_eq!(f.stats(), IoStats::default());
+    }
+
+    #[test]
+    fn concurrent_reads_count_exactly() {
+        let mut f = MemPageFile::new(64);
+        let a = f.allocate().unwrap();
+        f.write(a, &[7; 64]).unwrap();
+        let f = &f;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(move || {
+                    let mut buf = [0u8; 64];
+                    for _ in 0..100 {
+                        f.read(a, &mut buf).unwrap();
+                        assert_eq!(buf, [7; 64]);
+                    }
+                });
+            }
+        });
+        assert_eq!(f.stats().reads, 400);
     }
 
     fn temp_path(name: &str) -> std::path::PathBuf {
@@ -452,7 +500,7 @@ mod tests {
             let f = DiskPageFile::open(&path).unwrap();
             assert_eq!(f.page_size(), 128);
             assert_eq!(f.num_pages(), 2);
-            let mut f = f;
+            let f = f;
             let mut buf = vec![0; 128];
             f.read(PageId(0), &mut buf).unwrap();
             assert_eq!(buf, vec![0xAB; 128]);
@@ -481,7 +529,7 @@ mod tests {
             std::fs::write(&path, raw).unwrap();
         }
         {
-            let mut f = DiskPageFile::open(&path).unwrap();
+            let f = DiskPageFile::open(&path).unwrap();
             let mut buf = vec![0u8; page_size];
             // The untouched page still reads clean...
             f.read(PageId(0), &mut buf).unwrap();
@@ -519,7 +567,7 @@ mod tests {
             raw.extend_from_slice(&vec![0x22; page_size]);
             std::fs::write(&path, raw).unwrap();
         }
-        let mut f = DiskPageFile::open(&path).unwrap();
+        let f = DiskPageFile::open(&path).unwrap();
         assert_eq!(f.num_pages(), 2);
         let mut buf = vec![0u8; page_size];
         f.read(PageId(1), &mut buf).unwrap();

@@ -18,10 +18,15 @@
 //!   logical read misses, which reproduces the paper's "zero buffer"
 //!   configuration).
 //!
-//! The pool uses interior mutability (`std::sync::Mutex`) so query
-//! algorithms can hold shared references to two trees and still fault pages
-//! in through either. Page contents are returned as [`PageBytes`]
+//! The pool uses interior mutability (bookkeeping behind a `Mutex`, the page
+//! file behind a `RwLock` so miss I/O from concurrent readers overlaps) so
+//! query algorithms can hold shared references to two trees and still fault
+//! pages in through either. Page contents are returned as [`PageBytes`]
 //! (`Arc<[u8]>`), cheap to clone and immutable.
+//!
+//! For failure testing, [`FailingPageFile`] wraps any page file and injects
+//! read errors, CRC corruption, or artificial latency under the control of a
+//! shared [`FailureControl`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +34,7 @@
 mod buffer;
 mod crc32;
 mod error;
+mod failing;
 mod file;
 mod page;
 mod stats;
@@ -38,6 +44,7 @@ pub use buffer::{
 };
 pub use crc32::crc32;
 pub use error::{StorageError, StorageResult};
+pub use failing::{FailingPageFile, FailureControl};
 pub use file::{DiskPageFile, MemPageFile, PageFile};
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
 pub use stats::IoStats;

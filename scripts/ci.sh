@@ -25,4 +25,12 @@ echo "==> bench_service --smoke --profile (service end-to-end + divergence + obs
 echo "==> metrics smoke (serve, scrape /metrics, exposition lint, core-series check)"
 ./target/release/metrics_lint
 
+echo "==> bench_parallel --smoke (parallel descent speedup + zero-divergence gate)"
+./target/release/bench_parallel --smoke --out /tmp/BENCH_parallel_smoke.json >/dev/null
+
+if [ "${1:-}" = "--full" ]; then
+    echo "==> parallel stress: wide seed sweep (release, --include-ignored)"
+    cargo test --release -p cpq-core --test parallel_stress -- --include-ignored
+fi
+
 echo "==> CI green"
