@@ -3,6 +3,14 @@
 
 use std::collections::HashMap;
 
+/// Reports a malformed flag value and exits with status 2: bad command-line
+/// input is an operator mistake, not a harness bug, so it gets a clean error
+/// naming the offending flag instead of a panic backtrace.
+fn bad_value(key: &str, value: &str, what: &str) -> ! {
+    eprintln!("error: --{key} expects {what}, got {value:?}");
+    std::process::exit(2)
+}
+
 /// Parsed `--key value` / `--flag` arguments.
 #[derive(Debug, Default)]
 pub struct Args {
@@ -24,8 +32,9 @@ impl Args {
             if let Some(key) = arg.strip_prefix("--") {
                 match it.peek() {
                     Some(next) if !next.starts_with("--") => {
-                        let value = it.next().expect("peeked");
-                        args.values.insert(key.to_string(), value);
+                        if let Some(value) = it.next() {
+                            args.values.insert(key.to_string(), value);
+                        }
                     }
                     _ => args.flags.push(key.to_string()),
                 }
@@ -36,26 +45,24 @@ impl Args {
         args
     }
 
-    /// `--key value` as f64, or `default`.
+    /// `--key value` as f64, or `default`. Exits with status 2 (naming the
+    /// flag) when the value does not parse.
     pub fn get_f64(&self, key: &str, default: f64) -> f64 {
-        self.values
-            .get(key)
-            .map(|v| {
-                v.parse()
-                    .unwrap_or_else(|_| panic!("--{key} expects a number, got {v:?}"))
-            })
-            .unwrap_or(default)
+        match self.values.get(key) {
+            Some(v) => v.parse().unwrap_or_else(|_| bad_value(key, v, "a number")),
+            None => default,
+        }
     }
 
-    /// `--key value` as usize, or `default`.
+    /// `--key value` as usize, or `default`. Exits with status 2 (naming the
+    /// flag) when the value does not parse.
     pub fn get_usize(&self, key: &str, default: usize) -> usize {
-        self.values
-            .get(key)
-            .map(|v| {
-                v.parse()
-                    .unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}"))
-            })
-            .unwrap_or(default)
+        match self.values.get(key) {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| bad_value(key, v, "an integer")),
+            None => default,
+        }
     }
 
     /// `--key value` as string, or `default`.
@@ -75,7 +82,9 @@ impl Args {
     /// multiply the paper's cardinalities by this so CI can smoke-run them.
     pub fn scale(&self) -> f64 {
         let s = self.get_f64("scale", 1.0);
-        assert!(s > 0.0 && s <= 1.0, "--scale must be in (0, 1]");
+        if !(s > 0.0 && s <= 1.0) {
+            bad_value("scale", &s.to_string(), "a factor in (0, 1]");
+        }
         s
     }
 }

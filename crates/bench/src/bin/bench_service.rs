@@ -168,6 +168,8 @@ fn main() {
         // Only completed answers are exact; TimedOut partials are best-effort
         // by contract and sheds/drops never executed.
         if *status == QueryStatus::Completed && !matches_expected(pairs, &combos[ci].expected) {
+            // ordering: Relaxed — statistics counter, read after the
+            // client threads are joined.
             divergences.fetch_add(1, Ordering::Relaxed);
         }
     };
@@ -206,6 +208,8 @@ fn main() {
         std::thread::scope(|s| {
             for _ in 0..clients.max(1) {
                 s.spawn(|| loop {
+                    // ordering: Relaxed — work-distribution cursor; the
+                    // fetch_add itself makes each index unique.
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= queries {
                         break;
@@ -282,6 +286,7 @@ fn main() {
     }
 
     let stats = service.shutdown();
+    // ordering: Relaxed — read after every client thread was joined.
     let divergences = divergences.load(Ordering::Relaxed);
 
     let json = format!(

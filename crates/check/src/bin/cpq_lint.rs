@@ -1,0 +1,562 @@
+//! `cpq_lint` — the workspace's static concurrency-hygiene scanner.
+//!
+//! A std-only, line-level lint pass run by `scripts/ci.sh`. It enforces
+//! four rules across `crates/*/src/**/*.rs` and `src/**/*.rs` (integration
+//! `tests/` directories and `#[cfg(test)]` regions are out of scope, and
+//! rule applicability varies per file — see each rule):
+//!
+//! * `ordering-comment` — every use of an atomic memory ordering
+//!   (`Ordering::Relaxed`/`Acquire`/`Release`/`AcqRel`/`SeqCst`) must carry
+//!   an `// ordering:` justification comment on the same line or within the
+//!   six preceding lines. The model checker explores interleavings, not
+//!   weak-memory reorderings, so ordering *strength* is argued in prose at
+//!   every site.
+//! * `forbid-unsafe` — every crate root (`lib.rs`) declares
+//!   `#![forbid(unsafe_code)]`.
+//! * `panic-path` — no `.unwrap()`, `.expect(`, or `thread::sleep` in
+//!   non-test library code (binaries and the checker crate itself are
+//!   exempt). Allowed: `expect` messages mentioning `poisoned` (the
+//!   workspace convention for propagating a peer thread's panic), and
+//!   sites waived inline with `// lint: allow(unwrap|expect|sleep)`.
+//! * `std-sync-direct` — the shim-migrated crates (`storage`, `obs`,
+//!   `core`, `service`) must not name `std::sync` in library code; they go
+//!   through `cpq_check::sync` so `--cfg cpq_model` can model them.
+//!
+//! A file-wide waiver `// lint: file-allow(<rule-keyword>)` disables one
+//! rule for one file; it is meant for files whose module docs carry a
+//! blanket justification (e.g. the shim's modeled atomics, which are
+//! SeqCst by design).
+//!
+//! All match patterns are assembled at runtime from fragments so this
+//! file's own source never matches them.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The crates whose library code must route sync primitives through the
+/// `cpq_check` shim.
+const SHIM_MIGRATED_CRATES: &[&str] = &["storage", "obs", "core", "service"];
+
+/// How many preceding lines an `// ordering:` justification may sit above
+/// its `Ordering::` use.
+const ORDERING_COMMENT_WINDOW: usize = 6;
+
+struct Finding {
+    file: String,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// One source line split into its code and comment parts, with test-region
+/// membership resolved.
+struct LineInfo {
+    code: String,
+    comment: String,
+    in_test: bool,
+}
+
+/// Split `content` into per-line code/comment parts, tracking `/* */`
+/// blocks (line comments and block comments both count as comment text)
+/// and string literals (so `"https://…"` is not a comment start), and mark
+/// lines belonging to `#[cfg(test)]`-gated items.
+fn classify(content: &str) -> Vec<LineInfo> {
+    let mut infos = Vec::new();
+    let mut block_comment_depth = 0usize;
+
+    for raw in content.lines() {
+        let mut code = String::new();
+        let mut comment = String::new();
+        let mut chars = raw.chars().peekable();
+        let mut in_string = false;
+        let mut escaped = false;
+        while let Some(c) = chars.next() {
+            if block_comment_depth > 0 {
+                comment.push(c);
+                if c == '*' && chars.peek() == Some(&'/') {
+                    comment.push(chars.next().expect("peeked"));
+                    block_comment_depth -= 1;
+                } else if c == '/' && chars.peek() == Some(&'*') {
+                    comment.push(chars.next().expect("peeked"));
+                    block_comment_depth += 1;
+                }
+                continue;
+            }
+            if in_string {
+                code.push(c);
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_string = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => {
+                    in_string = true;
+                    code.push(c);
+                }
+                '/' if chars.peek() == Some(&'/') => {
+                    // Line comment: the rest of the line is comment text.
+                    comment.push(c);
+                    comment.extend(chars.by_ref());
+                }
+                '/' if chars.peek() == Some(&'*') => {
+                    comment.push(c);
+                    comment.push(chars.next().expect("peeked"));
+                    block_comment_depth += 1;
+                }
+                _ => code.push(c),
+            }
+        }
+        infos.push(LineInfo {
+            code,
+            comment,
+            in_test: false,
+        });
+    }
+
+    mark_test_regions(&mut infos);
+    infos
+}
+
+/// Mark the lines of every `#[cfg(test)]`-gated item (typically
+/// `mod tests { … }`) as test code. The item body is found by brace
+/// counting on the comment-stripped code; a braceless item (e.g. a gated
+/// `use`) ends at its `;`.
+fn mark_test_regions(infos: &mut [LineInfo]) {
+    let mut i = 0;
+    while i < infos.len() {
+        let code = infos[i].code.trim().to_string();
+        let is_cfg_test = code.starts_with("#[cfg(") && code.contains("test");
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Walk forward to the gated item and through its body.
+        let mut depth = 0usize;
+        let mut opened = false;
+        let mut j = i;
+        while j < infos.len() {
+            infos[j].in_test = true;
+            for c in infos[j].code.clone().chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth = depth.saturating_sub(1),
+                    _ => {}
+                }
+            }
+            if opened && depth == 0 {
+                break;
+            }
+            if !opened && infos[j].code.contains(';') && j > i {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+}
+
+/// Assemble a pattern from fragments at runtime, so the pattern text never
+/// appears literally in this file.
+fn pat(parts: &[&str]) -> String {
+    parts.concat()
+}
+
+fn ordering_needles() -> Vec<String> {
+    ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"]
+        .iter()
+        .map(|v| pat(&["Ordering", "::", v]))
+        .collect()
+}
+
+fn file_allows(content_infos: &[LineInfo], keyword: &str) -> bool {
+    let needle = pat(&["lint: file-allow(", keyword, ")"]);
+    content_infos.iter().any(|l| l.comment.contains(&needle))
+}
+
+fn line_allows(infos: &[LineInfo], idx: usize, keyword: &str) -> bool {
+    let needle = pat(&["lint: allow(", keyword, ")"]);
+    if infos[idx].comment.contains(&needle) {
+        return true;
+    }
+    // Walk up the contiguous comment block above the line: a waiver's
+    // rationale may wrap across several comment lines, and the waiver may
+    // ride the trailing comment of the last code line before the block.
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        if infos[i].comment.contains(&needle) {
+            return true;
+        }
+        if !infos[i].code.trim().is_empty() || infos[i].comment.trim().is_empty() {
+            return false;
+        }
+    }
+    false
+}
+
+/// Rule `ordering-comment`.
+fn check_ordering_comments(rel: &str, infos: &[LineInfo], findings: &mut Vec<Finding>) {
+    if file_allows(infos, "ordering") {
+        return;
+    }
+    let needles = ordering_needles();
+    for (idx, info) in infos.iter().enumerate() {
+        if info.in_test {
+            continue;
+        }
+        if !needles.iter().any(|n| info.code.contains(n)) {
+            continue;
+        }
+        let justified = (idx.saturating_sub(ORDERING_COMMENT_WINDOW)..=idx)
+            .any(|j| infos[j].comment.contains("ordering:"));
+        if !justified {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule: "ordering-comment",
+                message: format!(
+                    "atomic memory ordering without an `// ordering:` \
+                     justification within {ORDERING_COMMENT_WINDOW} lines"
+                ),
+            });
+        }
+    }
+}
+
+/// Rule `panic-path`.
+fn check_panic_paths(rel: &str, infos: &[LineInfo], findings: &mut Vec<Finding>) {
+    let unwrap_needle = pat(&[".", "unwrap()"]);
+    let expect_needle = pat(&[".", "expect("]);
+    let sleep_needle = pat(&["thread", "::", "sleep"]);
+    for (idx, info) in infos.iter().enumerate() {
+        if info.in_test {
+            continue;
+        }
+        if info.code.contains(&unwrap_needle)
+            && !line_allows(infos, idx, "unwrap")
+            && !file_allows(infos, "unwrap")
+        {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule: "panic-path",
+                message: "`unwrap()` in non-test library code (return an error, \
+                          or waive with `// lint: allow(unwrap)` + rationale)"
+                    .to_string(),
+            });
+        }
+        if info.code.contains(&expect_needle)
+            && !info.code.contains("poisoned")
+            && !line_allows(infos, idx, "expect")
+            && !file_allows(infos, "expect")
+        {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule: "panic-path",
+                message: "`expect()` in non-test library code (only the \
+                          \"poisoned\" lock convention is allowed implicitly; \
+                          waive others with `// lint: allow(expect)` + rationale)"
+                    .to_string(),
+            });
+        }
+        if info.code.contains(&sleep_needle)
+            && !line_allows(infos, idx, "sleep")
+            && !file_allows(infos, "sleep")
+        {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule: "panic-path",
+                message: "`thread::sleep` in non-test library code (use a \
+                          condvar/timeout, or waive with `// lint: allow(sleep)` \
+                          + rationale)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Rule `std-sync-direct`.
+fn check_std_sync(rel: &str, infos: &[LineInfo], findings: &mut Vec<Finding>) {
+    if file_allows(infos, "std-sync") {
+        return;
+    }
+    let needle = pat(&["std", "::", "sync"]);
+    for (idx, info) in infos.iter().enumerate() {
+        if info.in_test {
+            continue;
+        }
+        if info.code.contains(&needle) && !line_allows(infos, idx, "std-sync") {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule: "std-sync-direct",
+                message: "direct std sync primitive in a shim-migrated crate; \
+                          import from `cpq_check::sync` so `--cfg cpq_model` \
+                          can model it"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Rule `forbid-unsafe` (crate roots only).
+fn check_forbid_unsafe(rel: &str, content: &str, findings: &mut Vec<Finding>) {
+    let needle = pat(&["#![", "forbid(unsafe_code)]"]);
+    if !content.contains(&needle) {
+        findings.push(Finding {
+            file: rel.to_string(),
+            line: 1,
+            rule: "forbid-unsafe",
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+}
+
+/// Which crate (by directory name) a workspace-relative path belongs to,
+/// or `None` for the facade `src/`.
+fn crate_of(rel: &str) -> Option<&str> {
+    rel.strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+}
+
+fn is_bin_path(rel: &str) -> bool {
+    rel.contains("/bin/") || rel.ends_with("/main.rs")
+}
+
+/// Run every applicable rule over one file.
+fn scan_file(rel: &str, content: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let infos = classify(content);
+    let krate = crate_of(rel);
+
+    if rel.ends_with("/lib.rs") || rel == "src/lib.rs" {
+        check_forbid_unsafe(rel, content, &mut findings);
+    }
+
+    check_ordering_comments(rel, &infos, &mut findings);
+
+    // The checker crate is the lint's own infrastructure (and its model
+    // engine is allowed internal invariant expects); binaries report
+    // errors however suits a CLI.
+    if krate != Some("check") && !is_bin_path(rel) {
+        check_panic_paths(rel, &infos, &mut findings);
+    }
+
+    if krate.is_some_and(|k| SHIM_MIGRATED_CRATES.contains(&k)) && !is_bin_path(rel) {
+        check_std_sync(rel, &infos, &mut findings);
+    }
+
+    findings
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn run(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    for entry in std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?
+    {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &mut files).map_err(|e| e.to_string())?;
+        }
+    }
+    let facade_src = root.join("src");
+    if facade_src.is_dir() {
+        collect_rs_files(&facade_src, &mut files).map_err(|e| e.to_string())?;
+    }
+    files.sort();
+
+    let mut findings = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let content = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        findings.extend(scan_file(&rel, &content));
+    }
+    Ok(findings)
+}
+
+fn main() {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    match run(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("cpq_lint: clean");
+        }
+        Ok(findings) => {
+            for f in &findings {
+                eprintln!("{f}");
+            }
+            eprintln!("cpq_lint: {} finding(s)", findings.len());
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("cpq_lint: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ordering_line(variant: &str) -> String {
+        format!(
+            "        x.store(1, {});\n",
+            pat(&["Ordering", "::", variant])
+        )
+    }
+
+    #[test]
+    fn ordering_without_comment_is_flagged() {
+        let content = format!("fn f() {{\n{}}}\n", ordering_line("Relaxed"));
+        let findings = scan_file("crates/core/src/x.rs", &content);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "ordering-comment");
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn ordering_with_nearby_comment_passes() {
+        let content = format!(
+            "fn f() {{\n    // ordering: Relaxed — plain counter.\n{}}}\n",
+            ordering_line("Relaxed")
+        );
+        assert!(scan_file("crates/core/src/x.rs", &content).is_empty());
+    }
+
+    #[test]
+    fn ordering_comment_window_is_bounded() {
+        let filler = "    let y = 1;\n".repeat(ORDERING_COMMENT_WINDOW + 1);
+        let content = format!(
+            "fn f() {{\n    // ordering: too far away.\n{filler}{}}}\n",
+            ordering_line("Acquire")
+        );
+        assert_eq!(scan_file("crates/core/src/x.rs", &content).len(), 1);
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let content = format!(
+            "#[cfg(test)]\nmod tests {{\n    fn f() {{\n{}\
+                     let v = opt{};\n    }}\n}}\n",
+            ordering_line("SeqCst"),
+            pat(&[".", "unwrap()"]),
+        );
+        assert!(scan_file("crates/core/src/x.rs", &content).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_lib_code_is_flagged_and_waivable() {
+        let unwrap = pat(&[".", "unwrap()"]);
+        let bare = format!("fn f() {{\n    let v = opt{unwrap};\n}}\n");
+        let findings = scan_file("crates/core/src/x.rs", &bare);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "panic-path");
+
+        let waived = format!(
+            "fn f() {{\n    // lint: allow(unwrap) — infallible by construction.\n    \
+             let v = opt{unwrap};\n}}\n"
+        );
+        assert!(scan_file("crates/core/src/x.rs", &waived).is_empty());
+    }
+
+    #[test]
+    fn poisoned_expect_convention_is_allowed() {
+        let expect = pat(&[".", "expect("]);
+        let content = format!("fn f() {{\n    let g = m.lock(){expect}\"mutex poisoned\");\n}}\n");
+        assert!(scan_file("crates/core/src/x.rs", &content).is_empty());
+        let other = format!("fn f() {{\n    let g = m.lock(){expect}\"fine\");\n}}\n");
+        assert_eq!(scan_file("crates/core/src/x.rs", &other).len(), 1);
+    }
+
+    #[test]
+    fn std_sync_applies_only_to_migrated_crates() {
+        let import = format!("use {}{}Arc;\n", pat(&["std", "::", "sync"]), "::");
+        let flagged = scan_file("crates/storage/src/x.rs", &import);
+        assert_eq!(flagged.len(), 1);
+        assert_eq!(flagged[0].rule, "std-sync-direct");
+        assert!(scan_file("crates/rng/src/x.rs", &import).is_empty());
+        assert!(scan_file("crates/check/src/x.rs", &import).is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_trip_rules() {
+        let content = format!(
+            "// mentions {} in prose\nfn f() {{\n    let url = \"https://example\";\n}}\n",
+            pat(&["std", "::", "sync"])
+        );
+        assert!(scan_file("crates/storage/src/x.rs", &content).is_empty());
+    }
+
+    #[test]
+    fn lib_rs_requires_forbid_unsafe() {
+        let findings = scan_file("crates/core/src/lib.rs", "pub mod x;\n");
+        assert!(findings.iter().any(|f| f.rule == "forbid-unsafe"));
+        let ok = format!("{}\npub mod x;\n", pat(&["#![", "forbid(unsafe_code)]"]));
+        assert!(scan_file("crates/core/src/lib.rs", &ok).is_empty());
+    }
+
+    #[test]
+    fn bins_are_exempt_from_panic_paths_but_not_ordering() {
+        let unwrap = pat(&[".", "unwrap()"]);
+        let content = format!(
+            "fn main() {{\n    let v = opt{unwrap};\n{}}}\n",
+            ordering_line("Relaxed")
+        );
+        let findings = scan_file("crates/bench/src/bin/tool.rs", &content);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "ordering-comment");
+    }
+
+    #[test]
+    fn file_allow_disables_one_rule_for_one_file() {
+        let content = format!(
+            "// lint: file-allow(ordering) — modeled atomics are SeqCst by design.\n\
+             fn f() {{\n{}}}\n",
+            ordering_line("SeqCst")
+        );
+        assert!(scan_file("crates/obs/src/x.rs", &content).is_empty());
+    }
+}

@@ -1,0 +1,825 @@
+//! The cooperative execution engine: one OS thread per model thread, at
+//! most one unparked at a time, every shim operation a schedule point.
+//!
+//! ## How a run works
+//!
+//! [`run_once`] builds a fresh [`Exec`], registers model thread 0 as the
+//! initial gate holder, spawns an OS thread for it, and waits until every
+//! model thread has finished. A model thread executes user code only while
+//! it holds the *gate* (`ExecState::gate == Some(tid)`); every shim
+//! operation funnels through [`Exec::op`], which releases the gate, lets
+//! the chooser pick the next runner, and parks until re-gated. Blocking
+//! operations (contended lock, condvar wait, join) park the thread in a
+//! [`Run`] state that the matching release/notify/finish transitions back
+//! to `Ready`.
+//!
+//! ## Teardown
+//!
+//! The first failure (assertion panic, deadlock, step-budget blowout)
+//! records a message plus the branch schedule and sets `abort`; every
+//! still-parked thread is then unwound with a private [`TeardownPanic`]
+//! payload so its destructors run and its OS thread exits. A *second*
+//! non-teardown panic observed during this drain is appended to the
+//! original message — that is the double-panic report. A process-global
+//! panic hook suppresses the default "thread panicked" stderr noise for
+//! teardown unwinds (and for model assertion panics, which are reported
+//! through [`IterationOutcome::failure`] instead).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, Once};
+
+use cpq_rng::Rng;
+
+/// Unique ids for modeled objects (mutexes, rwlocks, condvars, atomics).
+/// Process-global so ids never collide across overlapping executions; the
+/// per-execution state for an object is created lazily on first use.
+static NEXT_OBJECT_ID: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn next_object_id() -> u64 {
+    // ordering: Relaxed — a pure id allocator; only uniqueness matters and
+    // fetch_add is atomic at any ordering, no other memory is published.
+    NEXT_OBJECT_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    /// The execution + model-thread id this OS thread belongs to, if any.
+    static CURRENT: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+    /// Set while this thread is being unwound by the scheduler, so the
+    /// panic hook can stay silent.
+    static TEARING_DOWN: RefCell<bool> = const { RefCell::new(false) };
+}
+
+/// Handle to the ambient model execution, cloned per shim operation.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: Arc<Exec>,
+    pub(crate) tid: usize,
+}
+
+/// The ambient execution context, or `None` when the calling thread is not
+/// a model thread (shim types then fall back to plain std behavior).
+pub(crate) fn current() -> Option<Ctx> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Panic payload used to unwind parked threads after a failure. Private to
+/// the engine: user code never sees or throws it.
+struct TeardownPanic;
+
+/// What a model thread is doing, from the scheduler's point of view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Run {
+    /// Schedulable: will perform its next operation when gated.
+    Ready,
+    /// Parked on a contended mutex.
+    BlockedMutex(u64),
+    /// Parked waiting for a rwlock read lock (a writer holds it).
+    BlockedRead(u64),
+    /// Parked waiting for a rwlock write lock.
+    BlockedWrite(u64),
+    /// Parked in a condvar wait. `notified` flips when a notify reaches
+    /// this thread; `can_timeout` marks `wait_timeout`, which the model
+    /// treats as always allowed to wake spuriously (a timeout can fire
+    /// under any real schedule), keeping periodic-wakeup loops live.
+    CondWait { notified: bool, can_timeout: bool },
+    /// Parked in `join` on another model thread.
+    BlockedJoin(usize),
+    /// Done (returned or unwound); never scheduled again.
+    Finished,
+}
+
+impl Run {
+    fn schedulable(&self) -> bool {
+        match self {
+            Run::Ready => true,
+            Run::CondWait {
+                notified,
+                can_timeout,
+            } => *notified || *can_timeout,
+            _ => false,
+        }
+    }
+}
+
+/// Per-execution state of one modeled synchronization object.
+#[derive(Debug)]
+enum Obj {
+    Mutex {
+        owner: Option<usize>,
+    },
+    RwLock {
+        writer: Option<usize>,
+        readers: usize,
+    },
+    /// `waiters` holds the tids parked on this condvar that have not yet
+    /// been claimed by a notify, in arrival order.
+    Condvar {
+        waiters: Vec<usize>,
+    },
+}
+
+/// How the scheduler picks among schedulable threads.
+pub(crate) enum Chooser {
+    Dfs {
+        /// Branch choices to follow before switching to first-alternative.
+        replay: Vec<usize>,
+        preemption_bound: Option<usize>,
+        preemptions: usize,
+    },
+    Pct {
+        rng: Rng,
+        change_prob: f64,
+        /// Per-thread priority; higher runs first. Random draws are
+        /// non-negative, demotions use strictly decreasing negatives so a
+        /// demoted thread ranks below everything seen so far.
+        prio: Vec<i64>,
+        next_low: i64,
+    },
+}
+
+impl Chooser {
+    pub(crate) fn dfs(replay: Vec<usize>, preemption_bound: Option<usize>) -> Chooser {
+        Chooser::Dfs {
+            replay,
+            preemption_bound,
+            preemptions: 0,
+        }
+    }
+
+    pub(crate) fn pct(seed: u64, change_prob: f64) -> Chooser {
+        Chooser::Pct {
+            rng: Rng::seed_from_u64(seed),
+            change_prob,
+            prio: Vec::new(),
+            next_low: -1,
+        }
+    }
+
+    /// Priority for a newly registered thread (PCT only).
+    fn register_thread(&mut self) {
+        if let Chooser::Pct { rng, prio, .. } = self {
+            prio.push((rng.next_u64() >> 1) as i64);
+        }
+    }
+}
+
+/// Outcome of `Exec::op`'s action closure.
+pub(crate) enum Op<R> {
+    /// Operation completed; the thread keeps the gate and resumes user code.
+    Done(R),
+    /// Operation must park; the thread re-runs the closure when re-gated.
+    Block(Run),
+}
+
+pub(crate) struct ExecState {
+    threads: Vec<Run>,
+    objects: HashMap<u64, Obj>,
+    /// The model thread currently allowed to run, if any.
+    gate: Option<usize>,
+    /// The thread that made the previous step (for preemption accounting
+    /// and PCT demotion points).
+    last: Option<usize>,
+    chooser: Chooser,
+    /// Branch-choice record of this run: `schedule[i]` is the index chosen
+    /// among `sizes[i]` schedulable candidates at decision `i`. Forced
+    /// moves (a single candidate) are not recorded.
+    schedule: Vec<usize>,
+    sizes: Vec<usize>,
+    steps: usize,
+    max_steps: usize,
+    /// First failure message (later non-teardown panics are appended).
+    failure: Option<String>,
+    /// Set on failure: parked threads unwind, arriving threads unwind.
+    abort: bool,
+    /// Model threads not yet `Finished`.
+    alive: usize,
+    /// OS handles for every spawned model thread except thread 0 (whose
+    /// handle the controller holds directly).
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ExecState {
+    /// Record a failure (first wins; the rest append) and begin teardown.
+    fn fail(&mut self, message: String) {
+        match &mut self.failure {
+            None => self.failure = Some(message),
+            Some(existing) => {
+                let _ = write!(existing, "\n  additionally: {message}");
+            }
+        }
+        self.abort = true;
+        self.gate = None;
+    }
+
+    fn schedulable_candidates(&self) -> Vec<usize> {
+        (0..self.threads.len())
+            .filter(|&t| self.threads[t].schedulable())
+            .collect()
+    }
+
+    /// Pick the next gate holder. Called with the gate conceptually free
+    /// (the previous runner recorded in `last`).
+    fn pick_next(&mut self) {
+        if self.abort {
+            return;
+        }
+        let candidates = self.schedulable_candidates();
+        if candidates.is_empty() {
+            if self.alive == 0 {
+                self.gate = None;
+            } else {
+                let mut msg = String::from(
+                    "deadlock: live threads but none schedulable \
+                     (a lost wakeup also surfaces here); thread states:",
+                );
+                for (t, run) in self.threads.iter().enumerate() {
+                    let _ = write!(msg, " [{t}: {run:?}]");
+                }
+                self.fail(msg);
+            }
+            return;
+        }
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            self.fail(format!(
+                "schedule exceeded max_steps ({}): the model likely contains \
+                 an unbounded spin/retry loop, which model closures must not",
+                self.max_steps
+            ));
+            return;
+        }
+        let chosen = if candidates.len() == 1 {
+            // Forced move: no branch to record or explore.
+            candidates[0]
+        } else {
+            self.choose(&candidates)
+        };
+        if self.abort {
+            return;
+        }
+        if let Chooser::Dfs { preemptions, .. } = &mut self.chooser {
+            if let Some(last) = self.last {
+                if chosen != last && self.threads[last].schedulable() {
+                    *preemptions += 1;
+                }
+            }
+        }
+        self.gate = Some(chosen);
+    }
+
+    fn choose(&mut self, candidates: &[usize]) -> usize {
+        match &mut self.chooser {
+            Chooser::Dfs {
+                replay,
+                preemption_bound,
+                preemptions,
+            } => {
+                // Preemption budget spent: stick with the previous runner
+                // when it can keep going — a forced move, not a branch, so
+                // the bounded tree stays finite and replayable.
+                if let Some(bound) = preemption_bound {
+                    if *preemptions >= *bound {
+                        if let Some(last) = self.last {
+                            if self.threads[last].schedulable() {
+                                return last;
+                            }
+                        }
+                    }
+                }
+                let depth = self.schedule.len();
+                let idx = replay.get(depth).copied().unwrap_or(0);
+                if idx >= candidates.len() {
+                    self.fail(format!(
+                        "replay divergence at depth {depth}: choice {idx} of \
+                         {} candidates — the model closure is not \
+                         deterministic",
+                        candidates.len()
+                    ));
+                    return candidates[0];
+                }
+                self.schedule.push(idx);
+                self.sizes.push(candidates.len());
+                candidates[idx]
+            }
+            Chooser::Pct {
+                rng,
+                change_prob,
+                prio,
+                next_low,
+            } => {
+                // A PCT change point demotes the thread that just yielded
+                // below every priority handed out so far.
+                if rng.random_bool(*change_prob) {
+                    if let Some(last) = self.last {
+                        prio[last] = *next_low;
+                        *next_low -= 1;
+                    }
+                }
+                let chosen = candidates
+                    .iter()
+                    .copied()
+                    .max_by_key(|&t| prio[t])
+                    .expect("candidates non-empty");
+                // Record the branch too, so PCT failures replay without
+                // the RNG as well.
+                let idx = candidates
+                    .iter()
+                    .position(|&t| t == chosen)
+                    .expect("chosen is a candidate");
+                self.schedule.push(idx);
+                self.sizes.push(candidates.len());
+                chosen
+            }
+        }
+    }
+
+    /// Wake every thread parked on `pred`-matching state.
+    fn wake_where(&mut self, pred: impl Fn(&Run) -> bool) {
+        for run in &mut self.threads {
+            if pred(run) {
+                *run = Run::Ready;
+            }
+        }
+    }
+}
+
+pub(crate) struct Exec {
+    state: StdMutex<ExecState>,
+    cv: StdCondvar,
+}
+
+/// The outcome of a single schedule.
+pub(crate) struct IterationOutcome {
+    pub(crate) schedule: Vec<usize>,
+    pub(crate) sizes: Vec<usize>,
+    pub(crate) failure: Option<String>,
+}
+
+impl Exec {
+    fn lock(&self) -> StdMutexGuard<'_, ExecState> {
+        // A model thread can panic (assertion failure) while the engine's
+        // own state lock is *not* held, so poisoning can only come from a
+        // panic inside this module's short critical sections — treat it as
+        // recoverable to keep teardown moving.
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Unwind the calling model thread on behalf of the scheduler.
+    fn teardown(&self) -> ! {
+        TEARING_DOWN.with(|t| *t.borrow_mut() = true);
+        std::panic::panic_any(TeardownPanic)
+    }
+
+    /// The heart of the engine: execute one modeled operation.
+    ///
+    /// On entry the calling thread yields the gate (a schedule point), then
+    /// parks until re-gated, then runs `action` under the state lock.
+    /// `Op::Done` keeps the gate and returns; `Op::Block` parks in the
+    /// returned `Run` state and re-runs `action` when re-gated (actions are
+    /// `FnMut` state machines for two-phase operations like condvar waits).
+    pub(crate) fn op<R>(
+        &self,
+        tid: usize,
+        mut action: impl FnMut(&mut ExecState, usize) -> Op<R>,
+    ) -> R {
+        let mut st = self.lock();
+        if st.abort {
+            drop(st);
+            self.teardown();
+        }
+        // Schedule point: hand the gate back before acting.
+        if st.gate == Some(tid) {
+            st.last = Some(tid);
+            st.pick_next();
+            self.cv.notify_all();
+        }
+        loop {
+            while st.gate != Some(tid) {
+                if st.abort {
+                    drop(st);
+                    self.teardown();
+                }
+                st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+            }
+            if st.abort {
+                drop(st);
+                self.teardown();
+            }
+            match action(&mut st, tid) {
+                Op::Done(r) => {
+                    st.threads[tid] = Run::Ready;
+                    if st.abort {
+                        // The action itself failed the model.
+                        drop(st);
+                        self.teardown();
+                    }
+                    return r;
+                }
+                Op::Block(run) => {
+                    st.threads[tid] = run;
+                    st.last = Some(tid);
+                    st.pick_next();
+                    self.cv.notify_all();
+                }
+            }
+        }
+    }
+
+    /// Park until the scheduler gates this thread, *without* yielding first.
+    /// Used once per thread before its closure runs: unlike `op`, arriving
+    /// here must not be a schedule point, because arrival time depends on
+    /// OS spawn latency and an extra yield would make the branch structure
+    /// nondeterministic across runs.
+    fn start_barrier(&self, tid: usize) {
+        let mut st = self.lock();
+        loop {
+            if st.abort {
+                drop(st);
+                self.teardown();
+            }
+            if st.gate == Some(tid) {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Mutate execution state without a schedule point. Used for cleanup
+    /// during a panic unwind (guard drops while `std::thread::panicking()`)
+    /// where parking would self-deadlock; the bookkeeping still has to
+    /// happen so teardown sees consistent state.
+    pub(crate) fn direct(&self, f: impl FnOnce(&mut ExecState)) {
+        let mut st = self.lock();
+        f(&mut st);
+        self.cv.notify_all();
+    }
+
+    /// Register a new model thread (caller must currently hold the gate via
+    /// an `op`); returns its tid.
+    pub(crate) fn register_thread(st: &mut ExecState) -> usize {
+        let tid = st.threads.len();
+        st.threads.push(Run::Ready);
+        st.chooser.register_thread();
+        st.alive += 1;
+        tid
+    }
+
+    fn add_os_handle(&self, handle: std::thread::JoinHandle<()>) {
+        self.lock().os_handles.push(handle);
+    }
+
+    /// Wait (without scheduling — for non-model callers only) until model
+    /// thread `tid` finishes. Model threads drive the schedule themselves,
+    /// so a plain condvar wait here cannot stall them.
+    pub(crate) fn wait_finished(&self, tid: usize) {
+        let mut st = self.lock();
+        while !st.join_target_finished(tid) {
+            st = self.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Called by the thread wrapper when a model thread's closure returns
+    /// or unwinds. `panic_msg` is `Some` only for non-teardown panics.
+    fn finish_thread(&self, tid: usize, panic_msg: Option<String>) {
+        let mut st = self.lock();
+        st.threads[tid] = Run::Finished;
+        st.alive -= 1;
+        st.wake_where(|run| *run == Run::BlockedJoin(tid));
+        match panic_msg {
+            Some(msg) => {
+                let schedule = st.schedule.clone();
+                st.fail(format!(
+                    "thread {tid} panicked: {msg} (schedule so far: {schedule:?})"
+                ));
+            }
+            None => {
+                if st.gate == Some(tid) {
+                    st.last = Some(tid);
+                    st.pick_next();
+                }
+            }
+        }
+        self.cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Modeled-object operations, called from `op` actions in the shim.
+// ---------------------------------------------------------------------------
+
+impl ExecState {
+    fn obj(&mut self, id: u64, init: impl FnOnce() -> Obj) -> &mut Obj {
+        self.objects.entry(id).or_insert_with(init)
+    }
+
+    pub(crate) fn mutex_lock(&mut self, id: u64, tid: usize) -> Op<()> {
+        match self.obj(id, || Obj::Mutex { owner: None }) {
+            Obj::Mutex { owner } => match *owner {
+                None => {
+                    *owner = Some(tid);
+                    Op::Done(())
+                }
+                Some(holder) if holder == tid => {
+                    self.fail(format!(
+                        "thread {tid} re-locked a mutex it already holds \
+                         (guaranteed self-deadlock)"
+                    ));
+                    Op::Block(Run::BlockedMutex(id))
+                }
+                Some(_) => Op::Block(Run::BlockedMutex(id)),
+            },
+            other => {
+                let msg = format!("object {id} is not a mutex: {other:?}");
+                self.fail(msg);
+                Op::Done(())
+            }
+        }
+    }
+
+    pub(crate) fn mutex_try_lock(&mut self, id: u64, tid: usize) -> Op<bool> {
+        match self.obj(id, || Obj::Mutex { owner: None }) {
+            Obj::Mutex { owner } => match *owner {
+                None => {
+                    *owner = Some(tid);
+                    Op::Done(true)
+                }
+                Some(_) => Op::Done(false),
+            },
+            _ => Op::Done(false),
+        }
+    }
+
+    pub(crate) fn mutex_unlock(&mut self, id: u64) {
+        if let Some(Obj::Mutex { owner }) = self.objects.get_mut(&id) {
+            *owner = None;
+        }
+        self.wake_where(|run| *run == Run::BlockedMutex(id));
+    }
+
+    pub(crate) fn rw_read_lock(&mut self, id: u64, _tid: usize) -> Op<()> {
+        match self.obj(id, || Obj::RwLock {
+            writer: None,
+            readers: 0,
+        }) {
+            Obj::RwLock { writer, readers } => {
+                if writer.is_none() {
+                    *readers += 1;
+                    Op::Done(())
+                } else {
+                    Op::Block(Run::BlockedRead(id))
+                }
+            }
+            other => {
+                let msg = format!("object {id} is not a rwlock: {other:?}");
+                self.fail(msg);
+                Op::Done(())
+            }
+        }
+    }
+
+    pub(crate) fn rw_write_lock(&mut self, id: u64, tid: usize) -> Op<()> {
+        match self.obj(id, || Obj::RwLock {
+            writer: None,
+            readers: 0,
+        }) {
+            Obj::RwLock { writer, readers } => {
+                if *writer == Some(tid) {
+                    self.fail(format!(
+                        "thread {tid} re-locked a rwlock it already holds for \
+                         writing (guaranteed self-deadlock)"
+                    ));
+                    return Op::Block(Run::BlockedWrite(id));
+                }
+                if writer.is_none() && *readers == 0 {
+                    *writer = Some(tid);
+                    Op::Done(())
+                } else {
+                    Op::Block(Run::BlockedWrite(id))
+                }
+            }
+            other => {
+                let msg = format!("object {id} is not a rwlock: {other:?}");
+                self.fail(msg);
+                Op::Done(())
+            }
+        }
+    }
+
+    pub(crate) fn rw_read_unlock(&mut self, id: u64) {
+        if let Some(Obj::RwLock { readers, .. }) = self.objects.get_mut(&id) {
+            *readers = readers.saturating_sub(1);
+        }
+        self.wake_where(|run| *run == Run::BlockedRead(id) || *run == Run::BlockedWrite(id));
+    }
+
+    pub(crate) fn rw_write_unlock(&mut self, id: u64) {
+        if let Some(Obj::RwLock { writer, .. }) = self.objects.get_mut(&id) {
+            *writer = None;
+        }
+        self.wake_where(|run| *run == Run::BlockedRead(id) || *run == Run::BlockedWrite(id));
+    }
+
+    /// Phase 1 of a condvar wait: atomically release the mutex and park on
+    /// the condvar (exactly the std contract).
+    pub(crate) fn cond_wait_begin(
+        &mut self,
+        cv_id: u64,
+        mutex_id: u64,
+        tid: usize,
+        can_timeout: bool,
+    ) -> Op<()> {
+        match self.obj(cv_id, || Obj::Condvar {
+            waiters: Vec::new(),
+        }) {
+            Obj::Condvar { waiters } => waiters.push(tid),
+            other => {
+                let msg = format!("object {cv_id} is not a condvar: {other:?}");
+                self.fail(msg);
+            }
+        }
+        self.mutex_unlock(mutex_id);
+        Op::Block(Run::CondWait {
+            notified: false,
+            can_timeout,
+        })
+    }
+
+    /// Phase 2: the wait was re-scheduled. Returns `true` when the wake is
+    /// a timeout (the thread was never claimed by a notify and must remove
+    /// itself from the waiter list).
+    pub(crate) fn cond_wait_finish(&mut self, cv_id: u64, tid: usize) -> bool {
+        let notified = matches!(self.threads[tid], Run::CondWait { notified: true, .. });
+        if !notified {
+            if let Some(Obj::Condvar { waiters }) = self.objects.get_mut(&cv_id) {
+                waiters.retain(|&t| t != tid);
+            }
+        }
+        !notified
+    }
+
+    pub(crate) fn cond_notify(&mut self, cv_id: u64, all: bool) {
+        let woken: Vec<usize> = match self.objects.get_mut(&cv_id) {
+            Some(Obj::Condvar { waiters }) => {
+                if all {
+                    std::mem::take(waiters)
+                } else if waiters.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![waiters.remove(0)]
+                }
+            }
+            _ => Vec::new(),
+        };
+        for tid in woken {
+            if let Run::CondWait { notified, .. } = &mut self.threads[tid] {
+                *notified = true;
+            }
+        }
+    }
+
+    pub(crate) fn join_target_finished(&self, target: usize) -> bool {
+        self.threads[target] == Run::Finished
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread wrappers and the run controller.
+// ---------------------------------------------------------------------------
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("(non-string panic payload)")
+    }
+}
+
+/// Spawn the OS thread backing model thread `tid`. `result` receives the
+/// closure's return value for `join` (None for thread 0, whose value is
+/// discarded).
+pub(crate) fn spawn_model_thread<T: Send + 'static>(
+    exec: &Arc<Exec>,
+    tid: usize,
+    f: impl FnOnce() -> T + Send + 'static,
+    result: Option<Arc<StdMutex<Option<T>>>>,
+) -> std::thread::JoinHandle<()> {
+    let exec = Arc::clone(exec);
+    std::thread::Builder::new()
+        .name(format!("cpq-model-{tid}"))
+        .spawn(move || {
+            CURRENT.with(|c| {
+                *c.borrow_mut() = Some(Ctx {
+                    exec: Arc::clone(&exec),
+                    tid,
+                })
+            });
+            // Park until first scheduled, so no user code ever runs
+            // concurrently with the spawner.
+            let started = catch_unwind(AssertUnwindSafe(|| {
+                exec.start_barrier(tid);
+            }));
+            let outcome = match started {
+                Ok(()) => catch_unwind(AssertUnwindSafe(f)),
+                Err(payload) => Err(payload),
+            };
+            match outcome {
+                Ok(value) => {
+                    if let Some(slot) = &result {
+                        *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(value);
+                    }
+                    exec.finish_thread(tid, None);
+                }
+                Err(payload) => {
+                    if payload.is::<TeardownPanic>() {
+                        exec.finish_thread(tid, None);
+                    } else {
+                        exec.finish_thread(tid, Some(panic_message(payload.as_ref())));
+                    }
+                }
+            }
+        })
+        .expect("failed to spawn model OS thread")
+}
+
+/// Register `handle` so the controller joins it at the end of the run.
+pub(crate) fn adopt_os_handle(exec: &Arc<Exec>, handle: std::thread::JoinHandle<()>) {
+    exec.add_os_handle(handle);
+}
+
+/// Execute the model closure once under `chooser`, to completion or first
+/// failure, and return the branch record.
+pub(crate) fn run_once(
+    chooser: Chooser,
+    max_steps: usize,
+    f: &Arc<dyn Fn() + Send + Sync>,
+) -> IterationOutcome {
+    let mut chooser = chooser;
+    chooser.register_thread(); // thread 0
+    let exec = Arc::new(Exec {
+        state: StdMutex::new(ExecState {
+            threads: vec![Run::Ready],
+            objects: HashMap::new(),
+            gate: Some(0),
+            last: None,
+            chooser,
+            schedule: Vec::new(),
+            sizes: Vec::new(),
+            steps: 0,
+            max_steps,
+            failure: None,
+            abort: false,
+            alive: 1,
+            os_handles: Vec::new(),
+        }),
+        cv: StdCondvar::new(),
+    });
+    let f = Arc::clone(f);
+    let root = spawn_model_thread(&exec, 0, move || f(), None);
+
+    let (failure, schedule, sizes, handles) = {
+        let mut st = exec.lock();
+        while st.alive > 0 {
+            st = exec.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+        }
+        (
+            st.failure.take(),
+            std::mem::take(&mut st.schedule),
+            std::mem::take(&mut st.sizes),
+            std::mem::take(&mut st.os_handles),
+        )
+    };
+    // Every model thread has reached `finish_thread`; joining only waits
+    // for the OS threads to run off the end of their wrappers.
+    let _ = root.join();
+    for handle in handles {
+        let _ = handle.join();
+    }
+    IterationOutcome {
+        schedule,
+        sizes,
+        failure,
+    }
+}
+
+/// Install (once per process) a panic hook that silences model-thread
+/// panics: teardown unwinds are pure bookkeeping, and assertion failures
+/// are reported through the model failure instead of stderr.
+pub(crate) fn install_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let in_model =
+                TEARING_DOWN.with(|t| *t.borrow()) || CURRENT.with(|c| c.borrow().is_some());
+            if !in_model {
+                previous(info);
+            }
+        }));
+    });
+}

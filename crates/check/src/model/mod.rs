@@ -1,0 +1,307 @@
+//! The model-checking runtime (compiled only under `--cfg cpq_model`).
+//!
+//! A model run executes a closure whose threads are spawned through
+//! [`crate::thread::spawn`] and whose shared state lives behind
+//! [`crate::sync`] types. Every visible operation (lock, unlock, condvar
+//! wait/notify, atomic access, spawn, join, yield) is a *schedule point*:
+//! the thread parks and a scheduler decides which thread performs its next
+//! operation. Exactly one thread runs between consecutive schedule points,
+//! so a run is fully determined by the sequence of scheduling choices —
+//! which is what makes exhaustive exploration and seed replay possible.
+//!
+//! Two explorers are provided:
+//!
+//! * [`try_model_dfs`] — iterative-deepening-free bounded DFS over the
+//!   choice tree, optionally CHESS-style preemption-bounded. Completing
+//!   the search proves every interleaving within the bound upholds the
+//!   model's assertions.
+//! * [`try_model_pct`] — PCT-style randomized schedules: each seed assigns
+//!   random thread priorities and random demotion points; the highest-
+//!   priority schedulable thread always runs. Any failure reports the seed,
+//!   and the same seed replays the identical schedule.
+//!
+//! Failures carry the full choice list, so a DFS-found bug is pinned with
+//! [`replay`] and a PCT-found bug with a one-seed [`try_model_pct`] range.
+
+mod exec;
+pub(crate) mod shim;
+
+use exec::{run_once, Chooser, IterationOutcome};
+use std::fmt;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Options for bounded-DFS exploration.
+#[derive(Debug, Clone)]
+pub struct DfsOptions {
+    /// CHESS-style preemption bound: `Some(k)` explores only schedules with
+    /// at most `k` preemptive context switches (switches away from a thread
+    /// that could have kept running). `None` is fully exhaustive. Most
+    /// concurrency bugs manifest within 2 preemptions, and the bound tames
+    /// the exponential blowup on models with more than a handful of
+    /// operations per thread.
+    pub preemption_bound: Option<usize>,
+    /// Hard cap on explored schedules; exceeding it yields an incomplete
+    /// (but passing) report rather than an endless test.
+    pub max_schedules: u64,
+    /// Hard cap on schedule points in a single run. Hitting it fails the
+    /// model — it almost always means an unbounded spin loop, which a
+    /// model closure must not contain (see the crate docs' ground rules).
+    pub max_steps: usize,
+}
+
+impl Default for DfsOptions {
+    fn default() -> Self {
+        DfsOptions {
+            preemption_bound: None,
+            max_schedules: 500_000,
+            max_steps: 50_000,
+        }
+    }
+}
+
+impl DfsOptions {
+    /// The configuration the CI smoke tier uses for its small models:
+    /// preemption bound 2 (the CHESS sweet spot), generous caps.
+    pub fn smoke() -> Self {
+        DfsOptions {
+            preemption_bound: Some(2),
+            ..DfsOptions::default()
+        }
+    }
+}
+
+/// Options for PCT-style randomized exploration.
+#[derive(Debug, Clone)]
+pub struct PctOptions {
+    /// Seeds to run, one schedule per seed (`0..200` in the CI smoke tier).
+    pub seeds: Range<u64>,
+    /// Probability, at each scheduling choice, that the thread that just
+    /// yielded is demoted below every other priority — the "priority
+    /// change points" of PCT, in expectation one per `1/p` choices.
+    pub change_prob: f64,
+    /// Hard cap on schedule points in a single run (see
+    /// [`DfsOptions::max_steps`]).
+    pub max_steps: usize,
+}
+
+impl Default for PctOptions {
+    fn default() -> Self {
+        PctOptions {
+            seeds: 0..200,
+            change_prob: 0.1,
+            max_steps: 50_000,
+        }
+    }
+}
+
+impl PctOptions {
+    /// A single-seed range — used to replay a failure pinned by seed.
+    pub fn one_seed(seed: u64) -> Self {
+        PctOptions {
+            seeds: seed..seed + 1,
+            ..PctOptions::default()
+        }
+    }
+
+    /// The CI configuration: like [`Default`], but the seed count scales
+    /// with the `CPQ_MODEL_SEEDS` environment variable so `ci.sh --full`
+    /// widens the randomized sweep without recompiling the harnesses.
+    /// Unset or unparsable values fall back to the default 200 seeds.
+    pub fn from_env() -> Self {
+        let seeds = std::env::var("CPQ_MODEL_SEEDS")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(200);
+        PctOptions {
+            seeds: 0..seeds,
+            ..PctOptions::default()
+        }
+    }
+}
+
+/// Outcome of a completed (non-failing) exploration.
+#[derive(Debug, Clone)]
+pub struct ModelReport {
+    /// Schedules executed.
+    pub schedules: u64,
+    /// `true` when the whole (bounded) choice tree was explored; `false`
+    /// when `max_schedules` cut the search short.
+    pub complete: bool,
+}
+
+/// A failing schedule: what went wrong and how to reproduce it exactly.
+#[derive(Debug, Clone)]
+pub struct ModelFailure {
+    /// The first panic message (assertion text, deadlock report, …).
+    /// A second non-teardown panic observed while the run wound down is
+    /// appended — the double-panic report.
+    pub message: String,
+    /// The branch choices taken, replayable via [`replay`].
+    pub schedule: Vec<usize>,
+    /// The PCT seed, when the failing schedule came from [`try_model_pct`].
+    pub seed: Option<u64>,
+    /// 1-based index of the failing schedule within the exploration.
+    pub schedule_index: u64,
+}
+
+impl fmt::Display for ModelFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "model failed on schedule #{}", self.schedule_index)?;
+        if let Some(seed) = self.seed {
+            write!(f, " (pct seed {seed})")?;
+        }
+        write!(
+            f,
+            ": {}\n  replay schedule: {:?}",
+            self.message, self.schedule
+        )
+    }
+}
+
+impl std::error::Error for ModelFailure {}
+
+fn share(f: impl Fn() + Send + Sync + 'static) -> Arc<dyn Fn() + Send + Sync> {
+    Arc::new(f)
+}
+
+fn outcome_failure(
+    out: &mut IterationOutcome,
+    schedule_index: u64,
+    seed: Option<u64>,
+) -> Option<Box<ModelFailure>> {
+    out.failure.take().map(|message| {
+        Box::new(ModelFailure {
+            message,
+            schedule: std::mem::take(&mut out.schedule),
+            seed,
+            schedule_index,
+        })
+    })
+}
+
+/// Given the choices taken and the number of alternatives that existed at
+/// each choice, compute the next DFS prefix: bump the deepest choice that
+/// still has an unexplored sibling, dropping everything after it. `None`
+/// means the tree is exhausted.
+fn next_dfs_prefix(mut schedule: Vec<usize>, sizes: &[usize]) -> Option<Vec<usize>> {
+    loop {
+        let chosen = schedule.pop()?;
+        if chosen + 1 < sizes[schedule.len()] {
+            schedule.push(chosen + 1);
+            return Some(schedule);
+        }
+    }
+}
+
+/// Bounded-DFS exploration; returns the failing schedule instead of
+/// panicking.
+pub fn try_model_dfs(
+    opts: DfsOptions,
+    f: impl Fn() + Send + Sync + 'static,
+) -> Result<ModelReport, Box<ModelFailure>> {
+    exec::install_panic_hook();
+    let f = share(f);
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut schedules: u64 = 0;
+    loop {
+        schedules += 1;
+        let mut out = run_once(
+            Chooser::dfs(prefix, opts.preemption_bound),
+            opts.max_steps,
+            &f,
+        );
+        if let Some(failure) = outcome_failure(&mut out, schedules, None) {
+            return Err(failure);
+        }
+        match next_dfs_prefix(out.schedule, &out.sizes) {
+            None => {
+                return Ok(ModelReport {
+                    schedules,
+                    complete: true,
+                })
+            }
+            Some(_) if schedules >= opts.max_schedules => {
+                return Ok(ModelReport {
+                    schedules,
+                    complete: false,
+                })
+            }
+            Some(next) => prefix = next,
+        }
+    }
+}
+
+/// Bounded-DFS exploration; panics with the replayable schedule on failure.
+pub fn model_dfs(opts: DfsOptions, f: impl Fn() + Send + Sync + 'static) -> ModelReport {
+    match try_model_dfs(opts, f) {
+        Ok(report) => report,
+        Err(failure) => panic!("{failure}"),
+    }
+}
+
+/// Fully-exhaustive DFS with default options; panics on failure. The
+/// entry point for small permanent models.
+pub fn model(f: impl Fn() + Send + Sync + 'static) -> ModelReport {
+    model_dfs(DfsOptions::default(), f)
+}
+
+/// PCT-style randomized exploration over a seed range; returns the failing
+/// seed + schedule instead of panicking. `Ok` carries the number of
+/// schedules run.
+pub fn try_model_pct(
+    opts: PctOptions,
+    f: impl Fn() + Send + Sync + 'static,
+) -> Result<u64, Box<ModelFailure>> {
+    exec::install_panic_hook();
+    let f = share(f);
+    let mut schedules: u64 = 0;
+    for seed in opts.seeds.clone() {
+        schedules += 1;
+        let mut out = run_once(Chooser::pct(seed, opts.change_prob), opts.max_steps, &f);
+        if let Some(failure) = outcome_failure(&mut out, schedules, Some(seed)) {
+            return Err(failure);
+        }
+    }
+    Ok(schedules)
+}
+
+/// PCT-style randomized exploration; panics with the failing seed on
+/// failure, returning the number of schedules run otherwise.
+pub fn model_pct(opts: PctOptions, f: impl Fn() + Send + Sync + 'static) -> u64 {
+    match try_model_pct(opts, f) {
+        Ok(n) => n,
+        Err(failure) => panic!("{failure}"),
+    }
+}
+
+/// Re-run one specific schedule (from [`ModelFailure::schedule`]); returns
+/// the failure it reproduces, if any.
+///
+/// Replay follows the recorded branch choices and takes the first
+/// alternative at any point past the end of the recording, so a pinned
+/// failing schedule deterministically reaches its failure.
+pub fn try_replay(
+    schedule: &[usize],
+    f: impl Fn() + Send + Sync + 'static,
+) -> Result<(), Box<ModelFailure>> {
+    exec::install_panic_hook();
+    let f = share(f);
+    let mut out = run_once(
+        Chooser::dfs(schedule.to_vec(), None),
+        DfsOptions::default().max_steps,
+        &f,
+    );
+    match outcome_failure(&mut out, 1, None) {
+        Some(failure) => Err(failure),
+        None => Ok(()),
+    }
+}
+
+/// Re-run one specific schedule, panicking with the reproduced failure.
+/// Used by pinned `#[should_panic]` regression tests.
+pub fn replay(schedule: &[usize], f: impl Fn() + Send + Sync + 'static) {
+    if let Err(failure) = try_replay(schedule, f) {
+        panic!("{failure}");
+    }
+}

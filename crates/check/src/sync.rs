@@ -1,0 +1,46 @@
+//! The `std::sync` shim surface.
+//!
+//! Normal builds re-export `std::sync` unchanged — importing from
+//! `cpq_check::sync` instead of `std::sync` is a zero-cost, zero-behavior
+//! text substitution (the `cpq_lint` rule `std-sync` enforces that the
+//! migrated crates use this path). Under `--cfg cpq_model` the lock,
+//! condvar, and atomic types are replaced by modeled equivalents that
+//! yield to the cooperative scheduler at every visible operation; types
+//! with no scheduling relevance (`Arc`, `mpsc`, …) stay std in both modes.
+
+#[cfg(not(cpq_model))]
+pub use std::sync::{
+    mpsc, Arc, Barrier, Condvar, LockResult, Mutex, MutexGuard, Once, OnceLock, PoisonError,
+    RwLock, RwLockReadGuard, RwLockWriteGuard, TryLockError, TryLockResult, WaitTimeoutResult,
+    Weak,
+};
+
+/// Atomic types and memory orderings (std's, re-exported).
+#[cfg(not(cpq_model))]
+pub mod atomic {
+    pub use std::sync::atomic::*;
+}
+
+#[cfg(cpq_model)]
+pub use crate::model::shim::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+};
+
+#[cfg(cpq_model)]
+pub use std::sync::{
+    mpsc, Arc, Barrier, LockResult, Once, OnceLock, PoisonError, TryLockError, TryLockResult, Weak,
+};
+
+/// Atomic types: modeled integers/bools plus std's `Ordering`.
+///
+/// The modeled types accept and record the requested `Ordering` but execute
+/// sequentially consistently at their schedule point — the model explores
+/// interleavings of operations, not hardware-level reorderings below them.
+#[cfg(cpq_model)]
+pub mod atomic {
+    pub use crate::model::shim::{AtomicBool, AtomicU64, AtomicUsize};
+    pub use std::sync::atomic::{
+        AtomicI16, AtomicI32, AtomicI64, AtomicI8, AtomicIsize, AtomicU16, AtomicU32, AtomicU8,
+        Ordering,
+    };
+}

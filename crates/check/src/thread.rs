@@ -1,0 +1,20 @@
+//! The `std::thread` shim surface.
+//!
+//! Normal builds re-export `std::thread::{spawn, yield_now, JoinHandle}`.
+//! Under `--cfg cpq_model`, `spawn` registers the new thread with the
+//! current model execution (when one is active — outside a model it falls
+//! back to std), `yield_now` becomes a pure schedule point, and
+//! `JoinHandle::join` becomes a modeled blocking operation.
+//!
+//! `std::thread::scope` is deliberately *not* re-exported: scoped threads
+//! cannot be registered with the model scheduler, so code that must run
+//! under the model uses `spawn` + `Arc`. (Scoped threads remain fine in
+//! code that is never model-checked — the `parallel.rs` executor keeps
+//! using `std::thread::scope` directly; its protocol state is model-checked
+//! through dedicated harnesses instead.)
+
+#[cfg(not(cpq_model))]
+pub use std::thread::{spawn, yield_now, JoinHandle};
+
+#[cfg(cpq_model)]
+pub use crate::model::shim::{spawn, yield_now, JoinHandle};

@@ -48,6 +48,8 @@ pub fn parallel_knn<const D: usize, O: SpatialObject<D>>(
             })
             .collect();
         for (slot, handle) in results.iter_mut().zip(handles) {
+            // lint: allow(expect) — a panicking query worker is a bug;
+            // propagating the panic beats returning a wrong answer.
             match handle.join().expect("query worker panicked") {
                 Ok(chunk) => *slot = Some(chunk),
                 Err(e) => {
@@ -63,6 +65,8 @@ pub fn parallel_knn<const D: usize, O: SpatialObject<D>>(
     }
     Ok(results
         .into_iter()
+        // lint: allow(expect) — the early return above means every
+        // chunk slot was filled.
         .flat_map(|chunk| chunk.expect("no error implies all chunks present"))
         .collect())
 }
@@ -95,6 +99,8 @@ pub fn parallel_kcpq<const D: usize, O: SpatialObject<D>>(
             })
             .collect();
         for (slot, handle) in results.iter_mut().zip(handles) {
+            // lint: allow(expect) — a panicking query worker is a bug;
+            // propagating the panic beats returning a wrong answer.
             match handle.join().expect("query worker panicked") {
                 Ok(chunk) => *slot = Some(chunk),
                 Err(e) => {
@@ -110,6 +116,8 @@ pub fn parallel_kcpq<const D: usize, O: SpatialObject<D>>(
     }
     Ok(results
         .into_iter()
+        // lint: allow(expect) — the early return above means every
+        // chunk slot was filled.
         .flat_map(|chunk| chunk.expect("no error implies all chunks present"))
         .collect())
 }

@@ -12,8 +12,8 @@
 //! [`k_closest_pairs_cancellable`](crate::k_closest_pairs_cancellable)),
 //! never a panic or a poisoned structure.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use cpq_check::sync::atomic::{AtomicBool, Ordering};
+use cpq_check::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A cheaply-cloneable cancellation handle, optionally carrying a deadline.
@@ -61,21 +61,31 @@ impl CancelToken {
 
     /// Requests cancellation (idempotent, visible to all clones).
     pub fn cancel(&self) {
+        // ordering: Release — pairs with the Acquire poll in
+        // `is_cancelled`: whatever the canceller wrote before cancelling
+        // (e.g. a reason recorded next to the token) is visible to the
+        // query thread once it observes the flag.
         self.inner.cancelled.store(true, Ordering::Release);
     }
 
     /// Polls the token: `true` once cancelled or past the deadline.
     ///
-    /// The fast path — not cancelled, no deadline — is one relaxed load.
+    /// The fast path — not cancelled, no deadline — is one atomic load.
     /// A passed deadline is latched into the flag so the `Instant::now()`
     /// call is paid at most until the first expired poll.
     #[inline]
     pub fn is_cancelled(&self) -> bool {
-        if self.inner.cancelled.load(Ordering::Relaxed) {
+        // ordering: Acquire — pairs with the Release store in `cancel`.
+        // Upgraded from Relaxed: the flag is advisory today, but the
+        // lifecycle-flag convention (Release store / Acquire load) costs
+        // nothing on x86/aarch64 loads and keeps the token safe to use as
+        // a hand-off signal.
+        if self.inner.cancelled.load(Ordering::Acquire) {
             return true;
         }
         match self.inner.deadline {
             Some(deadline) if Instant::now() >= deadline => {
+                // ordering: Release — latch matches `cancel`'s convention.
                 self.inner.cancelled.store(true, Ordering::Release);
                 true
             }

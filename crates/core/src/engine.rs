@@ -7,11 +7,11 @@ use crate::config::{CpqConfig, HeightStrategy, KPruning, LeafScan};
 use crate::kheap::KHeap;
 use crate::parallel::{SpecRuntime, TaskOut};
 use crate::types::{CpqStats, PairResult};
+use cpq_check::sync::Arc;
 use cpq_geo::{max_max_dist2, min_max_dist2, min_min_dist2_within, Dist2, Rect, SpatialObject};
 use cpq_obs::{Probe, ProbeSide};
 use cpq_rtree::{InnerEntry, Node, RTree, RTreeError, RTreeResult};
 use cpq_storage::PageId;
-use std::sync::Arc;
 use std::time::Instant;
 
 /// One side of a candidate pair: either stay at the current node or descend
@@ -403,7 +403,9 @@ impl<'a, const D: usize, O: SpatialObject<D>, P: Probe> Ctx<'a, D, O, P> {
         if eps.is_empty() || eqs.is_empty() {
             return (0, 0);
         }
+        // lint: allow(expect) — guarded by the emptiness check above.
         let bp = lp.mbr().expect("non-empty leaf has an MBR");
+        // lint: allow(expect) — guarded by the emptiness check above.
         let bq = lq.mbr().expect("non-empty leaf has an MBR");
         let mut axis = 0;
         let mut best = f64::NEG_INFINITY;
@@ -547,7 +549,10 @@ impl<'a, const D: usize, O: SpatialObject<D>, P: Probe> Ctx<'a, D, O, P> {
             self.cfg.height,
         );
 
+        // lint: allow(expect) — the engine only visits non-empty nodes
+        // (the tree stores none).
         let whole_p = (np.mbr().expect("non-empty node"), np.subtree_count());
+        // lint: allow(expect) — same non-empty-node invariant as above.
         let whole_q = (nq.mbr().expect("non-empty node"), nq.subtree_count());
 
         let mut sides_p = std::mem::take(&mut self.sides_p);

@@ -53,6 +53,8 @@ use crate::engine::{descend_sides, spec_page, Cand};
 use crate::kheap::KHeap;
 use crate::types::{PairResult, QueryRun};
 use crate::Algorithm;
+use cpq_check::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use cpq_check::sync::{Arc, Condvar, Mutex};
 use cpq_geo::{min_min_dist2, Dist2, SpatialObject};
 use cpq_obs::{ParallelReport, Probe, ProbeSide};
 use cpq_rng::Rng;
@@ -60,8 +62,6 @@ use cpq_rtree::{Node, RTree, RTreeError, RTreeResult};
 use cpq_storage::PageId;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// One speculation request: a node pair to prefetch and precompute,
@@ -201,6 +201,9 @@ impl<const D: usize, O: SpatialObject<D>> SpecRuntime<D, O> {
     /// The shared bound as a distance value.
     #[inline]
     fn bound_d2(&self) -> f64 {
+        // ordering: Relaxed — the bound is a performance hint; a stale
+        // read only costs redundant speculation (module docs, "Memory
+        // ordering").
         f64::from_bits(self.bound.load(Ordering::Relaxed))
     }
 
@@ -208,13 +211,18 @@ impl<const D: usize, O: SpatialObject<D>> SpecRuntime<D, O> {
     /// on the `f64` bit pattern (monotone for non-negative values).
     fn tighten(&self, d2: f64) {
         let new = d2.to_bits();
+        // ordering: Relaxed on the load and both CAS sides — monotonicity
+        // comes from the CAS retry loop (only ever replacing with a
+        // smaller value), not from ordering; no payload rides the bound.
         let mut cur = self.bound.load(Ordering::Relaxed);
         while new < cur {
+            // ordering: Relaxed CAS — see above.
             match self
                 .bound
                 .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
             {
                 Ok(_) => {
+                    // ordering: Relaxed — counter read after worker join.
                     self.bound_updates.fetch_add(1, Ordering::Relaxed);
                     break;
                 }
@@ -235,8 +243,10 @@ impl<const D: usize, O: SpatialObject<D>> SpecRuntime<D, O> {
     /// Surfaces the first worker-observed error into the driver, once.
     #[inline]
     pub(crate) fn check_error(&self) -> RTreeResult<()> {
+        // ordering: Relaxed — advisory early-out; the error itself is
+        // transferred under the `error` mutex, which provides the edge.
         if self.abort.load(Ordering::Relaxed) {
-            if let Some(e) = self.error.lock().expect("error slot").take() {
+            if let Some(e) = self.error.lock().expect("error slot poisoned").take() {
                 return Err(e);
             }
         }
@@ -247,7 +257,7 @@ impl<const D: usize, O: SpatialObject<D>> SpecRuntime<D, O> {
     pub(crate) fn cached_node(&self, side: ProbeSide, page: PageId) -> Option<Arc<Node<D, O>>> {
         self.node_map(side)
             .lock()
-            .expect("node cache")
+            .expect("node cache poisoned")
             .get(&page.0)
             .cloned()
     }
@@ -256,7 +266,7 @@ impl<const D: usize, O: SpatialObject<D>> SpecRuntime<D, O> {
     pub(crate) fn insert_node(&self, side: ProbeSide, page: PageId, node: Arc<Node<D, O>>) {
         self.node_map(side)
             .lock()
-            .expect("node cache")
+            .expect("node cache poisoned")
             .insert(page.0, node);
     }
 
@@ -272,10 +282,11 @@ impl<const D: usize, O: SpatialObject<D>> SpecRuntime<D, O> {
         let hit = self
             .pairs
             .lock()
-            .expect("pair cache")
+            .expect("pair cache poisoned")
             .get(&pair_key(page_p.0, page_q.0))
             .cloned();
         if hit.is_some() {
+            // ordering: Relaxed — counter read after worker join.
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
         }
         hit
@@ -290,15 +301,17 @@ impl<const D: usize, O: SpatialObject<D>> SpecRuntime<D, O> {
         if self
             .claimed
             .lock()
-            .expect("claimed set")
+            .expect("claimed set poisoned")
             .contains(&pair_key(page_p.0, page_q.0))
         {
             return;
         }
+        // ordering: Relaxed — round-robin cursor; any distribution of
+        // pushes across shards is correct, balance is best-effort.
         let shard = (self.push_cursor.fetch_add(1, Ordering::Relaxed) as usize) % self.shards.len();
         self.shards[shard]
             .lock()
-            .expect("spec shard")
+            .expect("spec shard poisoned")
             .push(Reverse(SpecReq {
                 minmin_bits: minmin.get().to_bits(),
                 page_p: page_p.0,
@@ -312,15 +325,20 @@ impl<const D: usize, O: SpatialObject<D>> SpecRuntime<D, O> {
         let n = self.shards.len();
         for i in 0..n {
             let shard = (worker + i) % n;
-            let popped = self.shards[shard].lock().expect("spec shard").pop();
+            let popped = self.shards[shard]
+                .lock()
+                .expect("spec shard poisoned")
+                .pop();
             if let Some(Reverse(req)) = popped {
                 if i > 0 {
+                    // ordering: Relaxed — counter read after worker join.
                     self.steals.fetch_add(1, Ordering::Relaxed);
                 }
                 return Some(req);
             }
         }
         if n > 1 {
+            // ordering: Relaxed — counter read after worker join.
             self.steal_misses.fetch_add(1, Ordering::Relaxed);
         }
         None
@@ -328,8 +346,11 @@ impl<const D: usize, O: SpatialObject<D>> SpecRuntime<D, O> {
 
     /// Tells the workers the driver is done; they drain out and exit.
     fn shutdown(&self) {
+        // ordering: Release — pairs with the workers' Acquire loads so a
+        // worker observing shutdown also observes the final queue state
+        // (module docs, "Memory ordering").
         self.shutdown.store(true, Ordering::Release);
-        let _guard = self.idle.lock().expect("idle lock");
+        let _guard = self.idle.lock().expect("idle lock poisoned");
         self.wake.notify_all();
     }
 }
@@ -354,6 +375,9 @@ fn worker_loop<const D: usize, O: SpatialObject<D>>(
         }
     };
     loop {
+        // ordering: Acquire on `shutdown` (pairs with `shutdown`'s Release
+        // so the final queue state is visible); Relaxed on `abort` (the
+        // error rides the `error` mutex, the flag is only an early-out).
         if rt.shutdown.load(Ordering::Acquire) || rt.abort.load(Ordering::Relaxed) {
             break;
         }
@@ -361,14 +385,16 @@ fn worker_loop<const D: usize, O: SpatialObject<D>>(
             break;
         }
         let Some(req) = rt.pop_spec(worker) else {
-            let guard = rt.idle.lock().expect("idle lock");
+            let guard = rt.idle.lock().expect("idle lock poisoned");
+            // ordering: Acquire/Relaxed — same pair as the loop head; the
+            // re-check under the idle lock closes the park/notify race.
             if rt.shutdown.load(Ordering::Acquire) || rt.abort.load(Ordering::Relaxed) {
                 break;
             }
             drop(
                 rt.wake
                     .wait_timeout(guard, Duration::from_micros(200))
-                    .expect("idle wait"),
+                    .expect("idle wait poisoned"),
             );
             continue;
         };
@@ -378,7 +404,7 @@ fn worker_loop<const D: usize, O: SpatialObject<D>>(
         if !rt
             .claimed
             .lock()
-            .expect("claimed set")
+            .expect("claimed set poisoned")
             .insert(pair_key(req.page_p, req.page_q))
         {
             continue;
@@ -392,11 +418,13 @@ fn worker_loop<const D: usize, O: SpatialObject<D>>(
             Err(e) => {
                 // First error wins; everyone winds down. Workers never
                 // panic — a failed speculative read is an ordinary result.
-                let mut slot = rt.error.lock().expect("error slot");
+                let mut slot = rt.error.lock().expect("error slot poisoned");
                 if slot.is_none() {
                     *slot = Some(e);
                 }
                 drop(slot);
+                // ordering: Relaxed — the mutex release above already
+                // published the error; the flag is only an early-out hint.
                 rt.abort.store(true, Ordering::Relaxed);
                 break;
             }
@@ -404,6 +432,7 @@ fn worker_loop<const D: usize, O: SpatialObject<D>>(
         maybe_yield();
         stats.busy_ns += started.elapsed().as_nanos() as u64;
         stats.tasks += 1;
+        // ordering: Relaxed — counter read after worker join.
         rt.tasks_speculated.fetch_add(1, Ordering::Relaxed);
     }
     stats
@@ -440,7 +469,10 @@ fn exec_task<const D: usize, O: SpatialObject<D>>(
         (Some(p), Some(q)) => (p, q),
         (None, None) if std::ptr::eq(tp, tq) => {
             let mut nodes = tp.read_nodes(&[PageId(req.page_p), PageId(req.page_q)])?;
+            // lint: allow(expect) — read_nodes returns exactly one node
+            // per requested id (two here).
             let q = Arc::new(nodes.pop().expect("two nodes"));
+            // lint: allow(expect) — second of the two nodes read above.
             let p = Arc::new(nodes.pop().expect("two nodes"));
             rt.insert_node(ProbeSide::P, PageId(req.page_p), p.clone());
             rt.insert_node(ProbeSide::Q, PageId(req.page_q), q.clone());
@@ -482,7 +514,7 @@ fn exec_task<const D: usize, O: SpatialObject<D>>(
         let offers = heap.into_sorted();
         rt.pairs
             .lock()
-            .expect("pair cache")
+            .expect("pair cache poisoned")
             .insert(key, Arc::new(TaskOut::Leaf { offers, dists }));
     } else {
         // Inner pair: generate the full candidate list at `T = ∞`,
@@ -499,7 +531,7 @@ fn exec_task<const D: usize, O: SpatialObject<D>>(
         }
         rt.pairs
             .lock()
-            .expect("pair cache")
+            .expect("pair cache poisoned")
             .insert(key, Arc::new(TaskOut::Inner(cands)));
     }
     Ok(())
@@ -516,7 +548,10 @@ fn gen_cands_full<const D: usize, O: SpatialObject<D>>(
     use crate::engine::Descend;
     let (descend_p, descend_q) =
         descend_sides(np.is_leaf(), nq.is_leaf(), np.level(), nq.level(), height);
+    // lint: allow(expect) — visited nodes are never empty (the
+    // tree stores none).
     let whole_p = (np.mbr().expect("non-empty node"), np.subtree_count());
+    // lint: allow(expect) — same non-empty-node invariant as above.
     let whole_q = (nq.mbr().expect("non-empty node"), nq.subtree_count());
     let mut sides_p: Vec<(Descend<D>, cpq_geo::Rect<D>, u64)> = Vec::new();
     let mut sides_q: Vec<(Descend<D>, cpq_geo::Rect<D>, u64)> = Vec::new();
@@ -601,19 +636,28 @@ pub(crate) fn run_parallel<const D: usize, O: SpatialObject<D>, P: Probe>(
         runtime.shutdown();
         let worker_stats: Vec<WorkerStats> = handles
             .into_iter()
+            // lint: allow(expect) — a panicking worker is a bug; propagate
+            // the panic rather than fabricate stats.
             .map(|h| h.join().expect("worker threads never panic"))
             .collect();
         (leader, worker_stats)
     });
 
     if P::ENABLED {
+        // ordering: Relaxed — all counters are read after the workers were
+        // joined; the joins provide the happens-before edges.
+        let tasks = runtime.tasks_speculated.load(Ordering::Relaxed);
+        let cache_hits = runtime.cache_hits.load(Ordering::Relaxed);
+        let steals = runtime.steals.load(Ordering::Relaxed);
+        let steal_misses = runtime.steal_misses.load(Ordering::Relaxed);
+        let bound_updates = runtime.bound_updates.load(Ordering::Relaxed);
         probe.parallel_exec(&ParallelReport {
             workers: workers as u64,
-            tasks: runtime.tasks_speculated.load(Ordering::Relaxed),
-            cache_hits: runtime.cache_hits.load(Ordering::Relaxed),
-            steals: runtime.steals.load(Ordering::Relaxed),
-            steal_misses: runtime.steal_misses.load(Ordering::Relaxed),
-            bound_updates: runtime.bound_updates.load(Ordering::Relaxed),
+            tasks,
+            cache_hits,
+            steals,
+            steal_misses,
+            bound_updates,
             worker_busy_ns: worker_stats.iter().map(|s| s.busy_ns).collect(),
         });
     }
@@ -622,8 +666,155 @@ pub(crate) fn run_parallel<const D: usize, O: SpatialObject<D>, P: Probe>(
     // when the driver never needed the failing page itself: exactly one
     // error surfaces, and reruns on the same trees start clean.
     let run = leader?;
-    if let Some(e) = runtime.error.lock().expect("error slot").take() {
+    if let Some(e) = runtime.error.lock().expect("error slot poisoned").take() {
         return Err(e);
     }
     Ok(run)
+}
+
+/// Model-checked harnesses for the speculation protocol (compiled only
+/// under `RUSTFLAGS="--cfg cpq_model"`).
+///
+/// `run_parallel` itself spawns scoped threads, which the model scheduler
+/// cannot register (see `cpq_check::thread`), so these harnesses drive the
+/// protocol pieces of [`SpecRuntime`] directly — the shared-bound CAS, the
+/// claim set, and the shard/steal queues — with modeled threads, which is
+/// where all the cross-thread state of a parallel query lives.
+#[cfg(all(test, cpq_model))]
+mod model_tests {
+    use super::*;
+    use cpq_check::thread;
+    use cpq_check::{model, model_dfs, model_pct, DfsOptions, PctOptions};
+    use cpq_geo::Point;
+
+    type Rt = SpecRuntime<2, Point<2>>;
+
+    fn runtime(workers: usize) -> Arc<Rt> {
+        Arc::new(SpecRuntime::new(
+            workers,
+            1,
+            false,
+            crate::HeightStrategy::default(),
+            None,
+        ))
+    }
+
+    #[test]
+    fn dfs_bound_is_monotone_and_reaches_the_min() {
+        let report = model(|| {
+            let rt = runtime(1);
+            let tighteners: Vec<_> = [4.0f64, 1.0f64]
+                .into_iter()
+                .map(|d2| {
+                    let rt = Arc::clone(&rt);
+                    thread::spawn(move || rt.tighten(d2))
+                })
+                .collect();
+            // A racing reader: two successive observations of the bound
+            // must never move upward, whatever the CAS interleaving.
+            let first = rt.bound_d2();
+            let second = rt.bound_d2();
+            assert!(second <= first, "bound widened: {first} -> {second}");
+            for t in tighteners {
+                t.join().expect("tightener");
+            }
+            assert_eq!(rt.bound_d2(), 1.0, "the bound settles at the minimum");
+        });
+        assert!(report.complete, "the DFS must exhaust the interleavings");
+        assert!(report.schedules > 1, "explored {}", report.schedules);
+    }
+
+    #[test]
+    fn dfs_claim_protocol_executes_each_pair_once() {
+        // The same pair is enqueued twice (as happens when two parents
+        // generate it); two racing workers pop and claim. Exactly one
+        // claim may win per pair — a double execution would double-count
+        // speculation and double-insert into the pair cache.
+        //
+        // Preemption-bounded (CHESS-style): the two workers' shard-lock
+        // loops make the unbounded tree blow past the schedule cap.
+        let report = model_dfs(DfsOptions::smoke(), || {
+            let rt = runtime(2);
+            rt.push_spec(Dist2::new(1.0), PageId(3), PageId(4));
+            rt.push_spec(Dist2::new(1.0), PageId(3), PageId(4));
+            let executed = Arc::new(Mutex::new(Vec::new()));
+            let workers: Vec<_> = (0..2)
+                .map(|w| {
+                    let rt = Arc::clone(&rt);
+                    let executed = Arc::clone(&executed);
+                    thread::spawn(move || {
+                        while let Some(req) = rt.pop_spec(w) {
+                            let fresh = rt
+                                .claimed
+                                .lock()
+                                .expect("claimed set poisoned")
+                                .insert(pair_key(req.page_p, req.page_q));
+                            if fresh {
+                                executed
+                                    .lock()
+                                    .expect("model lock")
+                                    .push(pair_key(req.page_p, req.page_q));
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join().expect("worker");
+            }
+            let executed = executed.lock().expect("model lock");
+            assert_eq!(
+                executed.as_slice(),
+                &[pair_key(3, 4)],
+                "a pair queued twice executes exactly once"
+            );
+        });
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn pct_steal_protocol_loses_no_request() {
+        // Four requests round-robined across two shards, two workers
+        // popping own-shard-first and stealing: across 200 seeded
+        // schedules every request is executed exactly once, whichever
+        // worker wins each race.
+        let opts = PctOptions::from_env();
+        let want = opts.seeds.end - opts.seeds.start;
+        let n = model_pct(opts, || {
+            let rt = runtime(2);
+            for p in 0..4u32 {
+                rt.push_spec(Dist2::new(1.0 + f64::from(p)), PageId(p), PageId(p + 10));
+            }
+            let executed = Arc::new(Mutex::new(Vec::new()));
+            let workers: Vec<_> = (0..2)
+                .map(|w| {
+                    let rt = Arc::clone(&rt);
+                    let executed = Arc::clone(&executed);
+                    thread::spawn(move || {
+                        while let Some(req) = rt.pop_spec(w) {
+                            let fresh = rt
+                                .claimed
+                                .lock()
+                                .expect("claimed set poisoned")
+                                .insert(pair_key(req.page_p, req.page_q));
+                            if fresh {
+                                executed
+                                    .lock()
+                                    .expect("model lock")
+                                    .push(pair_key(req.page_p, req.page_q));
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for w in workers {
+                w.join().expect("worker");
+            }
+            let mut executed = executed.lock().expect("model lock").clone();
+            executed.sort_unstable();
+            let expect: Vec<u64> = (0..4u32).map(|p| pair_key(p, p + 10)).collect();
+            assert_eq!(executed, expect, "every request executed exactly once");
+        });
+        assert_eq!(n, want);
+    }
 }

@@ -6,8 +6,8 @@
 //! registry's mutex guards only the name→handle table, touched at
 //! registration and snapshot time.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use cpq_check::sync::atomic::{AtomicU64, Ordering};
+use cpq_check::sync::{Arc, Mutex};
 
 /// A monotonically increasing counter.
 ///
@@ -33,18 +33,24 @@ impl Counter {
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
+        // ordering: Relaxed — independent statistics counter; scrapes need
+        // an eventually-accurate total, not a synchronizes-with edge.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Overwrites the value (bridged counters only; see the type docs).
     #[inline]
     pub fn store(&self, v: u64) {
+        // ordering: Relaxed — the bridged source is read under its own
+        // lock; this store only transports the value to the scrape path.
         self.0.store(v, Ordering::Relaxed);
     }
 
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
+        // ordering: Relaxed — see `add`; counters carry no payload to
+        // acquire.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -65,12 +71,15 @@ impl Gauge {
     /// Sets the value.
     #[inline]
     pub fn set(&self, v: f64) {
+        // ordering: Relaxed — single-word instantaneous value; a reader
+        // sees either the old or new bits, which is all a gauge promises.
         self.0.store(v.to_bits(), Ordering::Relaxed);
     }
 
     /// Current value.
     #[inline]
     pub fn get(&self) -> f64 {
+        // ordering: Relaxed — see `set`.
         f64::from_bits(self.0.load(Ordering::Relaxed))
     }
 }
@@ -121,6 +130,8 @@ impl Histogram {
         } else {
             (64 - (v - 1).leading_zeros()) as usize // ceil(log2 v)
         };
+        // ordering: Relaxed — independent monotone counters; snapshot
+        // consistency is by construction (type docs), not by ordering.
         match self.buckets.get(idx) {
             Some(b) => b.fetch_add(1, Ordering::Relaxed),
             None => self.overflow.fetch_add(1, Ordering::Relaxed),
@@ -130,13 +141,12 @@ impl Histogram {
 
     /// Consistent point-in-time view (see the type docs for the guarantee).
     pub fn snapshot(&self) -> HistogramSnapshot {
+        // ordering: Relaxed — each cell is read once; `count` is defined
+        // as the sum of these reads, so the view cannot tear (type docs).
         let sum = self.sum.load(Ordering::Relaxed);
-        let buckets: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
         let overflow = self.overflow.load(Ordering::Relaxed);
+        let read = |b: &AtomicU64| b.load(Ordering::Relaxed);
+        let buckets: Vec<u64> = self.buckets.iter().map(read).collect();
         let count = buckets.iter().sum::<u64>() + overflow;
         HistogramSnapshot {
             buckets,
@@ -299,6 +309,8 @@ impl Registry {
                     kind,
                     series: Vec::new(),
                 });
+                // lint: allow(expect) — the push on the line above makes the
+                // vec non-empty.
                 families.last_mut().expect("just pushed")
             }
         };
@@ -307,9 +319,13 @@ impl Registry {
             .map(|(k, v)| (k.to_string(), v.to_string()))
             .collect();
         if let Some(s) = family.series.iter().find(|s| s.labels == wanted) {
+            // lint: allow(expect) — the kind check above guarantees the
+            // cast succeeds.
             return cast(&s.handle).expect("kind checked above");
         }
         let handle = make();
+        // lint: allow(expect) — `make()` constructs the exact handle
+        // kind requested.
         let out = cast(&handle).expect("make() produced the requested kind");
         family.series.push(Series {
             labels: wanted,

@@ -9,8 +9,8 @@
 //! thread per slot turn), so it costs an uncontended lock/unlock, not a
 //! blocking wait.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use cpq_check::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use cpq_check::sync::Mutex;
 
 struct Slot<T> {
     /// Turn counter: `seq == index` means free for the producer of turn
@@ -60,6 +60,8 @@ impl<T> EventRing<T> {
 
     /// Events currently buffered (approximate under concurrency).
     pub fn len(&self) -> usize {
+        // ordering: Relaxed — advisory size probe; the result is stale the
+        // moment it returns, so no synchronization is bought by more.
         self.tail
             .load(Ordering::Relaxed)
             .saturating_sub(self.head.load(Ordering::Relaxed))
@@ -73,16 +75,25 @@ impl<T> EventRing<T> {
     /// Events rejected by [`try_push`](Self::try_push) or evicted by
     /// [`force_push`](Self::force_push) since creation.
     pub fn dropped(&self) -> u64 {
+        // ordering: Relaxed — statistics counter; readers only need an
+        // eventually-accurate total, not an ordering edge.
         self.dropped.load(Ordering::Relaxed)
     }
 
     /// Pushes an event, failing (and counting a drop) when the ring is full.
     pub fn try_push(&self, item: T) -> Result<(), T> {
+        // ordering: Relaxed — the cursor value is only a CAS hint; the CAS
+        // itself revalidates it, and slot hand-off synchronizes via `seq`.
         let mut pos = self.tail.load(Ordering::Relaxed);
         loop {
             let slot = &self.slots[pos & self.mask];
+            // ordering: Acquire — pairs with the consumer's Release store of
+            // `seq`; seeing our turn number proves the slot's previous
+            // occupant was fully taken out before we write into it.
             let seq = slot.seq.load(Ordering::Acquire);
             if seq == pos {
+                // ordering: Relaxed CAS — cursor arbitration only; payload
+                // visibility rides `seq` (the crossbeam ArrayQueue scheme).
                 match self.tail.compare_exchange_weak(
                     pos,
                     pos + 1,
@@ -91,6 +102,8 @@ impl<T> EventRing<T> {
                 ) {
                     Ok(_) => {
                         *slot.item.lock().expect("ring slot poisoned") = Some(item);
+                        // ordering: Release — publishes the payload write
+                        // above to the consumer's Acquire load of `seq`.
                         slot.seq.store(pos + 1, Ordering::Release);
                         return Ok(());
                     }
@@ -99,10 +112,12 @@ impl<T> EventRing<T> {
             } else if seq < pos {
                 // The consumer of `pos - capacity` has not freed the slot:
                 // the ring is full.
+                // ordering: Relaxed — statistics counter, no ordering edge.
                 self.dropped.fetch_add(1, Ordering::Relaxed);
                 return Err(item);
             } else {
                 // Another producer claimed this turn; chase the cursor.
+                // ordering: Relaxed — cursor re-read is again only a hint.
                 pos = self.tail.load(Ordering::Relaxed);
             }
         }
@@ -126,11 +141,16 @@ impl<T> EventRing<T> {
 
     /// Pops the oldest event, or `None` when the ring is empty.
     pub fn pop(&self) -> Option<T> {
+        // ordering: Relaxed — cursor value is a CAS hint (see `try_push`).
         let mut pos = self.head.load(Ordering::Relaxed);
         loop {
             let slot = &self.slots[pos & self.mask];
+            // ordering: Acquire — pairs with the producer's Release store;
+            // seeing `pos + 1` proves the payload write happened-before.
             let seq = slot.seq.load(Ordering::Acquire);
             if seq == pos + 1 {
+                // ordering: Relaxed on both CAS sides — cursor arbitration
+                // only; payload visibility rides `seq` (see `try_push`).
                 match self.head.compare_exchange_weak(
                     pos,
                     pos + 1,
@@ -139,6 +159,8 @@ impl<T> EventRing<T> {
                 ) {
                     Ok(_) => {
                         let item = slot.item.lock().expect("ring slot poisoned").take();
+                        // ordering: Release — publishes the `take` above to
+                        // the next-lap producer's Acquire load of `seq`.
                         slot.seq.store(pos + self.slots.len(), Ordering::Release);
                         return item;
                     }
@@ -148,6 +170,7 @@ impl<T> EventRing<T> {
                 // The producer of this turn has not arrived: empty.
                 return None;
             } else {
+                // ordering: Relaxed — cursor re-read is again only a hint.
                 pos = self.head.load(Ordering::Relaxed);
             }
         }

@@ -3,7 +3,7 @@
 
 use crate::profile::QueryProfile;
 use crate::ring::EventRing;
-use std::sync::atomic::{AtomicU64, Ordering};
+use cpq_check::sync::atomic::{AtomicU64, Ordering};
 
 /// Captures the complete work profile of every query slower than a
 /// threshold, bounded by a fixed-capacity ring (newest kept, oldest
@@ -36,6 +36,7 @@ impl SlowQueryLog {
 
     /// Slow queries observed since creation (captured or evicted).
     pub fn observed(&self) -> u64 {
+        // ordering: Relaxed — statistics counter read, no ordering edge.
         self.observed.load(Ordering::Relaxed)
     }
 
@@ -50,6 +51,8 @@ impl SlowQueryLog {
         if profile.latency_us() < self.threshold_us {
             return false;
         }
+        // ordering: Relaxed — statistics counter; the profile itself is
+        // handed off through the ring's own Acquire/Release protocol.
         self.observed.fetch_add(1, Ordering::Relaxed);
         self.ring.force_push(profile);
         true

@@ -1,0 +1,159 @@
+//! Model-checked harness for the event ring (`EventRing`).
+//!
+//! Compiled only under `RUSTFLAGS="--cfg cpq_model"`. The positive models
+//! drive the *real* Vyukov-style ring — cursor CASes, per-slot sequence
+//! hand-off, slot mutex — through exhaustive bounded DFS and assert the
+//! record-integrity contract: every pushed record is popped exactly once,
+//! bit-identical, never torn, never duplicated. The negative model breaks
+//! the publication protocol the ring's `Release` store of `seq` provides
+//! (publishing before the payload write is complete) and pins the torn
+//! read the checker finds.
+#![cfg(cpq_model)]
+
+use cpq_check::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use cpq_check::sync::Arc;
+use cpq_check::thread;
+use cpq_check::{model_dfs, model_pct, replay, try_model_dfs, try_replay, DfsOptions, PctOptions};
+use cpq_obs::EventRing;
+
+#[test]
+fn dfs_two_producers_lose_nothing() {
+    // Preemption-bounded (CHESS-style): the unbounded choice tree of two
+    // CAS retry loops is astronomically larger, and concurrency bugs
+    // overwhelmingly manifest within two preemptions.
+    let report = model_dfs(DfsOptions::smoke(), || {
+        let ring = Arc::new(EventRing::new(4));
+        let producers: Vec<_> = [1u64, 2u64]
+            .into_iter()
+            .map(|v| {
+                let ring = Arc::clone(&ring);
+                thread::spawn(move || ring.try_push(v).expect("ring of 4 holds 2"))
+            })
+            .collect();
+        for p in producers {
+            p.join().expect("producer");
+        }
+        let mut drained = ring.drain();
+        drained.sort_unstable();
+        assert_eq!(drained, vec![1, 2], "both records, never torn or doubled");
+        assert_eq!(ring.dropped(), 0);
+    });
+    assert!(report.complete, "the DFS must exhaust the interleavings");
+    assert!(report.schedules > 1, "explored {}", report.schedules);
+}
+
+#[test]
+fn dfs_producer_consumer_overlap_preserves_records() {
+    let report = model_dfs(DfsOptions::smoke(), || {
+        let ring = Arc::new(EventRing::new(2));
+        let consumer = {
+            let ring = Arc::clone(&ring);
+            // Exactly three pop *attempts* (bounded — a model must not
+            // spin): each either observes a completed push or an empty
+            // ring, in FIFO order either way.
+            thread::spawn(move || (0..3).filter_map(|_| ring.pop()).collect::<Vec<u64>>())
+        };
+        ring.try_push(1).expect("ring of 2 holds the first");
+        ring.try_push(2).expect("a ring of 2 holds both in flight");
+        let consumed = consumer.join().expect("consumer");
+        let mut all = consumed.clone();
+        all.extend(ring.drain());
+        assert_eq!(
+            all,
+            vec![1, 2],
+            "FIFO, exactly once, however the race lands"
+        );
+    });
+    assert!(report.complete);
+}
+
+#[test]
+fn pct_contended_ring_with_wraparound() {
+    // Two producers race four records through a capacity-2 ring while a
+    // consumer makes bounded pop attempts: slots wrap and the sequence
+    // numbers lap. 200 seeded PCT schedules must keep the multiset exact:
+    // accepted records are consumed exactly once, rejected ones are
+    // counted, nothing tears.
+    let opts = PctOptions::from_env();
+    let want = opts.seeds.end - opts.seeds.start;
+    let n = model_pct(opts, || {
+        let ring = Arc::new(EventRing::new(2));
+        let producers: Vec<_> = [[1u64, 2u64], [3u64, 4u64]]
+            .into_iter()
+            .map(|vals| {
+                let ring = Arc::clone(&ring);
+                thread::spawn(move || {
+                    vals.into_iter()
+                        .filter(|&v| ring.try_push(v).is_ok())
+                        .collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        let consumer = {
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || (0..4).filter_map(|_| ring.pop()).collect::<Vec<u64>>())
+        };
+        let mut accepted: Vec<u64> = Vec::new();
+        for p in producers {
+            accepted.extend(p.join().expect("producer"));
+        }
+        let mut seen = consumer.join().expect("consumer");
+        seen.extend(ring.drain());
+        seen.sort_unstable();
+        accepted.sort_unstable();
+        assert_eq!(seen, accepted, "accepted records surface exactly once");
+        assert_eq!(ring.dropped(), 4 - accepted.len() as u64);
+    });
+    assert_eq!(n, want);
+}
+
+/// The deliberately-broken publication protocol: a two-word record stored
+/// as two atomics, with the ready flag raised *between* the two halves —
+/// precisely what the ring avoids by storing the payload before the
+/// `Release` store of the slot's `seq`.
+fn torn_publication_model() {
+    let lo = Arc::new(AtomicU64::new(0));
+    let hi = Arc::new(AtomicU64::new(0));
+    let ready = Arc::new(AtomicBool::new(false));
+    let producer = {
+        let (lo, hi, ready) = (Arc::clone(&lo), Arc::clone(&hi), Arc::clone(&ready));
+        thread::spawn(move || {
+            lo.store(7, Ordering::SeqCst);
+            ready.store(true, Ordering::SeqCst); // BUG: published half-written
+            hi.store(7, Ordering::SeqCst);
+        })
+    };
+    if ready.load(Ordering::SeqCst) {
+        let (l, h) = (lo.load(Ordering::SeqCst), hi.load(Ordering::SeqCst));
+        assert_eq!(l, h, "torn record");
+    }
+    producer.join().expect("producer");
+}
+
+/// The torn-read schedule of [`torn_publication_model`], pinned by
+/// [`torn_publication_is_found_and_replayable`]: the reader observes the
+/// flag after the low half but before the high half lands.
+const PINNED_TORN_RECORD: &[usize] = &[1, 1, 1, 0, 0, 0];
+
+#[test]
+fn torn_publication_is_found_and_replayable() {
+    let failure = try_model_dfs(DfsOptions::default(), torn_publication_model)
+        .expect_err("publishing before the payload completes must tear");
+    assert!(
+        failure.message.contains("torn record"),
+        "unexpected failure: {failure}"
+    );
+    let replayed = try_replay(&failure.schedule, torn_publication_model)
+        .expect_err("the reported schedule must reproduce the torn read");
+    assert!(replayed.message.contains("torn record"));
+    assert_eq!(
+        failure.schedule, PINNED_TORN_RECORD,
+        "the minimal torn-read schedule moved; update PINNED_TORN_RECORD"
+    );
+}
+
+#[test]
+#[should_panic(expected = "torn record")]
+fn pinned_torn_record_schedule_still_fails() {
+    replay(PINNED_TORN_RECORD, torn_publication_model);
+}

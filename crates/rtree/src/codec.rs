@@ -98,6 +98,8 @@ pub fn encode_node<const D: usize, O: SpatialObject<D>>(
 }
 
 fn read_f64(buf: &[u8], off: usize) -> f64 {
+    // lint: allow(expect) — fixed 8-byte window; callers check the
+    // page length, so the conversion cannot fail.
     f64::from_le_bytes(buf[off..off + 8].try_into().expect("8-byte slice"))
 }
 
@@ -114,6 +116,8 @@ pub fn decode_node<const D: usize, O: SpatialObject<D>>(
     }
     let kind = buf[0];
     let level = buf[1];
+    // lint: allow(expect) — fixed-width header field of a
+    // length-checked page.
     let count = u16::from_le_bytes(buf[2..4].try_into().expect("2-byte slice")) as usize;
     match kind {
         KIND_LEAF => {
@@ -136,6 +140,8 @@ pub fn decode_node<const D: usize, O: SpatialObject<D>>(
             for _ in 0..count {
                 let object = O::decode(&buf[off..off + osz]);
                 off += osz;
+                // lint: allow(expect) — fixed-width field of a length-checked
+                // entry region.
                 let oid = u64::from_le_bytes(buf[off..off + 8].try_into().expect("8-byte slice"));
                 off += 8;
                 entries.push(LeafEntry::new(object, oid));
@@ -170,9 +176,13 @@ pub fn decode_node<const D: usize, O: SpatialObject<D>>(
                     off += 8;
                 }
                 let child = PageId(u32::from_le_bytes(
+                    // lint: allow(expect) — fixed-width field of a length-checked
+                    // entry region.
                     buf[off..off + 4].try_into().expect("4-byte slice"),
                 ));
                 off += 4;
+                // lint: allow(expect) — fixed-width field of a length-checked
+                // entry region.
                 let cnt = u32::from_le_bytes(buf[off..off + 4].try_into().expect("4-byte slice"));
                 off += 4;
                 if (0..D).any(|d| lo[d] > hi[d]) {

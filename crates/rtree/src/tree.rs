@@ -165,6 +165,8 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
 
     fn entry_for(&self, id: PageId, node: &Node<D, O>) -> InnerEntry<D> {
         InnerEntry::new(
+            // lint: allow(expect) — entry_for links only freshly written
+            // non-empty nodes.
             node.mbr().expect("entry_for on empty node"),
             id,
             node.subtree_count(),
@@ -342,6 +344,8 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
             .params
             .reinsert_count
             .min(node.len() - self.params.min_entries);
+        // lint: allow(expect) — reinsert fires on overflowing (hence
+        // non-empty) nodes.
         let center = node.mbr().expect("reinsert on empty node").center();
         match node {
             Node::Leaf(es) => {

@@ -165,6 +165,8 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
 
     /// Panics with all violations when the tree is invalid (test helper).
     pub fn assert_valid(&self) {
+        // lint: allow(expect) — assert_valid is a test helper
+        // documented to panic on invalid trees.
         let report = self.validate().expect("validation walk failed");
         assert!(
             report.is_valid(),

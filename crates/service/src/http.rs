@@ -5,10 +5,10 @@
 //! and graceful shutdown. It exists so a Prometheus scraper (or `curl`) can
 //! reach the service without any non-std dependency.
 
+use cpq_check::sync::atomic::{AtomicBool, Ordering};
+use cpq_check::sync::Arc;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -45,7 +45,11 @@ impl MetricsServer {
             std::thread::Builder::new()
                 .name("cpq-metrics-http".into())
                 .spawn(move || {
-                    while !stop.load(Ordering::Relaxed) {
+                    // ordering: Acquire — pairs with the Release store in
+                    // `shutdown`, the standard lifecycle-flag convention, so
+                    // everything written before the stop request is visible
+                    // to the loop's final iteration.
+                    while !stop.load(Ordering::Acquire) {
                         match listener.accept() {
                             Ok((stream, _)) => {
                                 // Per-connection errors (client hung up
@@ -53,12 +57,18 @@ impl MetricsServer {
                                 let _ = handle_connection(stream, &render);
                             }
                             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                // lint: allow(sleep) — poll backoff for the
+                                // non-blocking accept loop; bounds shutdown
+                                // latency without platform wakeup APIs.
                                 std::thread::sleep(Duration::from_millis(5));
                             }
+                            // lint: allow(sleep) — same backoff as above.
                             Err(_) => std::thread::sleep(Duration::from_millis(5)),
                         }
                     }
                 })
+                // lint: allow(expect) — spawning the one listener thread at
+                // startup; if the OS refuses, the server cannot exist.
                 .expect("spawn metrics http thread")
         };
         Ok(MetricsServer {
@@ -79,7 +89,11 @@ impl MetricsServer {
     }
 
     fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        // ordering: Release — pairs with the Acquire load in the accept
+        // loop (lifecycle-flag convention). Upgraded from Relaxed: the
+        // join below already synchronized, but the flag should not depend
+        // on that for correctness.
+        self.stop.store(true, Ordering::Release);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }

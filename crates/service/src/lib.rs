@@ -57,6 +57,9 @@
 //! assert_eq!(stats.completed, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod http;
 mod obs;
 mod queue;

@@ -9,9 +9,9 @@
 //! from the buffer pools at scrape time.
 
 use crate::service::TreePair;
+use cpq_check::sync::Arc;
 use cpq_geo::SpatialObject;
 use cpq_obs::{Counter, Gauge, Histogram, QueryProfile, Registry, SlowQueryLog};
-use std::sync::Arc;
 use std::time::Duration;
 
 /// Observability knobs of a [`CpqService`](crate::CpqService).

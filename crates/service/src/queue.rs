@@ -7,8 +7,8 @@
 //! [`CpqService`](crate::CpqService): under overload, producers get an
 //! immediate `Rejected` and the latency of admitted queries stays bounded.
 
+use cpq_check::sync::{Condvar, Mutex, MutexGuard};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
 
 struct State<T> {
     items: VecDeque<T>,
@@ -54,7 +54,7 @@ impl<T> AdmissionQueue<T> {
         self.len() == 0
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
         self.state.lock().expect("admission queue mutex poisoned")
     }
 

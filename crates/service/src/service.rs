@@ -5,14 +5,14 @@ use crate::obs::{ObsConfig, ServiceObs};
 use crate::queue::AdmissionQueue;
 use crate::request::{QueryKind, QueryRequest, QueryResponse, QueryStatus, Rejected};
 use crate::stats::{ServiceStats, StatsSummary};
+use cpq_check::sync::atomic::{AtomicU64, Ordering};
+use cpq_check::sync::{mpsc, Arc};
 use cpq_core::{
     k_closest_pairs_cancellable, k_closest_pairs_instrumented, self_closest_pairs_cancellable,
     self_closest_pairs_instrumented, CancelToken, CpqConfig, CpqStats, ProfileProbe, QueryProfile,
 };
 use cpq_geo::{Point, SpatialObject};
 use cpq_rtree::RTree;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -176,6 +176,8 @@ impl<const D: usize, O: SpatialObject<D>> CpqService<D, O> {
                 std::thread::Builder::new()
                     .name(format!("cpq-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
+                    // lint: allow(expect) — spawn fails only on OS resource
+                    // exhaustion; the service cannot run without its workers.
                     .expect("spawn worker thread")
             })
             .collect();
@@ -190,6 +192,8 @@ impl<const D: usize, O: SpatialObject<D>> CpqService<D, O> {
     /// out its whole deadline in the queue is answered `TimedOut` without
     /// the engine doing any work.
     pub fn submit(&self, req: QueryRequest) -> Result<QueryTicket<D, O>, Rejected> {
+        // ordering: Relaxed — a pure id allocator; only uniqueness matters,
+        // and the id is handed to the queue through a mutex anyway.
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
         let enqueued = Instant::now();
@@ -288,6 +292,8 @@ impl<const D: usize, O: SpatialObject<D>> CpqService<D, O> {
     fn stop(&mut self) {
         self.shared.queue.close();
         for h in self.workers.drain(..) {
+            // lint: allow(expect) — a panicking worker is a bug; propagate
+            // the panic instead of shutting down silently.
             h.join().expect("worker thread panicked");
         }
     }

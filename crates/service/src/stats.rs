@@ -2,7 +2,7 @@
 //! latency/queue-wait percentiles, and throughput.
 
 use crate::request::QueryStatus;
-use std::sync::Mutex;
+use cpq_check::sync::{Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 // The percentile math lives in cpq-obs (one implementation for the service
@@ -64,7 +64,7 @@ impl ServiceStats {
         Self::default()
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Agg> {
+    fn lock(&self) -> MutexGuard<'_, Agg> {
         self.agg.lock().expect("service stats mutex poisoned")
     }
 

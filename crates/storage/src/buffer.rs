@@ -19,8 +19,8 @@ use crate::error::StorageResult;
 use crate::file::PageFile;
 use crate::page::PageId;
 use crate::stats::IoStats;
+use cpq_check::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 /// Immutable page contents, cheaply cloneable (one atomic increment per
 /// clone, like the `bytes::Bytes` it replaces — dropped so the workspace
@@ -88,6 +88,8 @@ impl ReplacementPolicy for LruPolicy {
             .filter(|(i, _)| !pinned[*i])
             .min_by_key(|(_, &s)| s)
             .map(|(i, _)| i)
+            // lint: allow(expect) — the pool calls evict only when an
+            // unpinned frame exists (checked by the caller).
             .expect("evict called with every frame pinned")
     }
     fn on_remove(&mut self, frame: usize) {
@@ -129,6 +131,8 @@ impl ReplacementPolicy for FifoPolicy {
             .filter(|(i, _)| !pinned[*i])
             .min_by_key(|(_, &s)| s)
             .map(|(i, _)| i)
+            // lint: allow(expect) — the pool calls evict only when an
+            // unpinned frame exists (checked by the caller).
             .expect("evict called with every frame pinned")
     }
     fn on_remove(&mut self, frame: usize) {
@@ -239,6 +243,8 @@ impl State {
         Some(
             self.frames[f]
                 .as_ref()
+                // lint: allow(expect) — `map` only points at occupied frames
+                // (structural invariant of the pool state).
                 .expect("mapped frame must be occupied")
                 .data
                 .clone(),
@@ -261,6 +267,8 @@ impl State {
                 debug_assert!(!self.pinned[victim], "policy evicted a pinned frame");
                 let old = self.frames[victim]
                     .take()
+                    // lint: allow(expect) — no free frame existed, so every frame
+                    // (including the victim) is occupied.
                     .expect("victim frame must be occupied");
                 self.map.remove(&old.page);
                 self.stats.evictions += 1;
@@ -339,11 +347,11 @@ impl BufferPool {
         self.state.lock().expect("buffer pool mutex poisoned")
     }
 
-    fn file_read(&self) -> std::sync::RwLockReadGuard<'_, Box<dyn PageFile>> {
+    fn file_read(&self) -> RwLockReadGuard<'_, Box<dyn PageFile>> {
         self.file.read().expect("page file lock poisoned")
     }
 
-    fn file_write(&self) -> std::sync::RwLockWriteGuard<'_, Box<dyn PageFile>> {
+    fn file_write(&self) -> RwLockWriteGuard<'_, Box<dyn PageFile>> {
         self.file.write().expect("page file lock poisoned")
     }
 
@@ -419,6 +427,8 @@ impl BufferPool {
             }
         }
         if missing.is_empty() {
+            // lint: allow(expect) — every index was filled by a hit or
+            // pushed to `missing` above.
             return Ok(out.into_iter().map(|o| o.expect("hit filled")).collect());
         }
         let mut fetched: Vec<(usize, PageId, PageBytes)> = Vec::with_capacity(missing.len());
@@ -446,6 +456,8 @@ impl BufferPool {
         }
         match first_err {
             Some(e) => Err(e),
+            // lint: allow(expect) — with no error, every missing index was
+            // filled by the fetch loop above.
             None => Ok(out.into_iter().map(|o| o.expect("page filled")).collect()),
         }
     }
@@ -460,6 +472,8 @@ impl BufferPool {
         if let Some(&f) = st.map.get(&id) {
             st.frames[f]
                 .as_mut()
+                // lint: allow(expect) — `map` only points at occupied frames
+                // (structural invariant of the pool state).
                 .expect("mapped frame must be occupied")
                 .data = PageBytes::from(data);
             st.policy.on_hit(f);

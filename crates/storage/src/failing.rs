@@ -11,8 +11,8 @@ use crate::error::{StorageError, StorageResult};
 use crate::file::PageFile;
 use crate::page::PageId;
 use crate::stats::IoStats;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use cpq_check::sync::atomic::{AtomicU64, Ordering};
+use cpq_check::sync::Arc;
 use std::time::Duration;
 
 /// Sentinel meaning "no page armed" in [`FailureControl::corrupt_page`].
@@ -47,23 +47,30 @@ impl FailureControl {
     /// Arms an injected I/O error on the `n`-th read *from now* (1-based);
     /// `0` disarms. Resets the read ordinal counter.
     pub fn fail_read(&self, n: u64) {
+        // ordering: SeqCst — test-harness knobs; arming (ordinal reset,
+        // then the trigger) must appear in program order to every racing
+        // reader, and the fault path is never a hot path, so the blunt
+        // strongest ordering buys simplicity for free.
         self.reads_seen.store(0, Ordering::SeqCst);
         self.fail_read_at.store(n, Ordering::SeqCst);
     }
 
     /// Makes every read of `page` fail as a CRC mismatch.
     pub fn corrupt(&self, page: PageId) {
+        // ordering: SeqCst — fault knob; see `fail_read`.
         self.corrupt_page.store(page.0 as u64, Ordering::SeqCst);
     }
 
     /// Adds `latency` to every read (a simulated slow disk); zero disarms.
     pub fn slow_reads(&self, latency: Duration) {
+        // ordering: SeqCst — fault knob; see `fail_read`.
         self.slow_read_nanos
             .store(latency.as_nanos() as u64, Ordering::SeqCst);
     }
 
     /// Disarms every fault (latency, corruption, and the error ordinal).
     pub fn disarm(&self) {
+        // ordering: SeqCst — fault knobs; see `fail_read`.
         self.fail_read_at.store(0, Ordering::SeqCst);
         self.corrupt_page.store(NO_PAGE, Ordering::SeqCst);
         self.slow_read_nanos.store(0, Ordering::SeqCst);
@@ -72,6 +79,7 @@ impl FailureControl {
     /// Reads attempted through the wrapper since the last [`fail_read`]
     /// (or since construction).
     pub fn reads_seen(&self) -> u64 {
+        // ordering: SeqCst — fault knob; see `fail_read`.
         self.reads_seen.load(Ordering::SeqCst)
     }
 }
@@ -114,17 +122,22 @@ impl PageFile for FailingPageFile {
 
     fn read(&self, id: PageId, buf: &mut [u8]) -> StorageResult<()> {
         let c = &self.control;
+        // ordering: SeqCst — fault knobs; see `FailureControl::fail_read`.
         let seen = c.reads_seen.fetch_add(1, Ordering::SeqCst) + 1;
         let nanos = c.slow_read_nanos.load(Ordering::SeqCst);
         if nanos > 0 {
+            // lint: allow(sleep) — the simulated slow disk *is* the
+            // feature; latency injection has no condvar to wait on.
             std::thread::sleep(Duration::from_nanos(nanos));
         }
+        // ordering: SeqCst — fault knobs; see `FailureControl::fail_read`.
         let armed = c.fail_read_at.load(Ordering::SeqCst);
         if armed != 0 && seen == armed {
             return Err(StorageError::Io(std::io::Error::other(
                 "injected read failure",
             )));
         }
+        // ordering: SeqCst — fault knob; see `FailureControl::fail_read`.
         if c.corrupt_page.load(Ordering::SeqCst) == id.0 as u64 {
             return Err(StorageError::Corrupt {
                 page: id,

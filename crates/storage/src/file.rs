@@ -4,11 +4,11 @@ use crate::crc32::crc32;
 use crate::error::{StorageError, StorageResult};
 use crate::page::PageId;
 use crate::stats::IoStats;
+use cpq_check::sync::atomic::{AtomicU64, Ordering};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::os::unix::fs::FileExt;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A flat, growable array of fixed-size pages with a free list.
 ///
@@ -118,6 +118,8 @@ impl PageFile for MemPageFile {
         match self.slot(id)? {
             Some(data) => {
                 buf.copy_from_slice(data);
+                // ordering: Relaxed — pure I/O counter; readers reconcile
+                // it against buffer-pool books only at quiescence.
                 self.reads.fetch_add(1, Ordering::Relaxed);
                 Ok(())
             }
@@ -159,6 +161,7 @@ impl PageFile for MemPageFile {
 
     fn stats(&self) -> IoStats {
         IoStats {
+            // ordering: Relaxed — counter read; see `read`.
             reads: self.reads.load(Ordering::Relaxed),
             ..self.stats
         }
@@ -166,6 +169,8 @@ impl PageFile for MemPageFile {
 
     fn reset_stats(&mut self) {
         self.stats = IoStats::default();
+        // ordering: Relaxed — reset runs under the pool's exclusive write
+        // guard (`&mut self`), so no concurrent reader exists.
         self.reads.store(0, Ordering::Relaxed);
     }
 }
@@ -229,11 +234,14 @@ impl DiskPageFile {
         let mut header = [0u8; HEADER_LEN as usize];
         file.seek(SeekFrom::Start(0))?;
         file.read_exact(&mut header)?;
-        let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        // lint: allow(unwrap) — 4-byte windows of a fixed-size header
+        // buffer cannot fail the slice-to-array conversion.
+        let word = |at: usize| u32::from_le_bytes(header[at..at + 4].try_into().unwrap());
+        let magic = word(0);
         if magic != DISK_MAGIC {
             return Err(StorageError::CorruptHeader(format!("bad magic {magic:#x}")));
         }
-        let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        let version = word(4);
         let checksums = match version {
             1 => false, // pre-checksum layout: pages are packed back to back
             2 => true,
@@ -243,8 +251,8 @@ impl DiskPageFile {
                 )))
             }
         };
-        let page_size = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
-        let num_pages = u32::from_le_bytes(header[12..16].try_into().unwrap());
+        let page_size = word(8) as usize;
+        let num_pages = word(12);
         if page_size == 0 {
             return Err(StorageError::CorruptHeader("zero page size".into()));
         }
@@ -352,6 +360,7 @@ impl PageFile for DiskPageFile {
                 });
             }
         }
+        // ordering: Relaxed — pure I/O counter; see `MemPageFile::read`.
         self.reads.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -377,6 +386,7 @@ impl PageFile for DiskPageFile {
 
     fn stats(&self) -> IoStats {
         IoStats {
+            // ordering: Relaxed — counter read; see `MemPageFile::stats`.
             reads: self.reads.load(Ordering::Relaxed),
             ..self.stats
         }
@@ -384,6 +394,8 @@ impl PageFile for DiskPageFile {
 
     fn reset_stats(&mut self) {
         self.stats = IoStats::default();
+        // ordering: Relaxed — reset runs under `&mut self` (see
+        // `MemPageFile::reset_stats`).
         self.reads.store(0, Ordering::Relaxed);
     }
 }

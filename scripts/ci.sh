@@ -18,6 +18,24 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test --workspace -q
 
+echo "==> cpq_lint (ordering justifications, forbid(unsafe_code), panic paths, shim migration)"
+./target/release/cpq_lint .
+
+# Model-check smoke tier: the concurrency shim is compiled in scheduler mode
+# (--cfg cpq_model) and the harnesses run exhaustive/bounded DFS on the small
+# models plus 200 seeded PCT schedules on the contended ones. A separate
+# target dir keeps both cfg caches warm across CI runs.
+echo "==> model-check smoke tier (cfg cpq_model: exhaustive DFS + 200-seed PCT)"
+model_test() {
+    RUSTFLAGS="--cfg cpq_model" CARGO_TARGET_DIR=target/model \
+        cargo test -q "$@"
+}
+model_test -p cpq-check
+model_test -p cpq-service --test model_queue
+model_test -p cpq-obs --test model_ring
+model_test -p cpq-storage --test model_buffer
+model_test -p cpq-core --lib model_tests
+
 echo "==> bench_service --smoke --profile (service end-to-end + divergence + obs gate)"
 ./target/release/bench_service --smoke --profile \
     --out /tmp/BENCH_service_smoke.json --obs-out /tmp/BENCH_obs_smoke.json >/dev/null
@@ -31,6 +49,15 @@ echo "==> bench_parallel --smoke (parallel descent speedup + zero-divergence gat
 if [ "${1:-}" = "--full" ]; then
     echo "==> parallel stress: wide seed sweep (release, --include-ignored)"
     cargo test --release -p cpq-core --test parallel_stress -- --include-ignored
+
+    echo "==> model-check full tier: widened PCT sweep (2000 seeds, release)"
+    model_full() {
+        RUSTFLAGS="--cfg cpq_model" CARGO_TARGET_DIR=target/model \
+            CPQ_MODEL_SEEDS=2000 cargo test --release -q "$@"
+    }
+    model_full -p cpq-obs --test model_ring pct_
+    model_full -p cpq-storage --test model_buffer pct_failing
+    model_full -p cpq-core --lib model_tests::pct_
 fi
 
 echo "==> CI green"
