@@ -1,0 +1,367 @@
+//! Benchmark: the real-disk I/O scheduler vs the naive per-page read path.
+//!
+//! Everything here runs against an actual on-disk page file (OS temp
+//! dir), reopened cold after the build so the measured reads really go
+//! through the file — `open_direct` probes `O_DIRECT` and falls back to
+//! buffered reads where the filesystem refuses it. Three sections:
+//!
+//! 1. **scan** — an STR bulk-loaded tree (sibling leaves on contiguous
+//!    pages) read end-to-end in fixed-size batches through `get_many`,
+//!    once over a naive pool (one `pread` per page) and once over a
+//!    scheduled pool (offset-sorted, coalesced span reads across a small
+//!    I/O thread pool). Identical logical access pattern, identical
+//!    bytes; the only variable is the read path. **Gate:** the scheduler
+//!    must beat the naive path on wall time.
+//! 2. **kcpq** — the parallel K-CPQ descent (whose oracle workers feed
+//!    `BufferPool::prefetch` with speculative child pages) over
+//!    insertion-built disk trees, naive vs scheduled, zero-buffer
+//!    configuration. **Gates:** identical result pairs, coalesce ratio
+//!    > 1.0, nonzero prefetch hits.
+//! 3. **direct-io probe** — reports whether `O_DIRECT` engaged on this
+//!    filesystem or the buffered fallback latched.
+//!
+//! Per-batch demand latencies feed a log-bucketed [`Histogram`]
+//! (microseconds). Writes `BENCH_io.json` (repo root by default).
+//!
+//! ```text
+//! cargo run --release --bin bench_io -- [--n 20000] [--k 100] \
+//!     [--out BENCH_io.json] [--smoke]
+//! ```
+
+use cpq_bench::{build_tree_disk, build_tree_disk_bulk, scratch_file, Args};
+use cpq_core::{k_closest_pairs, Algorithm, CpqConfig, QueryOutcome};
+use cpq_datasets::uniform;
+use cpq_obs::Histogram;
+use cpq_rtree::RTree;
+use cpq_storage::{DiskPageFile, PageFile, PageId, SchedConfig, SchedStats, DEFAULT_PAGE_SIZE};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One timed full-file scan in `chunk`-page batches. Returns wall time
+/// and a cheap content checksum so the two read paths can be compared
+/// byte-for-byte.
+fn scan_once(tree: &RTree<2>, chunk: usize, lat: &Histogram) -> (u64, u64) {
+    let pool = tree.pool();
+    let pages = pool.num_pages();
+    let mut checksum = 0u64;
+    let start = Instant::now();
+    let mut id = 0u32;
+    while id < pages {
+        let end = (id + chunk as u32).min(pages);
+        let ids: Vec<PageId> = (id..end).map(PageId).collect();
+        let batch_start = Instant::now();
+        let bytes = pool.get_many(&ids).expect("scan batch");
+        lat.record(batch_start.elapsed().as_micros() as u64);
+        for page in &bytes {
+            checksum = page.iter().fold(checksum, |acc, &b| {
+                acc.wrapping_mul(31).wrapping_add(b as u64)
+            });
+        }
+        id = end;
+    }
+    (start.elapsed().as_nanos() as u64, checksum)
+}
+
+/// Best-of-`reps` scan wall time (unbuffered pool, counters reset per
+/// rep so the reported scheduler stats describe exactly one pass).
+fn scan_bench(tree: &RTree<2>, chunk: usize, reps: usize, lat: &Histogram) -> (u64, u64, u64) {
+    tree.pool().set_capacity(0);
+    let mut best = u64::MAX;
+    let mut checksum = 0;
+    let mut pages = 0;
+    for _ in 0..reps {
+        tree.pool().reset_stats();
+        let (wall, sum) = scan_once(tree, chunk, lat);
+        best = best.min(wall);
+        checksum = sum;
+        pages = tree.pool().stats_snapshot().1.reads;
+    }
+    (best, checksum, pages)
+}
+
+fn measure_kcpq(
+    tree_p: &RTree<2>,
+    tree_q: &RTree<2>,
+    k: usize,
+    threads: usize,
+) -> (u64, QueryOutcome<2>) {
+    tree_p.pool().set_capacity(0);
+    tree_q.pool().set_capacity(0);
+    tree_p.pool().reset_stats();
+    tree_q.pool().reset_stats();
+    let cfg = CpqConfig::paper().with_parallelism(threads);
+    let start = Instant::now();
+    let outcome = k_closest_pairs(tree_p, tree_q, k, Algorithm::Heap, &cfg).expect("query");
+    (start.elapsed().as_nanos() as u64, outcome)
+}
+
+fn same_pairs(a: &QueryOutcome<2>, b: &QueryOutcome<2>, label: &str) {
+    assert_eq!(a.pairs.len(), b.pairs.len(), "{label}: result length");
+    for (i, (x, y)) in a.pairs.iter().zip(&b.pairs).enumerate() {
+        assert!(
+            x.p.oid == y.p.oid
+                && x.q.oid == y.q.oid
+                && x.dist2.get().to_bits() == y.dist2.get().to_bits(),
+            "{label}: pair #{i} diverged"
+        );
+    }
+}
+
+/// Merged scheduler counters of both trees' pools (the query reads from
+/// two files, each behind its own scheduler).
+fn merged_sched(tp: &RTree<2>, tq: &RTree<2>) -> SchedStats {
+    let a = tp.pool().sched_stats().expect("scheduled pool");
+    let b = tq.pool().sched_stats().expect("scheduled pool");
+    SchedStats {
+        demand_reads: a.demand_reads + b.demand_reads,
+        demand_stall_ns: a.demand_stall_ns + b.demand_stall_ns,
+        physical_pages: a.physical_pages + b.physical_pages,
+        physical_batches: a.physical_batches + b.physical_batches,
+        batch_fallbacks: a.batch_fallbacks + b.batch_fallbacks,
+        prefetch_issued: a.prefetch_issued + b.prefetch_issued,
+        prefetch_hits: a.prefetch_hits + b.prefetch_hits,
+        prefetch_waste: a.prefetch_waste + b.prefetch_waste,
+        prefetch_dropped: a.prefetch_dropped + b.prefetch_dropped,
+        dedup_joins: a.dedup_joins + b.dedup_joins,
+        max_queue_depth: a.max_queue_depth.max(b.max_queue_depth),
+    }
+}
+
+fn sched_json(s: &SchedStats, indent: &str) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "{i}  \"demand_reads\": {},\n",
+            "{i}  \"demand_stall_ns\": {},\n",
+            "{i}  \"physical_pages\": {},\n",
+            "{i}  \"physical_batches\": {},\n",
+            "{i}  \"batch_fallbacks\": {},\n",
+            "{i}  \"coalesce_ratio\": {:.3},\n",
+            "{i}  \"prefetch_issued\": {},\n",
+            "{i}  \"prefetch_hits\": {},\n",
+            "{i}  \"prefetch_waste\": {},\n",
+            "{i}  \"prefetch_dropped\": {},\n",
+            "{i}  \"prefetch_hit_rate\": {:.3},\n",
+            "{i}  \"dedup_joins\": {},\n",
+            "{i}  \"max_queue_depth\": {}\n",
+            "{i}}}"
+        ),
+        s.demand_reads,
+        s.demand_stall_ns,
+        s.physical_pages,
+        s.physical_batches,
+        s.batch_fallbacks,
+        s.coalesce_ratio(),
+        s.prefetch_issued,
+        s.prefetch_hits,
+        s.prefetch_waste,
+        s.prefetch_dropped,
+        s.prefetch_hit_rate(),
+        s.dedup_joins,
+        s.max_queue_depth,
+        i = indent,
+    )
+}
+
+/// Renders the histogram as `[le_us, count]` pairs over non-empty
+/// buckets (power-of-two microsecond bounds).
+fn histogram_json(h: &Histogram) -> String {
+    let snap = h.snapshot();
+    let mut cells: Vec<String> = snap
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, &c)| format!("[{}, {c}]", cpq_obs::HistogramSnapshot::le(i)))
+        .collect();
+    if snap.overflow > 0 {
+        cells.push(format!("[\"+Inf\", {}]", snap.overflow));
+    }
+    format!(
+        "{{ \"unit\": \"us\", \"count\": {}, \"sum_us\": {}, \"buckets\": [{}] }}",
+        snap.count,
+        snap.sum,
+        cells.join(", ")
+    )
+}
+
+fn cleanup(paths: &[PathBuf]) {
+    for p in paths {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.flag("smoke");
+    let n = args.get_usize("n", if smoke { 2_000 } else { 20_000 });
+    let k = args.get_usize("k", if smoke { 20 } else { 100 });
+    let out_path = args.get_str("out", "BENCH_io.json");
+    let chunk = 64usize;
+    let reps = 3usize;
+    let threads = 4usize;
+
+    // ── Section 1: full-file scan, naive vs scheduled ────────────────
+    let ds = uniform(n, 11);
+    let scan_paths = [scratch_file("io-scan-naive"), scratch_file("io-scan-sched")];
+    eprintln!("building bulk-loaded disk tree ({n} points)...");
+    let naive = build_tree_disk_bulk(&ds, &scan_paths[0], 0.7, None).expect("naive tree");
+    let sched = build_tree_disk_bulk(&ds, &scan_paths[1], 0.7, Some(SchedConfig::default()))
+        .expect("scheduled tree");
+
+    let naive_lat = Histogram::new();
+    let sched_lat = Histogram::new();
+    let (naive_wall, naive_sum, pages) = scan_bench(&naive, chunk, reps, &naive_lat);
+    let (sched_wall, sched_sum, _) = scan_bench(&sched, chunk, reps, &sched_lat);
+    assert_eq!(
+        naive_sum, sched_sum,
+        "scan: read paths returned different bytes"
+    );
+    let scan_stats = sched.pool().sched_stats().expect("scheduled pool");
+    let scan_speedup = naive_wall as f64 / sched_wall as f64;
+    eprintln!(
+        "scan {pages} pages x{reps}: naive {:.2} ms, scheduled {:.2} ms ({scan_speedup:.2}x, coalesce {:.1})",
+        naive_wall as f64 / 1e6,
+        sched_wall as f64 / 1e6,
+        scan_stats.coalesce_ratio(),
+    );
+    assert!(
+        sched_wall < naive_wall,
+        "scan gate: scheduler ({sched_wall} ns) must beat the naive per-page path ({naive_wall} ns)"
+    );
+    assert!(
+        scan_stats.coalesce_ratio() > 1.0,
+        "scan gate: coalesce ratio {} must exceed 1.0 on contiguous leaves",
+        scan_stats.coalesce_ratio()
+    );
+    drop(naive);
+    drop(sched);
+    cleanup(&scan_paths);
+
+    // ── Section 2: parallel K-CPQ descent, naive vs scheduled ────────
+    let dp = uniform(n, 1);
+    let dq = uniform(n, 2);
+    let kcpq_paths = [
+        scratch_file("io-kcpq-naive-p"),
+        scratch_file("io-kcpq-naive-q"),
+        scratch_file("io-kcpq-sched-p"),
+        scratch_file("io-kcpq-sched-q"),
+    ];
+    eprintln!("building insertion-built disk trees ({n} points each)...");
+    let naive_p = build_tree_disk(&dp, &kcpq_paths[0], None).expect("naive p");
+    let naive_q = build_tree_disk(&dq, &kcpq_paths[1], None).expect("naive q");
+    let sched_p =
+        build_tree_disk(&dp, &kcpq_paths[2], Some(SchedConfig::default())).expect("sched p");
+    let sched_q =
+        build_tree_disk(&dq, &kcpq_paths[3], Some(SchedConfig::default())).expect("sched q");
+
+    let (kcpq_naive_wall, naive_out) = measure_kcpq(&naive_p, &naive_q, k, threads);
+    let (kcpq_sched_wall, sched_out) = measure_kcpq(&sched_p, &sched_q, k, threads);
+    same_pairs(&naive_out, &sched_out, "kcpq naive-vs-scheduled");
+    let kcpq_stats = merged_sched(&sched_p, &sched_q);
+    let kcpq_speedup = kcpq_naive_wall as f64 / kcpq_sched_wall as f64;
+    eprintln!(
+        "kcpq k={k} threads={threads}: naive {:.2} ms, scheduled {:.2} ms ({kcpq_speedup:.2}x, {} prefetch hits)",
+        kcpq_naive_wall as f64 / 1e6,
+        kcpq_sched_wall as f64 / 1e6,
+        kcpq_stats.prefetch_hits,
+    );
+    assert!(
+        kcpq_stats.prefetch_hits > 0,
+        "kcpq gate: the descent's speculative prefetch produced no hits"
+    );
+    assert!(
+        kcpq_stats.coalesce_ratio() > 1.0,
+        "kcpq gate: coalesce ratio {} must exceed 1.0",
+        kcpq_stats.coalesce_ratio()
+    );
+    drop(naive_p);
+    drop(naive_q);
+    drop(sched_p);
+    drop(sched_q);
+    cleanup(&kcpq_paths);
+
+    // ── Section 3: O_DIRECT probe ────────────────────────────────────
+    let probe_path = scratch_file("io-direct-probe");
+    let direct_io = {
+        let mut f = DiskPageFile::create(&probe_path, DEFAULT_PAGE_SIZE).expect("probe file");
+        let id = f.allocate().expect("allocate");
+        f.write(id, &vec![0xAB; DEFAULT_PAGE_SIZE]).expect("write");
+        f.sync().expect("sync");
+        drop(f);
+        let f = DiskPageFile::open_direct(&probe_path).expect("probe reopen");
+        f.direct_io()
+    };
+    cleanup(std::slice::from_ref(&probe_path));
+    eprintln!(
+        "O_DIRECT probe: {}",
+        if direct_io {
+            "engaged"
+        } else {
+            "buffered fallback"
+        }
+    );
+
+    let cpus = std::thread::available_parallelism().map_or(0, |v| v.get());
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"io\",\n",
+            "  \"machine_cpus\": {cpus},\n",
+            "  \"disk\": \"real\",\n",
+            "  \"direct_io\": {direct},\n",
+            "  \"smoke\": {smoke},\n",
+            "  \"page_size\": {ps},\n",
+            "  \"scan\": {{\n",
+            "    \"pages\": {pages},\n",
+            "    \"batch_pages\": {chunk},\n",
+            "    \"reps\": {reps},\n",
+            "    \"naive_wall_ns\": {nw},\n",
+            "    \"scheduled_wall_ns\": {sw},\n",
+            "    \"speedup\": {ssp:.3},\n",
+            "    \"scheduler_beats_naive\": true,\n",
+            "    \"naive_batch_latency\": {nlat},\n",
+            "    \"scheduled_batch_latency\": {slat},\n",
+            "    \"scheduler\": {sstats}\n",
+            "  }},\n",
+            "  \"kcpq\": {{\n",
+            "    \"n\": {n},\n",
+            "    \"k\": {k},\n",
+            "    \"threads\": {threads},\n",
+            "    \"buffer_pages\": 0,\n",
+            "    \"identical_pairs\": true,\n",
+            "    \"naive_wall_ns\": {knw},\n",
+            "    \"scheduled_wall_ns\": {ksw},\n",
+            "    \"speedup\": {ksp:.3},\n",
+            "    \"scheduler\": {kstats}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        cpus = cpus,
+        direct = direct_io,
+        smoke = smoke,
+        ps = DEFAULT_PAGE_SIZE,
+        pages = pages,
+        chunk = chunk,
+        reps = reps,
+        nw = naive_wall,
+        sw = sched_wall,
+        ssp = scan_speedup,
+        nlat = histogram_json(&naive_lat),
+        slat = histogram_json(&sched_lat),
+        sstats = sched_json(&scan_stats, "    "),
+        n = n,
+        k = k,
+        threads = threads,
+        knw = kcpq_naive_wall,
+        ksw = kcpq_sched_wall,
+        ksp = kcpq_speedup,
+        kstats = sched_json(&kcpq_stats, "    "),
+    );
+    std::fs::write(&out_path, &json).expect("write JSON");
+    eprintln!(
+        "all gates passed (scan {scan_speedup:.2}x, kcpq coalesce {:.1}, {} prefetch hits); wrote {out_path}",
+        kcpq_stats.coalesce_ratio(),
+        kcpq_stats.prefetch_hits,
+    );
+}

@@ -522,12 +522,33 @@ fn exec_task<const D: usize, O: SpatialObject<D>>(
         // order, same full-precision kernel) so the driver's filtered view
         // is bit-identical to what it would have generated itself.
         let cands = gen_cands_full(&np, &nq, rt.height);
+        let mut hint_p: Vec<PageId> = Vec::new();
+        let mut hint_q: Vec<PageId> = Vec::new();
         for c in &cands {
-            rt.push_spec(
-                c.minmin,
-                spec_page(&c.p, PageId(req.page_p)),
-                spec_page(&c.q, PageId(req.page_q)),
-            );
+            let pp = spec_page(&c.p, PageId(req.page_p));
+            let pq = spec_page(&c.q, PageId(req.page_q));
+            rt.push_spec(c.minmin, pp, pq);
+            // The oracle knows these child pages are likely next: hand
+            // them to the I/O scheduler as low-priority hints (no-op on
+            // unscheduled pools). Pages this runtime already decoded are
+            // skipped; the scheduler dedups the rest against its own
+            // queues and in-flight reads.
+            if pp != PageId(req.page_p) && rt.cached_node(ProbeSide::P, pp).is_none() {
+                hint_p.push(pp);
+            }
+            if pq != PageId(req.page_q) && rt.cached_node(ProbeSide::Q, pq).is_none() {
+                hint_q.push(pq);
+            }
+        }
+        if !hint_p.is_empty() {
+            hint_p.sort_unstable();
+            hint_p.dedup();
+            tp.prefetch(&hint_p);
+        }
+        if !hint_q.is_empty() {
+            hint_q.sort_unstable();
+            hint_q.dedup();
+            tq.prefetch(&hint_q);
         }
         rt.pairs
             .lock()

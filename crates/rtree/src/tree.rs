@@ -135,6 +135,16 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
             .collect()
     }
 
+    /// Hints that these node pages will likely be read soon. On a pool
+    /// backed by the I/O scheduler the pages are fetched at low priority
+    /// in idle disk gaps so a later [`read_node`](Self::read_node) finds
+    /// them ready; on a plain pool this is a no-op. Never moves the
+    /// logical read/hit/miss counters — the paper's disk-access metric
+    /// only sees demand traffic.
+    pub fn prefetch(&self, ids: &[PageId]) {
+        self.pool.prefetch(ids);
+    }
+
     /// MBR of the whole tree (reads the root page), or `None` when empty.
     pub fn root_mbr(&self) -> RTreeResult<Option<Rect<D>>> {
         if !self.root.is_valid() {

@@ -80,6 +80,11 @@ pub use cpq_core::CancelToken;
 // Re-exported so embedders can consume slow-query profiles without
 // depending on cpq-obs directly.
 pub use cpq_obs::QueryProfile;
+// Re-exported so embedders can build trees over scheduled (real-disk)
+// buffer pools — and read the scheduler's counters back — without
+// depending on cpq-storage directly. The `cpq_io_*` series in
+// `/metrics` bridge these stats per tree at scrape time.
+pub use cpq_storage::{SchedConfig, SchedStats};
 
 // Compile-time thread-safety contract of the subsystem. Service handles
 // are shared across client threads and worker threads; if a refactor ever

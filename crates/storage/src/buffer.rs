@@ -18,9 +18,32 @@
 use crate::error::StorageResult;
 use crate::file::PageFile;
 use crate::page::PageId;
+use crate::sched::{DemandTicket, SchedConfig, SchedHandle, SchedPageFile, SchedStats};
 use crate::stats::IoStats;
 use cpq_check::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::cell::RefCell;
 use std::collections::HashMap;
+
+// Reusable per-thread miss buffer: a page is read into this scratch and
+// copied once into its final `PageBytes` allocation, instead of paying a
+// fresh `vec![0u8; page_size]` heap allocation on every miss.
+thread_local! {
+    static MISS_SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Reads one page into the thread-local scratch and returns it as
+/// freshly-allocated [`PageBytes`] — the only allocation on the miss path.
+fn read_via_scratch(file: &dyn PageFile, id: PageId) -> StorageResult<PageBytes> {
+    MISS_SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        let ps = file.page_size();
+        if buf.len() < ps {
+            buf.resize(ps, 0);
+        }
+        file.read(id, &mut buf[..ps])?;
+        Ok(PageBytes::from(&buf[..ps]))
+    })
+}
 
 /// Immutable page contents, cheaply cloneable (one atomic increment per
 /// clone, like the `bytes::Bytes` it replaces — dropped so the workspace
@@ -311,6 +334,10 @@ impl State {
 pub struct BufferPool {
     file: RwLock<Box<dyn PageFile>>,
     state: Mutex<State>,
+    /// Present when the pool's file is a [`SchedPageFile`]: miss I/O goes
+    /// through the scheduler (dedup, coalescing) and
+    /// [`prefetch`](Self::prefetch) becomes live.
+    sched: Option<SchedHandle>,
 }
 
 impl BufferPool {
@@ -333,12 +360,66 @@ impl BufferPool {
                 policy,
                 stats: BufferStats::default(),
             }),
+            sched: None,
         }
     }
 
     /// Convenience: LRU pool (the paper's configuration).
     pub fn with_lru(file: Box<dyn PageFile>, capacity: usize) -> Self {
         Self::new(file, capacity, Box::new(LruPolicy::new()))
+    }
+
+    /// Creates a pool whose miss I/O runs through an I/O scheduler
+    /// ([`SchedPageFile`]) wrapped around `inner`: concurrent misses for
+    /// one page dedup onto one physical read, contiguous misses coalesce
+    /// into span reads, and [`prefetch`](Self::prefetch) hints are served
+    /// in idle gaps. The accounting contract is unchanged —
+    /// `misses == io.reads` at quiescence (see `crate::sched`).
+    pub fn new_scheduled(
+        inner: Box<dyn PageFile>,
+        capacity: usize,
+        policy: Box<dyn ReplacementPolicy>,
+        cfg: SchedConfig,
+    ) -> Self {
+        let sched_file = SchedPageFile::new(inner, cfg);
+        let handle = sched_file.handle();
+        let mut pool = Self::new(Box::new(sched_file), capacity, policy);
+        pool.sched = Some(handle);
+        pool
+    }
+
+    /// Convenience: LRU pool over a scheduled file.
+    pub fn with_lru_scheduled(inner: Box<dyn PageFile>, capacity: usize, cfg: SchedConfig) -> Self {
+        Self::new_scheduled(inner, capacity, Box::new(LruPolicy::new()), cfg)
+    }
+
+    /// Whether miss I/O goes through the I/O scheduler.
+    pub fn is_scheduled(&self) -> bool {
+        self.sched.is_some()
+    }
+
+    /// Scheduler counters (coalesce ratio, prefetch outcomes, stall time),
+    /// or `None` for an unscheduled pool.
+    pub fn sched_stats(&self) -> Option<SchedStats> {
+        self.sched.as_ref().map(|s| s.stats())
+    }
+
+    /// Requests currently queued in the scheduler; 0 for an unscheduled
+    /// pool.
+    pub fn io_queue_depth(&self) -> usize {
+        self.sched.as_ref().map_or(0, |s| s.queue_depth())
+    }
+
+    /// Hints that `ids` will likely be read soon. On a scheduled pool the
+    /// pages are fetched at low priority in I/O idle gaps (a later miss
+    /// claims the buffered result or joins the in-flight read instead of
+    /// stalling on a fresh one); on an unscheduled pool this is a no-op.
+    /// Prefetch bypasses the cache and its counters entirely — no
+    /// `logical_reads`, hit, or miss moves until a real read arrives.
+    pub fn prefetch(&self, ids: &[PageId]) {
+        if let Some(s) = &self.sched {
+            s.prefetch(ids);
+        }
     }
 
     /// Locks the bookkeeping state. Poisoning is unrecoverable here: a panic
@@ -394,12 +475,15 @@ impl BufferPool {
             return Ok(data);
         }
         // Miss: physical read under the shared file guard, state unlocked,
-        // so concurrent misses (and their latencies) overlap.
+        // so concurrent misses (and their latencies) overlap. A scheduled
+        // pool demands through the handle — the result arrives as
+        // `PageBytes` already, no copy out of a caller buffer.
         let data = {
             let file = self.file_read();
-            let mut buf = vec![0u8; file.page_size()];
-            file.read(id, &mut buf)?;
-            PageBytes::from(buf)
+            match &self.sched {
+                Some(s) => s.demand(id)?,
+                None => read_via_scratch(file.as_ref(), id)?,
+            }
         };
         self.guard().complete_miss(id, &data);
         Ok(data)
@@ -412,8 +496,13 @@ impl BufferPool {
     ///
     /// Counter semantics match `read_page` exactly (pages are accounted
     /// individually, only on successful physical reads). If any physical
-    /// read fails, the pages read before the failure are still accounted
-    /// and cached, and the first error is returned.
+    /// read fails, successfully-read pages are still accounted and cached,
+    /// and the first error (in request order) is returned. On an
+    /// unscheduled pool reads stop at the first failure; a scheduled pool
+    /// submits every miss up front (so they overlap and coalesce) and thus
+    /// completes — and accounts — the successful ones after the failure
+    /// too. Both keep the books balanced: every counted miss is a
+    /// successful physical read.
     pub fn get_many(&self, ids: &[PageId]) -> StorageResult<Vec<PageBytes>> {
         let mut out: Vec<Option<PageBytes>> = vec![None; ids.len()];
         let mut missing: Vec<(usize, PageId)> = Vec::new();
@@ -435,14 +524,37 @@ impl BufferPool {
         let mut first_err = None;
         {
             let file = self.file_read();
-            let ps = file.page_size();
-            for &(i, id) in &missing {
-                let mut buf = vec![0u8; ps];
-                match file.read(id, &mut buf) {
-                    Ok(()) => fetched.push((i, id, PageBytes::from(buf))),
-                    Err(e) => {
-                        first_err = Some(e);
-                        break;
+            match &self.sched {
+                Some(s) => {
+                    // Submit every miss before waiting on any: the
+                    // scheduler overlaps and coalesces them. All misses
+                    // are therefore physically read even when one fails;
+                    // each success is still accounted, and the first
+                    // error (in request order) is returned.
+                    let tickets: Vec<(usize, PageId, DemandTicket)> = missing
+                        .iter()
+                        .map(|&(i, id)| (i, id, s.submit(id)))
+                        .collect();
+                    for (i, id, t) in tickets {
+                        match s.finish(t) {
+                            Ok(data) => fetched.push((i, id, data)),
+                            Err(e) => {
+                                if first_err.is_none() {
+                                    first_err = Some(e);
+                                }
+                            }
+                        }
+                    }
+                }
+                None => {
+                    for &(i, id) in &missing {
+                        match read_via_scratch(file.as_ref(), id) {
+                            Ok(data) => fetched.push((i, id, data)),
+                            Err(e) => {
+                                first_err = Some(e);
+                                break;
+                            }
+                        }
                     }
                 }
             }
@@ -562,6 +674,12 @@ impl BufferPool {
         let st = self.guard();
         let io = self.file_read().stats();
         (st.stats, io)
+    }
+
+    /// Flushes the underlying file's buffered state (header, metadata) to
+    /// durable storage; no-op for in-memory files.
+    pub fn sync(&self) -> StorageResult<()> {
+        self.file_write().sync()
     }
 
     /// Resets both buffer and file counters.
@@ -836,6 +954,83 @@ mod tests {
         assert_eq!(b.misses, 1);
         assert_eq!(io.reads, 1);
         assert_eq!(b.logical_reads, b.hits + b.misses);
+    }
+
+    #[test]
+    fn scheduled_pool_keeps_ledger_exact_with_prefetch() {
+        let file = MemPageFile::new(64);
+        let pool = BufferPool::with_lru_scheduled(Box::new(file), 0, SchedConfig::default());
+        assert!(pool.is_scheduled());
+        let ids = fill(&pool, 8);
+        pool.reset_stats();
+        // Prefetch half the pages, then read everything twice through a
+        // zero-capacity pool: every logical read is a miss, and the ledger
+        // must balance exactly even though prefetched physical reads
+        // happened with no miss attached.
+        pool.prefetch(&ids[..4]);
+        for _ in 0..2 {
+            for &id in &ids {
+                pool.read_page(id).unwrap();
+            }
+        }
+        let (b, io) = pool.stats_snapshot();
+        assert_eq!(b.logical_reads, 16);
+        assert_eq!(b.misses, 16);
+        assert_eq!(b.hits, 0);
+        assert_eq!(io.reads, 16, "demand accounting: misses == io.reads");
+        let s = pool.sched_stats().unwrap();
+        assert!(s.prefetch_hits > 0, "prefetched pages served misses: {s:?}");
+        assert_eq!(s.demand_reads, 16);
+    }
+
+    #[test]
+    fn scheduled_get_many_coalesces_and_balances() {
+        let file = MemPageFile::new(64);
+        let pool = BufferPool::with_lru_scheduled(Box::new(file), 4, SchedConfig::default());
+        let ids = fill(&pool, 12);
+        pool.reset_stats();
+        let pages = pool.get_many(&ids).unwrap();
+        for (i, p) in pages.iter().enumerate() {
+            assert_eq!(&p[..], &[i as u8; 64][..]);
+        }
+        let (b, io) = pool.stats_snapshot();
+        assert_eq!(b.logical_reads, 12);
+        assert_eq!(b.misses, 12);
+        assert_eq!(io.reads, 12);
+        let s = pool.sched_stats().unwrap();
+        assert!(
+            s.coalesce_ratio() > 1.0,
+            "contiguous batch misses must merge into span reads: {s:?}"
+        );
+    }
+
+    #[test]
+    fn scheduled_get_many_surfaces_error_and_accounts_successes() {
+        let file = MemPageFile::new(64);
+        let pool = BufferPool::with_lru_scheduled(Box::new(file), 4, SchedConfig::default());
+        let ids = fill(&pool, 2);
+        pool.reset_stats();
+        assert!(pool.get_many(&[ids[0], PageId(99), ids[1]]).is_err());
+        let (b, io) = pool.stats_snapshot();
+        // Scheduled pools submit everything up front: both valid pages are
+        // read and accounted; the out-of-bounds one fails and counts nothing.
+        assert_eq!(b.misses, 2);
+        assert_eq!(io.reads, 2);
+        assert_eq!(b.logical_reads, b.hits + b.misses);
+    }
+
+    #[test]
+    fn unscheduled_pool_prefetch_is_a_noop() {
+        let pool = pool_with(2, Box::new(LruPolicy::new()));
+        let ids = fill(&pool, 2);
+        pool.reset_stats();
+        pool.prefetch(&ids);
+        assert!(!pool.is_scheduled());
+        assert!(pool.sched_stats().is_none());
+        assert_eq!(pool.io_queue_depth(), 0);
+        let (b, io) = pool.stats_snapshot();
+        assert_eq!(b.logical_reads, 0);
+        assert_eq!(io.reads, 0, "no-op prefetch must not touch the file");
     }
 
     #[test]

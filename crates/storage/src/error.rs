@@ -37,6 +37,36 @@ pub enum StorageError {
     Io(io::Error),
 }
 
+impl StorageError {
+    /// A structural copy of the error.
+    ///
+    /// `StorageError` cannot implement `Clone` because [`io::Error`] does
+    /// not; `io::Error` payloads are flattened to their kind plus rendered
+    /// message. The I/O scheduler uses this to deliver one physical-read
+    /// failure to every request that was deduplicated onto it.
+    pub fn duplicate(&self) -> StorageError {
+        match self {
+            StorageError::PageOutOfBounds(id) => StorageError::PageOutOfBounds(*id),
+            StorageError::PageFreed(id) => StorageError::PageFreed(*id),
+            StorageError::WrongBufferSize { expected, actual } => StorageError::WrongBufferSize {
+                expected: *expected,
+                actual: *actual,
+            },
+            StorageError::CorruptHeader(msg) => StorageError::CorruptHeader(msg.clone()),
+            StorageError::Corrupt {
+                page,
+                stored,
+                computed,
+            } => StorageError::Corrupt {
+                page: *page,
+                stored: *stored,
+                computed: *computed,
+            },
+            StorageError::Io(e) => StorageError::Io(io::Error::new(e.kind(), e.to_string())),
+        }
+    }
+}
+
 impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -90,6 +120,30 @@ mod tests {
             actual: 10,
         };
         assert!(e.to_string().contains("1024"));
+    }
+
+    #[test]
+    fn duplicate_preserves_shape() {
+        let e = StorageError::Io(io::Error::new(io::ErrorKind::TimedOut, "slow disk"));
+        match e.duplicate() {
+            StorageError::Io(d) => {
+                assert_eq!(d.kind(), io::ErrorKind::TimedOut);
+                assert!(d.to_string().contains("slow disk"));
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+        let e = StorageError::Corrupt {
+            page: PageId(3),
+            stored: 1,
+            computed: 2,
+        };
+        assert!(matches!(
+            e.duplicate(),
+            StorageError::Corrupt {
+                page: PageId(3),
+                ..
+            }
+        ));
     }
 
     #[test]

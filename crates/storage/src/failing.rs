@@ -156,6 +156,10 @@ impl PageFile for FailingPageFile {
         self.inner.free(id)
     }
 
+    fn sync(&mut self) -> StorageResult<()> {
+        self.inner.sync()
+    }
+
     fn stats(&self) -> IoStats {
         self.inner.stats()
     }

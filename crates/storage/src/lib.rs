@@ -27,6 +27,12 @@
 //! For failure testing, [`FailingPageFile`] wraps any page file and injects
 //! read errors, CRC corruption, or artificial latency under the control of a
 //! shared [`FailureControl`].
+//!
+//! For real disks, [`SchedPageFile`] moves reads onto a small pool of I/O
+//! threads behind a request scheduler: in-flight dedup (N concurrent misses
+//! for one page cost one physical read), offset-ordered coalescing of
+//! contiguous page runs into single span reads, and low-priority speculative
+//! prefetch with a completion-flag handoff ([`SchedHandle`], [`SchedStats`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,6 +43,7 @@ mod error;
 mod failing;
 mod file;
 mod page;
+mod sched;
 mod stats;
 
 pub use buffer::{
@@ -47,4 +54,5 @@ pub use error::{StorageError, StorageResult};
 pub use failing::{FailingPageFile, FailureControl};
 pub use file::{DiskPageFile, MemPageFile, PageFile};
 pub use page::{PageId, DEFAULT_PAGE_SIZE};
+pub use sched::{DemandTicket, SchedConfig, SchedHandle, SchedPageFile, SchedStats};
 pub use stats::IoStats;

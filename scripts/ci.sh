@@ -34,6 +34,7 @@ model_test -p cpq-check
 model_test -p cpq-service --test model_queue
 model_test -p cpq-obs --test model_ring
 model_test -p cpq-storage --test model_buffer
+model_test -p cpq-storage --lib sched::
 model_test -p cpq-core --lib model_tests
 
 echo "==> bench_service --smoke --profile (service end-to-end + divergence + obs gate)"
@@ -45,6 +46,17 @@ echo "==> metrics smoke (serve, scrape /metrics, exposition lint, core-series ch
 
 echo "==> bench_parallel --smoke (parallel descent speedup + zero-divergence gate)"
 ./target/release/bench_parallel --smoke --out /tmp/BENCH_parallel_smoke.json >/dev/null
+
+# Real files in the OS temp dir: scan gate (scheduler must beat the naive
+# per-page path on wall time), K-CPQ prefetch-hit + coalesce gates, and
+# the O_DIRECT probe (engaged, or buffered fallback latched — both pass;
+# the filesystem decides).
+echo "==> bench_io --smoke (I/O scheduler vs naive reads on real files)"
+./target/release/bench_io --smoke --out /tmp/BENCH_io_smoke.json >/dev/null
+
+echo "==> bench_parallel --smoke --disk real (real-file descent, zero-divergence gate)"
+./target/release/bench_parallel --smoke --disk real \
+    --out /tmp/BENCH_parallel_real_smoke.json >/dev/null
 
 if [ "${1:-}" = "--full" ]; then
     echo "==> parallel stress: wide seed sweep (release, --include-ignored)"
