@@ -34,33 +34,13 @@
 //!     [--disk sim|real] [--out BENCH_parallel.json] [--smoke]
 //! ```
 
-use cpq_bench::{build_tree_disk, real_dataset, scratch_file, Args};
+use cpq_bench::{build_tree_disk, build_tree_slow, real_dataset, scratch_file, Args};
 use cpq_core::{k_closest_pairs, Algorithm, CpqConfig, QueryOutcome};
 use cpq_datasets::{clustered, uniform, ClusterSpec, Dataset};
-use cpq_rtree::{RTree, RTreeParams};
-use cpq_storage::{
-    BufferPool, FailingPageFile, FailureControl, MemPageFile, SchedConfig, DEFAULT_PAGE_SIZE,
-};
+use cpq_rtree::RTree;
+use cpq_storage::SchedConfig;
 use std::path::PathBuf;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-/// Builds the paper-parameter tree over a latency-injecting page file.
-/// The latency is armed by the caller after the build, so construction
-/// runs at memory speed.
-fn build_slow(ds: &Dataset) -> (RTree<2>, Arc<FailureControl>) {
-    let control = FailureControl::new();
-    let file = FailingPageFile::new(
-        Box::new(MemPageFile::new(DEFAULT_PAGE_SIZE)),
-        control.clone(),
-    );
-    let pool = BufferPool::with_lru(Box::new(file), 512);
-    let mut tree = RTree::new(pool, RTreeParams::paper()).expect("tree params");
-    for (i, &p) in ds.points.iter().enumerate() {
-        tree.insert(p, i as u64).expect("insert");
-    }
-    (tree, control)
-}
 
 struct Cell {
     threads: usize,
@@ -151,8 +131,8 @@ fn main() {
             scratch.push(path_q);
             (tp, tq)
         } else {
-            let (tp, cp) = build_slow(dp);
-            let (tq, cq) = build_slow(dq);
+            let (tp, cp) = build_tree_slow(dp).expect("slow tree");
+            let (tq, cq) = build_tree_slow(dq).expect("slow tree");
             cp.slow_reads(Duration::from_micros(latency_us));
             cq.slow_reads(Duration::from_micros(latency_us));
             (tp, tq)

@@ -135,6 +135,7 @@ fn main() {
             queue_capacity,
             cpq: cfg,
             max_parallelism: 1,
+            max_shards: 1,
             default_deadline: None,
             // Off by default so the load test measures the uninstrumented
             // path; --profile turns the full pipeline on.

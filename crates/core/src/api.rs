@@ -1,8 +1,9 @@
 //! Public entry points for the non-incremental algorithms.
 
+use crate::bound::SharedBound;
 use crate::cancel::CancelToken;
 use crate::config::CpqConfig;
-use crate::engine::Ctx;
+use crate::engine::{Ctx, ScatterCtx};
 use crate::heap_alg::heap_run;
 use crate::recursive::{exhaustive, naive, simple, sorted};
 use crate::types::{CpqStats, QueryOutcome, QueryRun};
@@ -136,6 +137,114 @@ pub fn k_closest_pairs_instrumented<const D: usize, O: SpatialObject<D>, P: Prob
     )
 }
 
+/// [`k_closest_pairs_cancellable`] as **one scatter-gather subquery** of a
+/// sharded query (the form the `cpq-shard` coordinator fans out).
+///
+/// `shared` is the cross-shard global bound: it joins the engine's
+/// effective threshold `T` as an extra pruning term, and this subquery
+/// publishes its own live `T` back whenever it tightens — the exact
+/// protocol the parallel executor uses across the threads of one query,
+/// lifted to shard granularity. Pruning against it is strict (`> T`), so
+/// with a bound that stays at `+∞` the result is identical to
+/// [`k_closest_pairs_cancellable`]; with a live bound, only pairs that
+/// cannot belong to the *global* top-K are dropped.
+///
+/// `orient_by_oid` canonicalizes every retained pair to `p.oid < q.oid`
+/// at construction — required by the off-diagonal subqueries of a sharded
+/// self-join, where the global canonical order does not know which shard a
+/// point came from.
+///
+/// Scatter subqueries always run the plain sequential engine:
+/// `config.parallelism` is ignored (the coordinator's worker pool is the
+/// parallelism, and the speculative workers' task-local heaps do not
+/// apply the orientation rule).
+#[allow(clippy::too_many_arguments)]
+pub fn k_closest_pairs_scatter<const D: usize, O: SpatialObject<D>>(
+    tree_p: &RTree<D, O>,
+    tree_q: &RTree<D, O>,
+    k: usize,
+    algorithm: Algorithm,
+    config: &CpqConfig,
+    cancel: &CancelToken,
+    shared: &SharedBound,
+    orient_by_oid: bool,
+) -> RTreeResult<QueryRun<D, O>> {
+    let mut cfg = *config;
+    cfg.parallelism = 0;
+    run_scatter(
+        tree_p,
+        tree_q,
+        k,
+        algorithm,
+        &cfg,
+        false,
+        cancel,
+        shared,
+        orient_by_oid,
+    )
+}
+
+/// [`self_closest_pairs_cancellable`] as one scatter-gather subquery: the
+/// diagonal (`shard × same shard`) case of a sharded self-join. Results
+/// already carry `p.oid < q.oid` (the self-join filter enforces it), so no
+/// orientation flag is needed. Semantics of `shared` as in
+/// [`k_closest_pairs_scatter`].
+pub fn self_closest_pairs_scatter<const D: usize, O: SpatialObject<D>>(
+    tree: &RTree<D, O>,
+    k: usize,
+    algorithm: Algorithm,
+    config: &CpqConfig,
+    cancel: &CancelToken,
+    shared: &SharedBound,
+) -> RTreeResult<QueryRun<D, O>> {
+    let mut cfg = *config;
+    cfg.parallelism = 0;
+    run_scatter(tree, tree, k, algorithm, &cfg, true, cancel, shared, false)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_scatter<const D: usize, O: SpatialObject<D>>(
+    tree_p: &RTree<D, O>,
+    tree_q: &RTree<D, O>,
+    k: usize,
+    algorithm: Algorithm,
+    config: &CpqConfig,
+    self_join: bool,
+    cancel: &CancelToken,
+    shared: &SharedBound,
+    orient: bool,
+) -> RTreeResult<QueryRun<D, O>> {
+    let misses_before = (
+        tree_p.pool().buffer_stats().misses,
+        tree_q.pool().buffer_stats().misses,
+    );
+    if k == 0 || tree_p.is_empty() || tree_q.is_empty() {
+        return Ok(QueryRun {
+            outcome: QueryOutcome {
+                pairs: Vec::new(),
+                stats: CpqStats::default(),
+            },
+            completed: true,
+        });
+    }
+    run_leader(
+        tree_p,
+        tree_q,
+        k,
+        algorithm,
+        config,
+        self_join,
+        Some(cancel),
+        &mut NullProbe,
+        None,
+        Some(ScatterCtx {
+            bound: shared,
+            orient,
+        }),
+        misses_before,
+    )
+}
+
 /// The 1-CP convenience wrapper: the single closest pair.
 pub fn closest_pair<const D: usize, O: SpatialObject<D>>(
     tree_p: &RTree<D, O>,
@@ -242,6 +351,7 @@ fn run<const D: usize, O: SpatialObject<D>, P: Probe>(
         cancel,
         probe,
         None,
+        None,
         misses_before,
     )
 }
@@ -261,9 +371,12 @@ pub(crate) fn run_leader<const D: usize, O: SpatialObject<D>, P: Probe>(
     cancel: Option<&CancelToken>,
     probe: &mut P,
     par: Option<&crate::parallel::SpecRuntime<D, O>>,
+    scatter: Option<ScatterCtx<'_>>,
     misses_before: (u64, u64),
 ) -> RTreeResult<QueryRun<D, O>> {
-    let mut ctx = Ctx::new(tree_p, tree_q, k, config, self_join, cancel, probe, par);
+    let mut ctx = Ctx::new(
+        tree_p, tree_q, k, config, self_join, cancel, probe, par, scatter,
+    );
 
     // A token that is already tripped (deadline expired while queued) stops
     // the run before it pays for the two root reads.

@@ -1,0 +1,142 @@
+//! The shared global bound: an `AtomicU64` holding `f64` bits of an upper
+//! bound on the K-th result distance, monotonically tightened by CAS.
+//!
+//! Extracted from `parallel.rs` so that both bound-propagation layers use
+//! literally the same primitive:
+//!
+//! * **across threads** of one query (`SpecRuntime`, PR 4), and
+//! * **across shards** of one scatter-gather query (`cpq-shard`), where a
+//!   coordinator hands every shard-pair subquery a reference to one
+//!   [`SharedBound`] and each subquery both consumes it (as an extra term
+//!   in the engine's effective threshold `T`) and publishes its own live
+//!   threshold back.
+//!
+//! # Safety of the bound
+//!
+//! Every published value must be a **genuine upper bound on the K-th best
+//! result distance of the whole query** — a K-heap threshold (K concrete
+//! result pairs at most that far apart) or a MINMAX/MAXMAX structural bound
+//! (witnessed by concrete pairs). Pruning is always *strict*
+//! (`MINMINDIST > bound`), so a pair at exactly the bound survives and ties
+//! resolve by the canonical order; skipping anything strictly beyond the
+//! bound is performance-only.
+//!
+//! # Memory ordering
+//!
+//! All operations are `Relaxed`: the bound is a performance hint whose
+//! staleness only costs redundant work — monotonicity is enforced by the
+//! CAS retry loop (only ever replacing with a smaller value), never by
+//! ordering, and no payload rides the bound. The update counter is read for
+//! reporting only.
+
+use cpq_check::sync::atomic::{AtomicU64, Ordering};
+use cpq_geo::Dist2;
+
+/// A monotonically-decreasing `f64` shared by every participant of one
+/// query (threads or shard subqueries). Starts at `+∞`.
+///
+/// For non-negative finite `f64` values the IEEE-754 bit pattern orders the
+/// same way as the value, so a CAS loop over the bits implements an atomic
+/// `min` without locks.
+#[derive(Debug)]
+pub struct SharedBound {
+    bits: AtomicU64,
+    updates: AtomicU64,
+}
+
+impl SharedBound {
+    /// A fresh bound at `+∞` (prunes nothing).
+    pub fn new() -> Self {
+        SharedBound {
+            bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            updates: AtomicU64::new(0),
+        }
+    }
+
+    /// The current bound as a distance.
+    #[inline]
+    pub fn get(&self) -> Dist2 {
+        Dist2::new(self.get_d2())
+    }
+
+    /// The current bound as a raw `f64`.
+    #[inline]
+    pub fn get_d2(&self) -> f64 {
+        // ordering: Relaxed — the bound is a performance hint; a stale read
+        // only costs redundant work (module docs, "Memory ordering").
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Monotonically tightens the bound to `min(bound, d2)` by CAS on the
+    /// `f64` bit pattern. Returns whether this call tightened it.
+    pub fn tighten(&self, d2: f64) -> bool {
+        let new = d2.to_bits();
+        // ordering: Relaxed on the load and both CAS sides — monotonicity
+        // comes from the CAS retry loop (only ever replacing with a
+        // smaller value), not from ordering; no payload rides the bound.
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        while new < cur {
+            // ordering: Relaxed CAS — see above.
+            match self
+                .bits
+                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    // ordering: Relaxed — reporting counter only.
+                    self.updates.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+                Err(observed) => cur = observed,
+            }
+        }
+        false
+    }
+
+    /// Publishes a live threshold `T` (an upper bound on the K-th result
+    /// distance whenever it is finite).
+    #[inline]
+    pub fn publish_threshold(&self, t: Dist2) {
+        if !t.is_infinite() {
+            self.tighten(t.get());
+        }
+    }
+
+    /// How many times the bound was actually tightened.
+    pub fn updates(&self) -> u64 {
+        // ordering: Relaxed — reporting counter only.
+        self.updates.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for SharedBound {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tighten_is_monotone_and_counts_updates() {
+        let b = SharedBound::new();
+        assert!(b.get().is_infinite());
+        assert!(b.tighten(4.0));
+        assert_eq!(b.get_d2(), 4.0);
+        assert!(!b.tighten(9.0), "looser value must not move the bound");
+        assert_eq!(b.get_d2(), 4.0);
+        assert!(b.tighten(1.5));
+        assert_eq!(b.get_d2(), 1.5);
+        assert_eq!(b.updates(), 2);
+    }
+
+    #[test]
+    fn publish_threshold_ignores_infinity() {
+        let b = SharedBound::new();
+        b.publish_threshold(Dist2::INFINITY);
+        assert_eq!(b.updates(), 0);
+        b.publish_threshold(Dist2::new(2.0));
+        assert_eq!(b.get_d2(), 2.0);
+    }
+}

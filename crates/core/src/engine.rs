@@ -2,6 +2,7 @@
 //! generation honoring the height strategy, leaf scanning, and the
 //! threshold bounds of Inequalities 1 and 2.
 
+use crate::bound::SharedBound;
 use crate::cancel::CancelToken;
 use crate::config::{CpqConfig, HeightStrategy, KPruning, LeafScan};
 use crate::kheap::KHeap;
@@ -10,9 +11,31 @@ use crate::types::{CpqStats, PairResult};
 use cpq_check::sync::Arc;
 use cpq_geo::{max_max_dist2, min_max_dist2, min_min_dist2_within, Dist2, Rect, SpatialObject};
 use cpq_obs::{Probe, ProbeSide};
-use cpq_rtree::{InnerEntry, Node, RTree, RTreeError, RTreeResult};
+use cpq_rtree::{InnerEntry, LeafEntry, Node, RTree, RTreeError, RTreeResult};
 use cpq_storage::PageId;
 use std::time::Instant;
+
+/// Scatter-gather hookup for one shard-pair subquery (`cpq-shard`).
+///
+/// The cross-shard [`SharedBound`] joins the engine's effective threshold
+/// `T` as a third term (next to the K-heap threshold and the structural
+/// MINMAX/MAXMAX bound), and the subquery publishes its own live `T` back
+/// whenever it tightens — the exact protocol `SpecRuntime` uses across the
+/// threads of one parallel query, lifted to shard granularity. Pruning
+/// against it stays *strict* (`> T`), so a published bound can never drop
+/// a pair that ties the K-th best.
+#[derive(Clone, Copy)]
+pub(crate) struct ScatterCtx<'a> {
+    /// The cross-shard shared bound.
+    pub bound: &'a SharedBound,
+    /// Canonicalize each retained pair to `p.oid < q.oid` at construction.
+    /// Used by the off-diagonal subqueries of a sharded self-join, whose
+    /// global canonical order is oblivious to which shard a point came
+    /// from: without the swap, a tie-storm could evict a pair locally that
+    /// the unsharded self-join (which always retains the `p.oid < q.oid`
+    /// orientation) would have kept.
+    pub orient: bool,
+}
 
 /// One side of a candidate pair: either stay at the current node or descend
 /// into one of its children.
@@ -111,6 +134,10 @@ pub(crate) struct Ctx<'a, const D: usize, O: SpatialObject<D>, P: Probe> {
     /// flow; the runtime only lets it consult caches that worker threads
     /// warm ahead of it. `None` compiles the consults away.
     pub par: Option<&'a SpecRuntime<D, O>>,
+    /// Scatter-gather hookup when this run is one shard-pair subquery of a
+    /// sharded query (see [`ScatterCtx`]). `None` compiles the extra
+    /// threshold term and the publish calls away.
+    pub scatter: Option<ScatterCtx<'a>>,
     /// Logical node reads on `P` (every [`read_side`](Self::read_side) call,
     /// cache hit or not). In parallel mode this ledger — not the buffer-pool
     /// miss delta, which speculation perturbs — is what
@@ -150,6 +177,7 @@ impl<'a, const D: usize, O: SpatialObject<D>, P: Probe> Ctx<'a, D, O, P> {
         cancel: Option<&'a CancelToken>,
         probe: &'a mut P,
         par: Option<&'a SpecRuntime<D, O>>,
+        scatter: Option<ScatterCtx<'a>>,
     ) -> Self {
         Ctx {
             tp,
@@ -165,6 +193,7 @@ impl<'a, const D: usize, O: SpatialObject<D>, P: Probe> Ctx<'a, D, O, P> {
             cancel,
             probe,
             par,
+            scatter,
             ledger_p: 0,
             ledger_q: 0,
             sweep_p: Vec::new(),
@@ -199,9 +228,58 @@ impl<'a, const D: usize, O: SpatialObject<D>, P: Probe> Ctx<'a, D, O, P> {
     }
 
     /// The effective pruning threshold `T`.
+    ///
+    /// In a scatter subquery the cross-shard [`SharedBound`] joins as a
+    /// third term: a pair strictly farther than *any* subquery's genuine
+    /// upper bound on the global K-th distance cannot be a global result,
+    /// so pruning on it is exact (ties survive — the comparison is strict).
     #[inline]
     pub(crate) fn t(&self) -> Dist2 {
-        self.kheap.threshold().min(self.bound)
+        let t = self.kheap.threshold().min(self.bound);
+        match self.scatter {
+            Some(sc) => t.min(sc.bound.get()),
+            None => t,
+        }
+    }
+
+    /// Publishes this run's live local threshold to the cross-shard bound
+    /// (no-op outside scatter mode). Called wherever the threshold can
+    /// tighten: after a leaf scan and after [`apply_bounds`](Self::apply_bounds).
+    ///
+    /// Publishes `min(kheap.threshold, bound)` — both terms are witnessed
+    /// by concrete point pairs *of this shard pair*, which are global
+    /// pairs, so each is a genuine global upper bound.
+    #[inline]
+    fn publish_scatter(&self) {
+        if let Some(sc) = self.scatter {
+            sc.bound
+                .publish_threshold(self.kheap.threshold().min(self.bound));
+        }
+    }
+
+    /// Offers a leaf pair to the K-heap, canonicalizing the orientation to
+    /// `p.oid < q.oid` first when the scatter context asks for it (the
+    /// off-diagonal subqueries of a sharded self-join). `min_min_dist2` is
+    /// bitwise symmetric under the swap, so the recomputed (or carried)
+    /// distance is unchanged.
+    #[inline]
+    fn offer_pair(&mut self, ep: &LeafEntry<D, O>, eq: &LeafEntry<D, O>) -> bool {
+        let r = match self.scatter {
+            Some(sc) if sc.orient && ep.oid > eq.oid => PairResult::new(*eq, *ep),
+            _ => PairResult::new(*ep, *eq),
+        };
+        self.kheap.offer(r)
+    }
+
+    /// [`offer_pair`](Self::offer_pair) with the distance already computed
+    /// by the threshold-aware kernel (the plane-sweep path).
+    #[inline]
+    fn offer_pair_d2(&mut self, ep: &LeafEntry<D, O>, eq: &LeafEntry<D, O>, d2: Dist2) -> bool {
+        let r = match self.scatter {
+            Some(sc) if sc.orient && ep.oid > eq.oid => PairResult::with_dist2(*eq, *ep, d2),
+            _ => PairResult::with_dist2(*ep, *eq, d2),
+        };
+        self.kheap.offer(r)
     }
 
     /// Cancellation point, called once per node-pair visit by every
@@ -289,6 +367,7 @@ impl<'a, const D: usize, O: SpatialObject<D>, P: Probe> Ctx<'a, D, O, P> {
             LeafScan::PlaneSweep if !self.t().is_infinite() => self.scan_leaves_sweep(lp, lq),
             _ => self.scan_leaves_brute(lp, lq),
         };
+        self.publish_scatter();
         if let Some(start) = start {
             self.probe.leaf_scan(
                 self.stats.dist_computations - dist_before,
@@ -368,7 +447,7 @@ impl<'a, const D: usize, O: SpatialObject<D>, P: Probe> Ctx<'a, D, O, P> {
                     continue; // one orientation per unordered pair, no self-pairs
                 }
                 self.stats.dist_computations += 1;
-                self.kheap.offer(PairResult::new(*ep, *eq));
+                self.offer_pair(ep, eq);
             }
         }
         (0, 0)
@@ -463,7 +542,7 @@ impl<'a, const D: usize, O: SpatialObject<D>, P: Probe> Ctx<'a, D, O, P> {
                     self.stats.dist_computations += 1;
                     match min_min_dist2_within(&ep.mbr(), &eq.mbr(), t) {
                         Some(d2) => {
-                            if self.kheap.offer(PairResult::with_dist2(*ep, *eq, d2)) {
+                            if self.offer_pair_d2(ep, eq, d2) {
                                 t = self.t();
                             }
                         }
@@ -492,7 +571,7 @@ impl<'a, const D: usize, O: SpatialObject<D>, P: Probe> Ctx<'a, D, O, P> {
                     self.stats.dist_computations += 1;
                     match min_min_dist2_within(&ep.mbr(), &eq.mbr(), t) {
                         Some(d2) => {
-                            if self.kheap.offer(PairResult::with_dist2(*ep, *eq, d2)) {
+                            if self.offer_pair_d2(ep, eq, d2) {
                                 t = self.t();
                             }
                         }
@@ -687,6 +766,7 @@ impl<'a, const D: usize, O: SpatialObject<D>, P: Probe> Ctx<'a, D, O, P> {
         if self.self_join || cands.is_empty() {
             return;
         }
+        let before = self.bound;
         if self.k == 1 {
             for c in cands {
                 let mm = min_max_dist2(&c.mbr_p, &c.mbr_q);
@@ -715,6 +795,9 @@ impl<'a, const D: usize, O: SpatialObject<D>, P: Probe> Ctx<'a, D, O, P> {
                     break;
                 }
             }
+        }
+        if self.bound < before {
+            self.publish_scatter();
         }
     }
 

@@ -52,6 +52,7 @@
 
 mod api;
 pub mod batch;
+mod bound;
 pub mod brute;
 mod cancel;
 mod config;
@@ -71,8 +72,10 @@ mod types;
 
 pub use api::{
     closest_pair, k_closest_pairs, k_closest_pairs_cancellable, k_closest_pairs_instrumented,
-    self_closest_pairs, self_closest_pairs_cancellable, self_closest_pairs_instrumented, Algorithm,
+    k_closest_pairs_scatter, self_closest_pairs, self_closest_pairs_cancellable,
+    self_closest_pairs_instrumented, self_closest_pairs_scatter, Algorithm,
 };
+pub use bound::SharedBound;
 pub use cancel::CancelToken;
 // Re-exported so instrumented callers need not name `cpq-obs` directly.
 pub use config::{CpqConfig, HeightStrategy, KPruning, LeafScan};

@@ -47,6 +47,7 @@
 //! the final queue state.
 
 use crate::api::run_leader;
+use crate::bound::SharedBound;
 use crate::cancel::CancelToken;
 use crate::config::CpqConfig;
 use crate::engine::{descend_sides, spec_page, Cand};
@@ -130,13 +131,13 @@ pub(crate) struct SpecRuntime<const D: usize, O: SpatialObject<D>> {
     nodes_q: Mutex<HashMap<u32, Arc<Node<D, O>>>>,
     /// Finished speculative tasks by pair key.
     pairs: Mutex<HashMap<u64, Arc<TaskOut<D, O>>>>,
-    /// The shared global bound: `f64` bits of an upper bound on the K-th
-    /// result distance, monotonically tightened by CAS (see module docs).
+    /// The shared global bound (see [`crate::SharedBound`]): an upper bound
+    /// on the K-th result distance, monotonically tightened by CAS.
     /// Every published value is a genuine upper bound — the driver's live
     /// threshold `T`, or a worker's task-local K-th-best leaf distance —
     /// so a request skipped for exceeding it can never contain a result
     /// pair, making the skip performance-only.
-    bound: AtomicU64,
+    bound: SharedBound,
     /// Set by [`shutdown`](Self::shutdown) when the driver is done.
     shutdown: AtomicBool,
     /// Set when any worker observes an error: everyone winds down early.
@@ -160,7 +161,6 @@ pub(crate) struct SpecRuntime<const D: usize, O: SpatialObject<D>> {
     cache_hits: AtomicU64,
     steals: AtomicU64,
     steal_misses: AtomicU64,
-    bound_updates: AtomicU64,
 }
 
 impl<const D: usize, O: SpatialObject<D>> SpecRuntime<D, O> {
@@ -179,7 +179,7 @@ impl<const D: usize, O: SpatialObject<D>> SpecRuntime<D, O> {
             nodes_p: Mutex::new(HashMap::new()),
             nodes_q: Mutex::new(HashMap::new()),
             pairs: Mutex::new(HashMap::new()),
-            bound: AtomicU64::new(f64::INFINITY.to_bits()),
+            bound: SharedBound::new(),
             shutdown: AtomicBool::new(false),
             abort: AtomicBool::new(false),
             error: Mutex::new(None),
@@ -194,50 +194,26 @@ impl<const D: usize, O: SpatialObject<D>> SpecRuntime<D, O> {
             cache_hits: AtomicU64::new(0),
             steals: AtomicU64::new(0),
             steal_misses: AtomicU64::new(0),
-            bound_updates: AtomicU64::new(0),
         }
     }
 
     /// The shared bound as a distance value.
     #[inline]
     fn bound_d2(&self) -> f64 {
-        // ordering: Relaxed — the bound is a performance hint; a stale
-        // read only costs redundant speculation (module docs, "Memory
-        // ordering").
-        f64::from_bits(self.bound.load(Ordering::Relaxed))
+        self.bound.get_d2()
     }
 
-    /// Monotonically tightens the shared bound to `min(bound, d2)` by CAS
-    /// on the `f64` bit pattern (monotone for non-negative values).
+    /// Monotonically tightens the shared bound to `min(bound, d2)` (CAS
+    /// min; see [`SharedBound::tighten`]).
     fn tighten(&self, d2: f64) {
-        let new = d2.to_bits();
-        // ordering: Relaxed on the load and both CAS sides — monotonicity
-        // comes from the CAS retry loop (only ever replacing with a
-        // smaller value), not from ordering; no payload rides the bound.
-        let mut cur = self.bound.load(Ordering::Relaxed);
-        while new < cur {
-            // ordering: Relaxed CAS — see above.
-            match self
-                .bound
-                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
-            {
-                Ok(_) => {
-                    // ordering: Relaxed — counter read after worker join.
-                    self.bound_updates.fetch_add(1, Ordering::Relaxed);
-                    break;
-                }
-                Err(observed) => cur = observed,
-            }
-        }
+        self.bound.tighten(d2);
     }
 
     /// Publishes the driver's live threshold `T` (an upper bound on the
     /// K-th result distance whenever it is finite).
     #[inline]
     pub(crate) fn publish_threshold(&self, t: Dist2) {
-        if !t.is_infinite() {
-            self.tighten(t.get());
-        }
+        self.bound.publish_threshold(t);
     }
 
     /// Surfaces the first worker-observed error into the driver, once.
@@ -652,6 +628,7 @@ pub(crate) fn run_parallel<const D: usize, O: SpatialObject<D>, P: Probe>(
             cancel,
             probe,
             Some(&runtime),
+            None,
             misses_before,
         );
         runtime.shutdown();
@@ -671,7 +648,7 @@ pub(crate) fn run_parallel<const D: usize, O: SpatialObject<D>, P: Probe>(
         let cache_hits = runtime.cache_hits.load(Ordering::Relaxed);
         let steals = runtime.steals.load(Ordering::Relaxed);
         let steal_misses = runtime.steal_misses.load(Ordering::Relaxed);
-        let bound_updates = runtime.bound_updates.load(Ordering::Relaxed);
+        let bound_updates = runtime.bound.updates();
         probe.parallel_exec(&ParallelReport {
             workers: workers as u64,
             tasks,

@@ -38,6 +38,7 @@ mod node;
 mod params;
 mod query;
 mod split;
+mod tiling;
 mod tree;
 mod treestats;
 mod validate;
@@ -47,6 +48,7 @@ pub use error::{RTreeError, RTreeResult};
 pub use node::Node;
 pub use params::{RTreeParams, SplitPolicy};
 pub use query::KnnNeighbor;
+pub use tiling::StrTiling;
 pub use tree::RTree;
 pub use treestats::LevelStats;
 pub use validate::ValidationReport;

@@ -85,6 +85,10 @@ pub use cpq_obs::QueryProfile;
 // depending on cpq-storage directly. The `cpq_io_*` series in
 // `/metrics` bridge these stats per tree at scrape time.
 pub use cpq_storage::{SchedConfig, SchedStats};
+// Re-exported so embedders can build the sharded replicas a
+// `CpqService::start_sharded` service routes scatter requests to without
+// depending on cpq-shard directly.
+pub use cpq_shard::{ShardConfig, ShardReport, ShardedPair, ShardedTree};
 
 // Compile-time thread-safety contract of the subsystem. Service handles
 // are shared across client threads and worker threads; if a refactor ever

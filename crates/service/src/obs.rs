@@ -170,6 +170,12 @@ pub struct ServiceObs {
     parallel_steals: Arc<Counter>,
     parallel_steal_misses: Arc<Counter>,
     parallel_bound_updates: Arc<Counter>,
+    shard_queries: Arc<Counter>,
+    shard_pairs_generated: Arc<Counter>,
+    shard_pairs_pruned: Arc<Counter>,
+    shard_pairs_opened: Arc<Counter>,
+    shard_subqueries: Arc<Counter>,
+    shard_bound_updates: Arc<Counter>,
     sheds: Arc<Counter>,
     queue_depth: Arc<Gauge>,
     slow_observed: Arc<Counter>,
@@ -306,6 +312,36 @@ impl ServiceObs {
                 "successful tightenings of the shared global distance bound",
                 &[],
             ),
+            shard_queries: registry.counter(
+                "cpq_shard_queries_total",
+                "queries executed by the scatter-gather sharded path",
+                &[],
+            ),
+            shard_pairs_generated: registry.counter(
+                "cpq_shard_pairs_total",
+                "shard pairs by scatter outcome (generated = pruned + opened on completed runs)",
+                &[("result", "generated")],
+            ),
+            shard_pairs_pruned: registry.counter(
+                "cpq_shard_pairs_total",
+                "shard pairs by scatter outcome (generated = pruned + opened on completed runs)",
+                &[("result", "pruned")],
+            ),
+            shard_pairs_opened: registry.counter(
+                "cpq_shard_pairs_total",
+                "shard pairs by scatter outcome (generated = pruned + opened on completed runs)",
+                &[("result", "opened")],
+            ),
+            shard_subqueries: registry.counter(
+                "cpq_shard_subqueries_total",
+                "shard-pair engine subqueries that ran to completion",
+                &[],
+            ),
+            shard_bound_updates: registry.counter(
+                "cpq_shard_bound_updates_total",
+                "successful tightenings of the cross-shard global distance bound",
+                &[],
+            ),
             sheds: registry.counter(
                 "cpq_sheds_total",
                 "requests shed by admission control (never executed)",
@@ -385,6 +421,16 @@ impl ServiceObs {
             .add(profile.parallel_steal_misses);
         self.parallel_bound_updates
             .add(profile.parallel_bound_updates);
+        if profile.shard_pairs_generated > 0 {
+            self.shard_queries.inc();
+        }
+        self.shard_pairs_generated
+            .add(profile.shard_pairs_generated);
+        self.shard_pairs_pruned.add(profile.shard_pairs_pruned);
+        self.shard_pairs_opened.add(profile.shard_pairs_opened);
+        self.shard_subqueries
+            .add(profile.shard_subqueries_completed);
+        self.shard_bound_updates.add(profile.shard_bound_updates);
         self.slow_log.observe(profile.clone());
     }
 

@@ -50,6 +50,14 @@ pub struct QueryRequest {
     /// [`max_parallelism`](crate::ServiceConfig::max_parallelism). Results
     /// are bit-identical either way — parallelism only buys latency.
     pub parallelism: Option<usize>,
+    /// Scatter-gather worker fan-out requested for this query. `None` or
+    /// `0` runs the classic single-tree path; values `≥ 1` route the query
+    /// over the service's sharded replicas (when started with
+    /// [`CpqService::start_sharded`](crate::CpqService::start_sharded);
+    /// ignored otherwise), clamped to the service's
+    /// [`max_shards`](crate::ServiceConfig::max_shards). Results are
+    /// bit-identical either way — sharding only buys pruning and fan-out.
+    pub scatter: Option<usize>,
 }
 
 impl QueryRequest {
@@ -61,6 +69,7 @@ impl QueryRequest {
             kind: QueryKind::Cross,
             deadline: None,
             parallelism: None,
+            scatter: None,
         }
     }
 
@@ -72,6 +81,7 @@ impl QueryRequest {
             kind: QueryKind::SelfJoin,
             deadline: None,
             parallelism: None,
+            scatter: None,
         }
     }
 
@@ -85,6 +95,14 @@ impl QueryRequest {
     /// clamped to the service's configured maximum at execution time.
     pub fn with_parallelism(mut self, threads: usize) -> Self {
         self.parallelism = Some(threads);
+        self
+    }
+
+    /// Requests scatter-gather execution over the service's sharded
+    /// replicas with this worker fan-out; clamped to the service's
+    /// [`max_shards`](crate::ServiceConfig::max_shards) at execution time.
+    pub fn with_scatter(mut self, workers: usize) -> Self {
+        self.scatter = Some(workers);
         self
     }
 }

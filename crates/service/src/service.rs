@@ -13,6 +13,9 @@ use cpq_core::{
 };
 use cpq_geo::{Point, SpatialObject};
 use cpq_rtree::RTree;
+use cpq_shard::{
+    k_closest_pairs_sharded, self_closest_pairs_sharded, ShardConfig, ShardReport, ShardedPair,
+};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -56,6 +59,12 @@ pub struct ServiceConfig {
     /// tasks, and a `TimedOut` partial stays the deterministic sequential
     /// prefix). Total thread pressure is `workers × max_parallelism`.
     pub max_parallelism: usize,
+    /// Ceiling on per-request scatter-gather fan-out
+    /// ([`QueryRequest::scatter`]). Only meaningful for services started
+    /// with [`CpqService::start_sharded`]; the default of `1` lets scatter
+    /// requests run but serializes their shard subqueries on one thread.
+    /// Total thread pressure for scatter traffic is `workers × max_shards`.
+    pub max_shards: usize,
     /// Deadline applied when a request does not carry its own. `None`
     /// means admitted queries may run arbitrarily long.
     pub default_deadline: Option<Duration>,
@@ -72,6 +81,7 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             cpq: CpqConfig::paper(),
             max_parallelism: 1,
+            max_shards: 1,
             default_deadline: None,
             obs: ObsConfig::default(),
         }
@@ -88,10 +98,15 @@ struct Job<const D: usize, O: SpatialObject<D>> {
 
 struct Shared<const D: usize, O: SpatialObject<D>> {
     trees: TreePair<D, O>,
+    /// Sharded replicas of the same datasets, present for services started
+    /// with [`CpqService::start_sharded`]; requests with a `scatter` value
+    /// route here.
+    sharded: Option<ShardedPair<D, O>>,
     queue: AdmissionQueue<Job<D, O>>,
     stats: ServiceStats,
     cpq: CpqConfig,
     max_parallelism: usize,
+    max_shards: usize,
     default_deadline: Option<Duration>,
     next_id: AtomicU64,
     /// `Some` when observability is on; workers then run the instrumented
@@ -160,12 +175,40 @@ pub struct CpqService<const D: usize, O: SpatialObject<D> = Point<D>> {
 impl<const D: usize, O: SpatialObject<D>> CpqService<D, O> {
     /// Starts the worker pool over `trees`.
     pub fn start(trees: TreePair<D, O>, config: ServiceConfig) -> Self {
+        Self::start_inner(trees, None, config)
+    }
+
+    /// Starts a shard-aware service: `trees` serve the classic path and
+    /// `sharded` — replicas of the **same datasets**, partitioned — serves
+    /// requests carrying a [`QueryRequest::scatter`] fan-out. Both paths
+    /// return bit-identical pairs for the same request, so callers can
+    /// flip traffic between them freely.
+    ///
+    /// Caveats of the scatter path: profiles carry the `shard_*` counters
+    /// but not per-level node accesses (the probe instruments only the
+    /// single-tree engine), and buffer-hit/miss deltas reflect the classic
+    /// trees' pools, not the per-shard pools.
+    pub fn start_sharded(
+        trees: TreePair<D, O>,
+        sharded: ShardedPair<D, O>,
+        config: ServiceConfig,
+    ) -> Self {
+        Self::start_inner(trees, Some(sharded), config)
+    }
+
+    fn start_inner(
+        trees: TreePair<D, O>,
+        sharded: Option<ShardedPair<D, O>>,
+        config: ServiceConfig,
+    ) -> Self {
         let shared = Arc::new(Shared {
             trees,
+            sharded,
             queue: AdmissionQueue::new(config.queue_capacity),
             stats: ServiceStats::new(),
             cpq: config.cpq,
             max_parallelism: config.max_parallelism.max(1),
+            max_shards: config.max_shards.max(1),
             default_deadline: config.default_deadline,
             next_id: AtomicU64::new(0),
             obs: config.obs.enabled.then(|| ServiceObs::new(&config.obs)),
@@ -351,39 +394,83 @@ fn worker_loop<const D: usize, O: SpatialObject<D>>(shared: &Shared<D, O>) {
         // mid-steal still stops the query within one node visit.
         let mut cpq = shared.cpq;
         cpq.parallelism = job.req.parallelism.unwrap_or(0).min(shared.max_parallelism);
-        let result = match (job.req.kind, instrument) {
-            (QueryKind::Cross, false) => k_closest_pairs_cancellable(
-                &shared.trees.p,
-                &shared.trees.q,
-                job.req.k,
-                job.req.algorithm,
-                &cpq,
-                &cancel,
-            ),
-            (QueryKind::SelfJoin, false) => self_closest_pairs_cancellable(
-                &shared.trees.p,
-                job.req.k,
-                job.req.algorithm,
-                &cpq,
-                &cancel,
-            ),
-            (QueryKind::Cross, true) => k_closest_pairs_instrumented(
-                &shared.trees.p,
-                &shared.trees.q,
-                job.req.k,
-                job.req.algorithm,
-                &cpq,
-                &cancel,
-                &mut probe,
-            ),
-            (QueryKind::SelfJoin, true) => self_closest_pairs_instrumented(
-                &shared.trees.p,
-                job.req.k,
-                job.req.algorithm,
-                &cpq,
-                &cancel,
-                &mut probe,
-            ),
+        // Shard-aware dispatch: a request carrying a scatter fan-out runs
+        // over the sharded replicas (when this service holds them), clamped
+        // to the configured ceiling. The scatter path owns its own worker
+        // fan-out, so intra-query parallelism is irrelevant to it.
+        let scatter_workers = job.req.scatter.unwrap_or(0).min(shared.max_shards);
+        let mut shard_report = None;
+        let result = if let Some(pair) = shared.sharded.as_ref().filter(|_| scatter_workers >= 1) {
+            let shard_cfg = ShardConfig {
+                workers: scatter_workers,
+                query_id: job.id,
+                ..ShardConfig::default()
+            };
+            let run = match job.req.kind {
+                QueryKind::Cross => k_closest_pairs_sharded(
+                    &pair.p,
+                    &pair.q,
+                    job.req.k,
+                    job.req.algorithm,
+                    &cpq,
+                    &shard_cfg,
+                    Some(&cancel),
+                ),
+                QueryKind::SelfJoin => self_closest_pairs_sharded(
+                    &pair.p,
+                    job.req.k,
+                    job.req.algorithm,
+                    &cpq,
+                    &shard_cfg,
+                    Some(&cancel),
+                ),
+            };
+            match run {
+                Ok(run) => {
+                    shard_report = Some(run.report);
+                    Ok(cpq_core::QueryRun {
+                        outcome: run.outcome,
+                        completed: run.completed,
+                    })
+                }
+                Err(e) => Err(e.to_string()),
+            }
+        } else {
+            let classic = match (job.req.kind, instrument) {
+                (QueryKind::Cross, false) => k_closest_pairs_cancellable(
+                    &shared.trees.p,
+                    &shared.trees.q,
+                    job.req.k,
+                    job.req.algorithm,
+                    &cpq,
+                    &cancel,
+                ),
+                (QueryKind::SelfJoin, false) => self_closest_pairs_cancellable(
+                    &shared.trees.p,
+                    job.req.k,
+                    job.req.algorithm,
+                    &cpq,
+                    &cancel,
+                ),
+                (QueryKind::Cross, true) => k_closest_pairs_instrumented(
+                    &shared.trees.p,
+                    &shared.trees.q,
+                    job.req.k,
+                    job.req.algorithm,
+                    &cpq,
+                    &cancel,
+                    &mut probe,
+                ),
+                (QueryKind::SelfJoin, true) => self_closest_pairs_instrumented(
+                    &shared.trees.p,
+                    job.req.k,
+                    job.req.algorithm,
+                    &cpq,
+                    &cancel,
+                    &mut probe,
+                ),
+            };
+            classic.map_err(|e| e.to_string())
         };
         let (status, pairs, stats) = match result {
             Ok(run) => (
@@ -395,11 +482,7 @@ fn worker_loop<const D: usize, O: SpatialObject<D>>(shared: &Shared<D, O>) {
                 run.outcome.pairs,
                 run.outcome.stats,
             ),
-            Err(e) => (
-                QueryStatus::Failed(e.to_string()),
-                Vec::new(),
-                CpqStats::default(),
-            ),
+            Err(e) => (QueryStatus::Failed(e), Vec::new(), CpqStats::default()),
         };
         let exec = start.elapsed();
         let latency = job.enqueued.elapsed();
@@ -408,7 +491,15 @@ fn worker_loop<const D: usize, O: SpatialObject<D>>(shared: &Shared<D, O>) {
             .record_executed(&status, latency, queue_wait, stats.disk_accesses());
         let profile = shared.obs.as_ref().map(|obs| {
             let profile = complete_profile(
-                probe, shared, &job, &status, &stats, buf_before, queue_wait, exec,
+                probe,
+                shared,
+                &job,
+                &status,
+                &stats,
+                shard_report,
+                buf_before,
+                queue_wait,
+                exec,
             );
             obs.record_query(&profile);
             Box::new(profile)
@@ -440,6 +531,7 @@ fn complete_profile<const D: usize, O: SpatialObject<D>>(
     job: &Job<D, O>,
     status: &QueryStatus,
     stats: &CpqStats,
+    shard_report: Option<ShardReport>,
     buf_before: (u64, u64),
     queue_wait: Duration,
     exec: Duration,
@@ -459,5 +551,12 @@ fn complete_profile<const D: usize, O: SpatialObject<D>>(
     profile.heap_high_watermark = stats.queue_peak as u64;
     profile.queue_wait_us = queue_wait.as_micros() as u64;
     profile.exec_us = exec.as_micros() as u64;
+    if let Some(r) = shard_report {
+        profile.shard_pairs_generated = r.pairs_generated;
+        profile.shard_pairs_pruned = r.pairs_pruned;
+        profile.shard_pairs_opened = r.pairs_opened;
+        profile.shard_subqueries_completed = r.subqueries_completed;
+        profile.shard_bound_updates = r.bound_updates;
+    }
     profile
 }

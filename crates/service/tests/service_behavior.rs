@@ -87,6 +87,7 @@ fn service_results_bit_identical_to_direct_calls() {
             queue_capacity: 128,
             cpq: cfg,
             max_parallelism: 1,
+            max_shards: 1,
             default_deadline: None,
             obs: ObsConfig::default(),
         },
@@ -140,6 +141,7 @@ fn full_queue_sheds_and_dropped_tickets_resolve() {
             queue_capacity: 2,
             cpq: CpqConfig::paper(),
             max_parallelism: 1,
+            max_shards: 1,
             default_deadline: None,
             obs: ObsConfig::default(),
         },
@@ -174,6 +176,7 @@ fn expired_deadline_times_out_without_wedging_the_worker() {
             queue_capacity: 8,
             cpq: CpqConfig::paper(),
             max_parallelism: 1,
+            max_shards: 1,
             default_deadline: None,
             obs: ObsConfig::default(),
         },
@@ -212,6 +215,7 @@ fn default_deadline_applies_and_is_overridable() {
             queue_capacity: 8,
             cpq: CpqConfig::paper(),
             max_parallelism: 1,
+            max_shards: 1,
             default_deadline: Some(Duration::ZERO), // everything times out…
             obs: ObsConfig::default(),
         },
@@ -242,6 +246,7 @@ fn shutdown_drains_admitted_backlog() {
             queue_capacity: 16,
             cpq: CpqConfig::paper(),
             max_parallelism: 1,
+            max_shards: 1,
             default_deadline: None,
             obs: ObsConfig::default(),
         },
@@ -275,6 +280,7 @@ fn timing_and_summary_bookkeeping() {
             queue_capacity: 32,
             cpq: CpqConfig::paper(),
             max_parallelism: 1,
+            max_shards: 1,
             default_deadline: None,
             obs: ObsConfig::default(),
         },
@@ -330,6 +336,7 @@ fn parallel_requests_bit_identical_clamped_and_deadline_safe() {
             queue_capacity: 64,
             cpq: cfg,
             max_parallelism: 8,
+            max_shards: 1,
             default_deadline: None,
             obs: ObsConfig::default(),
         },

@@ -1,0 +1,144 @@
+//! Shard-aware request path of [`CpqService`]: a service started with
+//! sharded replicas routes `scatter` requests through scatter-gather,
+//! returns pairs bit-identical to the classic path, clamps the fan-out to
+//! `max_shards`, and surfaces the `shard_*` counters in profiles and
+//! `/metrics`.
+
+use cpq_core::Algorithm;
+use cpq_datasets::uniform;
+use cpq_geo::Point2;
+use cpq_obs::lint_exposition;
+use cpq_rtree::{RTree, RTreeParams};
+use cpq_service::{
+    CpqService, ObsConfig, QueryRequest, QueryStatus, ServiceConfig, ShardedPair, ShardedTree,
+    TreePair,
+};
+use cpq_storage::{BufferPool, MemPageFile};
+use std::time::Duration;
+
+fn pool() -> BufferPool {
+    BufferPool::with_lru(Box::new(MemPageFile::new(1024)), 64)
+}
+
+fn build_tree(objects: &[(Point2, u64)]) -> RTree<2> {
+    let mut tree = RTree::new(pool(), RTreeParams::paper()).unwrap();
+    for &(p, oid) in objects {
+        tree.insert(p, oid).unwrap();
+    }
+    tree
+}
+
+fn build_sharded(name: &str, objects: &[(Point2, u64)], shards: usize) -> ShardedTree<2> {
+    ShardedTree::build(name, objects, shards, RTreeParams::paper(), None, |_| {
+        pool()
+    })
+    .unwrap()
+}
+
+fn start_sharded(max_shards: usize, obs: ObsConfig) -> CpqService<2, Point2> {
+    let p = uniform(400, 42).indexed();
+    let q = uniform(350, 1337).indexed();
+    CpqService::start_sharded(
+        TreePair::new(build_tree(&p), build_tree(&q)),
+        ShardedPair {
+            p: build_sharded("p", &p, 4),
+            q: build_sharded("q", &q, 4),
+        },
+        ServiceConfig {
+            workers: 2,
+            max_shards,
+            obs,
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+#[test]
+fn scatter_requests_match_classic_path_bitwise() {
+    let service = start_sharded(8, ObsConfig::disabled());
+    for kind in [
+        QueryRequest::cross as fn(usize, Algorithm) -> QueryRequest,
+        QueryRequest::self_join,
+    ] {
+        for k in [1usize, 10, 250] {
+            let classic = service.execute(kind(k, Algorithm::Heap)).unwrap();
+            let sharded = service
+                .execute(kind(k, Algorithm::Heap).with_scatter(4))
+                .unwrap();
+            assert_eq!(classic.status, QueryStatus::Completed);
+            assert_eq!(sharded.status, QueryStatus::Completed);
+            assert_eq!(classic.pairs.len(), sharded.pairs.len(), "k={k}");
+            for (c, s) in classic.pairs.iter().zip(&sharded.pairs) {
+                assert_eq!((c.p.oid, c.q.oid), (s.p.oid, s.q.oid));
+                assert_eq!(c.dist2.get().to_bits(), s.dist2.get().to_bits());
+            }
+        }
+    }
+    service.shutdown();
+}
+
+#[test]
+fn scatter_fan_out_is_clamped_and_profiled() {
+    let service = start_sharded(
+        2,
+        ObsConfig {
+            enabled: true,
+            slow_query_threshold: Some(Duration::ZERO),
+            slow_log_capacity: 16,
+        },
+    );
+    // A fan-out far above max_shards is admitted and clamped, not rejected.
+    let resp = service
+        .execute(QueryRequest::cross(10, Algorithm::Heap).with_scatter(1000))
+        .unwrap();
+    assert_eq!(resp.status, QueryStatus::Completed);
+    let profile = resp.profile.as_deref().expect("profile attached");
+    assert_eq!(
+        profile.shard_pairs_generated, 16,
+        "4x4 shard grid planned: {profile:?}"
+    );
+    assert_eq!(
+        profile.shard_pairs_opened + profile.shard_pairs_pruned,
+        profile.shard_pairs_generated,
+        "every shard pair accounted"
+    );
+    assert!(profile.shard_subqueries_completed > 0);
+
+    // A classic query on the same service carries zeroed shard counters.
+    let resp = service
+        .execute(QueryRequest::cross(10, Algorithm::Heap))
+        .unwrap();
+    let profile = resp.profile.as_deref().expect("profile attached");
+    assert_eq!(profile.shard_pairs_generated, 0);
+
+    let text = service.render_metrics();
+    assert_eq!(lint_exposition(&text), Ok(()));
+    assert!(text.contains("cpq_shard_queries_total 1"));
+    assert!(text.contains("cpq_shard_pairs_total{result=\"generated\"} 16"));
+    service.shutdown();
+}
+
+#[test]
+fn scatter_on_an_unsharded_service_falls_back_to_classic() {
+    let p = uniform(200, 7).indexed();
+    let q = uniform(200, 8).indexed();
+    let service: CpqService<2> = CpqService::start(
+        TreePair::new(build_tree(&p), build_tree(&q)),
+        ServiceConfig {
+            workers: 1,
+            obs: ObsConfig::disabled(),
+            ..ServiceConfig::default()
+        },
+    );
+    let classic = service
+        .execute(QueryRequest::cross(5, Algorithm::Heap))
+        .unwrap();
+    let scatter = service
+        .execute(QueryRequest::cross(5, Algorithm::Heap).with_scatter(8))
+        .unwrap();
+    assert_eq!(scatter.status, QueryStatus::Completed);
+    for (c, s) in classic.pairs.iter().zip(&scatter.pairs) {
+        assert_eq!((c.p.oid, c.q.oid), (s.p.oid, s.q.oid));
+    }
+    service.shutdown();
+}

@@ -36,6 +36,7 @@ model_test -p cpq-obs --test model_ring
 model_test -p cpq-storage --test model_buffer
 model_test -p cpq-storage --lib sched::
 model_test -p cpq-core --lib model_tests
+model_test -p cpq-shard --lib model_tests
 
 echo "==> bench_service --smoke --profile (service end-to-end + divergence + obs gate)"
 ./target/release/bench_service --smoke --profile \
@@ -57,6 +58,11 @@ echo "==> bench_io --smoke (I/O scheduler vs naive reads on real files)"
 echo "==> bench_parallel --smoke --disk real (real-file descent, zero-divergence gate)"
 ./target/release/bench_parallel --smoke --disk real \
     --out /tmp/BENCH_parallel_real_smoke.json >/dev/null
+
+# Per-shard disk page files, wire codec armed on every subquery, and the
+# bit-identical-vs-unsharded gate on every cell.
+echo "==> bench_shard --smoke (scatter-gather K-CPQ, zero-divergence gate)"
+./target/release/bench_shard --smoke --out /tmp/BENCH_shard_smoke.json >/dev/null
 
 if [ "${1:-}" = "--full" ]; then
     echo "==> parallel stress: wide seed sweep (release, --include-ignored)"

@@ -16,6 +16,8 @@
 //! * [`datasets`] — deterministic workload generators;
 //! * [`service`] — the concurrent query-serving subsystem (worker pool,
 //!   admission control, deadlines);
+//! * [`shard`] — spatially sharded trees with scatter-gather K-CPQ and the
+//!   shard-pair wire protocol;
 //! * [`obs`] — observability: metrics registry, per-query work profiles,
 //!   slow-query forensics, Prometheus exposition.
 //!
@@ -31,4 +33,5 @@ pub use cpq_geo as geo;
 pub use cpq_obs as obs;
 pub use cpq_rtree as rtree;
 pub use cpq_service as service;
+pub use cpq_shard as shard;
 pub use cpq_storage as storage;
