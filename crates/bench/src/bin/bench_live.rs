@@ -1,0 +1,336 @@
+//! Benchmark: continuous K-CPQ over streaming updates — the incremental
+//! delta path vs from-scratch recomputation, and live update throughput
+//! under concurrent snapshot readers.
+//!
+//! Two experiments per `K`:
+//!
+//! 1. **Delta vs recompute.** One randomized insert/delete stream runs
+//!    over a live P/Q pair. The *delta* path maintains the top-K with
+//!    [`ContinuousCpq`] (bounded-radius probes on insert, refill-on-demand
+//!    on delete); the *recompute* path answers the same question by
+//!    rerunning the HEAP engine from scratch after every update. Both are
+//!    timed per maintenance step (snapshot pinning included); sampled
+//!    steps are gated on bit-identical results. The headline number is
+//!    `recompute_ns / delta_ns` — the serving-mix speedup the continuous
+//!    path buys, gated at ≥ 5×.
+//!
+//! 2. **Update throughput × reader concurrency.** A writer applies the
+//!    stream through [`LiveSet::apply`] while `R` reader threads loop
+//!    {pin snapshot, run K-CPQ, validate nothing tears}. Reported as
+//!    updates/s per reader count — the cost of wait-free snapshot
+//!    isolation on the write path (epoch publish + COW page turnover).
+//!
+//! Writes `BENCH_live.json` (repo root by default).
+//!
+//! ```text
+//! cargo run --release --bin bench_live -- [--n 10000] [--updates 2000] \
+//!     [--out BENCH_live.json] [--smoke]
+//! ```
+
+use cpq_bench::Args;
+use cpq_core::{k_closest_pairs, Algorithm, CpqConfig, PairResult};
+use cpq_datasets::uniform;
+use cpq_geo::Point2;
+use cpq_live::{ContinuousCpq, LiveConfig, LiveSet, Side, UpdateOp};
+use cpq_rng::Rng;
+use cpq_rtree::RTreeParams;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn keys(pairs: &[PairResult<2>]) -> Vec<(u64, u64, u64)> {
+    pairs
+        .iter()
+        .map(|r| (r.dist2.get().to_bits(), r.p.oid, r.q.oid))
+        .collect()
+}
+
+/// Seeds a fresh in-memory live pair with `n` points per side and returns
+/// it along with the id-disjoint live membership list the stream mutates.
+fn seeded(n: usize) -> (LiveSet<2>, Vec<(Side, Point2, u64)>) {
+    let set: LiveSet<2> =
+        LiveSet::new_in_memory(RTreeParams::paper(), &LiveConfig::default()).expect("live set");
+    let dp = uniform(n, 11);
+    let dq = uniform(n, 12);
+    let mut alive = Vec::with_capacity(2 * n);
+    let mut ops = Vec::with_capacity(2 * n);
+    for (i, p) in dp.points.iter().enumerate() {
+        let oid = i as u64;
+        ops.push(UpdateOp::Insert {
+            side: Side::P,
+            object: *p,
+            oid,
+        });
+        alive.push((Side::P, *p, oid));
+    }
+    for (i, q) in dq.points.iter().enumerate() {
+        let oid = 1_000_000 + i as u64;
+        ops.push(UpdateOp::Insert {
+            side: Side::Q,
+            object: *q,
+            oid,
+        });
+        alive.push((Side::Q, *q, oid));
+    }
+    set.apply(&ops).expect("seed");
+    (set, alive)
+}
+
+/// A randomized 45%-delete stream over the seeded membership, fresh
+/// points drawn off-lattice so inserts keep perturbing the top-K.
+fn stream(alive: &mut Vec<(Side, Point2, u64)>, updates: usize, seed: u64) -> Vec<UpdateOp<2>> {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut ops = Vec::with_capacity(updates);
+    let mut next_oid = 5_000_000u64;
+    for _ in 0..updates {
+        if !alive.is_empty() && rng.random_bool(0.45) {
+            let idx = (rng.next_u64() % alive.len() as u64) as usize;
+            let (side, object, oid) = alive.swap_remove(idx);
+            ops.push(UpdateOp::Delete { side, object, oid });
+        } else {
+            let side = if rng.random_bool(0.5) {
+                Side::P
+            } else {
+                Side::Q
+            };
+            let object = Point2::new([rng.next_f64() * 100_000.0, rng.next_f64() * 100_000.0]);
+            let oid = next_oid;
+            next_oid += 1;
+            ops.push(UpdateOp::Insert { side, object, oid });
+            alive.push((side, object, oid));
+        }
+    }
+    ops
+}
+
+struct DeltaCell {
+    k: usize,
+    steps: usize,
+    checked_steps: usize,
+    delta_ns: u64,
+    recompute_ns: u64,
+    probes: u64,
+    refills: u64,
+}
+
+/// Experiment 1: identical stream, two maintenance strategies, per-step
+/// timing of *maintenance only* (the tree update itself is common cost).
+fn delta_vs_recompute(n: usize, updates: usize, k: usize, check_every: usize) -> DeltaCell {
+    let cfg = CpqConfig::default();
+    let (set, mut alive) = seeded(n);
+    let ops = stream(&mut alive, updates, 0xC0FFEE ^ k as u64);
+    let mut cont = ContinuousCpq::new_cross(
+        k,
+        &set.p().snapshot().expect("snap"),
+        &set.q().snapshot().expect("snap"),
+    )
+    .expect("continuous");
+    let (mut delta_ns, mut recompute_ns) = (0u64, 0u64);
+    let mut checked_steps = 0usize;
+    for (step, op) in ops.iter().enumerate() {
+        // Common cost, untimed: the durable COW tree update itself.
+        match *op {
+            UpdateOp::Insert { side, object, oid } => {
+                set.side(side).insert(object, oid).expect("insert");
+                let t = Instant::now();
+                cont.on_insert(
+                    side,
+                    object,
+                    oid,
+                    &set.p().snapshot().expect("snap"),
+                    &set.q().snapshot().expect("snap"),
+                )
+                .expect("on_insert");
+                delta_ns += t.elapsed().as_nanos() as u64;
+            }
+            UpdateOp::Delete { side, object, oid } => {
+                set.side(side).delete(object, oid).expect("delete");
+                let t = Instant::now();
+                cont.on_delete(
+                    side,
+                    oid,
+                    &set.p().snapshot().expect("snap"),
+                    &set.q().snapshot().expect("snap"),
+                )
+                .expect("on_delete");
+                delta_ns += t.elapsed().as_nanos() as u64;
+            }
+        }
+        // The recompute strawman answers the same question from scratch.
+        let t = Instant::now();
+        let full = {
+            let sp = set.p().snapshot().expect("snap");
+            let sq = set.q().snapshot().expect("snap");
+            k_closest_pairs(sp.tree(), sq.tree(), k, Algorithm::Heap, &cfg).expect("recompute")
+        };
+        recompute_ns += t.elapsed().as_nanos() as u64;
+        if step % check_every == 0 {
+            assert_eq!(
+                keys(&cont.pairs()),
+                keys(&full.pairs),
+                "k={k} step {step}: delta path diverged from recompute"
+            );
+            checked_steps += 1;
+        }
+    }
+    let st = cont.stats();
+    DeltaCell {
+        k,
+        steps: ops.len(),
+        checked_steps,
+        delta_ns,
+        recompute_ns,
+        probes: st.probes,
+        refills: st.refills,
+    }
+}
+
+struct ThroughputCell {
+    readers: usize,
+    updates: usize,
+    wall_ns: u64,
+    updates_per_sec: f64,
+    reader_queries: u64,
+}
+
+/// Experiment 2: writer throughput while `readers` threads hammer the
+/// snapshot path with K-CPQ queries.
+fn throughput(n: usize, updates: usize, k: usize, readers: usize) -> ThroughputCell {
+    let (set, mut alive) = seeded(n);
+    let ops = stream(&mut alive, updates, 0xFEED ^ readers as u64);
+    let set = Arc::new(set);
+    let stop = Arc::new(AtomicBool::new(false));
+    let queries = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..readers)
+        .map(|_| {
+            let set = Arc::clone(&set);
+            let stop = Arc::clone(&stop);
+            let queries = Arc::clone(&queries);
+            std::thread::spawn(move || {
+                let cfg = CpqConfig::default();
+                // ordering: Relaxed — stop is a quiescence flag; the
+                // writer's join() below is the synchronization point.
+                while !stop.load(Ordering::Relaxed) {
+                    let sp = set.p().snapshot().expect("snap");
+                    let sq = set.q().snapshot().expect("snap");
+                    let out = k_closest_pairs(sp.tree(), sq.tree(), k, Algorithm::Heap, &cfg)
+                        .expect("reader query");
+                    assert!(out.pairs.len() <= k, "reader saw an over-full result");
+                    // ordering: Relaxed — a statistics counter read
+                    // only after join() has quiesced the readers.
+                    queries.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+    let t = Instant::now();
+    for chunk in ops.chunks(32) {
+        set.apply(chunk).expect("apply");
+    }
+    let wall_ns = t.elapsed().as_nanos() as u64;
+    // ordering: Relaxed — readers only need to observe the flag
+    // eventually; join() below is the real barrier.
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("reader panicked");
+    }
+    ThroughputCell {
+        readers,
+        updates: ops.len(),
+        wall_ns,
+        updates_per_sec: ops.len() as f64 / (wall_ns as f64 / 1e9),
+        // ordering: Relaxed — read after join(), no concurrent writers.
+        reader_queries: queries.load(Ordering::Relaxed),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.flag("smoke");
+    let n = args.get_usize("n", if smoke { 2_000 } else { 10_000 });
+    let updates = args.get_usize("updates", if smoke { 400 } else { 2_000 });
+    let out_path = args.get_str("out", "BENCH_live.json");
+    let k_values: &[usize] = if smoke { &[1, 10] } else { &[1, 10, 100] };
+    let reader_counts: &[usize] = if smoke { &[0, 2] } else { &[0, 1, 2, 4] };
+    let check_every = if smoke { 16 } else { 64 };
+
+    let mut k_json = Vec::new();
+    for &k in k_values {
+        eprintln!("k={k}: delta vs recompute over {updates} updates (n={n} per side)...");
+        let cell = delta_vs_recompute(n, updates, k, check_every);
+        let speedup = cell.recompute_ns as f64 / cell.delta_ns.max(1) as f64;
+        eprintln!(
+            "  delta {:.1} ms vs recompute {:.1} ms — {:.1}x ({} refills / {} steps, {} checked)",
+            cell.delta_ns as f64 / 1e6,
+            cell.recompute_ns as f64 / 1e6,
+            speedup,
+            cell.refills,
+            cell.steps,
+            cell.checked_steps,
+        );
+        // The acceptance gate: the continuous path must beat per-step
+        // recomputation by at least 5x on the serving mix.
+        assert!(
+            speedup >= 5.0,
+            "k={k}: delta path only {speedup:.2}x over recompute"
+        );
+
+        let mut tp_json = Vec::new();
+        for &r in reader_counts {
+            let tp = throughput(n, updates, k, r);
+            eprintln!(
+                "  readers={r}: {:.0} updates/s ({} reader queries alongside)",
+                tp.updates_per_sec, tp.reader_queries
+            );
+            tp_json.push(format!(
+                concat!(
+                    "{{ \"readers\": {}, \"updates\": {}, \"wall_ns\": {}, ",
+                    "\"updates_per_sec\": {:.1}, \"reader_queries\": {} }}"
+                ),
+                tp.readers, tp.updates, tp.wall_ns, tp.updates_per_sec, tp.reader_queries,
+            ));
+        }
+        k_json.push(format!(
+            concat!(
+                "{{\n      \"k\": {k},\n      \"steps\": {steps},\n",
+                "      \"checked_steps\": {checked},\n",
+                "      \"delta_ns\": {delta},\n",
+                "      \"recompute_ns\": {rec},\n",
+                "      \"speedup\": {speedup:.2},\n",
+                "      \"probes\": {probes},\n",
+                "      \"refills\": {refills},\n",
+                "      \"throughput\": [\n        {tp}\n      ]\n    }}"
+            ),
+            k = cell.k,
+            steps = cell.steps,
+            checked = cell.checked_steps,
+            delta = cell.delta_ns,
+            rec = cell.recompute_ns,
+            speedup = speedup,
+            probes = cell.probes,
+            refills = cell.refills,
+            tp = tp_json.join(",\n        "),
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"live\",\n",
+            "  \"algorithm\": \"heap\",\n",
+            "  \"n_per_side\": {n},\n",
+            "  \"updates\": {updates},\n",
+            "  \"delete_frac\": 0.45,\n",
+            "  \"smoke\": {smoke},\n",
+            "  \"bit_identical_checks\": true,\n",
+            "  \"cells\": [\n    {cells}\n  ]\n",
+            "}}\n"
+        ),
+        n = n,
+        updates = updates,
+        smoke = smoke,
+        cells = k_json.join(",\n    "),
+    );
+    std::fs::write(&out_path, &json).expect("write JSON");
+    eprintln!("all delta cells bit-identical and ≥5x; wrote {out_path}");
+}

@@ -234,8 +234,18 @@ fn main() {
     }
     let wall = wall_start.elapsed();
 
-    let (pool_p, _) = service.trees().p.pool().stats_snapshot();
-    let (pool_q, _) = service.trees().q.pool().stats_snapshot();
+    let (pool_p, _) = service
+        .trees()
+        .expect("static service")
+        .p
+        .pool()
+        .stats_snapshot();
+    let (pool_q, _) = service
+        .trees()
+        .expect("static service")
+        .q
+        .pool()
+        .stats_snapshot();
 
     // --profile: scrape, lint, and dump the observability report before the
     // service (and its registry) shuts down.

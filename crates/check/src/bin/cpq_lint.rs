@@ -35,7 +35,7 @@ use std::path::{Path, PathBuf};
 
 /// The crates whose library code must route sync primitives through the
 /// `cpq_check` shim.
-const SHIM_MIGRATED_CRATES: &[&str] = &["storage", "obs", "core", "service", "shard"];
+const SHIM_MIGRATED_CRATES: &[&str] = &["storage", "obs", "core", "service", "shard", "live"];
 
 /// How many preceding lines an `// ordering:` justification may sit above
 /// its `Ordering::` use.

@@ -1,0 +1,272 @@
+//! Continuous K-CPQ: maintain the K closest pairs incrementally as
+//! points stream in and out, bit-identical to recomputing from scratch
+//! after every update.
+//!
+//! The result set of a K-CPQ is *uniquely determined* by the data: the
+//! canonical total order `(dist2, p.oid, q.oid)` (see
+//! [`PairResult::sort_key`]) has no ties between distinct pairs, so "the
+//! K smallest pairs" is a set, not a choice. That is what makes
+//! incremental maintenance exact rather than approximate:
+//!
+//! * **Insert** — the only new pairs involve the new point. Probe the
+//!   other tree with a bounded-radius search seeded by the current K-th
+//!   distance ([`RTree::within_dist2`], inclusive so distance ties
+//!   survive), add every candidate pair, and trim back to K under the
+//!   canonical order.
+//! * **Delete** — drop every result pair involving the deleted point. If
+//!   the set was *saturated* (some qualifying pair has ever been
+//!   discarded — by trimming or by the engine returning exactly K), pairs
+//!   beyond the old K-th may now qualify, so re-fill with one engine
+//!   query. If it was never saturated it already holds every qualifying
+//!   pair, and no query is needed.
+//!
+//! Cross (P×Q) and self-join (P×P, `p.oid < q.oid`) forms share the
+//! implementation; the self form skips self-pairs and orients each pair
+//! smaller-oid-first, matching the engine's convention.
+
+use crate::error::LiveResult;
+use crate::tree::{Side, Snapshot};
+use cpq_core::{k_closest_pairs, self_closest_pairs, Algorithm, CpqConfig, PairResult};
+use cpq_geo::{Dist2, Point, SpatialObject};
+use cpq_rtree::LeafEntry;
+use std::collections::BTreeMap;
+
+/// Work counters for continuous maintenance — the incremental-vs-
+/// recompute economics in one snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContinuousStats {
+    /// Bounded-radius probes issued (one per insert).
+    pub probes: u64,
+    /// Candidate pairs returned by those probes.
+    pub candidates: u64,
+    /// Pairs trimmed after exceeding K.
+    pub trims: u64,
+    /// Full engine re-fills triggered by deletes from a saturated set.
+    pub refills: u64,
+}
+
+/// An incrementally maintained K-closest-pairs result set.
+pub struct ContinuousCpq<const D: usize, O: SpatialObject<D> = Point<D>> {
+    k: usize,
+    self_join: bool,
+    /// The current result set, keyed by the canonical order. Values are
+    /// the pairs themselves; iteration order == engine output order.
+    top: BTreeMap<(Dist2, u64, u64), PairResult<D, O>>,
+    /// `true` once any qualifying pair may have been discarded; gates the
+    /// delete-path re-fill.
+    saturated: bool,
+    stats: ContinuousStats,
+}
+
+impl<const D: usize, O: SpatialObject<D>> ContinuousCpq<D, O> {
+    /// Primes a continuous cross-tree K-CPQ from the given snapshots.
+    pub fn new_cross(
+        k: usize,
+        snap_p: &Snapshot<D, O>,
+        snap_q: &Snapshot<D, O>,
+    ) -> LiveResult<Self> {
+        let mut c = ContinuousCpq {
+            k,
+            self_join: false,
+            top: BTreeMap::new(),
+            saturated: false,
+            stats: ContinuousStats::default(),
+        };
+        c.refill(Some(snap_p), Some(snap_q), None)?;
+        c.stats.refills = 0; // priming is not a refill
+        Ok(c)
+    }
+
+    /// Primes a continuous self-join K-CPQ from the given snapshot.
+    pub fn new_self(k: usize, snap: &Snapshot<D, O>) -> LiveResult<Self> {
+        let mut c = ContinuousCpq {
+            k,
+            self_join: true,
+            top: BTreeMap::new(),
+            saturated: false,
+            stats: ContinuousStats::default(),
+        };
+        c.refill(None, None, Some(snap))?;
+        c.stats.refills = 0;
+        Ok(c)
+    }
+
+    /// The maintained pairs, closest first — identical to what the query
+    /// engine would return for the current data.
+    pub fn pairs(&self) -> Vec<PairResult<D, O>> {
+        self.top.values().cloned().collect()
+    }
+
+    /// K.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> ContinuousStats {
+        self.stats
+    }
+
+    /// Current probe bound: the K-th pair's distance once full, else
+    /// unbounded (the set must grow).
+    fn bound(&self) -> Dist2 {
+        if self.top.len() >= self.k {
+            self.top
+                .keys()
+                .next_back()
+                .map(|k| k.0)
+                .unwrap_or(Dist2::INFINITY)
+        } else {
+            Dist2::INFINITY
+        }
+    }
+
+    fn add_pair(&mut self, pair: PairResult<D, O>) {
+        self.top.insert(pair.sort_key(), pair);
+        while self.top.len() > self.k {
+            self.top.pop_last();
+            self.stats.trims += 1;
+            self.saturated = true;
+        }
+    }
+
+    /// Maintains the set across an insert of `(object, oid)` into `side`
+    /// — for the cross form; the self form ignores `side`. The snapshots
+    /// must already include the insert.
+    pub fn on_insert(
+        &mut self,
+        side: Side,
+        object: O,
+        oid: u64,
+        snap_p: &Snapshot<D, O>,
+        snap_q: &Snapshot<D, O>,
+    ) -> LiveResult<()> {
+        if self.k == 0 {
+            return Ok(());
+        }
+        let new_entry = LeafEntry::new(object, oid);
+        let probe = object.mbr();
+        let bound = self.bound();
+        if self.top.len() >= self.k {
+            // A bounded probe discards pairs beyond the K-th distance;
+            // they may qualify after future deletes.
+            self.saturated = true;
+        }
+        self.stats.probes += 1;
+        if self.self_join {
+            // New pairs: the new point against every other point within
+            // the bound (the snapshot already contains the new point —
+            // skip it), oriented smaller-oid-first like the engine.
+            let cands = snap_p.tree().within_dist2(&probe, bound)?;
+            self.stats.candidates += cands.len() as u64;
+            for c in cands {
+                if c.oid == oid {
+                    continue;
+                }
+                let pair = if c.oid < oid {
+                    PairResult::new(c, new_entry)
+                } else {
+                    PairResult::new(new_entry, c)
+                };
+                self.add_pair(pair);
+            }
+        } else {
+            let other = match side {
+                Side::P => snap_q,
+                Side::Q => snap_p,
+            };
+            let cands = other.tree().within_dist2(&probe, bound)?;
+            self.stats.candidates += cands.len() as u64;
+            for c in cands {
+                let pair = match side {
+                    Side::P => PairResult::new(new_entry, c),
+                    Side::Q => PairResult::new(c, new_entry),
+                };
+                self.add_pair(pair);
+            }
+        }
+        Ok(())
+    }
+
+    /// Maintains the set across a (found) delete of `oid` from `side`.
+    /// The snapshots must already exclude the deleted point.
+    pub fn on_delete(
+        &mut self,
+        side: Side,
+        oid: u64,
+        snap_p: &Snapshot<D, O>,
+        snap_q: &Snapshot<D, O>,
+    ) -> LiveResult<()> {
+        let keys: Vec<(Dist2, u64, u64)> = self
+            .top
+            .keys()
+            .filter(|k| {
+                if self.self_join {
+                    k.1 == oid || k.2 == oid
+                } else {
+                    match side {
+                        Side::P => k.1 == oid,
+                        Side::Q => k.2 == oid,
+                    }
+                }
+            })
+            .copied()
+            .collect();
+        if keys.is_empty() {
+            return Ok(());
+        }
+        for k in keys {
+            self.top.remove(&k);
+        }
+        if self.saturated {
+            // Discarded pairs may now qualify; one engine query restores
+            // exactness.
+            if self.self_join {
+                self.refill(None, None, Some(snap_p))?;
+            } else {
+                self.refill(Some(snap_p), Some(snap_q), None)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Self-join convenience: maintain across an insert into the single
+    /// underlying tree.
+    pub fn on_insert_self(&mut self, object: O, oid: u64, snap: &Snapshot<D, O>) -> LiveResult<()> {
+        // Side is ignored in the self form; pass the same snapshot twice.
+        self.on_insert(Side::P, object, oid, snap, snap)
+    }
+
+    /// Self-join convenience: maintain across a (found) delete.
+    pub fn on_delete_self(&mut self, oid: u64, snap: &Snapshot<D, O>) -> LiveResult<()> {
+        self.on_delete(Side::P, oid, snap, snap)
+    }
+
+    /// Full engine recompute into `top`; records saturation (an exactly-K
+    /// result may have discarded qualifying pairs).
+    fn refill(
+        &mut self,
+        snap_p: Option<&Snapshot<D, O>>,
+        snap_q: Option<&Snapshot<D, O>>,
+        snap_self: Option<&Snapshot<D, O>>,
+    ) -> LiveResult<()> {
+        let cfg = CpqConfig::default();
+        let outcome = if let Some(s) = snap_self {
+            self_closest_pairs(s.tree(), self.k, Algorithm::Heap, &cfg)?
+        } else {
+            // lint: allow(expect) — cross refill is always called with
+            // both snapshots; the two forms share this one signature.
+            let p = snap_p.expect("cross refill needs P");
+            // lint: allow(expect) — same contract as the line above.
+            let q = snap_q.expect("cross refill needs Q");
+            k_closest_pairs(p.tree(), q.tree(), self.k, Algorithm::Heap, &cfg)?
+        };
+        self.top.clear();
+        for pair in outcome.pairs {
+            self.top.insert(pair.sort_key(), pair);
+        }
+        self.saturated = self.top.len() == self.k;
+        self.stats.refills += 1;
+        Ok(())
+    }
+}

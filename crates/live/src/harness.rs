@@ -1,0 +1,173 @@
+//! Crash-injection harness: utilities for killing a [`LiveTree`]
+//! (crate::tree::LiveTree) directory at any write boundary and checking
+//! what recovery makes of the wreck.
+//!
+//! The harness never kills a process; it reconstructs the exact set of
+//! on-disk states a kill could leave behind. For a WAL-before-data design
+//! those states are: some prefix of the WAL (torn anywhere, including
+//! mid-record), combined with a data file anywhere between the last
+//! checkpoint's synced image and the crash-time image (write-through
+//! pools run ahead of the durable log; copy-on-write makes that safe).
+//! Tests therefore:
+//!
+//! 1. run a workload against a live dir, snapshotting the dir at
+//!    checkpoints ([`copy_live_dir`]);
+//! 2. enumerate every record boundary ([`record_boundaries`]);
+//! 3. for each boundary — and a few mid-record offsets — build a crash
+//!    image ([`truncate_wal`]), optionally resetting the data file to the
+//!    checkpoint image ([`restore_data`]);
+//! 4. recover, then compare against the ground truth recomputed from the
+//!    logical op prefix ([`committed_ops`] and [`logged_ops`]).
+
+use crate::error::{LiveError, LiveResult};
+use crate::tree::{DATA_FILE, WAL_DIR};
+use crate::wal::{list_segments, scan_log, scan_segment, OpKind, RecordBody, SEGMENT_HEADER_LEN};
+use std::collections::HashMap;
+use std::path::Path;
+
+/// One spot the log can be killed at: segment `seq`, byte `offset`.
+///
+/// Offsets from [`record_boundaries`] land exactly between records; any
+/// smaller offset within the same segment is a torn record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// WAL segment sequence number.
+    pub seq: u64,
+    /// Byte length the segment is cut to.
+    pub offset: u64,
+}
+
+/// A logical operation reconstructed from the log, in commit order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicalOp {
+    /// Insert or delete.
+    pub op: OpKind,
+    /// Application object id.
+    pub oid: u64,
+    /// `SpatialObject::encode` bytes of the object.
+    pub obj: Vec<u8>,
+}
+
+/// Copies a live-tree directory (data file plus WAL segments) — the
+/// harness's "take a disk image" primitive.
+pub fn copy_live_dir(src: &Path, dst: &Path) -> LiveResult<()> {
+    std::fs::create_dir_all(dst.join(WAL_DIR))?;
+    std::fs::copy(src.join(DATA_FILE), dst.join(DATA_FILE))?;
+    for entry in std::fs::read_dir(src.join(WAL_DIR))? {
+        let entry = entry?;
+        std::fs::copy(entry.path(), dst.join(WAL_DIR).join(entry.file_name()))?;
+    }
+    Ok(())
+}
+
+/// Replaces `dir`'s data file with the one from `image_dir` (e.g. the
+/// snapshot taken at the governing checkpoint): the crash state where no
+/// post-checkpoint data write reached the disk.
+pub fn restore_data(dir: &Path, image_dir: &Path) -> LiveResult<()> {
+    std::fs::copy(image_dir.join(DATA_FILE), dir.join(DATA_FILE))?;
+    Ok(())
+}
+
+/// Every record boundary of every WAL segment in `dir`, in log order.
+/// Each segment contributes its header end (the "no records survived"
+/// point) plus the end of each record.
+pub fn record_boundaries(dir: &Path) -> LiveResult<Vec<CrashPoint>> {
+    let mut out = Vec::new();
+    for (seq, path) in list_segments(&dir.join(WAL_DIR))? {
+        out.push(CrashPoint {
+            seq,
+            offset: SEGMENT_HEADER_LEN,
+        });
+        let scan = scan_segment(seq, &path)?;
+        out.extend(
+            scan.records
+                .iter()
+                .map(|(end, _)| CrashPoint { seq, offset: *end }),
+        );
+    }
+    Ok(out)
+}
+
+/// Cuts `dir`'s log at `point`: truncates segment `point.seq` to
+/// `point.offset` bytes and deletes every later segment (a real crash at
+/// that offset predates their creation).
+pub fn truncate_wal(dir: &Path, point: CrashPoint) -> LiveResult<()> {
+    let mut found = false;
+    for (seq, path) in list_segments(&dir.join(WAL_DIR))? {
+        if seq == point.seq {
+            found = true;
+            let f = std::fs::OpenOptions::new().write(true).open(&path)?;
+            f.set_len(point.offset)?;
+        } else if seq > point.seq {
+            std::fs::remove_file(&path)?;
+        }
+    }
+    if !found {
+        return Err(LiveError::Invalid(format!(
+            "no wal segment {} in {}",
+            point.seq,
+            dir.display()
+        )));
+    }
+    Ok(())
+}
+
+/// The logical operations recovery will replay from `dir`'s (possibly
+/// torn) log: ops since the base checkpoint whose `Commit` record is in
+/// the intact prefix, in commit order.
+///
+/// Ground truth for crash tests: the expected recovered contents are the
+/// state at the base checkpoint plus exactly these ops.
+pub fn committed_ops(dir: &Path) -> LiveResult<Vec<LogicalOp>> {
+    scan_ops(dir, true)
+}
+
+/// Like [`committed_ops`] but returns every op *begun* in the intact
+/// prefix, committed or not — the superset a crash can choose from.
+pub fn logged_ops(dir: &Path) -> LiveResult<Vec<LogicalOp>> {
+    scan_ops(dir, false)
+}
+
+fn scan_ops(dir: &Path, committed_only: bool) -> LiveResult<Vec<LogicalOp>> {
+    let scans = scan_log(&dir.join(WAL_DIR))?;
+    let mut begun: HashMap<u64, LogicalOp> = HashMap::new();
+    let mut order: Vec<u64> = Vec::new();
+    let mut out = Vec::new();
+    for scan in &scans {
+        for (_, rec) in &scan.records {
+            match &rec.body {
+                RecordBody::OpBegin {
+                    op_id,
+                    op,
+                    oid,
+                    obj,
+                    ..
+                } => {
+                    begun.insert(
+                        *op_id,
+                        LogicalOp {
+                            op: *op,
+                            oid: *oid,
+                            obj: obj.clone(),
+                        },
+                    );
+                    order.push(*op_id);
+                }
+                RecordBody::Commit { op_id, .. } if committed_only => {
+                    if let Some(op) = begun.remove(op_id) {
+                        out.push(op);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    if !committed_only {
+        for op_id in order {
+            if let Some(op) = begun.remove(&op_id) {
+                out.push(op);
+            }
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,51 @@
+//! `cpq-live`: mutable R*-trees under concurrency — write-ahead logging
+//! with ARIES-lite crash recovery, epoch/copy-on-write snapshots for
+//! wait-free readers, and continuous K-CPQ maintenance over streaming
+//! points.
+//!
+//! The paper (Corral et al., SIGMOD 2000) treats its R*-trees as static:
+//! bulk-build once, query forever. This crate removes that assumption
+//! without touching any query algorithm:
+//!
+//! * [`wal`] — segmented write-ahead log with LSN-stamped, CRC-framed
+//!   records (physiological page after-images plus logical op records),
+//!   group-commit fsync batching, and sharp checkpoints that truncate the
+//!   log.
+//! * [`epoch`] — epoch-based snapshot publication. Writers are
+//!   copy-on-write (see `RTree::cow_enable`): each update clones its
+//!   root-to-leaf path into fresh pages and publishes a new `(root,
+//!   height, len)` descriptor atomically, so readers pin an epoch and run
+//!   the PR-4/PR-7 executors unmodified on a consistent tree. Superseded
+//!   pages return to the pool only when no pinned epoch can reach them.
+//! * [`recovery`] — ARIES-lite: analysis over the segment chain, redo of
+//!   committed page images, and an unreachable-page sweep that subsumes
+//!   undo (copy-on-write means losers never overwrote live data).
+//! * [`tree`] — [`LiveTree`] ties the three together; [`LiveSet`] holds
+//!   the P/Q pair and routes [`UpdateOp`] batches.
+//! * [`continuous`] — [`ContinuousCpq`] maintains a K-CPQ result set
+//!   incrementally across updates, bit-identical to recomputing from
+//!   scratch at every step.
+//! * [`harness`] — the crash-injection harness used by the recovery
+//!   tests: kill the log at every record boundary, recover, compare.
+//!
+//! Concurrent model-check sites #7 (epoch publish/reclaim, in [`epoch`])
+//! and #8 (group-commit durability, in [`wal`]) live here; run them with
+//! `RUSTFLAGS="--cfg cpq_model"`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod continuous;
+pub mod epoch;
+pub mod error;
+pub mod harness;
+pub mod recovery;
+pub mod tree;
+pub mod wal;
+
+pub use continuous::{ContinuousCpq, ContinuousStats};
+pub use epoch::{EpochRegistry, EpochStats};
+pub use error::{LiveError, LiveResult};
+pub use recovery::{recover, RecoveryReport};
+pub use tree::{ApplyReport, LiveConfig, LiveSet, LiveStats, LiveTree, Side, Snapshot, UpdateOp};
+pub use wal::{Lsn, OpKind, RecordBody, Wal, WalConfig, WalStats};

@@ -1,0 +1,595 @@
+//! [`LiveTree`]: a mutable, crash-safe R*-tree with epoch snapshots, and
+//! [`LiveSet`]: the P/Q pair of live trees behind batched [`UpdateOp`]s
+//! with optional continuous K-CPQ maintenance.
+//!
+//! Update protocol (one op, under the writer lock):
+//!
+//! 1. `OpBegin` is appended to the WAL (logical record: op, side, oid,
+//!    object bytes).
+//! 2. The copy-on-write tree op runs: every page it writes is a *fresh*
+//!    page (`RTree::cow_enable`), so pages reachable from any published
+//!    descriptor are never modified in place.
+//! 3. The COW delta is logged physiologically: `PageAlloc` per fresh
+//!    page, a `PageWrite` carrying each fresh page's final after-image,
+//!    `PageFree` per retired page, then `Commit` with the new `(root,
+//!    height, len)` descriptor.
+//! 4. `Wal::commit` makes the records durable (group commit batches the
+//!    fsync across concurrent writers of *other* trees sharing a log —
+//!    and, more importantly here, keeps the durable watermark honest).
+//! 5. Only then is the descriptor published to the [`EpochRegistry`], so
+//!    a reader can never observe state that a crash would roll back.
+//!    Retired pages go back to the pool once no pinned epoch can read
+//!    them.
+//!
+//! Write-through pools make step 3's images hit the data file before the
+//! commit is durable; that is safe *because* of COW — uncommitted writes
+//! only ever touch pages unreachable from the durable state, and
+//! [`recovery`](crate::recovery) sweeps them as orphans.
+
+use crate::continuous::ContinuousCpq;
+use crate::epoch::{EpochRegistry, EpochStats};
+use crate::error::{LiveError, LiveResult};
+use crate::wal::{Lsn, OpKind, RecordBody, Wal, WalConfig, WalStats};
+use cpq_check::sync::atomic::{AtomicU64, Ordering};
+use cpq_check::sync::{Arc, Mutex};
+use cpq_geo::{Point, SpatialObject};
+use cpq_rtree::{RTree, RTreeParams};
+use cpq_storage::{BufferPool, DiskPageFile, MemPageFile, PageId};
+use std::collections::HashMap;
+use std::path::Path;
+
+/// File name of the paged data store inside a live-tree directory.
+pub const DATA_FILE: &str = "data.pages";
+/// Subdirectory holding WAL segments inside a live-tree directory.
+pub const WAL_DIR: &str = "wal";
+
+/// Which tree of a [`LiveSet`] an update targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The first data set.
+    P,
+    /// The second data set.
+    Q,
+}
+
+/// One streaming update against a [`LiveSet`].
+#[derive(Debug, Clone, Copy)]
+pub enum UpdateOp<const D: usize, O: SpatialObject<D> = Point<D>> {
+    /// Insert `object` with id `oid` into `side`.
+    Insert {
+        /// Target tree.
+        side: Side,
+        /// The object.
+        object: O,
+        /// Application object id.
+        oid: u64,
+    },
+    /// Delete `(object, oid)` from `side` (a miss is not an error).
+    Delete {
+        /// Target tree.
+        side: Side,
+        /// The object.
+        object: O,
+        /// Application object id.
+        oid: u64,
+    },
+}
+
+/// Tuning knobs for a [`LiveTree`].
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Page size of the data file (must satisfy the tree params).
+    pub page_size: usize,
+    /// Buffer-pool capacity in pages.
+    pub capacity: usize,
+    /// WAL behavior (fsync on commit, …). Ignored in memory-only trees.
+    pub wal: WalConfig,
+    /// Take a sharp checkpoint (and truncate the log) every this many
+    /// committed operations. `0` disables automatic checkpoints.
+    pub checkpoint_every: u64,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            page_size: 1024,
+            capacity: 256,
+            wal: WalConfig::default(),
+            checkpoint_every: 64,
+        }
+    }
+}
+
+/// Counter snapshot for `cpq_live_*` metrics.
+#[derive(Debug, Clone, Default)]
+pub struct LiveStats {
+    /// Committed inserts.
+    pub inserts: u64,
+    /// Committed deletes that found their object.
+    pub deletes: u64,
+    /// Deletes that found nothing (still logged and committed).
+    pub delete_misses: u64,
+    /// Sharp checkpoints taken.
+    pub checkpoints: u64,
+    /// Published epoch / pin / reclamation counters.
+    pub epoch: EpochStats,
+    /// WAL counters, when this tree is durable.
+    pub wal: Option<WalStats>,
+    /// Page frees that failed during epoch reclamation (counted, never
+    /// panicked over — a failure here leaks a page, nothing worse).
+    pub free_failures: u64,
+}
+
+/// State shared between the writer and all outstanding snapshots.
+struct LiveShared {
+    pool: Arc<BufferPool>,
+    epochs: EpochRegistry,
+    free_failures: AtomicU64,
+}
+
+impl LiveShared {
+    /// The page-free closure handed to the epoch registry: routes
+    /// reclaimed pages back to the pool, counting (not propagating)
+    /// failures — reclamation runs in reader drops, which must not fail.
+    fn free_page(&self, p: PageId) {
+        if self.pool.free_page(p).is_err() {
+            // ordering: Relaxed — independent monotonic failure counter,
+            // read only by stats(); no other memory depends on it.
+            self.free_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Writer-side mutable state, behind the writer lock.
+struct WriterState<const D: usize, O: SpatialObject<D>> {
+    tree: RTree<D, O>,
+    next_op_id: u64,
+    ops_since_checkpoint: u64,
+    /// Dirty-page table: page → recLSN of its first `PageWrite` since the
+    /// last checkpoint. A checkpoint may only declare the data file
+    /// durable after the WAL is flushed through every recLSN here
+    /// (WAL-before-data).
+    dpt: HashMap<u32, Lsn>,
+    inserts: u64,
+    deletes: u64,
+    delete_misses: u64,
+    checkpoints: u64,
+}
+
+/// A mutable R*-tree with WAL durability and epoch snapshots.
+///
+/// One writer at a time (serialized internally); any number of concurrent
+/// [`snapshot`](Self::snapshot) readers, each seeing a consistent
+/// committed state.
+pub struct LiveTree<const D: usize, O: SpatialObject<D> = Point<D>> {
+    shared: Arc<LiveShared>,
+    writer: Mutex<WriterState<D, O>>,
+    wal: Option<Wal>,
+    params: RTreeParams,
+    checkpoint_every: u64,
+}
+
+/// A pinned, immutable view of a [`LiveTree`] at one published epoch.
+///
+/// The borrowed [`RTree`] is safe to query with every PR-4/PR-7 executor:
+/// copy-on-write guarantees its pages are never modified, and the epoch
+/// pin guarantees they are never freed, until this snapshot drops.
+pub struct Snapshot<const D: usize, O: SpatialObject<D> = Point<D>> {
+    tree: RTree<D, O>,
+    epoch: u64,
+    shared: Arc<LiveShared>,
+}
+
+impl<const D: usize, O: SpatialObject<D>> Snapshot<D, O> {
+    /// The snapshot's tree.
+    pub fn tree(&self) -> &RTree<D, O> {
+        &self.tree
+    }
+
+    /// The epoch this snapshot pinned.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl<const D: usize, O: SpatialObject<D>> Drop for Snapshot<D, O> {
+    fn drop(&mut self) {
+        let shared = Arc::clone(&self.shared);
+        self.shared
+            .epochs
+            .unpin(self.epoch, &mut |p| shared.free_page(p));
+    }
+}
+
+impl<const D: usize, O: SpatialObject<D>> LiveTree<D, O> {
+    /// A live tree over an in-memory page file, without a WAL (snapshots
+    /// and continuous queries work; durability does not apply).
+    pub fn new_in_memory(params: RTreeParams, cfg: &LiveConfig) -> LiveResult<Self> {
+        let pool = Arc::new(BufferPool::with_lru(
+            Box::new(MemPageFile::new(cfg.page_size)),
+            cfg.capacity,
+        ));
+        Self::from_parts(pool, params, None, cfg.checkpoint_every, 1)
+    }
+
+    /// Creates a durable live tree in `dir` (a data file plus a WAL
+    /// directory), writing the initial empty checkpoint so recovery
+    /// always has a base.
+    pub fn create(dir: &Path, params: RTreeParams, cfg: &LiveConfig) -> LiveResult<Self> {
+        std::fs::create_dir_all(dir)?;
+        let file = DiskPageFile::create(dir.join(DATA_FILE), cfg.page_size)?;
+        let pool = Arc::new(BufferPool::with_lru(Box::new(file), cfg.capacity));
+        let wal_dir = dir.join(WAL_DIR);
+        std::fs::create_dir_all(&wal_dir)?;
+        let wal = Wal::create(&wal_dir, cfg.wal.clone())?;
+        let tree = Self::from_parts(pool, params, Some(wal), cfg.checkpoint_every, 1)?;
+        // Base checkpoint: rotates to a segment whose first record is an
+        // intact Checkpoint, which is what recovery scans for.
+        tree.checkpoint()?;
+        Ok(tree)
+    }
+
+    /// Assembles a live tree from recovered (or fresh) parts. The tree
+    /// must describe committed state already present in `pool`.
+    pub(crate) fn from_parts(
+        pool: Arc<BufferPool>,
+        params: RTreeParams,
+        wal: Option<Wal>,
+        checkpoint_every: u64,
+        next_op_id: u64,
+    ) -> LiveResult<Self> {
+        Self::from_descriptor_parts(
+            pool,
+            params,
+            (PageId::INVALID, 0, 0),
+            wal,
+            checkpoint_every,
+            next_op_id,
+        )
+    }
+
+    /// [`from_parts`](Self::from_parts) at a non-empty descriptor (the
+    /// recovery path).
+    pub(crate) fn from_descriptor_parts(
+        pool: Arc<BufferPool>,
+        params: RTreeParams,
+        descriptor: (PageId, u8, u64),
+        wal: Option<Wal>,
+        checkpoint_every: u64,
+        next_op_id: u64,
+    ) -> LiveResult<Self> {
+        let mut tree = RTree::from_descriptor_shared(Arc::clone(&pool), params, descriptor)?;
+        tree.cow_enable();
+        let shared = Arc::new(LiveShared {
+            pool,
+            epochs: EpochRegistry::new(descriptor),
+            free_failures: AtomicU64::new(0),
+        });
+        Ok(LiveTree {
+            shared,
+            writer: Mutex::new(WriterState {
+                tree,
+                next_op_id,
+                ops_since_checkpoint: 0,
+                dpt: HashMap::new(),
+                inserts: 0,
+                deletes: 0,
+                delete_misses: 0,
+                checkpoints: 0,
+            }),
+            wal,
+            params,
+            checkpoint_every,
+        })
+    }
+
+    /// Inserts `(object, oid)`; durable (when WAL-backed) and published
+    /// to snapshot readers on return.
+    pub fn insert(&self, object: O, oid: u64) -> LiveResult<()> {
+        let mut st = self.writer.lock().expect("live writer poisoned");
+        self.apply_locked(&mut st, OpKind::Insert, object, oid)?;
+        Ok(())
+    }
+
+    /// Deletes `(object, oid)`; returns whether the object was found.
+    /// The operation is logged and committed either way, so replicas
+    /// replaying the log agree on the op stream.
+    pub fn delete(&self, object: O, oid: u64) -> LiveResult<bool> {
+        let mut st = self.writer.lock().expect("live writer poisoned");
+        self.apply_locked(&mut st, OpKind::Delete, object, oid)
+    }
+
+    /// One logical operation under the writer lock: WAL records, COW tree
+    /// op, group commit, epoch publish, auto-checkpoint.
+    fn apply_locked(
+        &self,
+        st: &mut WriterState<D, O>,
+        op: OpKind,
+        object: O,
+        oid: u64,
+    ) -> LiveResult<bool> {
+        let op_id = st.next_op_id;
+        st.next_op_id += 1;
+        if let Some(wal) = &self.wal {
+            let mut obj = vec![0u8; O::encoded_size()];
+            object.encode(&mut obj);
+            wal.append(&RecordBody::OpBegin {
+                op_id,
+                op,
+                side: 0,
+                oid,
+                obj,
+            });
+        }
+        let found = match op {
+            OpKind::Insert => {
+                st.tree.insert(object, oid)?;
+                st.inserts += 1;
+                true
+            }
+            OpKind::Delete => {
+                let found = st.tree.delete(object, oid)?;
+                if found {
+                    st.deletes += 1;
+                } else {
+                    st.delete_misses += 1;
+                }
+                found
+            }
+        };
+        let delta = st.tree.cow_take();
+        let descriptor = st.tree.descriptor();
+        if let Some(wal) = &self.wal {
+            for &p in &delta.allocated {
+                wal.append(&RecordBody::PageAlloc { op_id, page: p.0 });
+            }
+            for &p in &delta.allocated {
+                let image = self.shared.pool.read_page(p)?;
+                let lsn = wal.append(&RecordBody::PageWrite {
+                    op_id,
+                    page: p.0,
+                    image: image.to_vec(),
+                });
+                st.dpt.entry(p.0).or_insert(lsn);
+            }
+            for &p in &delta.retired {
+                wal.append(&RecordBody::PageFree { op_id, page: p.0 });
+            }
+            let commit_lsn = wal.append(&RecordBody::Commit {
+                op_id,
+                root: descriptor.0 .0,
+                height: descriptor.1,
+                len: descriptor.2,
+            });
+            // Durability before visibility: readers must never pin state
+            // a crash would roll back.
+            wal.commit(commit_lsn)?;
+        }
+        let shared = Arc::clone(&self.shared);
+        self.shared
+            .epochs
+            .publish(descriptor, delta.retired, &mut |p| shared.free_page(p));
+        st.ops_since_checkpoint += 1;
+        if self.wal.is_some()
+            && self.checkpoint_every > 0
+            && st.ops_since_checkpoint >= self.checkpoint_every
+        {
+            self.checkpoint_locked(st)?;
+        }
+        Ok(found)
+    }
+
+    /// Takes a sharp checkpoint: flush the WAL through every dirty page's
+    /// recLSN, sync the data file, then write a checkpoint record that
+    /// starts a fresh segment and truncates the old log.
+    pub fn checkpoint(&self) -> LiveResult<Lsn> {
+        let mut st = self.writer.lock().expect("live writer poisoned");
+        self.checkpoint_locked(&mut st)
+    }
+
+    fn checkpoint_locked(&self, st: &mut WriterState<D, O>) -> LiveResult<Lsn> {
+        let Some(wal) = &self.wal else {
+            return Err(LiveError::Invalid(
+                "checkpoint on a memory-only live tree".into(),
+            ));
+        };
+        // WAL-before-data: every recLSN in the dirty-page table must be
+        // durable before the data pages may be declared the new base.
+        // flush_all covers the whole appended log, a superset.
+        wal.flush_all()?;
+        self.shared.pool.sync()?;
+        st.dpt.clear();
+        let descriptor = st.tree.descriptor();
+        let lsn = wal.checkpoint(&RecordBody::Checkpoint {
+            root: descriptor.0 .0,
+            height: descriptor.1,
+            len: descriptor.2,
+            num_pages: self.shared.pool.num_pages(),
+            next_op_id: st.next_op_id,
+            dpt: Vec::new(),
+        })?;
+        st.ops_since_checkpoint = 0;
+        st.checkpoints += 1;
+        Ok(lsn)
+    }
+
+    /// Pins the current epoch and returns a consistent read-only view.
+    pub fn snapshot(&self) -> LiveResult<Snapshot<D, O>> {
+        let (epoch, descriptor) = self.shared.epochs.pin();
+        match RTree::from_descriptor_shared(Arc::clone(&self.shared.pool), self.params, descriptor)
+        {
+            Ok(tree) => Ok(Snapshot {
+                tree,
+                epoch,
+                shared: Arc::clone(&self.shared),
+            }),
+            Err(e) => {
+                let shared = Arc::clone(&self.shared);
+                self.shared
+                    .epochs
+                    .unpin(epoch, &mut |p| shared.free_page(p));
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Number of indexed objects in the latest committed state.
+    pub fn len(&self) -> u64 {
+        self.shared.epochs.current().1 .2
+    }
+
+    /// `true` when the latest committed state is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The tree parameters.
+    pub fn params(&self) -> RTreeParams {
+        self.params
+    }
+
+    /// The shared buffer pool (for I/O counters in benchmarks/metrics).
+    pub fn pool(&self) -> &BufferPool {
+        &self.shared.pool
+    }
+
+    /// Counter snapshot for metrics.
+    pub fn stats(&self) -> LiveStats {
+        let st = self.writer.lock().expect("live writer poisoned");
+        LiveStats {
+            inserts: st.inserts,
+            deletes: st.deletes,
+            delete_misses: st.delete_misses,
+            checkpoints: st.checkpoints,
+            epoch: self.shared.epochs.stats(),
+            wal: self.wal.as_ref().map(|w| w.stats()),
+            // ordering: Relaxed — monotonic counter, no ordering
+            // dependency with other memory.
+            free_failures: self.shared.free_failures.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Per-batch application summary returned by [`LiveSet::apply`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApplyReport {
+    /// Operations applied (every op in the batch).
+    pub applied: usize,
+    /// Deletes that found no matching object.
+    pub delete_misses: usize,
+}
+
+/// The P/Q pair of live trees, with optional continuous K-CPQ
+/// maintenance over the update stream.
+pub struct LiveSet<const D: usize, O: SpatialObject<D> = Point<D>> {
+    p: LiveTree<D, O>,
+    q: LiveTree<D, O>,
+    cont: Mutex<Option<ContinuousCpq<D, O>>>,
+}
+
+impl<const D: usize, O: SpatialObject<D>> LiveSet<D, O> {
+    /// A memory-only pair (no WAL).
+    pub fn new_in_memory(params: RTreeParams, cfg: &LiveConfig) -> LiveResult<Self> {
+        Ok(LiveSet {
+            p: LiveTree::new_in_memory(params, cfg)?,
+            q: LiveTree::new_in_memory(params, cfg)?,
+            cont: Mutex::new(None),
+        })
+    }
+
+    /// A durable pair under `dir` (`dir/p` and `dir/q`).
+    pub fn create(dir: &Path, params: RTreeParams, cfg: &LiveConfig) -> LiveResult<Self> {
+        Ok(LiveSet {
+            p: LiveTree::create(&dir.join("p"), params, cfg)?,
+            q: LiveTree::create(&dir.join("q"), params, cfg)?,
+            cont: Mutex::new(None),
+        })
+    }
+
+    /// Wraps two live trees (e.g. after recovery).
+    pub fn from_trees(p: LiveTree<D, O>, q: LiveTree<D, O>) -> Self {
+        LiveSet {
+            p,
+            q,
+            cont: Mutex::new(None),
+        }
+    }
+
+    /// The P tree.
+    pub fn p(&self) -> &LiveTree<D, O> {
+        &self.p
+    }
+
+    /// The Q tree.
+    pub fn q(&self) -> &LiveTree<D, O> {
+        &self.q
+    }
+
+    /// The tree an op side targets.
+    pub fn side(&self, side: Side) -> &LiveTree<D, O> {
+        match side {
+            Side::P => &self.p,
+            Side::Q => &self.q,
+        }
+    }
+
+    /// Installs (or replaces) a continuous cross-tree K-CPQ of size `k`,
+    /// primed from the current committed state. Subsequent
+    /// [`apply`](Self::apply) batches maintain it incrementally.
+    pub fn watch(&self, k: usize) -> LiveResult<()> {
+        let cont = ContinuousCpq::new_cross(k, &self.p.snapshot()?, &self.q.snapshot()?)?;
+        *self.cont.lock().expect("continuous watcher poisoned") = Some(cont);
+        Ok(())
+    }
+
+    /// Stops continuous maintenance.
+    pub fn unwatch(&self) {
+        *self.cont.lock().expect("continuous watcher poisoned") = None;
+    }
+
+    /// The current continuous result set (pairs in the canonical order),
+    /// or `None` when no watcher is installed.
+    pub fn watched_pairs(&self) -> Option<Vec<cpq_core::PairResult<D, O>>> {
+        self.cont
+            .lock()
+            .expect("continuous watcher poisoned")
+            .as_ref()
+            .map(|c| c.pairs())
+    }
+
+    /// Applies a batch of updates in order. Each op is individually
+    /// durable and published before the next starts; the installed
+    /// watcher (if any) is maintained incrementally after each op.
+    pub fn apply(&self, ops: &[UpdateOp<D, O>]) -> LiveResult<ApplyReport> {
+        let mut report = ApplyReport::default();
+        for op in ops {
+            let mut cont = self.cont.lock().expect("continuous watcher poisoned");
+            match *op {
+                UpdateOp::Insert { side, object, oid } => {
+                    self.side(side).insert(object, oid)?;
+                    if let Some(c) = cont.as_mut() {
+                        c.on_insert(side, object, oid, &self.p.snapshot()?, &self.q.snapshot()?)?;
+                    }
+                }
+                UpdateOp::Delete { side, object, oid } => {
+                    let found = self.side(side).delete(object, oid)?;
+                    if !found {
+                        report.delete_misses += 1;
+                    }
+                    if found {
+                        if let Some(c) = cont.as_mut() {
+                            c.on_delete(side, oid, &self.p.snapshot()?, &self.q.snapshot()?)?;
+                        }
+                    }
+                }
+            }
+            report.applied += 1;
+        }
+        Ok(report)
+    }
+
+    /// Combined counter snapshot `(P, Q)`.
+    pub fn stats(&self) -> (LiveStats, LiveStats) {
+        (self.p.stats(), self.q.stats())
+    }
+}

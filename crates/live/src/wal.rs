@@ -1,0 +1,1148 @@
+//! Write-ahead log: append-only segments, LSN-stamped records, CRC32 per
+//! record, group-commit fsync batching.
+//!
+//! ## Format
+//!
+//! The log lives in its own directory as a sequence of *segments*
+//! `wal-NNNNNNNN.log`. Every segment starts with an 8-byte header (magic
+//! `RPQW`, format version) followed by records:
+//!
+//! ```text
+//! [body_len: u32 LE] [body] [crc32(body): u32 LE]
+//! body = [kind: u8] [lsn: u64 LE] [payload...]
+//! ```
+//!
+//! The CRC (the same table-driven CRC-32/ISO-HDLC as the page trailers,
+//! [`cpq_storage::crc32`]) covers the whole body, so a torn tail — a crash
+//! mid-write — is detected as a short or mismatching record and treated as
+//! the end of the log, never as corruption of earlier records.
+//!
+//! Records are *physiological*: page-level after-images
+//! ([`RecordBody::PageWrite`]) carry the exact bytes redo must install,
+//! while [`RecordBody::OpBegin`] carries the logical operation (insert or
+//! delete of one object) so recovery and audit tooling can reason about
+//! intent. A [`RecordBody::Commit`] seals an operation and carries the
+//! tree descriptor the operation published; a [`RecordBody::Checkpoint`]
+//! opens every segment, carrying the descriptor plus the dirty-page table
+//! so redo starts from a known-durable base.
+//!
+//! ## Rotation
+//!
+//! A checkpoint *rotates* the log: the checkpoint record is written as the
+//! first record of a brand-new segment, fsynced, and only then are older
+//! segments deleted. A crash inside that window leaves either the old
+//! segments (new segment's checkpoint torn → recovery falls back to the
+//! previous segment) or both (recovery picks the newest segment with an
+//! intact leading checkpoint); both outcomes recover correctly.
+//!
+//! ## Group commit
+//!
+//! [`Wal::commit`] batches fsyncs: the first committer whose LSN is not
+//! yet durable becomes the *flush leader*, drains everything buffered so
+//! far with one write + fsync, and wakes the others; committers that
+//! arrive while a flush is in flight just wait, and usually find their
+//! record covered by the leader's batch. The protocol lives in
+//! [`GroupCommit`] — concurrent model-check site #8 (see the
+//! `model_tests` module) with a pinned broken twin that publishes the
+//! durable LSN it *observed at entry* instead of the LSN the flush
+//! actually covered.
+
+use crate::error::{LiveError, LiveResult};
+use cpq_check::sync::{Condvar, Mutex};
+use cpq_storage::crc32;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Log sequence number. LSN 0 means "none"; real records start at 1.
+pub type Lsn = u64;
+
+/// Segment header magic: `RPQW` (the page-file magic's sibling).
+const WAL_MAGIC: u32 = 0x5250_5157;
+/// Format version.
+const WAL_VERSION: u32 = 1;
+/// Segment header length in bytes.
+pub const SEGMENT_HEADER_LEN: u64 = 8;
+/// Sanity cap on a single record body (a page image plus slack).
+const MAX_BODY_LEN: usize = 1 << 26;
+
+const KIND_OP_BEGIN: u8 = 1;
+const KIND_PAGE_WRITE: u8 = 2;
+const KIND_PAGE_ALLOC: u8 = 3;
+const KIND_PAGE_FREE: u8 = 4;
+const KIND_COMMIT: u8 = 5;
+const KIND_CHECKPOINT: u8 = 6;
+
+/// The logical operation kind inside an [`RecordBody::OpBegin`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Insert one object.
+    Insert,
+    /// Delete one object.
+    Delete,
+}
+
+/// A decoded WAL record body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordBody {
+    /// Start of a logical operation: which object is inserted or deleted
+    /// on which tree side. `obj` is the object's fixed-size encoding.
+    OpBegin {
+        /// Monotonic operation id.
+        op_id: u64,
+        /// Insert or delete.
+        op: OpKind,
+        /// Tree side (0 = P, 1 = Q; a single live tree always logs 0).
+        side: u8,
+        /// Application object id.
+        oid: u64,
+        /// `SpatialObject::encode` bytes.
+        obj: Vec<u8>,
+    },
+    /// Physiological after-image of one page the operation wrote.
+    PageWrite {
+        /// Owning operation.
+        op_id: u64,
+        /// Raw page index.
+        page: u32,
+        /// Full page image (`page_size` bytes).
+        image: Vec<u8>,
+    },
+    /// The operation allocated this page (copy-on-write fresh page).
+    PageAlloc {
+        /// Owning operation.
+        op_id: u64,
+        /// Raw page index.
+        page: u32,
+    },
+    /// The operation retired this pre-existing page.
+    PageFree {
+        /// Owning operation.
+        op_id: u64,
+        /// Raw page index.
+        page: u32,
+    },
+    /// Seals an operation and publishes its tree descriptor.
+    Commit {
+        /// Operation being sealed.
+        op_id: u64,
+        /// New root page (`u32::MAX` encodes an empty tree).
+        root: u32,
+        /// New height.
+        height: u8,
+        /// New object count.
+        len: u64,
+    },
+    /// Leading record of every segment: the durable base state.
+    Checkpoint {
+        /// Root page at checkpoint (`u32::MAX` = empty).
+        root: u32,
+        /// Height at checkpoint.
+        height: u8,
+        /// Object count at checkpoint.
+        len: u64,
+        /// Pages in the data file at checkpoint.
+        num_pages: u32,
+        /// Next operation id to hand out.
+        next_op_id: u64,
+        /// Dirty-page table at checkpoint: `(page, recLSN)` pairs. Sharp
+        /// checkpoints sync the data file first, so this is empty in the
+        /// normal path; it is logged anyway so the WAL-before-data
+        /// enforcement point is auditable.
+        dpt: Vec<(u32, Lsn)>,
+    },
+}
+
+/// A decoded record with its LSN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// The record's log sequence number.
+    pub lsn: Lsn,
+    /// The decoded body.
+    pub body: RecordBody,
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Option<u8> {
+        let v = *self.buf.get(self.at)?;
+        self.at += 1;
+        Some(v)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let bytes = self.buf.get(self.at..self.at + 4)?;
+        self.at += 4;
+        // lint: allow(expect) — a 4-byte slice always converts.
+        Some(u32::from_le_bytes(bytes.try_into().expect("4-byte slice")))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let bytes = self.buf.get(self.at..self.at + 8)?;
+        self.at += 8;
+        // lint: allow(expect) — an 8-byte slice always converts.
+        Some(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
+    }
+
+    fn bytes(&mut self, n: usize) -> Option<Vec<u8>> {
+        let v = self.buf.get(self.at..self.at + n)?.to_vec();
+        self.at += n;
+        Some(v)
+    }
+
+    fn done(&self) -> bool {
+        self.at == self.buf.len()
+    }
+}
+
+/// Serializes one record (length prefix + body + CRC) into `out`.
+fn encode_record(out: &mut Vec<u8>, lsn: Lsn, body: &RecordBody) {
+    let mut b: Vec<u8> = Vec::with_capacity(32);
+    let kind = match body {
+        RecordBody::OpBegin { .. } => KIND_OP_BEGIN,
+        RecordBody::PageWrite { .. } => KIND_PAGE_WRITE,
+        RecordBody::PageAlloc { .. } => KIND_PAGE_ALLOC,
+        RecordBody::PageFree { .. } => KIND_PAGE_FREE,
+        RecordBody::Commit { .. } => KIND_COMMIT,
+        RecordBody::Checkpoint { .. } => KIND_CHECKPOINT,
+    };
+    b.push(kind);
+    put_u64(&mut b, lsn);
+    match body {
+        RecordBody::OpBegin {
+            op_id,
+            op,
+            side,
+            oid,
+            obj,
+        } => {
+            put_u64(&mut b, *op_id);
+            b.push(match op {
+                OpKind::Insert => 0,
+                OpKind::Delete => 1,
+            });
+            b.push(*side);
+            put_u64(&mut b, *oid);
+            put_u32(&mut b, obj.len() as u32);
+            b.extend_from_slice(obj);
+        }
+        RecordBody::PageWrite { op_id, page, image } => {
+            put_u64(&mut b, *op_id);
+            put_u32(&mut b, *page);
+            put_u32(&mut b, image.len() as u32);
+            b.extend_from_slice(image);
+        }
+        RecordBody::PageAlloc { op_id, page } | RecordBody::PageFree { op_id, page } => {
+            put_u64(&mut b, *op_id);
+            put_u32(&mut b, *page);
+        }
+        RecordBody::Commit {
+            op_id,
+            root,
+            height,
+            len,
+        } => {
+            put_u64(&mut b, *op_id);
+            put_u32(&mut b, *root);
+            b.push(*height);
+            put_u64(&mut b, *len);
+        }
+        RecordBody::Checkpoint {
+            root,
+            height,
+            len,
+            num_pages,
+            next_op_id,
+            dpt,
+        } => {
+            put_u32(&mut b, *root);
+            b.push(*height);
+            put_u64(&mut b, *len);
+            put_u32(&mut b, *num_pages);
+            put_u64(&mut b, *next_op_id);
+            put_u32(&mut b, dpt.len() as u32);
+            for (page, rec_lsn) in dpt {
+                put_u32(&mut b, *page);
+                put_u64(&mut b, *rec_lsn);
+            }
+        }
+    }
+    put_u32(out, b.len() as u32);
+    let crc = crc32(&b);
+    out.extend_from_slice(&b);
+    put_u32(out, crc);
+}
+
+/// Decodes one body. `None` on any structural problem (treated by readers
+/// as a torn tail).
+fn decode_body(body: &[u8]) -> Option<WalRecord> {
+    let mut c = Cursor { buf: body, at: 0 };
+    let kind = c.u8()?;
+    let lsn = c.u64()?;
+    let body = match kind {
+        KIND_OP_BEGIN => {
+            let op_id = c.u64()?;
+            let op = match c.u8()? {
+                0 => OpKind::Insert,
+                1 => OpKind::Delete,
+                _ => return None,
+            };
+            let side = c.u8()?;
+            let oid = c.u64()?;
+            let n = c.u32()? as usize;
+            let obj = c.bytes(n)?;
+            RecordBody::OpBegin {
+                op_id,
+                op,
+                side,
+                oid,
+                obj,
+            }
+        }
+        KIND_PAGE_WRITE => {
+            let op_id = c.u64()?;
+            let page = c.u32()?;
+            let n = c.u32()? as usize;
+            let image = c.bytes(n)?;
+            RecordBody::PageWrite { op_id, page, image }
+        }
+        KIND_PAGE_ALLOC | KIND_PAGE_FREE => {
+            let op_id = c.u64()?;
+            let page = c.u32()?;
+            if kind == KIND_PAGE_ALLOC {
+                RecordBody::PageAlloc { op_id, page }
+            } else {
+                RecordBody::PageFree { op_id, page }
+            }
+        }
+        KIND_COMMIT => {
+            let op_id = c.u64()?;
+            let root = c.u32()?;
+            let height = c.u8()?;
+            let len = c.u64()?;
+            RecordBody::Commit {
+                op_id,
+                root,
+                height,
+                len,
+            }
+        }
+        KIND_CHECKPOINT => {
+            let root = c.u32()?;
+            let height = c.u8()?;
+            let len = c.u64()?;
+            let num_pages = c.u32()?;
+            let next_op_id = c.u64()?;
+            let n = c.u32()? as usize;
+            let mut dpt = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                dpt.push((c.u32()?, c.u64()?));
+            }
+            RecordBody::Checkpoint {
+                root,
+                height,
+                len,
+                num_pages,
+                next_op_id,
+                dpt,
+            }
+        }
+        _ => return None,
+    };
+    if !c.done() {
+        return None; // trailing garbage inside a CRC-valid body
+    }
+    Some(WalRecord { lsn, body })
+}
+
+/// WAL configuration.
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Call `fsync` on flush. Turning this off (tests, benches) keeps all
+    /// ordering and bookkeeping but skips the physical sync.
+    pub sync: bool,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig { sync: true }
+    }
+}
+
+/// Counters exposed through `cpq_wal_*` metrics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WalStats {
+    /// Records appended.
+    pub records: u64,
+    /// Bytes appended (including framing).
+    pub bytes: u64,
+    /// Commit calls (acknowledged durability waits).
+    pub commits: u64,
+    /// Physical flushes (each at most one fsync). Under concurrent
+    /// committers this stays below `commits` — the group-commit win.
+    pub flushes: u64,
+    /// Checkpoints taken (= segment rotations).
+    pub checkpoints: u64,
+    /// Highest LSN assigned.
+    pub appended_lsn: Lsn,
+    /// Highest LSN known durable.
+    pub durable_lsn: Lsn,
+}
+
+/// The group-commit protocol: leader election over a buffered log tail.
+///
+/// Tracks two watermarks — `appended` (highest LSN serialized into the
+/// buffer) and `durable` (highest LSN the backing store has acknowledged).
+/// [`commit`](Self::commit) blocks until `durable >= lsn`, electing the
+/// caller as flush leader when no flush is in flight. The flush callback
+/// returns the LSN its write+sync actually covered; publishing *that*
+/// value (not the appended watermark observed at entry) is what makes the
+/// protocol correct — see the broken twin in the model tests.
+pub struct GroupCommit {
+    state: Mutex<GcState>,
+    durable_cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct GcState {
+    durable: Lsn,
+    flushing: bool,
+    commits: u64,
+    flushes: u64,
+}
+
+impl GroupCommit {
+    /// New protocol state with nothing durable.
+    pub fn new() -> Self {
+        GroupCommit {
+            state: Mutex::new(GcState::default()),
+            durable_cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until `lsn` is durable. `flush` makes everything currently
+    /// buffered durable and returns the covered LSN; it runs outside the
+    /// protocol lock so followers can enqueue while the leader syncs.
+    pub fn commit<F>(&self, lsn: Lsn, mut flush: F) -> LiveResult<()>
+    where
+        F: FnMut() -> LiveResult<Lsn>,
+    {
+        let mut st = self.state.lock().expect("group-commit state poisoned");
+        st.commits += 1;
+        loop {
+            if st.durable >= lsn {
+                return Ok(());
+            }
+            if !st.flushing {
+                st.flushing = true;
+                drop(st);
+                let res = flush();
+                st = self.state.lock().expect("group-commit state poisoned");
+                st.flushing = false;
+                match res {
+                    Ok(covered) => {
+                        st.durable = st.durable.max(covered);
+                        st.flushes += 1;
+                        self.durable_cv.notify_all();
+                        // Loop: if a follower appended past `covered`
+                        // while we were flushing and that follower is us
+                        // (lsn > covered), we flush again.
+                    }
+                    Err(e) => {
+                        // Wake waiters so they retry (and elect a new
+                        // leader) instead of sleeping forever.
+                        self.durable_cv.notify_all();
+                        return Err(e);
+                    }
+                }
+            } else {
+                st = self
+                    .durable_cv
+                    .wait(st)
+                    .expect("group-commit state poisoned");
+            }
+        }
+    }
+
+    /// The pinned **broken twin** of [`commit`](Self::commit): the leader
+    /// snapshots the caller-supplied `appended` watermark *before*
+    /// flushing and publishes that instead of what the flush covered. A
+    /// follower that appends between the leader's buffer drain and its
+    /// publish gets acknowledged without its record ever being synced.
+    #[cfg(all(test, cpq_model))]
+    pub fn commit_broken_publish_appended<F, A>(
+        &self,
+        lsn: Lsn,
+        mut flush: F,
+        appended: A,
+    ) -> LiveResult<()>
+    where
+        F: FnMut() -> LiveResult<Lsn>,
+        A: Fn() -> Lsn,
+    {
+        let mut st = self.state.lock().expect("group-commit state poisoned");
+        st.commits += 1;
+        loop {
+            if st.durable >= lsn {
+                return Ok(());
+            }
+            if !st.flushing {
+                st.flushing = true;
+                drop(st);
+                let _ = flush()?;
+                // BUG: reads the appended watermark *after* the flush
+                // drained the buffer — records appended in that window
+                // are claimed durable without having been flushed.
+                let claimed = appended();
+                st = self.state.lock().expect("group-commit state poisoned");
+                st.flushing = false;
+                st.durable = st.durable.max(claimed);
+                st.flushes += 1;
+                self.durable_cv.notify_all();
+            } else {
+                st = self
+                    .durable_cv
+                    .wait(st)
+                    .expect("group-commit state poisoned");
+            }
+        }
+    }
+
+    /// Records an out-of-band flush (checkpoint path).
+    fn note_durable(&self, lsn: Lsn) {
+        let mut st = self.state.lock().expect("group-commit state poisoned");
+        if lsn > st.durable {
+            st.durable = lsn;
+            self.durable_cv.notify_all();
+        }
+    }
+
+    fn snapshot(&self) -> (Lsn, u64, u64) {
+        let st = self.state.lock().expect("group-commit state poisoned");
+        (st.durable, st.commits, st.flushes)
+    }
+}
+
+impl Default for GroupCommit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct WalInner {
+    dir: PathBuf,
+    file: File,
+    seg_seq: u64,
+    /// Records serialized but not yet written to the segment file.
+    buf: Vec<u8>,
+    next_lsn: Lsn,
+    /// Highest LSN serialized into `buf`/the file.
+    appended_lsn: Lsn,
+    records: u64,
+    bytes: u64,
+    checkpoints: u64,
+}
+
+/// The write-ahead log over one directory of segment files.
+pub struct Wal {
+    inner: Mutex<WalInner>,
+    gc: GroupCommit,
+    cfg: WalConfig,
+}
+
+/// `wal-NNNNNNNN.log` for segment `seq`.
+fn segment_name(seq: u64) -> String {
+    format!("wal-{seq:08}.log")
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(segment_name(seq))
+}
+
+/// Lists `(seq, path)` of all segments in `dir`, ascending.
+pub fn list_segments(dir: &Path) -> LiveResult<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(seq) = name
+            .strip_prefix("wal-")
+            .and_then(|s| s.strip_suffix(".log"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn new_segment_file(dir: &Path, seq: u64) -> LiveResult<File> {
+    let mut file = OpenOptions::new()
+        .create(true)
+        .truncate(true)
+        .write(true)
+        .open(segment_path(dir, seq))?;
+    let mut header = Vec::with_capacity(SEGMENT_HEADER_LEN as usize);
+    put_u32(&mut header, WAL_MAGIC);
+    put_u32(&mut header, WAL_VERSION);
+    file.write_all(&header)?;
+    Ok(file)
+}
+
+impl Wal {
+    /// Creates a fresh log in `dir` (created if missing). The first
+    /// checkpoint record must follow immediately — use
+    /// [`checkpoint`](Self::checkpoint) before logging operations.
+    pub fn create(dir: &Path, cfg: WalConfig) -> LiveResult<Self> {
+        fs::create_dir_all(dir)?;
+        Self::with_segment(dir, cfg, 1, 1)
+    }
+
+    /// Opens a log positioned at a brand-new segment `seg_seq` handing out
+    /// LSNs from `next_lsn` — the recovery path, which has already scanned
+    /// the existing segments.
+    pub fn with_segment(
+        dir: &Path,
+        cfg: WalConfig,
+        seg_seq: u64,
+        next_lsn: Lsn,
+    ) -> LiveResult<Self> {
+        let file = new_segment_file(dir, seg_seq)?;
+        Ok(Wal {
+            inner: Mutex::new(WalInner {
+                dir: dir.to_path_buf(),
+                file,
+                seg_seq,
+                buf: Vec::new(),
+                next_lsn,
+                appended_lsn: next_lsn.saturating_sub(1),
+                records: 0,
+                bytes: 0,
+                checkpoints: 0,
+            }),
+            gc: GroupCommit::new(),
+            cfg,
+        })
+    }
+
+    /// Appends one record, returning its LSN. The record is buffered; it
+    /// becomes durable at the next [`commit`](Self::commit) /
+    /// [`checkpoint`](Self::checkpoint).
+    pub fn append(&self, body: &RecordBody) -> Lsn {
+        let mut inner = self.inner.lock().expect("wal state poisoned");
+        let lsn = inner.next_lsn;
+        inner.next_lsn += 1;
+        let before = inner.buf.len();
+        let mut buf = std::mem::take(&mut inner.buf);
+        encode_record(&mut buf, lsn, body);
+        let added = (buf.len() - before) as u64;
+        inner.buf = buf;
+        inner.appended_lsn = lsn;
+        inner.records += 1;
+        inner.bytes += added;
+        lsn
+    }
+
+    /// Drains the buffer into the current segment file and (when
+    /// configured) fsyncs it. Returns the LSN the write covered.
+    fn flush_now(&self) -> LiveResult<Lsn> {
+        let mut inner = self.inner.lock().expect("wal state poisoned");
+        let covered = inner.appended_lsn;
+        if !inner.buf.is_empty() {
+            let buf = std::mem::take(&mut inner.buf);
+            inner.file.write_all(&buf)?;
+        }
+        if self.cfg.sync {
+            inner.file.sync_data()?;
+        }
+        Ok(covered)
+    }
+
+    /// Group commit: blocks until `lsn` is durable (one fsync may cover
+    /// many committers).
+    pub fn commit(&self, lsn: Lsn) -> LiveResult<()> {
+        self.gc.commit(lsn, || self.flush_now())
+    }
+
+    /// Makes everything appended so far durable.
+    pub fn flush_all(&self) -> LiveResult<Lsn> {
+        let target = self.inner.lock().expect("wal state poisoned").appended_lsn;
+        if target > 0 {
+            self.gc.commit(target, || self.flush_now())?;
+        }
+        Ok(target)
+    }
+
+    /// Writes `checkpoint` as the first record of a brand-new segment and
+    /// deletes older segments once it is durable. The caller must have
+    /// made the data file durable first (WAL-before-data is enforced one
+    /// level up, by the dirty-page table).
+    pub fn checkpoint(&self, checkpoint: &RecordBody) -> LiveResult<Lsn> {
+        debug_assert!(matches!(checkpoint, RecordBody::Checkpoint { .. }));
+        // Seal the current segment: everything buffered must be durable
+        // before the old segments become deletable.
+        self.flush_all()?;
+        let mut inner = self.inner.lock().expect("wal state poisoned");
+        let old_seq = inner.seg_seq;
+        let new_seq = old_seq + 1;
+        let mut file = new_segment_file(&inner.dir, new_seq)?;
+        let lsn = inner.next_lsn;
+        inner.next_lsn += 1;
+        let mut buf = Vec::new();
+        encode_record(&mut buf, lsn, checkpoint);
+        file.write_all(&buf)?;
+        if self.cfg.sync {
+            file.sync_data()?;
+        }
+        inner.file = file;
+        inner.seg_seq = new_seq;
+        inner.appended_lsn = lsn;
+        inner.records += 1;
+        inner.bytes += buf.len() as u64;
+        inner.checkpoints += 1;
+        // The new checkpoint is durable: older segments are dead weight.
+        let dir = inner.dir.clone();
+        drop(inner);
+        self.gc.note_durable(lsn);
+        for (seq, path) in list_segments(&dir)? {
+            if seq < new_seq {
+                fs::remove_file(path)?;
+            }
+        }
+        Ok(lsn)
+    }
+
+    /// Highest LSN assigned so far.
+    pub fn appended_lsn(&self) -> Lsn {
+        self.inner.lock().expect("wal state poisoned").appended_lsn
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> WalStats {
+        let (durable, commits, flushes) = self.gc.snapshot();
+        let inner = self.inner.lock().expect("wal state poisoned");
+        WalStats {
+            records: inner.records,
+            bytes: inner.bytes,
+            commits,
+            flushes,
+            checkpoints: inner.checkpoints,
+            appended_lsn: inner.appended_lsn,
+            durable_lsn: durable,
+        }
+    }
+}
+
+/// One segment's scan result.
+#[derive(Debug)]
+pub struct SegmentScan {
+    /// Segment sequence number.
+    pub seq: u64,
+    /// Records decoded, in order, with the byte offset just *after* each
+    /// record (crash-point enumeration for the fault harness).
+    pub records: Vec<(u64, WalRecord)>,
+    /// `false` when the scan stopped early at a torn/corrupt record.
+    pub clean: bool,
+}
+
+/// Scans one segment file, stopping (not failing) at the first torn or
+/// CRC-mismatching record — the ARIES "end of log" rule.
+pub fn scan_segment(seq: u64, path: &Path) -> LiveResult<SegmentScan> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let mut scan = SegmentScan {
+        seq,
+        records: Vec::new(),
+        clean: false,
+    };
+    if bytes.len() < SEGMENT_HEADER_LEN as usize {
+        return Ok(scan);
+    }
+    let magic = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if magic != WAL_MAGIC || version != WAL_VERSION {
+        return Ok(scan);
+    }
+    let mut at = SEGMENT_HEADER_LEN as usize;
+    loop {
+        if at == bytes.len() {
+            scan.clean = true;
+            return Ok(scan);
+        }
+        let Some(len_bytes) = bytes.get(at..at + 4) else {
+            return Ok(scan); // torn length prefix
+        };
+        // lint: allow(expect) — a 4-byte slice always converts.
+        let body_len = u32::from_le_bytes(len_bytes.try_into().expect("4-byte slice")) as usize;
+        if body_len > MAX_BODY_LEN {
+            return Ok(scan); // implausible length: torn tail
+        }
+        let body_start = at + 4;
+        let Some(body) = bytes.get(body_start..body_start + body_len) else {
+            return Ok(scan); // torn body
+        };
+        let crc_start = body_start + body_len;
+        let Some(crc_bytes) = bytes.get(crc_start..crc_start + 4) else {
+            return Ok(scan); // torn CRC
+        };
+        // lint: allow(expect) — a 4-byte slice always converts.
+        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4-byte slice"));
+        if crc32(body) != stored {
+            return Ok(scan); // bit rot or torn write inside the body
+        }
+        let Some(record) = decode_body(body) else {
+            return Ok(scan); // CRC ok but structurally unknown: stop
+        };
+        at = crc_start + 4;
+        scan.records.push((at as u64, record));
+    }
+}
+
+/// Scans the whole log directory: picks the newest segment whose leading
+/// record is an intact [`RecordBody::Checkpoint`], then returns that
+/// segment's scan plus the scans of every later segment, ascending.
+pub fn scan_log(dir: &Path) -> LiveResult<Vec<SegmentScan>> {
+    let segments = list_segments(dir)?;
+    let mut scans: Vec<SegmentScan> = Vec::new();
+    for (seq, path) in &segments {
+        scans.push(scan_segment(*seq, path)?);
+    }
+    let base = scans
+        .iter()
+        .rposition(|s| {
+            matches!(
+                s.records.first(),
+                Some((
+                    _,
+                    WalRecord {
+                        body: RecordBody::Checkpoint { .. },
+                        ..
+                    }
+                ))
+            )
+        })
+        .ok_or(LiveError::NoCheckpoint)?;
+    Ok(scans.split_off(base))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!(
+            "cpq-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&p);
+        fs::create_dir_all(&p).expect("create temp dir");
+        p
+    }
+
+    fn checkpoint0() -> RecordBody {
+        RecordBody::Checkpoint {
+            root: u32::MAX,
+            height: 0,
+            len: 0,
+            num_pages: 0,
+            next_op_id: 1,
+            dpt: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_record_kinds() {
+        let dir = tmp_dir("roundtrip");
+        let wal = Wal::create(&dir, WalConfig { sync: false }).expect("create");
+        wal.checkpoint(&checkpoint0()).expect("checkpoint");
+        let bodies = vec![
+            RecordBody::OpBegin {
+                op_id: 7,
+                op: OpKind::Insert,
+                side: 1,
+                oid: 42,
+                obj: vec![1, 2, 3, 4],
+            },
+            RecordBody::PageAlloc { op_id: 7, page: 3 },
+            RecordBody::PageWrite {
+                op_id: 7,
+                page: 3,
+                image: vec![0xAB; 64],
+            },
+            RecordBody::PageFree { op_id: 7, page: 1 },
+            RecordBody::Commit {
+                op_id: 7,
+                root: 3,
+                height: 2,
+                len: 9,
+            },
+        ];
+        let mut lsns = Vec::new();
+        for b in &bodies {
+            lsns.push(wal.append(b));
+        }
+        wal.commit(*lsns.last().expect("nonempty")).expect("commit");
+        let scans = scan_log(&dir).expect("scan");
+        assert_eq!(scans.len(), 1, "older segment deleted after checkpoint");
+        let scan = &scans[0];
+        assert!(scan.clean);
+        assert_eq!(scan.records.len(), 1 + bodies.len());
+        for (i, b) in bodies.iter().enumerate() {
+            assert_eq!(&scan.records[i + 1].1.body, b);
+            assert_eq!(scan.records[i + 1].1.lsn, lsns[i]);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_end_of_log_not_error() {
+        let dir = tmp_dir("torn");
+        let wal = Wal::create(&dir, WalConfig { sync: false }).expect("create");
+        wal.checkpoint(&checkpoint0()).expect("checkpoint");
+        for i in 0..5u64 {
+            wal.append(&RecordBody::PageAlloc {
+                op_id: i,
+                page: i as u32,
+            });
+        }
+        wal.flush_all().expect("flush");
+        let (seq, path) = list_segments(&dir).expect("list").pop().expect("segment");
+        let full = fs::read(&path).expect("read");
+        let boundaries: Vec<u64> = {
+            let scan = scan_segment(seq, &path).expect("scan");
+            assert!(scan.clean);
+            scan.records.iter().map(|(off, _)| *off).collect()
+        };
+        // Truncating at any boundary + a few garbage bytes must yield a
+        // clean=false scan with exactly the records before the cut.
+        for (i, b) in boundaries.iter().enumerate() {
+            let mut cut = full[..*b as usize].to_vec();
+            cut.extend_from_slice(&[0x55, 0xAA, 0x01]);
+            fs::write(&path, &cut).expect("write");
+            let scan = scan_segment(seq, &path).expect("scan");
+            assert!(!scan.clean);
+            assert_eq!(scan.records.len(), i + 1);
+        }
+        // Flipping a byte inside a record kills that record and the rest.
+        fs::write(&path, &full).expect("restore");
+        let mut flipped = full.clone();
+        let mid = boundaries[2] as usize + 6; // inside record 4's frame
+        flipped[mid] ^= 0xFF;
+        fs::write(&path, &flipped).expect("write");
+        let scan = scan_segment(seq, &path).expect("scan");
+        assert!(!scan.clean);
+        assert!(scan.records.len() <= 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_rotation_falls_back_when_new_checkpoint_torn() {
+        let dir = tmp_dir("rotate");
+        let wal = Wal::create(&dir, WalConfig { sync: false }).expect("create");
+        wal.checkpoint(&checkpoint0()).expect("checkpoint");
+        let lsn = wal.append(&RecordBody::PageAlloc { op_id: 1, page: 0 });
+        wal.commit(lsn).expect("commit");
+        wal.checkpoint(&RecordBody::Checkpoint {
+            root: 0,
+            height: 1,
+            len: 1,
+            num_pages: 1,
+            next_op_id: 2,
+            dpt: Vec::new(),
+        })
+        .expect("second checkpoint");
+        // Only the newest segment remains and it leads with a checkpoint.
+        let segs = list_segments(&dir).expect("list");
+        assert_eq!(segs.len(), 1);
+        // Simulate a crash mid-rotation: newest segment's checkpoint torn.
+        let (seq, path) = segs[0].clone();
+        let bytes = fs::read(&path).expect("read");
+        fs::write(&path, &bytes[..bytes.len() - 3]).expect("truncate");
+        // Recreate an older segment with an intact checkpoint to fall
+        // back to (as if deletion had not happened yet).
+        let older = segment_path(&dir, seq - 1);
+        let mut f = File::create(&older).expect("older");
+        let mut head = Vec::new();
+        put_u32(&mut head, WAL_MAGIC);
+        put_u32(&mut head, WAL_VERSION);
+        encode_record(&mut head, 1, &checkpoint0());
+        f.write_all(&head).expect("write older");
+        let scans = scan_log(&dir).expect("scan");
+        assert_eq!(scans[0].seq, seq - 1, "fell back past the torn rotation");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_batches_fsyncs_under_concurrency() {
+        use cpq_check::thread;
+        let dir = tmp_dir("group");
+        let wal =
+            std::sync::Arc::new(Wal::create(&dir, WalConfig { sync: false }).expect("create"));
+        wal.checkpoint(&checkpoint0()).expect("checkpoint");
+        let threads = 8;
+        let per = 16;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let wal = std::sync::Arc::clone(&wal);
+            handles.push(thread::spawn(move || {
+                for i in 0..per {
+                    let lsn = wal.append(&RecordBody::PageAlloc {
+                        op_id: t,
+                        page: i as u32,
+                    });
+                    wal.commit(lsn).expect("commit");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("join");
+        }
+        let stats = wal.stats();
+        assert_eq!(stats.commits, threads * per);
+        assert!(
+            stats.flushes <= stats.commits,
+            "flushes {} > commits {}",
+            stats.flushes,
+            stats.commits
+        );
+        assert_eq!(stats.durable_lsn, stats.appended_lsn);
+        let scans = scan_log(&dir).expect("scan");
+        assert_eq!(
+            scans.iter().map(|s| s.records.len()).sum::<usize>() as u64,
+            1 + threads * per
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+/// Concurrent model-check site #8: the group-commit protocol, explored
+/// exhaustively (bounded DFS) and via PCT seeds (run with
+/// `RUSTFLAGS="--cfg cpq_model"`).
+///
+/// The model replaces the file with a pair of modeled watermarks:
+/// `appended` (records serialized) and `synced` (records the modeled disk
+/// has acknowledged). The invariant is the durability contract: **when
+/// `commit(lsn)` returns, `synced >= lsn`.** The broken twin publishes
+/// the appended watermark it reads after the flush instead of what the
+/// flush covered; a follower appending in that window gets a durability
+/// ack for an unsynced record, which DFS finds within a handful of
+/// schedules.
+#[cfg(all(test, cpq_model))]
+mod model_tests {
+    use super::{GroupCommit, Lsn};
+    use crate::error::LiveResult;
+    use cpq_check::sync::{Arc, Mutex};
+    use cpq_check::thread;
+    use cpq_check::{model_dfs, model_pct, replay, try_model_dfs, DfsOptions, PctOptions};
+
+    /// The modeled log: appended vs synced watermarks.
+    struct ModelLog {
+        appended: Mutex<Lsn>,
+        synced: Mutex<Lsn>,
+    }
+
+    impl ModelLog {
+        fn new() -> Self {
+            ModelLog {
+                appended: Mutex::new(0),
+                synced: Mutex::new(0),
+            }
+        }
+
+        fn append(&self) -> Lsn {
+            let mut a = self.appended.lock().expect("appended poisoned");
+            *a += 1;
+            *a
+        }
+
+        /// Flush everything appended so far; returns the covered LSN.
+        fn flush(&self) -> LiveResult<Lsn> {
+            let covered = *self.appended.lock().expect("appended poisoned");
+            let mut s = self.synced.lock().expect("synced poisoned");
+            if covered > *s {
+                *s = covered;
+            }
+            Ok(covered)
+        }
+
+        fn synced(&self) -> Lsn {
+            *self.synced.lock().expect("synced poisoned")
+        }
+
+        fn appended_watermark(&self) -> Lsn {
+            *self.appended.lock().expect("appended poisoned")
+        }
+    }
+
+    fn committer(log: &ModelLog, gc: &GroupCommit, broken: bool) {
+        let lsn = log.append();
+        if broken {
+            gc.commit_broken_publish_appended(lsn, || log.flush(), || log.appended_watermark())
+                .expect("commit");
+        } else {
+            gc.commit(lsn, || log.flush()).expect("commit");
+        }
+        // The durability contract: an acknowledged commit is synced.
+        assert!(
+            log.synced() >= lsn,
+            "commit({lsn}) acked but synced = {}",
+            log.synced()
+        );
+    }
+
+    fn run_session(broken: bool) {
+        let log = Arc::new(ModelLog::new());
+        let gc = Arc::new(GroupCommit::new());
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let log = Arc::clone(&log);
+            let gc = Arc::clone(&gc);
+            handles.push(thread::spawn(move || committer(&log, &gc, broken)));
+        }
+        for h in handles {
+            h.join().expect("join");
+        }
+    }
+
+    #[test]
+    fn dfs_ack_implies_synced() {
+        model_dfs(DfsOptions::smoke(), || run_session(false));
+    }
+
+    #[test]
+    fn pct_ack_implies_synced() {
+        model_pct(PctOptions::from_env(), || run_session(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "acked but synced")]
+    fn dfs_broken_twin_acks_unsynced_record() {
+        model_dfs(DfsOptions::smoke(), || run_session(true));
+    }
+
+    /// The minimal failing schedule of the broken twin, pinned so the bug
+    /// class stays covered even if exploration order changes.
+    #[test]
+    #[should_panic(expected = "acked but synced")]
+    fn pinned_broken_twin_schedule() {
+        let failure = try_model_dfs(DfsOptions::smoke(), || run_session(true))
+            .expect_err("broken twin must fail under DFS");
+        replay(&failure.schedule, || run_session(true));
+    }
+}

@@ -1,0 +1,249 @@
+//! Live-tree behavior under randomized update streams: stream-built
+//! trees answer every K-CPQ algorithm bit-identically to bulk-style
+//! rebuilt trees, snapshots are immune to concurrent mutation, the
+//! structural validator (with oid uniqueness) holds at every step, and
+//! concurrent invariant-checking readers never observe a torn snapshot.
+
+use cpq_core::{k_closest_pairs, pair_cmp, self_closest_pairs, Algorithm, CpqConfig, PairResult};
+use cpq_datasets::uniform_grid;
+use cpq_geo::Point2;
+use cpq_live::tree::LiveConfig;
+use cpq_live::LiveTree;
+use cpq_rng::Rng;
+use cpq_rtree::{RTree, RTreeParams, ValidateOptions};
+use cpq_storage::{BufferPool, MemPageFile};
+use std::collections::BTreeMap;
+
+const ALGORITHMS: [Algorithm; 5] = [
+    Algorithm::Naive,
+    Algorithm::Exhaustive,
+    Algorithm::Simple,
+    Algorithm::SortedDistances,
+    Algorithm::Heap,
+];
+
+fn mem_tree(contents: &BTreeMap<u64, Point2>) -> RTree<2> {
+    let pool = BufferPool::with_lru(Box::new(MemPageFile::new(1024)), 256);
+    let mut tree: RTree<2> = RTree::new(pool, RTreeParams::paper()).expect("tree");
+    for (&oid, &p) in contents {
+        tree.insert(p, oid).expect("insert");
+    }
+    tree
+}
+
+fn keys(pairs: &[PairResult<2>]) -> Vec<(u64, u64, u64)> {
+    // dist2 as raw bits: "bit-identical" means bit-identical.
+    pairs
+        .iter()
+        .map(|r| (r.dist2.get().to_bits(), r.p.oid, r.q.oid))
+        .collect()
+}
+
+/// Drives a randomized insert/delete stream into a live tree while
+/// mirroring the surviving contents; at every checkpoint step compares
+/// all five algorithms (cross against a static Q tree, plus self-join)
+/// against a tree rebuilt from scratch — including distance ties, which
+/// the gridded dataset manufactures on purpose.
+#[test]
+fn stream_matches_rebuilt_tree_across_all_algorithms() {
+    let data = uniform_grid(220, 0xA11CE, 100.0); // coarse grid => tie storms
+    let q_data = uniform_grid(180, 0xB0B, 100.0);
+    let q_pool = BufferPool::with_lru(Box::new(MemPageFile::new(1024)), 256);
+    let mut q_tree: RTree<2> = RTree::new(q_pool, RTreeParams::paper()).expect("q tree");
+    for (i, p) in q_data.points.iter().enumerate() {
+        q_tree.insert(*p, 1_000_000 + i as u64).expect("q insert");
+    }
+
+    let live: LiveTree<2> =
+        LiveTree::new_in_memory(RTreeParams::paper(), &LiveConfig::default()).expect("live");
+    let mut contents: BTreeMap<u64, Point2> = BTreeMap::new();
+    let mut rng = Rng::seed_from_u64(7);
+    let cfg = CpqConfig::default();
+
+    for (step, p) in data.points.iter().enumerate() {
+        let oid = step as u64;
+        if !contents.is_empty() && rng.random_bool(0.3) {
+            // Delete a random survivor instead of inserting.
+            let victims: Vec<u64> = contents.keys().copied().collect();
+            let victim = victims[(rng.next_u64() % victims.len() as u64) as usize];
+            let vp = contents.remove(&victim).expect("victim");
+            assert!(live.delete(vp, victim).expect("delete"), "victim present");
+        } else {
+            live.insert(*p, oid).expect("insert");
+            contents.insert(oid, *p);
+        }
+
+        let snap = live.snapshot().expect("snapshot");
+        let report = snap
+            .tree()
+            .validate_with_options(ValidateOptions { unique_oids: true })
+            .expect("validate");
+        assert!(report.is_valid(), "step {step}: {:?}", report.violations);
+        assert_eq!(snap.tree().len(), contents.len() as u64);
+
+        if step % 20 == 19 {
+            let rebuilt = mem_tree(&contents);
+            for k in [1usize, 10] {
+                for alg in ALGORITHMS {
+                    let got =
+                        k_closest_pairs(snap.tree(), &q_tree, k, alg, &cfg).expect("cross stream");
+                    let want =
+                        k_closest_pairs(&rebuilt, &q_tree, k, alg, &cfg).expect("cross rebuilt");
+                    assert_eq!(
+                        keys(&got.pairs),
+                        keys(&want.pairs),
+                        "step {step} k {k} {alg:?} cross"
+                    );
+                    let got = self_closest_pairs(snap.tree(), k, alg, &cfg).expect("self stream");
+                    let want = self_closest_pairs(&rebuilt, k, alg, &cfg).expect("self rebuilt");
+                    assert_eq!(
+                        keys(&got.pairs),
+                        keys(&want.pairs),
+                        "step {step} k {k} {alg:?} self"
+                    );
+                }
+            }
+        }
+    }
+    // Everything in, everything out: the tree shrinks back to empty.
+    for (oid, p) in contents.clone() {
+        assert!(live.delete(p, oid).expect("drain"));
+    }
+    assert!(live.is_empty());
+}
+
+/// A pinned snapshot is a fixed point: heavy mutation after the pin must
+/// not change what the snapshot answers, and dropping the snapshot
+/// reclaims every retired page (nothing leaks, nothing double-frees).
+#[test]
+fn snapshot_is_immune_to_later_updates() {
+    let data = uniform_grid(150, 0x5EED, 50.0);
+    let live: LiveTree<2> =
+        LiveTree::new_in_memory(RTreeParams::paper(), &LiveConfig::default()).expect("live");
+    for (i, p) in data.points.iter().take(100).enumerate() {
+        live.insert(*p, i as u64).expect("insert");
+    }
+    let cfg = CpqConfig::default();
+    let snap = live.snapshot().expect("snapshot");
+    let before = self_closest_pairs(snap.tree(), 10, Algorithm::Heap, &cfg).expect("before");
+
+    // Mutate hard: delete half, insert the rest of the dataset.
+    for (i, p) in data.points.iter().take(50).enumerate() {
+        assert!(live.delete(*p, i as u64).expect("delete"));
+    }
+    for (i, p) in data.points.iter().skip(100).enumerate() {
+        live.insert(*p, 100 + i as u64).expect("insert");
+    }
+
+    let after = self_closest_pairs(snap.tree(), 10, Algorithm::Heap, &cfg).expect("after");
+    assert_eq!(
+        before
+            .pairs
+            .iter()
+            .map(|r| r.sort_key())
+            .collect::<Vec<_>>(),
+        after.pairs.iter().map(|r| r.sort_key()).collect::<Vec<_>>(),
+        "snapshot answer changed under mutation"
+    );
+    assert!(snap.tree().validate().expect("validate").is_valid());
+    drop(snap);
+
+    // With no pins left, retirement has fully drained.
+    let stats = live.stats();
+    assert_eq!(stats.epoch.pages_pending, 0, "retired pages leaked");
+    assert_eq!(stats.epoch.pages_retired, stats.epoch.pages_freed);
+    assert_eq!(stats.free_failures, 0);
+
+    // The ledger invariant survives COW + reclamation: at quiescence
+    // every miss was a real read.
+    let pool = live.pool();
+    let (buf, io) = pool.stats_snapshot();
+    assert_eq!(buf.misses, io.reads, "buffer ledger broken");
+}
+
+/// Multi-threaded stress: one writer streams updates while reader
+/// threads continuously snapshot, validate the full structure, and
+/// sanity-check query answers. A torn snapshot (page freed or rewritten
+/// mid-read) would show up as a validation failure or a panic.
+#[test]
+fn concurrent_readers_never_see_torn_snapshots() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let data = uniform_grid(400, 0xC0FFEE, 50.0);
+    let live: Arc<LiveTree<2>> = Arc::new(
+        LiveTree::new_in_memory(RTreeParams::paper(), &LiveConfig::default()).expect("live"),
+    );
+    for (i, p) in data.points.iter().take(120).enumerate() {
+        live.insert(*p, i as u64).expect("seed insert");
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut readers = Vec::new();
+    for _ in 0..4 {
+        let live = Arc::clone(&live);
+        let stop = Arc::clone(&stop);
+        readers.push(std::thread::spawn(move || {
+            let cfg = CpqConfig::default();
+            let mut checks = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let snap = live.snapshot().expect("snapshot");
+                let report = snap
+                    .tree()
+                    .validate_with_options(ValidateOptions { unique_oids: true })
+                    .expect("validate");
+                assert!(report.is_valid(), "torn snapshot: {:?}", report.violations);
+                let len = snap.tree().len();
+                assert_eq!(report.points, len, "descriptor len out of sync");
+                let out = self_closest_pairs(snap.tree(), 5, Algorithm::Heap, &cfg).expect("query");
+                let expected = if len >= 2 {
+                    (len * (len - 1) / 2).min(5) as usize
+                } else {
+                    0
+                };
+                assert_eq!(out.pairs.len(), expected);
+                let mut sorted = out.pairs.clone();
+                sorted.sort_by(pair_cmp);
+                assert_eq!(
+                    sorted.iter().map(|r| r.sort_key()).collect::<Vec<_>>(),
+                    out.pairs.iter().map(|r| r.sort_key()).collect::<Vec<_>>(),
+                    "pairs not in canonical order"
+                );
+                checks += 1;
+            }
+            checks
+        }));
+    }
+
+    // Writer: churn inserts and deletes across the remaining points.
+    let mut alive: Vec<(Point2, u64)> = data
+        .points
+        .iter()
+        .take(120)
+        .enumerate()
+        .map(|(i, p)| (*p, i as u64))
+        .collect();
+    let mut rng = Rng::seed_from_u64(99);
+    for (i, p) in data.points.iter().skip(120).enumerate() {
+        let oid = 120 + i as u64;
+        live.insert(*p, oid).expect("insert");
+        alive.push((*p, oid));
+        if alive.len() > 60 && rng.random_bool(0.5) {
+            let idx = (rng.next_u64() % alive.len() as u64) as usize;
+            let (vp, void) = alive.swap_remove(idx);
+            assert!(live.delete(vp, void).expect("delete"));
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    let mut total_checks = 0;
+    for r in readers {
+        total_checks += r.join().expect("reader");
+    }
+    assert!(total_checks > 0, "readers never ran");
+
+    // Quiescence: all retirement drained, ledger intact.
+    let stats = live.stats();
+    assert_eq!(stats.epoch.pages_pending, 0);
+    assert_eq!(stats.free_failures, 0);
+    let (buf, io) = live.pool().stats_snapshot();
+    assert_eq!(buf.misses, io.reads, "buffer ledger broken");
+}

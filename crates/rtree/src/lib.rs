@@ -49,6 +49,6 @@ pub use node::Node;
 pub use params::{RTreeParams, SplitPolicy};
 pub use query::KnnNeighbor;
 pub use tiling::StrTiling;
-pub use tree::RTree;
+pub use tree::{CowDelta, RTree};
 pub use treestats::LevelStats;
-pub use validate::ValidationReport;
+pub use validate::{ValidateOptions, ValidationReport};

@@ -5,7 +5,7 @@ use crate::entry::LeafEntry;
 use crate::error::RTreeResult;
 use crate::node::Node;
 use crate::tree::RTree;
-use cpq_geo::{min_min_dist2_within, Dist2, Point, Rect, SpatialObject};
+use cpq_geo::{min_min_dist2, min_min_dist2_within, Dist2, Point, Rect, SpatialObject};
 use cpq_storage::PageId;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -155,6 +155,43 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
                         }
                     }
                 },
+            }
+        }
+        Ok(out)
+    }
+
+    /// All indexed objects whose MBR distance to `probe` is at most
+    /// `bound`, **inclusive** — distance ties survive, so a caller
+    /// maintaining a top-K set under the canonical `(dist2, oids)` order
+    /// sees every pair that could displace its current K-th entry. The
+    /// traversal prunes subtrees whose MINDIST to `probe` exceeds the
+    /// bound; with `bound == INFINITY` it degenerates to a full scan.
+    ///
+    /// This is the bounded-radius probe behind continuous (incremental)
+    /// K-CPQ maintenance: a newly inserted point probes the *other* tree
+    /// seeded by the current K-th pair distance.
+    pub fn within_dist2(&self, probe: &Rect<D>, bound: Dist2) -> RTreeResult<Vec<LeafEntry<D, O>>> {
+        let mut out = Vec::new();
+        if !self.root().is_valid() {
+            return Ok(out);
+        }
+        let mut stack = vec![self.root()];
+        while let Some(id) = stack.pop() {
+            match self.read_node(id)? {
+                Node::Leaf(es) => {
+                    out.extend(
+                        es.into_iter()
+                            .filter(|e| min_min_dist2(probe, &e.mbr()) <= bound),
+                    );
+                }
+                Node::Inner { entries, .. } => {
+                    stack.extend(
+                        entries
+                            .iter()
+                            .filter(|e| min_min_dist2(probe, &e.mbr) <= bound)
+                            .map(|e| e.child),
+                    );
+                }
             }
         }
         Ok(out)

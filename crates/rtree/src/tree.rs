@@ -9,7 +9,8 @@ use crate::params::SplitPolicy;
 use crate::split::{linear_split, quadratic_split, rstar_split};
 use cpq_geo::{Point, Rect, SpatialObject};
 use cpq_storage::{BufferPool, PageId};
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
 
 /// Either kind of entry, used by forced reinsertion and orphan handling,
 /// which move both data objects (level 0) and whole subtrees (level ≥ 1).
@@ -39,17 +40,63 @@ impl<const D: usize, O: SpatialObject<D>> AnyEntry<D, O> {
 /// fetches go through the pool, so the pool's miss counter is exactly the
 /// paper's "disk accesses" metric.
 pub struct RTree<const D: usize, O: SpatialObject<D> = Point<D>> {
-    pool: BufferPool,
+    pool: Arc<BufferPool>,
     params: RTreeParams,
     root: PageId,
     height: u8,
     len: u64,
+    cow: Option<CowState>,
     _object: std::marker::PhantomData<O>,
+}
+
+/// Copy-on-write bookkeeping for one uncommitted update batch.
+///
+/// While active, every node write to a page that predates the batch is
+/// redirected to a freshly allocated page (the old page is *retired*, not
+/// freed), so pages reachable from any previously published root are never
+/// overwritten in place. Pages allocated within the batch stay writable in
+/// place; a fresh page freed within the same batch is released immediately
+/// since no snapshot can reference it.
+#[derive(Debug, Default)]
+struct CowState {
+    /// Pages allocated during the current batch (writable in place).
+    fresh: HashSet<PageId>,
+    /// Fresh pages in allocation order, for WAL / publication accounting.
+    allocated: Vec<PageId>,
+    /// Pre-batch pages superseded or logically freed by the batch; they
+    /// stay allocated until the caller decides no snapshot needs them.
+    retired: Vec<PageId>,
+}
+
+/// The page-level delta of one copy-on-write batch, drained by
+/// [`RTree::cow_take`]: which pages the batch allocated (and therefore
+/// wrote) and which pre-batch pages it retired.
+#[derive(Debug, Default, Clone)]
+pub struct CowDelta {
+    /// Pages allocated and written by the batch, in allocation order.
+    pub allocated: Vec<PageId>,
+    /// Pre-batch pages the batch stopped referencing. The caller owns
+    /// freeing them once no reader snapshot can still reach them.
+    pub retired: Vec<PageId>,
+}
+
+impl CowDelta {
+    /// `true` when the batch touched no pages.
+    pub fn is_empty(&self) -> bool {
+        self.allocated.is_empty() && self.retired.is_empty()
+    }
 }
 
 impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
     /// Creates an empty tree over `pool`.
     pub fn new(pool: BufferPool, params: RTreeParams) -> RTreeResult<Self> {
+        Self::new_shared(Arc::new(pool), params)
+    }
+
+    /// Creates an empty tree over a pool shared with other trees (the
+    /// live-update path hands the same pool to a writer and to per-epoch
+    /// snapshot readers).
+    pub fn new_shared(pool: Arc<BufferPool>, params: RTreeParams) -> RTreeResult<Self> {
         params.validate_with(pool.page_size(), D, O::encoded_size())?;
         Ok(RTree {
             pool,
@@ -57,6 +104,7 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
             root: PageId::INVALID,
             height: 0,
             len: 0,
+            cow: None,
             _object: std::marker::PhantomData,
         })
     }
@@ -69,6 +117,18 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
         params: RTreeParams,
         descriptor: (PageId, u8, u64),
     ) -> RTreeResult<Self> {
+        Self::from_descriptor_shared(Arc::new(pool), params, descriptor)
+    }
+
+    /// [`from_descriptor`](Self::from_descriptor) over a shared pool: this
+    /// is how epoch snapshots are materialized — a published `(root,
+    /// height, len)` descriptor plus the writer's pool yields a read-only
+    /// view whose pages copy-on-write updates never touch.
+    pub fn from_descriptor_shared(
+        pool: Arc<BufferPool>,
+        params: RTreeParams,
+        descriptor: (PageId, u8, u64),
+    ) -> RTreeResult<Self> {
         params.validate_with(pool.page_size(), D, O::encoded_size())?;
         let (root, height, len) = descriptor;
         Ok(RTree {
@@ -77,6 +137,7 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
             root,
             height,
             len,
+            cow: None,
             _object: std::marker::PhantomData,
         })
     }
@@ -114,6 +175,44 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
     /// The buffer pool backing the tree (for statistics and configuration).
     pub fn pool(&self) -> &BufferPool {
         &self.pool
+    }
+
+    /// A shareable handle to the backing pool, for attaching snapshot
+    /// readers via [`from_descriptor_shared`](Self::from_descriptor_shared).
+    pub fn pool_shared(&self) -> Arc<BufferPool> {
+        Arc::clone(&self.pool)
+    }
+
+    /// Enters copy-on-write mode: from now on, updates never overwrite a
+    /// page that existed before the current batch — modified nodes move to
+    /// fresh pages and the superseded ones are *retired* (kept allocated)
+    /// so concurrently published snapshots stay readable. Idempotent.
+    pub fn cow_enable(&mut self) {
+        if self.cow.is_none() {
+            self.cow = Some(CowState::default());
+        }
+    }
+
+    /// `true` when copy-on-write mode is active.
+    pub fn cow_enabled(&self) -> bool {
+        self.cow.is_some()
+    }
+
+    /// Drains the current copy-on-write batch and starts the next one.
+    /// Pages allocated by the drained batch become protected again: the
+    /// caller is expected to publish the new descriptor, making them
+    /// reachable from a snapshot. Panics outside COW mode (a programming
+    /// error, not a data error).
+    pub fn cow_take(&mut self) -> CowDelta {
+        // lint: allow(expect) — cow_take outside cow_enable is a caller
+        // bug; the live layer always pairs them.
+        let state = self.cow.as_mut().expect("cow_take without cow_enable");
+        let delta = CowDelta {
+            allocated: std::mem::take(&mut state.allocated),
+            retired: std::mem::take(&mut state.retired),
+        };
+        state.fresh.clear();
+        delta
     }
 
     /// Reads and decodes a node. Counts one logical page read.
@@ -160,10 +259,55 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
         Ok(())
     }
 
-    pub(crate) fn alloc_write(&self, node: &Node<D, O>) -> RTreeResult<PageId> {
+    /// Writes `node` "at" `id`, honoring copy-on-write: outside COW mode
+    /// (or when `id` is fresh within the current batch) this is an
+    /// in-place write returning `id`; otherwise the node lands on a fresh
+    /// page, `id` is retired, and the new id is returned for the caller to
+    /// thread into the parent entry.
+    fn place_node(&mut self, id: PageId, node: &Node<D, O>) -> RTreeResult<PageId> {
+        let redirect = match &self.cow {
+            Some(state) => !state.fresh.contains(&id),
+            None => false,
+        };
+        if redirect {
+            let new_id = self.alloc_write(node)?;
+            if let Some(state) = self.cow.as_mut() {
+                state.retired.push(id);
+            }
+            Ok(new_id)
+        } else {
+            self.write_node(id, node)?;
+            Ok(id)
+        }
+    }
+
+    pub(crate) fn alloc_write(&mut self, node: &Node<D, O>) -> RTreeResult<PageId> {
         let id = self.pool.allocate()?;
         self.write_node(id, node)?;
+        if let Some(state) = self.cow.as_mut() {
+            state.fresh.insert(id);
+            state.allocated.push(id);
+        }
         Ok(id)
+    }
+
+    /// Releases a node page, honoring copy-on-write: a pre-batch page is
+    /// retired (snapshots may still read it), while a page fresh within
+    /// the current batch — invisible to every snapshot — is freed
+    /// immediately and dropped from the batch delta.
+    fn free_or_retire(&mut self, id: PageId) -> RTreeResult<()> {
+        match self.cow.as_mut() {
+            Some(state) => {
+                if state.fresh.remove(&id) {
+                    state.allocated.retain(|&p| p != id);
+                    self.pool.free_page(id)?;
+                } else {
+                    state.retired.push(id);
+                }
+                Ok(())
+            }
+            None => Ok(self.pool.free_page(id)?),
+        }
     }
 
     /// Installs the root descriptor after a bulk load.
@@ -226,6 +370,10 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
                 self.root = self.alloc_write(&new_root)?;
                 self.height += 1;
                 overflowed.push(false);
+            } else {
+                // Under copy-on-write the root node may have moved to a
+                // fresh page; in place mode this is a no-op.
+                self.root = updated.child;
             }
         }
         Ok(())
@@ -283,20 +431,20 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
             if can_reinsert {
                 overflowed[node_level as usize] = true;
                 let removed = self.reinsert_select(&mut node);
-                self.write_node(node_id, &node)?;
+                let placed = self.place_node(node_id, &node)?;
                 for e in removed {
                     queue.push_back((e, node_level));
                 }
-                return Ok((self.entry_for(node_id, &node), None));
+                return Ok((self.entry_for(placed, &node), None));
             }
             let (a, b) = self.split_node(node);
-            self.write_node(node_id, &a)?;
+            let a_id = self.place_node(node_id, &a)?;
             let b_id = self.alloc_write(&b)?;
-            return Ok((self.entry_for(node_id, &a), Some(self.entry_for(b_id, &b))));
+            return Ok((self.entry_for(a_id, &a), Some(self.entry_for(b_id, &b))));
         }
 
-        self.write_node(node_id, &node)?;
-        Ok((self.entry_for(node_id, &node), None))
+        let placed = self.place_node(node_id, &node)?;
+        Ok((self.entry_for(placed, &node), None))
     }
 
     /// `ChooseSubtree`: among the children of `node`, pick where an entry
@@ -455,7 +603,11 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
         let found =
             match self.delete_rec(self.root, root_level, true, &object, oid, &mut orphans)? {
                 DeleteOutcome::NotFound => false,
-                DeleteOutcome::Updated(_) => true,
+                DeleteOutcome::Updated(e) => {
+                    // Thread the root's possibly-new page id (copy-on-write).
+                    self.root = e.child;
+                    true
+                }
                 DeleteOutcome::Removed => {
                     unreachable!("the root is never condensed away by delete_rec")
                 }
@@ -477,12 +629,14 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
             match &node {
                 Node::Inner { entries, .. } if entries.len() == 1 => {
                     let child = entries[0].child;
-                    self.pool.free_page(self.root)?;
+                    let old_root = self.root;
+                    self.free_or_retire(old_root)?;
                     self.root = child;
                     self.height -= 1;
                 }
                 Node::Leaf(es) if es.is_empty() => {
-                    self.pool.free_page(self.root)?;
+                    let old_root = self.root;
+                    self.free_or_retire(old_root)?;
                     self.root = PageId::INVALID;
                     self.height = 0;
                     debug_assert_eq!(self.len, 0);
@@ -514,20 +668,20 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
                     for e in es.iter() {
                         orphans.push((AnyEntry::Leaf(*e), 0));
                     }
-                    self.pool.free_page(node_id)?;
+                    self.free_or_retire(node_id)?;
                     return Ok(DeleteOutcome::Removed);
                 }
-                self.write_node(node_id, &node)?;
+                let placed = self.place_node(node_id, &node)?;
                 if node.is_empty() {
                     // Empty leaf root: report a placeholder entry; the caller
                     // shrinks the tree away.
                     return Ok(DeleteOutcome::Updated(InnerEntry::new(
                         object.mbr(),
-                        node_id,
+                        placed,
                         0,
                     )));
                 }
-                Ok(DeleteOutcome::Updated(self.entry_for(node_id, &node)))
+                Ok(DeleteOutcome::Updated(self.entry_for(placed, &node)))
             }
             Node::Inner { entries, .. } => {
                 let mut found_at: Option<(usize, DeleteOutcome<D>)> = None;
@@ -557,11 +711,11 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
                     for e in entries.iter() {
                         orphans.push((AnyEntry::Inner(*e), node_level));
                     }
-                    self.pool.free_page(node_id)?;
+                    self.free_or_retire(node_id)?;
                     return Ok(DeleteOutcome::Removed);
                 }
-                self.write_node(node_id, &node)?;
-                Ok(DeleteOutcome::Updated(self.entry_for(node_id, &node)))
+                let placed = self.place_node(node_id, &node)?;
+                Ok(DeleteOutcome::Updated(self.entry_for(placed, &node)))
             }
         }
     }

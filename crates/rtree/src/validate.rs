@@ -10,6 +10,20 @@ use crate::node::Node;
 use crate::tree::RTree;
 use cpq_geo::SpatialObject;
 use cpq_storage::PageId;
+use std::collections::{HashMap, HashSet};
+
+/// Optional extra invariants for [`RTree::validate_with_options`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ValidateOptions {
+    /// Require every leaf `oid` to appear at most once in the tree.
+    ///
+    /// Duplicate oids are *allowed* by [`RTree::insert`] in general (the
+    /// paper's uniform datasets carry duplicate geometry), so this is
+    /// opt-in; streams that key updates by oid (the live-update path) turn
+    /// it on because a duplicate there means a lost or double-applied
+    /// update.
+    pub unique_oids: bool,
+}
 
 /// Outcome of [`RTree::validate`]: statistics plus any violations found.
 #[derive(Debug, Default)]
@@ -44,8 +58,19 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
     /// 4. node levels decrease by exactly one per edge and leaves sit at
     ///    level 0 (uniform depth);
     /// 5. the tree's `len()` equals the number of points in leaves and the
-    ///    `height()` matches the root level.
+    ///    `height()` matches the root level;
+    /// 6. no page is referenced twice (no aliasing, no cycles) — the
+    ///    invariant copy-on-write bugs break first: a parent cloned onto a
+    ///    fresh page that still links a sibling's *old* child, or a
+    ///    retired page resurrected into two paths, shows up here even when
+    ///    counts and MBRs still happen to balance.
     pub fn validate(&self) -> RTreeResult<ValidationReport> {
+        self.validate_with_options(ValidateOptions::default())
+    }
+
+    /// [`validate`](Self::validate) plus the opt-in invariants in
+    /// [`ValidateOptions`].
+    pub fn validate_with_options(&self, opts: ValidateOptions) -> RTreeResult<ValidationReport> {
         let mut report = ValidationReport::default();
         if !self.root().is_valid() {
             if !self.is_empty() {
@@ -68,7 +93,13 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
                 self.height()
             ));
         }
-        let count = self.validate_rec(self.root(), &root_node, true, &mut report)?;
+        let mut ctx = WalkCtx {
+            visited: HashSet::new(),
+            oids: HashMap::new(),
+            opts,
+        };
+        ctx.visited.insert(self.root());
+        let count = self.validate_rec(self.root(), &root_node, true, &mut report, &mut ctx)?;
         if count != self.len() {
             report.violations.push(format!(
                 "tree len() = {} but leaves hold {count} points",
@@ -85,6 +116,7 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
         node: &Node<D, O>,
         is_root: bool,
         report: &mut ValidationReport,
+        ctx: &mut WalkCtx,
     ) -> RTreeResult<u64> {
         report.nodes += 1;
         let level = node.level() as usize;
@@ -125,12 +157,27 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
                             .violations
                             .push(format!("{id}: non-finite object {:?}", e.object));
                     }
+                    if ctx.opts.unique_oids {
+                        if let Some(prev) = ctx.oids.insert(e.oid, id) {
+                            report.violations.push(format!(
+                                "{id}: oid {} already indexed in leaf {prev}",
+                                e.oid
+                            ));
+                        }
+                    }
                 }
                 Ok(es.len() as u64)
             }
             Node::Inner { level, entries } => {
                 let mut total = 0u64;
                 for e in entries {
+                    if !ctx.visited.insert(e.child) {
+                        report.violations.push(format!(
+                            "{id}: child page {} referenced more than once (aliasing or cycle)",
+                            e.child
+                        ));
+                        continue; // do not recurse into an aliased subtree
+                    }
                     let child = self.read_node(e.child)?;
                     if child.level() + 1 != *level {
                         report.violations.push(format!(
@@ -156,7 +203,7 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
                             e.child, e.count
                         ));
                     }
-                    total += self.validate_rec(e.child, &child, false, report)?;
+                    total += self.validate_rec(e.child, &child, false, report, ctx)?;
                 }
                 Ok(total)
             }
@@ -174,4 +221,29 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
             report.violations.join("\n")
         );
     }
+
+    /// [`assert_valid`](Self::assert_valid) that additionally requires
+    /// every oid to be unique — the contract of oid-keyed update streams.
+    pub fn assert_valid_unique_oids(&self) {
+        // lint: allow(expect) — test helper documented to panic on
+        // invalid trees.
+        let report = self
+            .validate_with_options(ValidateOptions { unique_oids: true })
+            .expect("validation walk failed"); // lint: allow(expect) — documented panic.
+        assert!(
+            report.is_valid(),
+            "R-tree invariant violations:\n{}",
+            report.violations.join("\n")
+        );
+    }
+}
+
+/// Per-walk state shared across [`RTree::validate_rec`] calls.
+struct WalkCtx {
+    /// Every page id seen so far; a duplicate is aliasing or a cycle.
+    visited: HashSet<PageId>,
+    /// First leaf page holding each oid (populated only under
+    /// [`ValidateOptions::unique_oids`]).
+    oids: HashMap<u64, PageId>,
+    opts: ValidateOptions,
 }

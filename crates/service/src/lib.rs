@@ -89,6 +89,12 @@ pub use cpq_storage::{SchedConfig, SchedStats};
 // `CpqService::start_sharded` service routes scatter requests to without
 // depending on cpq-shard directly.
 pub use cpq_shard::{ShardConfig, ShardReport, ShardedPair, ShardedTree};
+// Re-exported so embedders can build, mutate, and recover the live set a
+// `CpqService::start_live` service serves — and drive continuous K-CPQ
+// watches — without depending on cpq-live directly.
+pub use cpq_live::{
+    ApplyReport, LiveConfig, LiveError, LiveResult, LiveSet, LiveStats, LiveTree, Side, UpdateOp,
+};
 
 // Compile-time thread-safety contract of the subsystem. Service handles
 // are shared across client threads and worker threads; if a refactor ever

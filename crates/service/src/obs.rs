@@ -8,10 +8,10 @@
 //! HTTP listener in [`crate::http`]), which refreshes the bridged series
 //! from the buffer pools at scrape time.
 
-use crate::service::TreePair;
 use cpq_check::sync::Arc;
-use cpq_geo::SpatialObject;
+use cpq_live::{ApplyReport, LiveStats};
 use cpq_obs::{Counter, Gauge, Histogram, QueryProfile, Registry, SlowQueryLog};
+use cpq_storage::BufferPool;
 use std::time::Duration;
 
 /// Observability knobs of a [`CpqService`](crate::CpqService).
@@ -133,8 +133,119 @@ fn io_bridge(registry: &Registry, tree: &str) -> IoBridge {
     }
 }
 
+/// Bridged `cpq_wal_*` / `cpq_live_*` series for one live tree. Present
+/// (as zeros) on static services too, so dashboards keyed on the family
+/// names never 404; refreshed only when the service actually serves a
+/// live set.
+struct LiveBridge {
+    wal_records: Arc<Counter>,
+    wal_bytes: Arc<Counter>,
+    wal_commits: Arc<Counter>,
+    wal_flushes: Arc<Counter>,
+    wal_checkpoints: Arc<Counter>,
+    inserts: Arc<Counter>,
+    deletes: Arc<Counter>,
+    delete_misses: Arc<Counter>,
+    pages_retired: Arc<Counter>,
+    pages_freed: Arc<Counter>,
+    free_failures: Arc<Counter>,
+    epoch: Arc<Gauge>,
+    active_pins: Arc<Gauge>,
+    pages_pending: Arc<Gauge>,
+}
+
+fn live_bridge(registry: &Registry, tree: &str) -> LiveBridge {
+    let update = |op: &str| {
+        registry.counter(
+            "cpq_live_updates_total",
+            "committed streaming updates, by tree and op (bridged from the live trees)",
+            &[("tree", tree), ("op", op)],
+        )
+    };
+    let pages = |event: &str| {
+        registry.counter(
+            "cpq_live_pages_total",
+            "copy-on-write page turnover, by tree and event (retired = superseded; freed = reclaimed once unpinned)",
+            &[("tree", tree), ("event", event)],
+        )
+    };
+    LiveBridge {
+        wal_records: registry.counter(
+            "cpq_wal_records_total",
+            "records appended to the write-ahead log, by tree",
+            &[("tree", tree)],
+        ),
+        wal_bytes: registry.counter(
+            "cpq_wal_bytes_total",
+            "bytes appended to the write-ahead log (framing included), by tree",
+            &[("tree", tree)],
+        ),
+        wal_commits: registry.counter(
+            "cpq_wal_commits_total",
+            "acknowledged commit durability waits, by tree",
+            &[("tree", tree)],
+        ),
+        wal_flushes: registry.counter(
+            "cpq_wal_flushes_total",
+            "physical WAL flushes (staying below commits is the group-commit win), by tree",
+            &[("tree", tree)],
+        ),
+        wal_checkpoints: registry.counter(
+            "cpq_wal_checkpoints_total",
+            "sharp checkpoints taken (each truncates the log), by tree",
+            &[("tree", tree)],
+        ),
+        inserts: update("insert"),
+        deletes: update("delete"),
+        delete_misses: update("delete-miss"),
+        pages_retired: pages("retired"),
+        pages_freed: pages("freed"),
+        free_failures: registry.counter(
+            "cpq_live_free_failures_total",
+            "page frees that failed during epoch reclamation (each leaks one page), by tree",
+            &[("tree", tree)],
+        ),
+        epoch: registry.gauge(
+            "cpq_live_epoch",
+            "latest published epoch (one publish per committed update), by tree",
+            &[("tree", tree)],
+        ),
+        active_pins: registry.gauge(
+            "cpq_live_active_pins",
+            "reader snapshots currently pinning an epoch (read at scrape time), by tree",
+            &[("tree", tree)],
+        ),
+        pages_pending: registry.gauge(
+            "cpq_live_pages_pending",
+            "retired pages not yet reclaimable because an older epoch is pinned, by tree",
+            &[("tree", tree)],
+        ),
+    }
+}
+
+impl LiveBridge {
+    fn refresh(&self, stats: &LiveStats) {
+        if let Some(w) = &stats.wal {
+            self.wal_records.store(w.records);
+            self.wal_bytes.store(w.bytes);
+            self.wal_commits.store(w.commits);
+            self.wal_flushes.store(w.flushes);
+            self.wal_checkpoints.store(w.checkpoints);
+        }
+        self.inserts.store(stats.inserts);
+        self.deletes.store(stats.deletes);
+        self.delete_misses.store(stats.delete_misses);
+        self.pages_retired.store(stats.epoch.pages_retired);
+        self.pages_freed.store(stats.epoch.pages_freed);
+        self.free_failures.store(stats.free_failures);
+        self.epoch.set(stats.epoch.epoch as f64);
+        self.active_pins.set(stats.epoch.active_pins as f64);
+        self.pages_pending.set(stats.epoch.pages_pending as f64);
+    }
+}
+
 impl IoBridge {
-    fn refresh(&self, pool: &cpq_storage::BufferPool) {
+    fn refresh(&self, pool: &BufferPool) {
         let Some(s) = pool.sched_stats() else { return };
         self.demand_reads.store(s.demand_reads);
         self.demand_stall_ns.store(s.demand_stall_ns);
@@ -180,10 +291,14 @@ pub struct ServiceObs {
     queue_depth: Arc<Gauge>,
     slow_observed: Arc<Counter>,
     slow_evicted: Arc<Counter>,
+    apply_batches: Arc<Counter>,
+    apply_ops: Arc<Counter>,
     bridge_p: TreeBridge,
     bridge_q: TreeBridge,
     io_bridge_p: IoBridge,
     io_bridge_q: IoBridge,
+    live_bridge_p: LiveBridge,
+    live_bridge_q: LiveBridge,
     slow_log: SlowQueryLog,
 }
 
@@ -362,10 +477,22 @@ impl ServiceObs {
                 "slow-query profiles evicted because the log was full",
                 &[],
             ),
+            apply_batches: registry.counter(
+                "cpq_live_apply_batches_total",
+                "update batches accepted through the service's apply_updates entry point",
+                &[],
+            ),
+            apply_ops: registry.counter(
+                "cpq_live_apply_ops_total",
+                "individual update operations applied through apply_updates",
+                &[],
+            ),
             bridge_p: bridge(&registry, "p"),
             bridge_q: bridge(&registry, "q"),
             io_bridge_p: io_bridge(&registry, "p"),
             io_bridge_q: io_bridge(&registry, "q"),
+            live_bridge_p: live_bridge(&registry, "p"),
+            live_bridge_q: live_bridge(&registry, "q"),
             slow_log: SlowQueryLog::new(threshold_us, capacity.max(1)),
             registry,
         }
@@ -384,6 +511,12 @@ impl ServiceObs {
     /// Records one shed request.
     pub fn record_shed(&self) {
         self.sheds.inc();
+    }
+
+    /// Records one accepted `apply_updates` batch.
+    pub fn record_apply(&self, report: &ApplyReport) {
+        self.apply_batches.inc();
+        self.apply_ops.add(report.applied as u64);
     }
 
     /// Records one executed query from its completed profile, and offers it
@@ -442,21 +575,27 @@ impl ServiceObs {
     /// (taken under each pool's single-lock
     /// [`stats_snapshot`](cpq_storage::BufferPool::stats_snapshot)), so the
     /// exposed series can never disagree with the pools' own books.
-    pub fn render<const D: usize, O: SpatialObject<D>>(
+    pub fn render(
         &self,
-        trees: &TreePair<D, O>,
+        pool_p: &BufferPool,
+        pool_q: &BufferPool,
+        live: Option<&(LiveStats, LiveStats)>,
         queue_depth: usize,
     ) -> String {
-        let (bp, _) = trees.p.pool().stats_snapshot();
+        let (bp, _) = pool_p.stats_snapshot();
         self.bridge_p.hits.store(bp.hits);
         self.bridge_p.misses.store(bp.misses);
         self.bridge_p.hit_ratio.set(bp.hit_rate());
-        let (bq, _) = trees.q.pool().stats_snapshot();
+        let (bq, _) = pool_q.stats_snapshot();
         self.bridge_q.hits.store(bq.hits);
         self.bridge_q.misses.store(bq.misses);
         self.bridge_q.hit_ratio.set(bq.hit_rate());
-        self.io_bridge_p.refresh(trees.p.pool());
-        self.io_bridge_q.refresh(trees.q.pool());
+        self.io_bridge_p.refresh(pool_p);
+        self.io_bridge_q.refresh(pool_q);
+        if let Some((lp, lq)) = live {
+            self.live_bridge_p.refresh(lp);
+            self.live_bridge_q.refresh(lq);
+        }
         self.queue_depth.set(queue_depth as f64);
         self.slow_observed.store(self.slow_log.observed());
         self.slow_evicted.store(self.slow_log.evicted());

@@ -12,6 +12,7 @@ use cpq_core::{
     self_closest_pairs_instrumented, CancelToken, CpqConfig, CpqStats, ProfileProbe, QueryProfile,
 };
 use cpq_geo::{Point, SpatialObject};
+use cpq_live::{ApplyReport, LiveError, LiveSet, UpdateOp};
 use cpq_rtree::RTree;
 use cpq_shard::{
     k_closest_pairs_sharded, self_closest_pairs_sharded, ShardConfig, ShardReport, ShardedPair,
@@ -96,8 +97,29 @@ struct Job<const D: usize, O: SpatialObject<D>> {
     reply: mpsc::Sender<QueryResponse<D, O>>,
 }
 
+/// What a service answers queries over: a static read-only pair, or a
+/// mutable [`LiveSet`] whose workers query pinned epoch snapshots.
+// One `Source` lives per service, behind the `Arc<Shared>` — the variant
+// size asymmetry never multiplies across a collection.
+#[allow(clippy::large_enum_variant)]
+enum Source<const D: usize, O: SpatialObject<D>> {
+    Static(TreePair<D, O>),
+    Live(LiveSet<D, O>),
+}
+
+impl<const D: usize, O: SpatialObject<D>> Source<D, O> {
+    /// The two buffer pools behind the source (stable across snapshots,
+    /// so the metrics bridges read the same books either way).
+    fn pools(&self) -> (&cpq_storage::BufferPool, &cpq_storage::BufferPool) {
+        match self {
+            Source::Static(trees) => (trees.p.pool(), trees.q.pool()),
+            Source::Live(live) => (live.p().pool(), live.q().pool()),
+        }
+    }
+}
+
 struct Shared<const D: usize, O: SpatialObject<D>> {
-    trees: TreePair<D, O>,
+    source: Source<D, O>,
     /// Sharded replicas of the same datasets, present for services started
     /// with [`CpqService::start_sharded`]; requests with a `scatter` value
     /// route here.
@@ -175,7 +197,16 @@ pub struct CpqService<const D: usize, O: SpatialObject<D> = Point<D>> {
 impl<const D: usize, O: SpatialObject<D>> CpqService<D, O> {
     /// Starts the worker pool over `trees`.
     pub fn start(trees: TreePair<D, O>, config: ServiceConfig) -> Self {
-        Self::start_inner(trees, None, config)
+        Self::start_inner(Source::Static(trees), None, config)
+    }
+
+    /// Starts the worker pool over a mutable [`LiveSet`]: queries run on
+    /// pinned epoch snapshots (each sees one committed state for its whole
+    /// execution, no matter how many [`apply_updates`](Self::apply_updates)
+    /// batches land mid-query), and `/metrics` gains the `cpq_wal_*` /
+    /// `cpq_live_*` series bridged from the live trees.
+    pub fn start_live(live: LiveSet<D, O>, config: ServiceConfig) -> Self {
+        Self::start_inner(Source::Live(live), None, config)
     }
 
     /// Starts a shard-aware service: `trees` serve the classic path and
@@ -193,16 +224,16 @@ impl<const D: usize, O: SpatialObject<D>> CpqService<D, O> {
         sharded: ShardedPair<D, O>,
         config: ServiceConfig,
     ) -> Self {
-        Self::start_inner(trees, Some(sharded), config)
+        Self::start_inner(Source::Static(trees), Some(sharded), config)
     }
 
     fn start_inner(
-        trees: TreePair<D, O>,
+        source: Source<D, O>,
         sharded: Option<ShardedPair<D, O>>,
         config: ServiceConfig,
     ) -> Self {
         let shared = Arc::new(Shared {
-            trees,
+            source,
             sharded,
             queue: AdmissionQueue::new(config.queue_capacity),
             stats: ServiceStats::new(),
@@ -278,9 +309,40 @@ impl<const D: usize, O: SpatialObject<D>> CpqService<D, O> {
         self.shared.queue.len()
     }
 
-    /// The shared trees (for reading pool statistics).
-    pub fn trees(&self) -> &TreePair<D, O> {
-        &self.shared.trees
+    /// The shared static trees (for reading pool statistics). `None` for
+    /// services started with [`start_live`](Self::start_live) — use
+    /// [`live`](Self::live) there.
+    pub fn trees(&self) -> Option<&TreePair<D, O>> {
+        match &self.shared.source {
+            Source::Static(trees) => Some(trees),
+            Source::Live(_) => None,
+        }
+    }
+
+    /// The live set behind a [`start_live`](Self::start_live) service.
+    pub fn live(&self) -> Option<&LiveSet<D, O>> {
+        match &self.shared.source {
+            Source::Live(live) => Some(live),
+            Source::Static(_) => None,
+        }
+    }
+
+    /// Applies a batch of streaming updates to the live set, each op
+    /// durable and published to concurrent queries before the next starts.
+    /// In-flight queries keep their pinned snapshots; queries admitted
+    /// after return see the batch. Errors with [`LiveError::Invalid`] on a
+    /// static service.
+    pub fn apply_updates(&self, ops: &[UpdateOp<D, O>]) -> Result<ApplyReport, LiveError> {
+        let Source::Live(live) = &self.shared.source else {
+            return Err(LiveError::Invalid(
+                "apply_updates on a static service; start it with start_live".into(),
+            ));
+        };
+        let report = live.apply(ops)?;
+        if let Some(obs) = &self.shared.obs {
+            obs.record_apply(&report);
+        }
+        Ok(report)
     }
 
     /// The observability state, when enabled in [`ServiceConfig::obs`].
@@ -292,10 +354,7 @@ impl<const D: usize, O: SpatialObject<D>> CpqService<D, O> {
     /// refreshing the bridged buffer-pool series at call time. Empty string
     /// when observability is off.
     pub fn render_metrics(&self) -> String {
-        match &self.shared.obs {
-            Some(obs) => obs.render(&self.shared.trees, self.shared.queue.len()),
-            None => String::new(),
-        }
+        self.shared.render()
     }
 
     /// Drains the slow-query log (oldest first). Empty when observability
@@ -326,10 +385,7 @@ impl<const D: usize, O: SpatialObject<D>> CpqService<D, O> {
         addr: A,
     ) -> std::io::Result<MetricsServer> {
         let shared = Arc::clone(&self.shared);
-        MetricsServer::start(addr, move || match &shared.obs {
-            Some(obs) => obs.render(&shared.trees, shared.queue.len()),
-            None => String::new(),
-        })
+        MetricsServer::start(addr, move || shared.render())
     }
 
     fn stop(&mut self) {
@@ -364,14 +420,60 @@ fn pool_totals<const D: usize, O: SpatialObject<D>>(
     shared: &Shared<D, O>,
     kind: QueryKind,
 ) -> (u64, u64) {
-    let (p, _) = shared.trees.p.pool().stats_snapshot();
+    let (pool_p, pool_q) = shared.source.pools();
+    let (p, _) = pool_p.stats_snapshot();
     match kind {
         QueryKind::SelfJoin => (p.hits, p.misses),
         QueryKind::Cross => {
-            let (q, _) = shared.trees.q.pool().stats_snapshot();
+            let (q, _) = pool_q.stats_snapshot();
             (p.hits + q.hits, p.misses + q.misses)
         }
     }
+}
+
+impl<const D: usize, O: SpatialObject<D>> Shared<D, O> {
+    /// Refreshes the bridged series and renders the Prometheus exposition;
+    /// empty when observability is off.
+    fn render(&self) -> String {
+        let Some(obs) = &self.obs else {
+            return String::new();
+        };
+        let (pool_p, pool_q) = self.source.pools();
+        let live = match &self.source {
+            Source::Live(live) => Some(live.stats()),
+            Source::Static(_) => None,
+        };
+        obs.render(pool_p, pool_q, live.as_ref(), self.queue.len())
+    }
+}
+
+/// The classic (non-scatter) engine dispatch over two borrowed trees —
+/// the static pair or a live query's pinned snapshots. Self-joins ignore
+/// `q` (callers pass `p` twice).
+fn run_classic<const D: usize, O: SpatialObject<D>>(
+    p: &RTree<D, O>,
+    q: &RTree<D, O>,
+    job: &Job<D, O>,
+    cpq: &CpqConfig,
+    cancel: &CancelToken,
+    instrument: bool,
+    probe: &mut ProfileProbe,
+) -> Result<cpq_core::QueryRun<D, O>, String> {
+    let classic = match (job.req.kind, instrument) {
+        (QueryKind::Cross, false) => {
+            k_closest_pairs_cancellable(p, q, job.req.k, job.req.algorithm, cpq, cancel)
+        }
+        (QueryKind::SelfJoin, false) => {
+            self_closest_pairs_cancellable(p, job.req.k, job.req.algorithm, cpq, cancel)
+        }
+        (QueryKind::Cross, true) => {
+            k_closest_pairs_instrumented(p, q, job.req.k, job.req.algorithm, cpq, cancel, probe)
+        }
+        (QueryKind::SelfJoin, true) => {
+            self_closest_pairs_instrumented(p, job.req.k, job.req.algorithm, cpq, cancel, probe)
+        }
+    };
+    classic.map_err(|e| e.to_string())
 }
 
 fn worker_loop<const D: usize, O: SpatialObject<D>>(shared: &Shared<D, O>) {
@@ -436,41 +538,41 @@ fn worker_loop<const D: usize, O: SpatialObject<D>>(shared: &Shared<D, O>) {
                 Err(e) => Err(e.to_string()),
             }
         } else {
-            let classic = match (job.req.kind, instrument) {
-                (QueryKind::Cross, false) => k_closest_pairs_cancellable(
-                    &shared.trees.p,
-                    &shared.trees.q,
-                    job.req.k,
-                    job.req.algorithm,
-                    &cpq,
-                    &cancel,
+            match &shared.source {
+                Source::Static(trees) => run_classic(
+                    &trees.p, &trees.q, &job, &cpq, &cancel, instrument, &mut probe,
                 ),
-                (QueryKind::SelfJoin, false) => self_closest_pairs_cancellable(
-                    &shared.trees.p,
-                    job.req.k,
-                    job.req.algorithm,
-                    &cpq,
-                    &cancel,
-                ),
-                (QueryKind::Cross, true) => k_closest_pairs_instrumented(
-                    &shared.trees.p,
-                    &shared.trees.q,
-                    job.req.k,
-                    job.req.algorithm,
-                    &cpq,
-                    &cancel,
-                    &mut probe,
-                ),
-                (QueryKind::SelfJoin, true) => self_closest_pairs_instrumented(
-                    &shared.trees.p,
-                    job.req.k,
-                    job.req.algorithm,
-                    &cpq,
-                    &cancel,
-                    &mut probe,
-                ),
-            };
-            classic.map_err(|e| e.to_string())
+                // Live path: pin epoch snapshots for the query's whole
+                // execution — one committed state end to end, no matter
+                // how many update batches commit mid-query. Self-joins
+                // pin only P.
+                Source::Live(live) => match live.p().snapshot() {
+                    Err(e) => Err(e.to_string()),
+                    Ok(snap_p) => match job.req.kind {
+                        QueryKind::SelfJoin => run_classic(
+                            snap_p.tree(),
+                            snap_p.tree(),
+                            &job,
+                            &cpq,
+                            &cancel,
+                            instrument,
+                            &mut probe,
+                        ),
+                        QueryKind::Cross => match live.q().snapshot() {
+                            Err(e) => Err(e.to_string()),
+                            Ok(snap_q) => run_classic(
+                                snap_p.tree(),
+                                snap_q.tree(),
+                                &job,
+                                &cpq,
+                                &cancel,
+                                instrument,
+                                &mut probe,
+                            ),
+                        },
+                    },
+                },
+            }
         };
         let (status, pairs, stats) = match result {
             Ok(run) => (

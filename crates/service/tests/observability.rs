@@ -156,7 +156,12 @@ fn metrics_endpoint_serves_lint_clean_exposition() {
     assert!(body.contains("cpq_dist_computations_total"));
 
     // Bridged pool series agree with the pools' own books at scrape time.
-    let (bp, _) = service.trees().p.pool().stats_snapshot();
+    let (bp, _) = service
+        .trees()
+        .expect("static service")
+        .p
+        .pool()
+        .stats_snapshot();
     assert!(body.contains(&format!(
         "cpq_buffer_reads_total{{tree=\"p\",result=\"hit\"}} {}",
         bp.hits
@@ -269,7 +274,12 @@ fn scheduled_pools_bridge_io_series() {
     };
     // The P tree's scheduler served this query's misses: its bridged
     // demand counter must agree exactly with the pool's own books.
-    let (bp, io_p) = service.trees().p.pool().stats_snapshot();
+    let (bp, io_p) = service
+        .trees()
+        .expect("static service")
+        .p
+        .pool()
+        .stats_snapshot();
     assert_eq!(io_p.reads, bp.misses, "pool ledger balances");
     assert_eq!(
         series("cpq_io_demand_reads_total", "p") as u64,

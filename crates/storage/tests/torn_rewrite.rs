@@ -1,0 +1,114 @@
+//! CRC torn-page detection for pages *rewritten* through
+//! [`BufferPool::write_page`] — the live-update write path.
+//!
+//! The original torn-page tests cover pages written once through the raw
+//! [`DiskPageFile`]; the live subsystem rewrites pages through the pool
+//! (write-through), so the trailer must be recomputed on every rewrite
+//! and a torn rewrite (partial sector write of the *new* image over the
+//! old one) must surface as `Corrupt` on the next cold read — and must
+//! be healed by a subsequent successful rewrite.
+
+use cpq_storage::{crc32, BufferPool, DiskPageFile, PageId, StorageError};
+use std::path::PathBuf;
+
+const PAGE_SIZE: usize = 128;
+const HEADER_LEN: usize = 16; // v2 header: magic, version, page_size, num_pages
+const CRC_LEN: usize = 4;
+
+fn temp_path(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "cpq-torn-rewrite-{tag}-{}-{:?}.pages",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn page_range(idx: usize) -> std::ops::Range<usize> {
+    let start = HEADER_LEN + idx * (PAGE_SIZE + CRC_LEN);
+    start..start + PAGE_SIZE
+}
+
+#[test]
+fn rewrite_through_pool_updates_crc_and_torn_rewrite_is_detected_then_healed() {
+    let path = temp_path("pool");
+    {
+        let file = DiskPageFile::create(&path, PAGE_SIZE).expect("create");
+        let pool = BufferPool::with_lru(Box::new(file), 8);
+        let a = pool.allocate().expect("alloc a");
+        let b = pool.allocate().expect("alloc b");
+        pool.write_page(a, &[0x11; PAGE_SIZE]).expect("write a");
+        pool.write_page(b, &[0x22; PAGE_SIZE]).expect("write b");
+        // The rewrites: same pages, new images, through the pool.
+        pool.write_page(a, &[0x33; PAGE_SIZE]).expect("rewrite a");
+        pool.write_page(b, &[0x44; PAGE_SIZE]).expect("rewrite b");
+        pool.sync().expect("sync");
+    }
+
+    // Raw disk check: both trailers match the *rewritten* images.
+    {
+        let raw = std::fs::read(&path).expect("read raw");
+        for (idx, fill) in [(0usize, 0x33u8), (1, 0x44)] {
+            let body = &raw[page_range(idx)];
+            assert!(body.iter().all(|&x| x == fill), "page {idx} body stale");
+            let tr_start = page_range(idx).end;
+            let stored = u32::from_le_bytes(
+                raw[tr_start..tr_start + CRC_LEN]
+                    .try_into()
+                    .expect("trailer"),
+            );
+            assert_eq!(stored, crc32(body), "page {idx} trailer not recomputed");
+        }
+    }
+
+    // Tear page 1's rewrite: first half of the page keeps the new image,
+    // second half reverts to the old one — a classic partial sector
+    // write. The trailer (written with the new image) can't match.
+    {
+        let mut raw = std::fs::read(&path).expect("read raw");
+        let r = page_range(1);
+        raw[r.start + PAGE_SIZE / 2..r.end].fill(0x22);
+        std::fs::write(&path, raw).expect("write raw");
+    }
+
+    // A cold pool read surfaces the corruption; the intact page reads
+    // fine; the failed read counts no successful physical read.
+    {
+        let file = DiskPageFile::open(&path).expect("open");
+        let pool = BufferPool::with_lru(Box::new(file), 8);
+        let bytes = pool.read_page(PageId(0)).expect("page 0");
+        assert!(bytes.iter().all(|&x| x == 0x33));
+        match pool.read_page(PageId(1)) {
+            Err(StorageError::Corrupt {
+                page,
+                stored,
+                computed,
+            }) => {
+                assert_eq!(page, PageId(1));
+                assert_ne!(stored, computed);
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let (buf, io) = pool.stats_snapshot();
+        assert_eq!(io.reads, 1, "corrupt read must not count");
+        assert_eq!(buf.misses, io.reads, "ledger must exclude failed reads");
+
+        // A successful rewrite through the pool heals the torn page...
+        pool.write_page(PageId(1), &[0x55; PAGE_SIZE])
+            .expect("heal");
+        let bytes = pool.read_page(PageId(1)).expect("healed read");
+        assert!(bytes.iter().all(|&x| x == 0x55));
+        pool.sync().expect("sync");
+    }
+
+    // ...durably: a fresh open reads it clean too.
+    {
+        let file = DiskPageFile::open(&path).expect("reopen");
+        let pool = BufferPool::with_lru(Box::new(file), 8);
+        let bytes = pool.read_page(PageId(1)).expect("page 1");
+        assert!(bytes.iter().all(|&x| x == 0x55));
+    }
+    let _ = std::fs::remove_file(&path);
+}

@@ -37,6 +37,9 @@ model_test -p cpq-storage --test model_buffer
 model_test -p cpq-storage --lib sched::
 model_test -p cpq-core --lib model_tests
 model_test -p cpq-shard --lib model_tests
+# Sites #7 (epoch publish/reclaim) and #8 (WAL group commit), each with a
+# pinned broken twin.
+model_test -p cpq-live --lib model_tests
 
 echo "==> bench_service --smoke --profile (service end-to-end + divergence + obs gate)"
 ./target/release/bench_service --smoke --profile \
@@ -63,6 +66,16 @@ echo "==> bench_parallel --smoke --disk real (real-file descent, zero-divergence
 # bit-identical-vs-unsharded gate on every cell.
 echo "==> bench_shard --smoke (scatter-gather K-CPQ, zero-divergence gate)"
 ./target/release/bench_shard --smoke --out /tmp/BENCH_shard_smoke.json >/dev/null
+
+# Recovery smoke tier: the crash-injection harness truncates a real WAL at
+# every record boundary (plus torn mid-record cuts) and asserts bit-identical
+# K-CPQ answers after recovery; the live bench gates the continuous delta
+# path at >=5x over per-step recomputation, bit-identity sampled.
+echo "==> recovery smoke (crash at every WAL record boundary, bit-identical gate)"
+cargo test --release -q -p cpq-live --test crash_recovery
+
+echo "==> bench_live --smoke (continuous K-CPQ delta path >=5x + throughput x readers)"
+./target/release/bench_live --smoke --out /tmp/BENCH_live_smoke.json >/dev/null
 
 if [ "${1:-}" = "--full" ]; then
     echo "==> parallel stress: wide seed sweep (release, --include-ignored)"

@@ -18,6 +18,8 @@
 //!   admission control, deadlines);
 //! * [`shard`] — spatially sharded trees with scatter-gather K-CPQ and the
 //!   shard-pair wire protocol;
+//! * [`live`] — mutable trees: copy-on-write updates behind epoch-pinned
+//!   snapshots, WAL crash recovery, continuous K-CPQ over streams;
 //! * [`obs`] — observability: metrics registry, per-query work profiles,
 //!   slow-query forensics, Prometheus exposition.
 //!
@@ -30,6 +32,7 @@ pub mod shell;
 pub use cpq_core as core;
 pub use cpq_datasets as datasets;
 pub use cpq_geo as geo;
+pub use cpq_live as live;
 pub use cpq_obs as obs;
 pub use cpq_rtree as rtree;
 pub use cpq_service as service;
