@@ -1,0 +1,333 @@
+//! Benchmark: range-restricted (windowed) and colored K-CPQ.
+//!
+//! Sweeps the constrained query surface end to end:
+//!
+//! * window selectivities: nested windows anchored at the workspace
+//!   origin with sides 100%, 50%, 25%, 12.5% of the workspace (area
+//!   selectivity 1, 1/4, 1/16, 1/64),
+//! * colors ∈ {uncolored, colored} (colored datasets pack a round-robin
+//!   color into the oid channel; colored queries demand differing
+//!   colors),
+//! * `K` ∈ {1, 10, 100},
+//! * workloads: uniform⋈uniform, clustered⋈clustered, real⋈uniform
+//!   (the paper's California-surrogate real data set),
+//!
+//! measuring the planner's default constrained algorithm (HEAP) over
+//! unbuffered trees, so `disk_accesses` is exactly the node-access count.
+//! Cross and self-join (self-RCP) forms both run in every cell.
+//!
+//! Two gates, any failure aborts the run:
+//!
+//! * **Zero divergence.** Every cell cross-checks HEAP against STD
+//!   bitwise; cells whose window-filtered cardinality product fits the
+//!   oracle budget additionally run all five algorithms *and* the O(n²)
+//!   brute-force oracle, all bit-identical. In `--smoke` mode every cell
+//!   fits the budget, so the whole matrix is oracle-gated.
+//! * **Monotone node accesses.** On the clustered workload (uncolored,
+//!   K = 10), node accesses must not increase as the window shrinks —
+//!   the windowed traversal must actually exploit the restriction
+//!   instead of scanning and post-filtering.
+//!
+//! Writes `BENCH_rcp.json` (repo root by default).
+//!
+//! ```text
+//! cargo run --release --bin bench_rcp -- [--n 10000] \
+//!     [--out BENCH_rcp.json] [--smoke]
+//! ```
+
+use cpq_bench::{configure_buffers, real_dataset, Args};
+use cpq_core::brute::{k_closest_pairs_brute_constrained, self_k_closest_pairs_brute_constrained};
+use cpq_core::{
+    k_closest_pairs_constrained, self_closest_pairs_constrained, Algorithm, Constraint, CpqConfig,
+    PairResult,
+};
+use cpq_datasets::{clustered, uniform, ClusterSpec, Dataset, WORKSPACE_SIDE};
+use cpq_geo::{Point2, Rect2};
+use cpq_rtree::{RTree, RTreeParams};
+use cpq_storage::{BufferPool, MemPageFile, DEFAULT_PAGE_SIZE};
+use std::time::Instant;
+
+const ALL: [Algorithm; 5] = [
+    Algorithm::Naive,
+    Algorithm::Exhaustive,
+    Algorithm::Simple,
+    Algorithm::SortedDistances,
+    Algorithm::Heap,
+];
+
+/// Window-filtered cardinality product above which the O(n²) oracle (which
+/// materializes every admitted pair) is skipped for a cell.
+const ORACLE_BUDGET: u64 = 8_000_000;
+
+fn build(entries: &[(Point2, u64)]) -> RTree<2> {
+    let pool = BufferPool::with_lru(Box::new(MemPageFile::new(DEFAULT_PAGE_SIZE)), 512);
+    let mut tree = RTree::new(pool, RTreeParams::paper()).expect("tree");
+    for &(p, oid) in entries {
+        tree.insert(p, oid).expect("insert");
+    }
+    tree
+}
+
+fn assert_same(a: &[PairResult<2>], b: &[PairResult<2>], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: result length diverged");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            x.p.oid == y.p.oid
+                && x.q.oid == y.q.oid
+                && x.dist2.get().to_bits() == y.dist2.get().to_bits(),
+            "{label}: pair #{i} diverged — ({},{}) vs ({},{})",
+            x.p.oid,
+            x.q.oid,
+            y.p.oid,
+            y.q.oid
+        );
+    }
+}
+
+/// Entries the window admits on one side — the only points that can appear
+/// in a windowed result, so the oracle may run on the filtered slice.
+fn admitted(entries: &[(Point2, u64)], window: &Rect2) -> Vec<(Point2, u64)> {
+    entries
+        .iter()
+        .filter(|(p, _)| window.contains_point(p))
+        .copied()
+        .collect()
+}
+
+struct Cell {
+    kind: &'static str,
+    colors: u16,
+    side_frac: f64,
+    selectivity: f64,
+    k: usize,
+    wall_ns: u64,
+    node_accesses: u64,
+    pairs: usize,
+    oracle_checked: bool,
+}
+
+fn cell_json(c: &Cell) -> String {
+    format!(
+        concat!(
+            "{{ \"kind\": \"{}\", \"colors\": {}, \"window_frac\": {}, ",
+            "\"selectivity\": {:.6}, \"k\": {}, \"wall_ns\": {}, ",
+            "\"node_accesses\": {}, \"pairs\": {}, \"oracle_checked\": {}, ",
+            "\"mismatched_pairs\": 0 }}"
+        ),
+        c.kind,
+        c.colors,
+        c.side_frac,
+        c.selectivity,
+        c.k,
+        c.wall_ns,
+        c.node_accesses,
+        c.pairs,
+        c.oracle_checked,
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.flag("smoke");
+    let n = args.get_usize("n", if smoke { 1_500 } else { 10_000 });
+    let out_path = args.get_str("out", "BENCH_rcp.json");
+    let window_fracs: &[f64] = &[1.0, 0.5, 0.25, 0.125];
+    let k_values: &[usize] = if smoke { &[1, 10] } else { &[1, 10, 100] };
+    let color_counts: &[u16] = if smoke { &[0, 2] } else { &[0, 3] };
+
+    let workloads: Vec<(&str, Dataset, Dataset)> = if smoke {
+        vec![
+            ("uniform", uniform(n, 1), uniform(n, 2)),
+            (
+                "clustered",
+                clustered(n, ClusterSpec::default(), 3),
+                clustered(n, ClusterSpec::default(), 4),
+            ),
+        ]
+    } else {
+        vec![
+            ("uniform", uniform(n, 1), uniform(n, 2)),
+            (
+                "clustered",
+                clustered(n, ClusterSpec::default(), 3),
+                clustered(n, ClusterSpec::default(), 4),
+            ),
+            ("real", real_dataset(n as f64 / 62_556.0), uniform(n, 5)),
+        ]
+    };
+
+    let cfg = CpqConfig::paper();
+    let mut workload_json = Vec::new();
+    let mut oracle_cells = 0u64;
+    let mut total_cells = 0u64;
+
+    for (name, dp, dq) in &workloads {
+        eprintln!(
+            "building {name} trees ({} / {} points)...",
+            dp.len(),
+            dq.len()
+        );
+        let mut cells: Vec<Cell> = Vec::new();
+        // Clustered monotonicity ledger: (window side fraction → accesses)
+        // for the uncolored K = 10 cross cells, in sweep (shrinking) order.
+        let mut shrink_accesses: Vec<(f64, u64)> = Vec::new();
+
+        for &colors in color_counts {
+            let (ps, qs) = if colors == 0 {
+                (dp.indexed(), dq.indexed())
+            } else {
+                (dp.colored_indexed(colors), dq.colored_indexed(colors))
+            };
+            let (tp, tq) = (build(&ps), build(&qs));
+
+            for &frac in window_fracs {
+                let side = WORKSPACE_SIDE * frac;
+                let window = Rect2::from_corners([0.0, 0.0], [side, side]);
+                let mut con = Constraint::window(window);
+                if colors > 0 {
+                    con = con.with_colored();
+                }
+                let (wp, wq) = (admitted(&ps, &window), admitted(&qs, &window));
+                let filtered_work = wp.len() as u64 * wq.len() as u64;
+                let oracle_ok = filtered_work <= ORACLE_BUDGET;
+
+                for &k in k_values {
+                    total_cells += 1;
+                    configure_buffers(&tp, &tq, 0);
+                    let start = Instant::now();
+                    let heap = k_closest_pairs_constrained(&tp, &tq, k, Algorithm::Heap, &cfg, con)
+                        .expect("heap query");
+                    let wall_ns = start.elapsed().as_nanos() as u64;
+                    let accesses = heap.stats.disk_accesses();
+                    let label = format!("{name} colors={colors} frac={frac} k={k}");
+
+                    // Divergence gates.
+                    let std = k_closest_pairs_constrained(
+                        &tp,
+                        &tq,
+                        k,
+                        Algorithm::SortedDistances,
+                        &cfg,
+                        con,
+                    )
+                    .expect("std query");
+                    assert_same(&heap.pairs, &std.pairs, &format!("{label} HEAP vs STD"));
+                    if oracle_ok {
+                        oracle_cells += 1;
+                        let oracle = k_closest_pairs_brute_constrained(&wp, &wq, k, &con);
+                        assert_same(&heap.pairs, &oracle, &format!("{label} vs oracle"));
+                        let self_oracle = self_k_closest_pairs_brute_constrained(&wp, k, &con);
+                        for alg in ALL {
+                            let out = k_closest_pairs_constrained(&tp, &tq, k, alg, &cfg, con)
+                                .expect("query");
+                            assert_same(
+                                &out.pairs,
+                                &oracle,
+                                &format!("{label} {} vs oracle", alg.label()),
+                            );
+                            let own = self_closest_pairs_constrained(&tp, k, alg, &cfg, con)
+                                .expect("self query");
+                            assert_same(
+                                &own.pairs,
+                                &self_oracle,
+                                &format!("{label} self {} vs oracle", alg.label()),
+                            );
+                        }
+                    } else {
+                        // Too big for the oracle: the self form still gets
+                        // its two-algorithm cross-check.
+                        let h = self_closest_pairs_constrained(&tp, k, Algorithm::Heap, &cfg, con)
+                            .expect("self query");
+                        let s = self_closest_pairs_constrained(
+                            &tp,
+                            k,
+                            Algorithm::SortedDistances,
+                            &cfg,
+                            con,
+                        )
+                        .expect("self query");
+                        assert_same(&h.pairs, &s.pairs, &format!("{label} self HEAP vs STD"));
+                    }
+
+                    eprintln!(
+                        "  {label}: {:.1} ms, {} node accesses, {} pairs{}",
+                        wall_ns as f64 / 1e6,
+                        accesses,
+                        heap.pairs.len(),
+                        if oracle_ok { ", oracle-gated" } else { "" },
+                    );
+                    if colors == 0 && k == 10 {
+                        shrink_accesses.push((frac, accesses));
+                    }
+                    cells.push(Cell {
+                        kind: "cross",
+                        colors,
+                        side_frac: frac,
+                        selectivity: frac * frac,
+                        k,
+                        wall_ns,
+                        node_accesses: accesses,
+                        pairs: heap.pairs.len(),
+                        oracle_checked: oracle_ok,
+                    });
+                }
+            }
+        }
+
+        // The windowed traversal must *use* the window: shrinking it (the
+        // sweep is ordered largest → smallest) must not cost more nodes.
+        if *name == "clustered" {
+            for pair in shrink_accesses.windows(2) {
+                let ((f0, a0), (f1, a1)) = (pair[0], pair[1]);
+                assert!(
+                    a1 <= a0,
+                    "clustered node accesses grew as the window shrank: \
+                     frac {f0} → {a0}, frac {f1} → {a1}"
+                );
+            }
+            eprintln!(
+                "  clustered shrink sweep (k=10): {:?} — monotone ✓",
+                shrink_accesses
+            );
+        }
+
+        workload_json.push(format!(
+            concat!(
+                "{{\n      \"name\": \"{}\",\n      \"n_p\": {},\n",
+                "      \"n_q\": {},\n      \"cells\": [\n        {}\n      ]\n    }}"
+            ),
+            name,
+            dp.len(),
+            dq.len(),
+            cells
+                .iter()
+                .map(cell_json)
+                .collect::<Vec<_>>()
+                .join(",\n        "),
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"rcp\",\n",
+            "  \"algorithm\": \"heap\",\n",
+            "  \"buffer_pages\": 0,\n",
+            "  \"smoke\": {smoke},\n",
+            "  \"zero_divergence\": true,\n",
+            "  \"oracle_gated_cells\": {oracle_cells},\n",
+            "  \"total_cells\": {total_cells},\n",
+            "  \"clustered_accesses_monotone\": true,\n",
+            "  \"workloads\": [\n    {wl}\n  ]\n",
+            "}}\n"
+        ),
+        smoke = smoke,
+        oracle_cells = oracle_cells,
+        total_cells = total_cells,
+        wl = workload_json.join(",\n    "),
+    );
+    std::fs::write(&out_path, &json).expect("write JSON");
+    eprintln!(
+        "zero divergence across {total_cells} cells ({oracle_cells} oracle-gated); wrote {out_path}"
+    );
+}

@@ -13,8 +13,9 @@
 
 use cpq_bench::{build_tree, uniform_dataset};
 use cpq_core::Algorithm;
+use cpq_geo::Rect;
 use cpq_obs::lint_exposition;
-use cpq_service::{CpqService, ObsConfig, QueryRequest, ServiceConfig, TreePair};
+use cpq_service::{Constraint, CpqService, ObsConfig, QueryRequest, ServiceConfig, TreePair};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 
@@ -46,6 +47,18 @@ fn main() {
         assert!(resp.profile.is_some(), "profiles attached when obs is on");
     }
 
+    // One planned, window-constrained query exercises the planner path:
+    // 1000×1000 effective work with an active constraint must resolve to
+    // HEAP, feeding the cpq_plan_* series.
+    let window = Rect::from_corners([0.0, 0.0], [1000.0, 1000.0]);
+    let resp = service
+        .execute(QueryRequest::planned_cross(5).with_constraint(Constraint::window(window)))
+        .expect("planned query execution");
+    let profile = resp.profile.as_ref().expect("planned profile");
+    assert!(profile.planned, "profile records the planner decision");
+    assert_eq!(profile.plan_reason, "constrained");
+    assert_eq!(resp.request.algorithm, Algorithm::Heap);
+
     let server = service.serve_metrics("127.0.0.1:0").expect("bind listener");
     eprintln!("scraping http://{}/metrics ...", server.addr());
     let mut stream = TcpStream::connect(server.addr()).expect("connect");
@@ -67,11 +80,15 @@ fn main() {
     }
 
     let required = [
-        "cpq_queries_total{algorithm=\"HEAP\",outcome=\"completed\"} 1",
+        "cpq_queries_total{algorithm=\"HEAP\",outcome=\"completed\"} 2",
         "cpq_queries_total{algorithm=\"NAIVE\",outcome=\"completed\"} 1",
-        "cpq_query_latency_microseconds_count 5",
+        "cpq_plan_queries_total{algorithm=\"HEAP\"} 1",
+        "cpq_plan_queries_total{algorithm=\"EXH\"} 0",
+        "cpq_plan_parallel_total 0",
+        "cpq_plan_scatter_total 0",
+        "cpq_query_latency_microseconds_count 6",
         "cpq_query_latency_microseconds_bucket",
-        "cpq_queue_wait_microseconds_count 5",
+        "cpq_queue_wait_microseconds_count 6",
         "cpq_node_accesses_total{tree=\"p\"}",
         "cpq_node_accesses_total{tree=\"q\"}",
         "cpq_dist_computations_total",

@@ -6,6 +6,7 @@ use crate::config::CpqConfig;
 use crate::engine::{Ctx, ScatterCtx};
 use crate::heap_alg::heap_run;
 use crate::recursive::{exhaustive, naive, simple, sorted};
+use crate::spec::Constraint;
 use crate::types::{CpqStats, QueryOutcome, QueryRun};
 use cpq_geo::SpatialObject;
 use cpq_obs::{NullProbe, Probe, ProbeSide};
@@ -72,10 +73,70 @@ pub fn k_closest_pairs<const D: usize, O: SpatialObject<D>>(
         algorithm,
         config,
         false,
+        Constraint::none(),
         None,
         &mut NullProbe,
     )?
     .outcome)
+}
+
+/// [`k_closest_pairs`] under a result-pair [`Constraint`]: range-restricted
+/// (windowed) and/or colored K-CPQ.
+///
+/// Only pairs admitted by the constraint are returned — each side's point
+/// inside its window (boundary-inclusive; extended objects must fit
+/// entirely), and under the colored filter the two oids must carry distinct
+/// colors. Results are bit-identical to filtering the brute-force pair
+/// enumeration by the same predicate and keeping the K smallest under the
+/// canonical `(dist2, oid, oid)` order. An inactive constraint makes this
+/// exactly [`k_closest_pairs`], work counters included.
+pub fn k_closest_pairs_constrained<const D: usize, O: SpatialObject<D>>(
+    tree_p: &RTree<D, O>,
+    tree_q: &RTree<D, O>,
+    k: usize,
+    algorithm: Algorithm,
+    config: &CpqConfig,
+    constraint: Constraint<D>,
+) -> RTreeResult<QueryOutcome<D, O>> {
+    Ok(run(
+        tree_p,
+        tree_q,
+        k,
+        algorithm,
+        config,
+        false,
+        constraint,
+        None,
+        &mut NullProbe,
+    )?
+    .outcome)
+}
+
+/// [`k_closest_pairs_constrained`] with a [`CancelToken`] and a
+/// caller-supplied [`Probe`] — the constrained instrumented entry point the
+/// service worker pool uses.
+#[allow(clippy::too_many_arguments)]
+pub fn k_closest_pairs_constrained_instrumented<const D: usize, O: SpatialObject<D>, P: Probe>(
+    tree_p: &RTree<D, O>,
+    tree_q: &RTree<D, O>,
+    k: usize,
+    algorithm: Algorithm,
+    config: &CpqConfig,
+    constraint: Constraint<D>,
+    cancel: &CancelToken,
+    probe: &mut P,
+) -> RTreeResult<QueryRun<D, O>> {
+    run(
+        tree_p,
+        tree_q,
+        k,
+        algorithm,
+        config,
+        false,
+        constraint,
+        Some(cancel),
+        probe,
+    )
 }
 
 /// [`k_closest_pairs`] under a cooperative [`CancelToken`], the form the
@@ -101,6 +162,7 @@ pub fn k_closest_pairs_cancellable<const D: usize, O: SpatialObject<D>>(
         algorithm,
         config,
         false,
+        Constraint::none(),
         Some(cancel),
         &mut NullProbe,
     )
@@ -132,6 +194,7 @@ pub fn k_closest_pairs_instrumented<const D: usize, O: SpatialObject<D>, P: Prob
         algorithm,
         config,
         false,
+        Constraint::none(),
         Some(cancel),
         probe,
     )
@@ -178,6 +241,39 @@ pub fn k_closest_pairs_scatter<const D: usize, O: SpatialObject<D>>(
         algorithm,
         &cfg,
         false,
+        Constraint::none(),
+        cancel,
+        shared,
+        orient_by_oid,
+    )
+}
+
+/// [`k_closest_pairs_scatter`] under a result-pair [`Constraint`] — the
+/// subquery form of a *constrained* sharded query. The coordinator passes
+/// the query's constraint to every shard-pair subquery unchanged; merged
+/// results stay bit-identical to the unsharded constrained run.
+#[allow(clippy::too_many_arguments)]
+pub fn k_closest_pairs_scatter_constrained<const D: usize, O: SpatialObject<D>>(
+    tree_p: &RTree<D, O>,
+    tree_q: &RTree<D, O>,
+    k: usize,
+    algorithm: Algorithm,
+    config: &CpqConfig,
+    constraint: Constraint<D>,
+    cancel: &CancelToken,
+    shared: &SharedBound,
+    orient_by_oid: bool,
+) -> RTreeResult<QueryRun<D, O>> {
+    let mut cfg = *config;
+    cfg.parallelism = 0;
+    run_scatter(
+        tree_p,
+        tree_q,
+        k,
+        algorithm,
+        &cfg,
+        false,
+        constraint,
         cancel,
         shared,
         orient_by_oid,
@@ -199,7 +295,41 @@ pub fn self_closest_pairs_scatter<const D: usize, O: SpatialObject<D>>(
 ) -> RTreeResult<QueryRun<D, O>> {
     let mut cfg = *config;
     cfg.parallelism = 0;
-    run_scatter(tree, tree, k, algorithm, &cfg, true, cancel, shared, false)
+    run_scatter(
+        tree,
+        tree,
+        k,
+        algorithm,
+        &cfg,
+        true,
+        Constraint::none(),
+        cancel,
+        shared,
+        false,
+    )
+}
+
+/// [`self_closest_pairs_scatter`] under a result-pair [`Constraint`]. The
+/// constraint must be symmetric (see [`self_closest_pairs_constrained`]).
+#[allow(clippy::too_many_arguments)]
+pub fn self_closest_pairs_scatter_constrained<const D: usize, O: SpatialObject<D>>(
+    tree: &RTree<D, O>,
+    k: usize,
+    algorithm: Algorithm,
+    config: &CpqConfig,
+    constraint: Constraint<D>,
+    cancel: &CancelToken,
+    shared: &SharedBound,
+) -> RTreeResult<QueryRun<D, O>> {
+    assert!(
+        constraint.is_symmetric(),
+        "self-join constraints must use one symmetric window"
+    );
+    let mut cfg = *config;
+    cfg.parallelism = 0;
+    run_scatter(
+        tree, tree, k, algorithm, &cfg, true, constraint, cancel, shared, false,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -210,6 +340,7 @@ fn run_scatter<const D: usize, O: SpatialObject<D>>(
     algorithm: Algorithm,
     config: &CpqConfig,
     self_join: bool,
+    constraint: Constraint<D>,
     cancel: &CancelToken,
     shared: &SharedBound,
     orient: bool,
@@ -234,6 +365,7 @@ fn run_scatter<const D: usize, O: SpatialObject<D>>(
         algorithm,
         config,
         self_join,
+        constraint,
         Some(cancel),
         &mut NullProbe,
         None,
@@ -264,7 +396,84 @@ pub fn self_closest_pairs<const D: usize, O: SpatialObject<D>>(
     algorithm: Algorithm,
     config: &CpqConfig,
 ) -> RTreeResult<QueryOutcome<D, O>> {
-    Ok(run(tree, tree, k, algorithm, config, true, None, &mut NullProbe)?.outcome)
+    Ok(run(
+        tree,
+        tree,
+        k,
+        algorithm,
+        config,
+        true,
+        Constraint::none(),
+        None,
+        &mut NullProbe,
+    )?
+    .outcome)
+}
+
+/// [`self_closest_pairs`] under a result-pair [`Constraint`]: self-RCP
+/// (both points of each pair inside one window) and/or colored self-join.
+///
+/// Self-join constraints must be **symmetric** (`window_p == window_q`):
+/// an unordered pair has no stable side assignment, so per-side windows
+/// would make the result depend on the internal `p.oid < q.oid`
+/// orientation. Use [`Constraint::window`] (one rectangle for both sides)
+/// or [`Constraint::colored`].
+pub fn self_closest_pairs_constrained<const D: usize, O: SpatialObject<D>>(
+    tree: &RTree<D, O>,
+    k: usize,
+    algorithm: Algorithm,
+    config: &CpqConfig,
+    constraint: Constraint<D>,
+) -> RTreeResult<QueryOutcome<D, O>> {
+    assert!(
+        constraint.is_symmetric(),
+        "self-join constraints must use one symmetric window"
+    );
+    Ok(run(
+        tree,
+        tree,
+        k,
+        algorithm,
+        config,
+        true,
+        constraint,
+        None,
+        &mut NullProbe,
+    )?
+    .outcome)
+}
+
+/// [`self_closest_pairs_constrained`] with a [`CancelToken`] and a
+/// caller-supplied [`Probe`] — the constrained instrumented self-join
+/// entry point.
+pub fn self_closest_pairs_constrained_instrumented<
+    const D: usize,
+    O: SpatialObject<D>,
+    P: Probe,
+>(
+    tree: &RTree<D, O>,
+    k: usize,
+    algorithm: Algorithm,
+    config: &CpqConfig,
+    constraint: Constraint<D>,
+    cancel: &CancelToken,
+    probe: &mut P,
+) -> RTreeResult<QueryRun<D, O>> {
+    assert!(
+        constraint.is_symmetric(),
+        "self-join constraints must use one symmetric window"
+    );
+    run(
+        tree,
+        tree,
+        k,
+        algorithm,
+        config,
+        true,
+        constraint,
+        Some(cancel),
+        probe,
+    )
 }
 
 /// [`self_closest_pairs`] under a cooperative [`CancelToken`]; semantics as
@@ -283,6 +492,7 @@ pub fn self_closest_pairs_cancellable<const D: usize, O: SpatialObject<D>>(
         algorithm,
         config,
         true,
+        Constraint::none(),
         Some(cancel),
         &mut NullProbe,
     )
@@ -298,7 +508,17 @@ pub fn self_closest_pairs_instrumented<const D: usize, O: SpatialObject<D>, P: P
     cancel: &CancelToken,
     probe: &mut P,
 ) -> RTreeResult<QueryRun<D, O>> {
-    run(tree, tree, k, algorithm, config, true, Some(cancel), probe)
+    run(
+        tree,
+        tree,
+        k,
+        algorithm,
+        config,
+        true,
+        Constraint::none(),
+        Some(cancel),
+        probe,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -309,6 +529,7 @@ fn run<const D: usize, O: SpatialObject<D>, P: Probe>(
     algorithm: Algorithm,
     config: &CpqConfig,
     self_join: bool,
+    constraint: Constraint<D>,
     cancel: Option<&CancelToken>,
     probe: &mut P,
 ) -> RTreeResult<QueryRun<D, O>> {
@@ -336,6 +557,7 @@ fn run<const D: usize, O: SpatialObject<D>, P: Probe>(
             algorithm,
             config,
             self_join,
+            constraint,
             cancel,
             probe,
             misses_before,
@@ -348,6 +570,7 @@ fn run<const D: usize, O: SpatialObject<D>, P: Probe>(
         algorithm,
         config,
         self_join,
+        constraint,
         cancel,
         probe,
         None,
@@ -368,6 +591,7 @@ pub(crate) fn run_leader<const D: usize, O: SpatialObject<D>, P: Probe>(
     algorithm: Algorithm,
     config: &CpqConfig,
     self_join: bool,
+    constraint: Constraint<D>,
     cancel: Option<&CancelToken>,
     probe: &mut P,
     par: Option<&crate::parallel::SpecRuntime<D, O>>,
@@ -375,7 +599,7 @@ pub(crate) fn run_leader<const D: usize, O: SpatialObject<D>, P: Probe>(
     misses_before: (u64, u64),
 ) -> RTreeResult<QueryRun<D, O>> {
     let mut ctx = Ctx::new(
-        tree_p, tree_q, k, config, self_join, cancel, probe, par, scatter,
+        tree_p, tree_q, k, config, self_join, constraint, cancel, probe, par, scatter,
     );
 
     // A token that is already tripped (deadline expired while queued) stops

@@ -1,6 +1,7 @@
 //! Brute-force reference implementations, used by the test-suite and the
 //! benchmark harness to verify every tree-based algorithm.
 
+use crate::spec::Constraint;
 use crate::types::{pair_cmp, PairResult};
 use cpq_geo::SpatialObject;
 use cpq_rtree::LeafEntry;
@@ -42,6 +43,68 @@ pub fn self_k_closest_pairs_brute<const D: usize, O: SpatialObject<D>>(
             } else {
                 ((q, qoid), (p, poid))
             };
+            all.push(PairResult::new(
+                LeafEntry::new(a.0, a.1),
+                LeafEntry::new(b.0, b.1),
+            ));
+        }
+    }
+    all.sort_by(pair_cmp);
+    all.truncate(k);
+    all
+}
+
+/// Constrained variant of [`k_closest_pairs_brute`]: only pairs admitted by
+/// `constraint` (windows and/or colored) qualify. The oracle applies the
+/// **same** [`Constraint::admits_pair`] predicate the tree engines gate
+/// their leaf scans with, so parity failures can only come from pruning
+/// bugs, never predicate drift.
+pub fn k_closest_pairs_brute_constrained<const D: usize, O: SpatialObject<D>>(
+    ps: &[(O, u64)],
+    qs: &[(O, u64)],
+    k: usize,
+    constraint: &Constraint<D>,
+) -> Vec<PairResult<D, O>> {
+    let mut all: Vec<PairResult<D, O>> = Vec::new();
+    for &(p, poid) in ps {
+        for &(q, qoid) in qs {
+            if !constraint.admits_pair(&p.mbr(), poid, &q.mbr(), qoid) {
+                continue;
+            }
+            all.push(PairResult::new(
+                LeafEntry::new(p, poid),
+                LeafEntry::new(q, qoid),
+            ));
+        }
+    }
+    all.sort_by(pair_cmp);
+    all.truncate(k);
+    all
+}
+
+/// Constrained variant of [`self_k_closest_pairs_brute`]. The constraint
+/// must be symmetric (`window_p == window_q`): unordered pairs have no
+/// stable side assignment.
+pub fn self_k_closest_pairs_brute_constrained<const D: usize, O: SpatialObject<D>>(
+    ps: &[(O, u64)],
+    k: usize,
+    constraint: &Constraint<D>,
+) -> Vec<PairResult<D, O>> {
+    assert!(
+        constraint.is_symmetric(),
+        "self-join constraints must use one symmetric window"
+    );
+    let mut all: Vec<PairResult<D, O>> = Vec::new();
+    for (i, &(p, poid)) in ps.iter().enumerate() {
+        for &(q, qoid) in &ps[i + 1..] {
+            let (a, b) = if poid < qoid {
+                ((p, poid), (q, qoid))
+            } else {
+                ((q, qoid), (p, poid))
+            };
+            if !constraint.admits_pair(&a.0.mbr(), a.1, &b.0.mbr(), b.1) {
+                continue;
+            }
             all.push(PairResult::new(
                 LeafEntry::new(a.0, a.1),
                 LeafEntry::new(b.0, b.1),

@@ -115,19 +115,37 @@ pub fn estimate_1cp_cost<const D: usize>(
     let levels = stats_p.len().min(stats_q.len());
     let mut pairs_per_level = Vec::with_capacity(levels);
     let mut accesses = 2.0; // the two roots
+
+    // Node centers modeled uniform in the workspace shrunk by half the
+    // node extent on each side. A workspace narrower than the extent (a
+    // window-clipped workspace can be arbitrarily small) pins the center
+    // at the midpoint instead of inverting the interval.
+    let center_range = |lo: f64, hi: f64, extent: f64| {
+        let (c_lo, c_hi) = (lo + extent / 2.0, hi - extent / 2.0);
+        if c_lo <= c_hi {
+            (c_lo, c_hi)
+        } else {
+            let mid = (lo + hi) / 2.0;
+            (mid, mid)
+        }
+    };
     for l in 0..levels {
         let sp = &stats_p[l];
         let sq = &stats_q[l];
         let mut prob = 1.0;
         for d in 0..D {
             let w = (sp.avg_extent[d] + sq.avg_extent[d]) / 2.0 + threshold;
-            prob *= prob_within(
-                workspace_p.lo().coord(d) + sp.avg_extent[d] / 2.0,
-                workspace_p.hi().coord(d) - sp.avg_extent[d] / 2.0,
-                workspace_q.lo().coord(d) + sq.avg_extent[d] / 2.0,
-                workspace_q.hi().coord(d) - sq.avg_extent[d] / 2.0,
-                w,
+            let (p_lo, p_hi) = center_range(
+                workspace_p.lo().coord(d),
+                workspace_p.hi().coord(d),
+                sp.avg_extent[d],
             );
+            let (q_lo, q_hi) = center_range(
+                workspace_q.lo().coord(d),
+                workspace_q.hi().coord(d),
+                sq.avg_extent[d],
+            );
+            prob *= prob_within(p_lo, p_hi, q_lo, q_hi, w);
         }
         let pairs = sp.nodes as f64 * sq.nodes as f64 * prob;
         pairs_per_level.push(pairs);
@@ -192,6 +210,34 @@ mod tests {
         assert!(estimate_1cp_cost(&stats, &wa, 100, &stats, &wb, 100).is_none());
         assert!(estimate_1cp_cost(&stats, &wa, 100, &stats, &wa, 100).is_some());
         assert!(estimate_1cp_cost(&stats, &wa, 0, &stats, &wa, 100).is_none());
+    }
+
+    #[test]
+    fn workspace_narrower_than_node_extent_does_not_invert() {
+        // A window-clipped workspace can be smaller than a level's mean
+        // node extent; the center interval must collapse to the midpoint
+        // instead of inverting (regression: planner-clipped estimates).
+        let stats: Vec<LevelStats<2>> = vec![
+            LevelStats {
+                level: 0,
+                nodes: 40,
+                avg_extent: [12.0, 12.0],
+                avg_occupancy: 10.0,
+            },
+            LevelStats {
+                level: 1,
+                nodes: 4,
+                avg_extent: [60.0, 60.0],
+                avg_occupancy: 10.0,
+            },
+        ];
+        // 20-wide clipped workspace < 60-wide level-1 extent.
+        let w = Rect::from_corners([40.0, 40.0], [60.0, 60.0]);
+        let est = estimate_1cp_cost(&stats, &w, 200, &stats, &w, 200).unwrap();
+        assert!(est.disk_accesses.is_finite() && est.disk_accesses >= 2.0);
+        for pairs in &est.pairs_per_level {
+            assert!(pairs.is_finite() && *pairs >= 0.0, "pairs {pairs}");
+        }
     }
 
     #[test]

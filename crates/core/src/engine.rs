@@ -7,6 +7,7 @@ use crate::cancel::CancelToken;
 use crate::config::{CpqConfig, HeightStrategy, KPruning, LeafScan};
 use crate::kheap::KHeap;
 use crate::parallel::{SpecRuntime, TaskOut};
+use crate::spec::Constraint;
 use crate::types::{CpqStats, PairResult};
 use cpq_check::sync::Arc;
 use cpq_geo::{max_max_dist2, min_max_dist2, min_min_dist2_within, Dist2, Rect, SpatialObject};
@@ -122,6 +123,12 @@ pub(crate) struct Ctx<'a, const D: usize, O: SpatialObject<D>, P: Probe> {
     /// witness pairs may be a point with itself when the two sides share a
     /// subtree.
     pub self_join: bool,
+    /// The result-pair constraint (windows / colored). An inactive
+    /// constraint leaves every code path bit-identical to plain K-CPQ.
+    /// Active constraints also disable the MINMAX/MAXMAX bounds: their
+    /// witness pairs may be filtered out, and subtree cardinalities count
+    /// non-qualifying points.
+    pub constraint: Constraint<D>,
     /// Cooperative cancellation token, polled once per node-pair visit.
     /// `None` (the plain entry points) compiles down to a no-op check, so
     /// single-threaded results and work counters are untouched.
@@ -174,6 +181,7 @@ impl<'a, const D: usize, O: SpatialObject<D>, P: Probe> Ctx<'a, D, O, P> {
         k: usize,
         cfg: &'a CpqConfig,
         self_join: bool,
+        constraint: Constraint<D>,
         cancel: Option<&'a CancelToken>,
         probe: &'a mut P,
         par: Option<&'a SpecRuntime<D, O>>,
@@ -190,6 +198,7 @@ impl<'a, const D: usize, O: SpatialObject<D>, P: Probe> Ctx<'a, D, O, P> {
             root_area_p: 0.0,
             root_area_q: 0.0,
             self_join,
+            constraint,
             cancel,
             probe,
             par,
@@ -446,6 +455,12 @@ impl<'a, const D: usize, O: SpatialObject<D>, P: Probe> Ctx<'a, D, O, P> {
                 if self.self_join && ep.oid >= eq.oid {
                     continue; // one orientation per unordered pair, no self-pairs
                 }
+                if !self
+                    .constraint
+                    .admits_pair(&ep.mbr(), ep.oid, &eq.mbr(), eq.oid)
+                {
+                    continue; // filtered before the kernel: not a computation
+                }
                 self.stats.dist_computations += 1;
                 self.offer_pair(ep, eq);
             }
@@ -539,6 +554,12 @@ impl<'a, const D: usize, O: SpatialObject<D>, P: Probe> Ctx<'a, D, O, P> {
                     if self.self_join && ep.oid >= eq.oid {
                         continue; // one orientation per unordered pair
                     }
+                    if !self
+                        .constraint
+                        .admits_pair(&ep.mbr(), ep.oid, &eq.mbr(), eq.oid)
+                    {
+                        continue; // filtered before the kernel
+                    }
                     self.stats.dist_computations += 1;
                     match min_min_dist2_within(&ep.mbr(), &eq.mbr(), t) {
                         Some(d2) => {
@@ -566,6 +587,12 @@ impl<'a, const D: usize, O: SpatialObject<D>, P: Probe> Ctx<'a, D, O, P> {
                     }
                     let (ep, eq) = (&eps[a.idx as usize], &eqs[b.idx as usize]);
                     if self.self_join && ep.oid >= eq.oid {
+                        continue;
+                    }
+                    if !self
+                        .constraint
+                        .admits_pair(&ep.mbr(), ep.oid, &eq.mbr(), eq.oid)
+                    {
                         continue;
                     }
                     self.stats.dist_computations += 1;
@@ -634,27 +661,32 @@ impl<'a, const D: usize, O: SpatialObject<D>, P: Probe> Ctx<'a, D, O, P> {
         // lint: allow(expect) — same non-empty-node invariant as above.
         let whole_q = (nq.mbr().expect("non-empty node"), nq.subtree_count());
 
+        // Window clipping (range-restricted queries): each side's MBR is
+        // replaced by `MBR ∩ window` before scoring — a valid tighter lower
+        // bound, since every qualifying point lies in both — and a side
+        // whose MBR misses its window is dropped *silently* (it contains no
+        // qualifying points; no `pairs_pruned` increment, so the driver and
+        // the speculative workers' cached candidate lists stay identical).
+        let con = self.constraint;
         let mut sides_p = std::mem::take(&mut self.sides_p);
         let mut sides_q = std::mem::take(&mut self.sides_q);
         sides_p.clear();
         sides_q.clear();
         if descend_p {
-            sides_p.extend(
-                np.inner_entries()
-                    .iter()
-                    .map(|e| (Descend::Down(*e), e.mbr, e.count)),
-            );
-        } else {
-            sides_p.push((Descend::Stay, whole_p.0, whole_p.1));
+            sides_p.extend(np.inner_entries().iter().filter_map(|e| {
+                let mbr = con.clip_p(&e.mbr)?;
+                Some((Descend::Down(*e), mbr, e.count))
+            }));
+        } else if let Some(mbr) = con.clip_p(&whole_p.0) {
+            sides_p.push((Descend::Stay, mbr, whole_p.1));
         }
         if descend_q {
-            sides_q.extend(
-                nq.inner_entries()
-                    .iter()
-                    .map(|e| (Descend::Down(*e), e.mbr, e.count)),
-            );
-        } else {
-            sides_q.push((Descend::Stay, whole_q.0, whole_q.1));
+            sides_q.extend(nq.inner_entries().iter().filter_map(|e| {
+                let mbr = con.clip_q(&e.mbr)?;
+                Some((Descend::Down(*e), mbr, e.count))
+            }));
+        } else if let Some(mbr) = con.clip_q(&whole_q.0) {
+            sides_q.push((Descend::Stay, mbr, whole_q.1));
         }
 
         // T cannot change during generation (no offers happen here), so one
@@ -761,9 +793,11 @@ impl<'a, const D: usize, O: SpatialObject<D>, P: Probe> Ctx<'a, D, O, P> {
     ///   candidates with `MAXMAXDIST ≤ x` are guaranteed (by subtree
     ///   cardinalities) to contain at least `K` point pairs.
     ///
-    /// Disabled in self-join mode (witness pairs may be degenerate).
+    /// Disabled in self-join mode (witness pairs may be degenerate) and
+    /// under any active constraint (witness pairs may be filtered out and
+    /// cardinalities count non-qualifying points).
     pub(crate) fn apply_bounds(&mut self, cands: &[Cand<D>]) {
-        if self.self_join || cands.is_empty() {
+        if self.self_join || self.constraint.is_active() || cands.is_empty() {
             return;
         }
         let before = self.bound;

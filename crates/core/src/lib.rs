@@ -67,13 +67,17 @@ mod parallel;
 mod recursive;
 mod semi;
 mod sorting;
+mod spec;
 mod ties;
 mod types;
 
 pub use api::{
-    closest_pair, k_closest_pairs, k_closest_pairs_cancellable, k_closest_pairs_instrumented,
-    k_closest_pairs_scatter, self_closest_pairs, self_closest_pairs_cancellable,
-    self_closest_pairs_instrumented, self_closest_pairs_scatter, Algorithm,
+    closest_pair, k_closest_pairs, k_closest_pairs_cancellable, k_closest_pairs_constrained,
+    k_closest_pairs_constrained_instrumented, k_closest_pairs_instrumented,
+    k_closest_pairs_scatter, k_closest_pairs_scatter_constrained, self_closest_pairs,
+    self_closest_pairs_cancellable, self_closest_pairs_constrained,
+    self_closest_pairs_constrained_instrumented, self_closest_pairs_instrumented,
+    self_closest_pairs_scatter, self_closest_pairs_scatter_constrained, Algorithm,
 };
 pub use bound::SharedBound;
 pub use cancel::CancelToken;
@@ -88,5 +92,6 @@ pub use metric_cpq::{k_closest_pairs_metric, MetricOutcome, MetricPair};
 pub use multiway::{k_closest_tuples, MultiwayOutcome, TupleMetric, TupleResult};
 pub use semi::semi_closest_pairs;
 pub use sorting::SortAlgorithm;
+pub use spec::{Constraint, QuerySpec};
 pub use ties::TieStrategy;
 pub use types::{pair_cmp, CpqStats, PairResult, QueryOutcome, QueryRun};

@@ -52,6 +52,7 @@ use crate::cancel::CancelToken;
 use crate::config::CpqConfig;
 use crate::engine::{descend_sides, spec_page, Cand};
 use crate::kheap::KHeap;
+use crate::spec::Constraint;
 use crate::types::{PairResult, QueryRun};
 use crate::Algorithm;
 use cpq_check::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -154,6 +155,11 @@ pub(crate) struct SpecRuntime<const D: usize, O: SpatialObject<D>> {
     push_cursor: AtomicU64,
     k: usize,
     self_join: bool,
+    /// The query's result-pair constraint. Workers must replicate the
+    /// driver's filtering exactly — the leaf-pair admission test and the
+    /// candidate-side window clipping — or their cached work products
+    /// would diverge from what the driver computes inline on a miss.
+    constraint: Constraint<D>,
     height: crate::HeightStrategy,
     yield_seed: Option<u64>,
     // Speculation counters (Relaxed; read after the workers are joined).
@@ -168,6 +174,7 @@ impl<const D: usize, O: SpatialObject<D>> SpecRuntime<D, O> {
         workers: usize,
         k: usize,
         self_join: bool,
+        constraint: Constraint<D>,
         height: crate::HeightStrategy,
         yield_seed: Option<u64>,
     ) -> Self {
@@ -188,6 +195,7 @@ impl<const D: usize, O: SpatialObject<D>> SpecRuntime<D, O> {
             push_cursor: AtomicU64::new(0),
             k: k.max(1),
             self_join,
+            constraint,
             height,
             yield_seed,
             tasks_speculated: AtomicU64::new(0),
@@ -479,6 +487,12 @@ fn exec_task<const D: usize, O: SpatialObject<D>>(
                 if rt.self_join && ep.oid >= eq.oid {
                     continue;
                 }
+                if !rt
+                    .constraint
+                    .admits_pair(&ep.mbr(), ep.oid, &eq.mbr(), eq.oid)
+                {
+                    continue; // mirror the driver: filtered before the kernel
+                }
                 dists += 1;
                 heap.offer(PairResult::new(*ep, *eq));
             }
@@ -497,7 +511,7 @@ fn exec_task<const D: usize, O: SpatialObject<D>>(
         // mirroring `Ctx::gen_cands` (same side construction, same cross
         // order, same full-precision kernel) so the driver's filtered view
         // is bit-identical to what it would have generated itself.
-        let cands = gen_cands_full(&np, &nq, rt.height);
+        let cands = gen_cands_full(&np, &nq, rt.height, &rt.constraint);
         let mut hint_p: Vec<PageId> = Vec::new();
         let mut hint_q: Vec<PageId> = Vec::new();
         for c in &cands {
@@ -541,6 +555,7 @@ fn gen_cands_full<const D: usize, O: SpatialObject<D>>(
     np: &Node<D, O>,
     nq: &Node<D, O>,
     height: crate::HeightStrategy,
+    constraint: &Constraint<D>,
 ) -> Vec<Cand<D>> {
     use crate::engine::Descend;
     let (descend_p, descend_q) =
@@ -550,25 +565,26 @@ fn gen_cands_full<const D: usize, O: SpatialObject<D>>(
     let whole_p = (np.mbr().expect("non-empty node"), np.subtree_count());
     // lint: allow(expect) — same non-empty-node invariant as above.
     let whole_q = (nq.mbr().expect("non-empty node"), nq.subtree_count());
+    // Window clipping mirrors `Ctx::gen_cands` exactly: clipped MBRs are
+    // what gets scored and stored, and sides whose MBR misses the window
+    // are dropped silently on both paths.
     let mut sides_p: Vec<(Descend<D>, cpq_geo::Rect<D>, u64)> = Vec::new();
     let mut sides_q: Vec<(Descend<D>, cpq_geo::Rect<D>, u64)> = Vec::new();
     if descend_p {
-        sides_p.extend(
-            np.inner_entries()
-                .iter()
-                .map(|e| (Descend::Down(*e), e.mbr, e.count)),
-        );
-    } else {
-        sides_p.push((Descend::Stay, whole_p.0, whole_p.1));
+        sides_p.extend(np.inner_entries().iter().filter_map(|e| {
+            let mbr = constraint.clip_p(&e.mbr)?;
+            Some((Descend::Down(*e), mbr, e.count))
+        }));
+    } else if let Some(mbr) = constraint.clip_p(&whole_p.0) {
+        sides_p.push((Descend::Stay, mbr, whole_p.1));
     }
     if descend_q {
-        sides_q.extend(
-            nq.inner_entries()
-                .iter()
-                .map(|e| (Descend::Down(*e), e.mbr, e.count)),
-        );
-    } else {
-        sides_q.push((Descend::Stay, whole_q.0, whole_q.1));
+        sides_q.extend(nq.inner_entries().iter().filter_map(|e| {
+            let mbr = constraint.clip_q(&e.mbr)?;
+            Some((Descend::Down(*e), mbr, e.count))
+        }));
+    } else if let Some(mbr) = constraint.clip_q(&whole_q.0) {
+        sides_q.push((Descend::Stay, mbr, whole_q.1));
     }
     let mut out = Vec::with_capacity(sides_p.len() * sides_q.len());
     for (dp, mbr_p, count_p) in &sides_p {
@@ -598,6 +614,7 @@ pub(crate) fn run_parallel<const D: usize, O: SpatialObject<D>, P: Probe>(
     algorithm: Algorithm,
     config: &CpqConfig,
     self_join: bool,
+    constraint: Constraint<D>,
     cancel: Option<&CancelToken>,
     probe: &mut P,
     misses_before: (u64, u64),
@@ -607,6 +624,7 @@ pub(crate) fn run_parallel<const D: usize, O: SpatialObject<D>, P: Probe>(
         workers,
         k,
         self_join,
+        constraint,
         config.height,
         config.parallel_yield_seed,
     );
@@ -625,6 +643,7 @@ pub(crate) fn run_parallel<const D: usize, O: SpatialObject<D>, P: Probe>(
             algorithm,
             config,
             self_join,
+            constraint,
             cancel,
             probe,
             Some(&runtime),
@@ -692,6 +711,7 @@ mod model_tests {
             workers,
             1,
             false,
+            Constraint::none(),
             crate::HeightStrategy::default(),
             None,
         ))

@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod color;
 mod dist;
 mod metrics;
 pub mod minkowski;
@@ -38,6 +39,7 @@ mod object;
 mod point;
 mod rect;
 
+pub use color::{base_oid, color_of, pack_color, COLOR_BITS};
 pub use dist::Dist2;
 pub use metrics::{
     axis_gap, max_dist2, max_max_dist2, min_max_dist2, min_min_dist2, min_min_dist2_within,

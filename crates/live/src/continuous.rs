@@ -26,7 +26,10 @@
 
 use crate::error::LiveResult;
 use crate::tree::{Side, Snapshot};
-use cpq_core::{k_closest_pairs, self_closest_pairs, Algorithm, CpqConfig, PairResult};
+use cpq_core::{
+    k_closest_pairs_constrained, self_closest_pairs_constrained, Algorithm, Constraint, CpqConfig,
+    PairResult,
+};
 use cpq_geo::{Dist2, Point, SpatialObject};
 use cpq_rtree::LeafEntry;
 use std::collections::BTreeMap;
@@ -49,6 +52,12 @@ pub struct ContinuousStats {
 pub struct ContinuousCpq<const D: usize, O: SpatialObject<D> = Point<D>> {
     k: usize,
     self_join: bool,
+    /// Result-pair constraint (windows / colored); inactive by default.
+    /// Maintenance filters candidate pairs with the same
+    /// [`Constraint::admits_pair`] predicate the engine gates its leaf
+    /// scans with, so the maintained set stays bit-identical to a
+    /// constrained recompute.
+    constraint: Constraint<D>,
     /// The current result set, keyed by the canonical order. Values are
     /// the pairs themselves; iteration order == engine output order.
     top: BTreeMap<(Dist2, u64, u64), PairResult<D, O>>,
@@ -65,9 +74,21 @@ impl<const D: usize, O: SpatialObject<D>> ContinuousCpq<D, O> {
         snap_p: &Snapshot<D, O>,
         snap_q: &Snapshot<D, O>,
     ) -> LiveResult<Self> {
+        Self::new_cross_constrained(k, snap_p, snap_q, Constraint::none())
+    }
+
+    /// Primes a continuous *constrained* cross-tree K-CPQ: only pairs
+    /// admitted by `constraint` (windows and/or colored) are maintained.
+    pub fn new_cross_constrained(
+        k: usize,
+        snap_p: &Snapshot<D, O>,
+        snap_q: &Snapshot<D, O>,
+        constraint: Constraint<D>,
+    ) -> LiveResult<Self> {
         let mut c = ContinuousCpq {
             k,
             self_join: false,
+            constraint,
             top: BTreeMap::new(),
             saturated: false,
             stats: ContinuousStats::default(),
@@ -79,9 +100,25 @@ impl<const D: usize, O: SpatialObject<D>> ContinuousCpq<D, O> {
 
     /// Primes a continuous self-join K-CPQ from the given snapshot.
     pub fn new_self(k: usize, snap: &Snapshot<D, O>) -> LiveResult<Self> {
+        Self::new_self_constrained(k, snap, Constraint::none())
+    }
+
+    /// Primes a continuous *constrained* self-join K-CPQ. The constraint
+    /// must be symmetric (`window_p == window_q`): unordered pairs have no
+    /// stable side assignment.
+    pub fn new_self_constrained(
+        k: usize,
+        snap: &Snapshot<D, O>,
+        constraint: Constraint<D>,
+    ) -> LiveResult<Self> {
+        assert!(
+            constraint.is_symmetric(),
+            "self-join constraints must use one symmetric window"
+        );
         let mut c = ContinuousCpq {
             k,
             self_join: true,
+            constraint,
             top: BTreeMap::new(),
             saturated: false,
             stats: ContinuousStats::default(),
@@ -146,6 +183,21 @@ impl<const D: usize, O: SpatialObject<D>> ContinuousCpq<D, O> {
         }
         let new_entry = LeafEntry::new(object, oid);
         let probe = object.mbr();
+        // Every new pair involves the new point; if the new point itself
+        // fails its side's window, no new pair can qualify and the probe
+        // is skipped outright (nothing is discarded, so saturation is
+        // untouched).
+        let new_qualifies = if self.self_join {
+            self.constraint.admits_p(&probe)
+        } else {
+            match side {
+                Side::P => self.constraint.admits_p(&probe),
+                Side::Q => self.constraint.admits_q(&probe),
+            }
+        };
+        if !new_qualifies {
+            return Ok(());
+        }
         let bound = self.bound();
         if self.top.len() >= self.k {
             // A bounded probe discards pairs beyond the K-th distance;
@@ -168,6 +220,14 @@ impl<const D: usize, O: SpatialObject<D>> ContinuousCpq<D, O> {
                 } else {
                     PairResult::new(new_entry, c)
                 };
+                if !self.constraint.admits_pair(
+                    &pair.p.mbr(),
+                    pair.p.oid,
+                    &pair.q.mbr(),
+                    pair.q.oid,
+                ) {
+                    continue;
+                }
                 self.add_pair(pair);
             }
         } else {
@@ -182,6 +242,14 @@ impl<const D: usize, O: SpatialObject<D>> ContinuousCpq<D, O> {
                     Side::P => PairResult::new(new_entry, c),
                     Side::Q => PairResult::new(c, new_entry),
                 };
+                if !self.constraint.admits_pair(
+                    &pair.p.mbr(),
+                    pair.p.oid,
+                    &pair.q.mbr(),
+                    pair.q.oid,
+                ) {
+                    continue;
+                }
                 self.add_pair(pair);
             }
         }
@@ -252,14 +320,27 @@ impl<const D: usize, O: SpatialObject<D>> ContinuousCpq<D, O> {
     ) -> LiveResult<()> {
         let cfg = CpqConfig::default();
         let outcome = if let Some(s) = snap_self {
-            self_closest_pairs(s.tree(), self.k, Algorithm::Heap, &cfg)?
+            self_closest_pairs_constrained(
+                s.tree(),
+                self.k,
+                Algorithm::Heap,
+                &cfg,
+                self.constraint,
+            )?
         } else {
             // lint: allow(expect) — cross refill is always called with
             // both snapshots; the two forms share this one signature.
             let p = snap_p.expect("cross refill needs P");
             // lint: allow(expect) — same contract as the line above.
             let q = snap_q.expect("cross refill needs Q");
-            k_closest_pairs(p.tree(), q.tree(), self.k, Algorithm::Heap, &cfg)?
+            k_closest_pairs_constrained(
+                p.tree(),
+                q.tree(),
+                self.k,
+                Algorithm::Heap,
+                &cfg,
+                self.constraint,
+            )?
         };
         self.top.clear();
         for pair in outcome.pairs {

@@ -190,7 +190,10 @@ pub fn recover<const D: usize, O: SpatialObject<D>>(
             report.pages_swept += 1;
         }
     }
-    let validation = tree.validate_with_options(ValidateOptions { unique_oids: true })?;
+    let validation = tree.validate_with_options(ValidateOptions {
+        unique_oids: true,
+        ..ValidateOptions::default()
+    })?;
     if !validation.is_valid() {
         return Err(LiveError::Recovery(format!(
             "recovered tree is invalid: {}",

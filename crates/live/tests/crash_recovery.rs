@@ -95,7 +95,10 @@ fn recover_and_check(work: &Path, base: &BTreeMap<u64, Point2>, q_tree: &RTree<2
     let snap = live.snapshot().expect("snapshot");
     let validation = snap
         .tree()
-        .validate_with_options(ValidateOptions { unique_oids: true })
+        .validate_with_options(ValidateOptions {
+            unique_oids: true,
+            ..ValidateOptions::default()
+        })
         .expect("validate");
     assert!(
         validation.is_valid(),

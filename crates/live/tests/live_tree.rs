@@ -76,7 +76,10 @@ fn stream_matches_rebuilt_tree_across_all_algorithms() {
         let snap = live.snapshot().expect("snapshot");
         let report = snap
             .tree()
-            .validate_with_options(ValidateOptions { unique_oids: true })
+            .validate_with_options(ValidateOptions {
+                unique_oids: true,
+                ..ValidateOptions::default()
+            })
             .expect("validate");
         assert!(report.is_valid(), "step {step}: {:?}", report.violations);
         assert_eq!(snap.tree().len(), contents.len() as u64);
@@ -189,7 +192,10 @@ fn concurrent_readers_never_see_torn_snapshots() {
                 let snap = live.snapshot().expect("snapshot");
                 let report = snap
                     .tree()
-                    .validate_with_options(ValidateOptions { unique_oids: true })
+                    .validate_with_options(ValidateOptions {
+                        unique_oids: true,
+                        ..ValidateOptions::default()
+                    })
                     .expect("validate");
                 assert!(report.is_valid(), "torn snapshot: {:?}", report.violations);
                 let len = snap.tree().len();

@@ -8,13 +8,13 @@
 use crate::error::RTreeResult;
 use crate::node::Node;
 use crate::tree::RTree;
-use cpq_geo::SpatialObject;
+use cpq_geo::{Rect, SpatialObject};
 use cpq_storage::PageId;
 use std::collections::{HashMap, HashSet};
 
 /// Optional extra invariants for [`RTree::validate_with_options`].
 #[derive(Debug, Default, Clone, Copy)]
-pub struct ValidateOptions {
+pub struct ValidateOptions<const D: usize> {
     /// Require every leaf `oid` to appear at most once in the tree.
     ///
     /// Duplicate oids are *allowed* by [`RTree::insert`] in general (the
@@ -23,6 +23,11 @@ pub struct ValidateOptions {
     /// it on because a duplicate there means a lost or double-applied
     /// update.
     pub unique_oids: bool,
+    /// Require every leaf object's MBR to lie (boundary-inclusively)
+    /// inside this rectangle. Used by windowed-query tests: a tree built
+    /// from the points inside a query window must validate against the
+    /// window itself.
+    pub bounds: Option<Rect<D>>,
 }
 
 /// Outcome of [`RTree::validate`]: statistics plus any violations found.
@@ -70,7 +75,7 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
 
     /// [`validate`](Self::validate) plus the opt-in invariants in
     /// [`ValidateOptions`].
-    pub fn validate_with_options(&self, opts: ValidateOptions) -> RTreeResult<ValidationReport> {
+    pub fn validate_with_options(&self, opts: ValidateOptions<D>) -> RTreeResult<ValidationReport> {
         let mut report = ValidationReport::default();
         if !self.root().is_valid() {
             if !self.is_empty() {
@@ -116,7 +121,7 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
         node: &Node<D, O>,
         is_root: bool,
         report: &mut ValidationReport,
-        ctx: &mut WalkCtx,
+        ctx: &mut WalkCtx<D>,
     ) -> RTreeResult<u64> {
         report.nodes += 1;
         let level = node.level() as usize;
@@ -162,6 +167,14 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
                             report.violations.push(format!(
                                 "{id}: oid {} already indexed in leaf {prev}",
                                 e.oid
+                            ));
+                        }
+                    }
+                    if let Some(bounds) = &ctx.opts.bounds {
+                        if !bounds.contains_rect(&e.object.mbr()) {
+                            report.violations.push(format!(
+                                "{id}: object {:?} (oid {}) outside required bounds {bounds:?}",
+                                e.object, e.oid
                             ));
                         }
                     }
@@ -228,7 +241,10 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
         // lint: allow(expect) — test helper documented to panic on
         // invalid trees.
         let report = self
-            .validate_with_options(ValidateOptions { unique_oids: true })
+            .validate_with_options(ValidateOptions {
+                unique_oids: true,
+                ..ValidateOptions::default()
+            })
             .expect("validation walk failed"); // lint: allow(expect) — documented panic.
         assert!(
             report.is_valid(),
@@ -239,11 +255,11 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
 }
 
 /// Per-walk state shared across [`RTree::validate_rec`] calls.
-struct WalkCtx {
+struct WalkCtx<const D: usize> {
     /// Every page id seen so far; a duplicate is aliasing or a cycle.
     visited: HashSet<PageId>,
     /// First leaf page holding each oid (populated only under
     /// [`ValidateOptions::unique_oids`]).
     oids: HashMap<u64, PageId>,
-    opts: ValidateOptions,
+    opts: ValidateOptions<D>,
 }

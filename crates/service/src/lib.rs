@@ -62,6 +62,7 @@
 
 mod http;
 mod obs;
+mod planner;
 mod queue;
 mod request;
 mod service;
@@ -69,14 +70,16 @@ mod stats;
 
 pub use http::MetricsServer;
 pub use obs::{ObsConfig, ServiceObs};
+pub use planner::{plan, PlannerInputs, QueryPlan};
 pub use queue::AdmissionQueue;
 pub use request::{QueryKind, QueryRequest, QueryResponse, QueryStatus, Rejected};
 pub use service::{CpqService, QueryTicket, ServiceConfig, TreePair};
 pub use stats::{Percentiles, ServiceStats, StatsSummary};
 
-// Re-exported so embedders can drive cancellation themselves without
-// depending on cpq-core directly.
-pub use cpq_core::CancelToken;
+// Re-exported so embedders can drive cancellation themselves, and build
+// the windowed/colored constraints requests carry, without depending on
+// cpq-core directly.
+pub use cpq_core::{CancelToken, Constraint};
 // Re-exported so embedders can consume slow-query profiles without
 // depending on cpq-obs directly.
 pub use cpq_obs::QueryProfile;

@@ -287,6 +287,8 @@ pub struct ServiceObs {
     shard_pairs_opened: Arc<Counter>,
     shard_subqueries: Arc<Counter>,
     shard_bound_updates: Arc<Counter>,
+    plan_parallel: Arc<Counter>,
+    plan_scatter: Arc<Counter>,
     sheds: Arc<Counter>,
     queue_depth: Arc<Gauge>,
     slow_observed: Arc<Counter>,
@@ -334,6 +336,13 @@ impl ServiceObs {
                     &[("algorithm", algo), ("outcome", outcome)],
                 );
             }
+            // Planner decisions pre-registered per algorithm so dashboards
+            // can plot planner-vs-hand-knobbed traffic before any arrives.
+            registry.counter(
+                "cpq_plan_queries_total",
+                "planner-executed queries, by chosen algorithm",
+                &[("algorithm", algo)],
+            );
         }
         let threshold_us = config
             .slow_query_threshold
@@ -457,6 +466,16 @@ impl ServiceObs {
                 "successful tightenings of the cross-shard global distance bound",
                 &[],
             ),
+            plan_parallel: registry.counter(
+                "cpq_plan_parallel_total",
+                "planned queries for which the planner chose intra-query parallelism",
+                &[],
+            ),
+            plan_scatter: registry.counter(
+                "cpq_plan_scatter_total",
+                "planned queries for which the planner chose scatter-gather fan-out",
+                &[],
+            ),
             sheds: registry.counter(
                 "cpq_sheds_total",
                 "requests shed by admission control (never executed)",
@@ -532,6 +551,21 @@ impl ServiceObs {
                 ],
             )
             .inc();
+        if profile.planned {
+            self.registry
+                .counter(
+                    "cpq_plan_queries_total",
+                    "planner-executed queries, by chosen algorithm",
+                    &[("algorithm", profile.algorithm.as_str())],
+                )
+                .inc();
+            if profile.plan_parallelism > 0 {
+                self.plan_parallel.inc();
+            }
+            if profile.plan_scatter > 0 {
+                self.plan_scatter.inc();
+            }
+        }
         self.latency_us.record(profile.latency_us());
         self.queue_wait_us.record(profile.queue_wait_us);
         self.node_accesses_p

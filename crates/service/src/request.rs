@@ -1,6 +1,6 @@
 //! The request/response vocabulary of the query service.
 
-use cpq_core::{Algorithm, CpqStats, PairResult};
+use cpq_core::{Algorithm, Constraint, CpqStats, PairResult};
 use cpq_geo::{Point, SpatialObject};
 use cpq_obs::QueryProfile;
 use std::time::Duration;
@@ -28,11 +28,13 @@ impl QueryKind {
 /// One closest-pair query, as admitted by
 /// [`CpqService::submit`](crate::CpqService::submit).
 ///
-/// `K`, the algorithm, and the deadline are all per-request — the serving
-/// shape of the range closest-pair literature, where one preprocessed
-/// structure answers a stream of differently-parameterized queries.
+/// `K`, the algorithm, the deadline, and the result-pair constraint are
+/// all per-request — the serving shape of the range closest-pair
+/// literature, where one preprocessed structure answers a stream of
+/// differently-parameterized queries. `D` is the service's dimensionality
+/// (it defaults to 2, so unconstrained callers never spell it).
 #[derive(Debug, Clone, Copy)]
-pub struct QueryRequest {
+pub struct QueryRequest<const D: usize = 2> {
     /// Number of closest pairs wanted (`1` enables the 1-CP special case).
     pub k: usize,
     /// Which of the paper's algorithms executes the query.
@@ -58,9 +60,22 @@ pub struct QueryRequest {
     /// [`max_shards`](crate::ServiceConfig::max_shards). Results are
     /// bit-identical either way — sharding only buys pruning and fan-out.
     pub scatter: Option<usize>,
+    /// Result-pair constraint: per-side query windows and/or the colored
+    /// (pair spans two categories) requirement. The default
+    /// [`Constraint::none`] runs the plain K-CPQ path unchanged. Self-join
+    /// requests must keep the constraint symmetric
+    /// ([`Constraint::is_symmetric`]) or the query fails at execution.
+    pub constraint: Constraint<D>,
+    /// Let the service's query planner choose algorithm, intra-query
+    /// parallelism, and scatter fan-out from the cost model and query
+    /// shape, overriding whatever this request carries in those fields.
+    /// The response's `request` echoes the *planned* knobs, and the
+    /// profile records the decision (`planned` / `plan_reason` /
+    /// `plan_est_accesses`).
+    pub planned: bool,
 }
 
-impl QueryRequest {
+impl<const D: usize> QueryRequest<D> {
     /// A cross-tree K-CPQ with no per-request deadline override.
     pub fn cross(k: usize, algorithm: Algorithm) -> Self {
         QueryRequest {
@@ -70,19 +85,40 @@ impl QueryRequest {
             deadline: None,
             parallelism: None,
             scatter: None,
+            constraint: Constraint::none(),
+            planned: false,
         }
     }
 
     /// A self-join K-CPQ with no per-request deadline override.
     pub fn self_join(k: usize, algorithm: Algorithm) -> Self {
         QueryRequest {
-            k,
-            algorithm,
             kind: QueryKind::SelfJoin,
-            deadline: None,
-            parallelism: None,
-            scatter: None,
+            ..Self::cross(k, algorithm)
         }
+    }
+
+    /// A cross-tree K-CPQ whose execution knobs the service's planner
+    /// picks. The `algorithm` field holds a placeholder until planning.
+    pub fn planned_cross(k: usize) -> Self {
+        QueryRequest {
+            planned: true,
+            ..Self::cross(k, Algorithm::Heap)
+        }
+    }
+
+    /// A self-join K-CPQ whose execution knobs the planner picks.
+    pub fn planned_self(k: usize) -> Self {
+        QueryRequest {
+            kind: QueryKind::SelfJoin,
+            ..Self::planned_cross(k)
+        }
+    }
+
+    /// Sets the result-pair constraint (windows and/or colored).
+    pub fn with_constraint(mut self, constraint: Constraint<D>) -> Self {
+        self.constraint = constraint;
+        self
     }
 
     /// Sets the per-request deadline.
@@ -142,8 +178,10 @@ impl QueryStatus {
 pub struct QueryResponse<const D: usize, O: SpatialObject<D> = Point<D>> {
     /// Service-assigned id (admission order).
     pub id: u64,
-    /// The request this answers.
-    pub request: QueryRequest,
+    /// The request this answers. For planned requests
+    /// ([`QueryRequest::planned`]) the algorithm / parallelism / scatter
+    /// fields carry the planner's choices, not the submitted placeholders.
+    pub request: QueryRequest<D>,
     /// How the query ended.
     pub status: QueryStatus,
     /// Result pairs, ascending by distance (partial when `TimedOut`).
@@ -172,9 +210,9 @@ pub struct QueryResponse<const D: usize, O: SpatialObject<D> = Point<D>> {
 /// shutting down), so the request was shed without executing. Contains the
 /// request so callers can retry or degrade.
 #[derive(Debug, Clone, Copy)]
-pub struct Rejected(pub QueryRequest);
+pub struct Rejected<const D: usize = 2>(pub QueryRequest<D>);
 
-impl std::fmt::Display for Rejected {
+impl<const D: usize> std::fmt::Display for Rejected<D> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
@@ -186,4 +224,4 @@ impl std::fmt::Display for Rejected {
     }
 }
 
-impl std::error::Error for Rejected {}
+impl<const D: usize> std::error::Error for Rejected<D> {}

@@ -2,20 +2,24 @@
 
 use crate::http::MetricsServer;
 use crate::obs::{ObsConfig, ServiceObs};
+use crate::planner::{plan, PlannerInputs, QueryPlan};
 use crate::queue::AdmissionQueue;
 use crate::request::{QueryKind, QueryRequest, QueryResponse, QueryStatus, Rejected};
 use crate::stats::{ServiceStats, StatsSummary};
 use cpq_check::sync::atomic::{AtomicU64, Ordering};
 use cpq_check::sync::{mpsc, Arc};
 use cpq_core::{
-    k_closest_pairs_cancellable, k_closest_pairs_instrumented, self_closest_pairs_cancellable,
-    self_closest_pairs_instrumented, CancelToken, CpqConfig, CpqStats, ProfileProbe, QueryProfile,
+    k_closest_pairs_cancellable, k_closest_pairs_constrained_instrumented,
+    k_closest_pairs_instrumented, self_closest_pairs_cancellable,
+    self_closest_pairs_constrained_instrumented, self_closest_pairs_instrumented, CancelToken,
+    CpqConfig, CpqStats, NullProbe, ProfileProbe, QueryProfile,
 };
 use cpq_geo::{Point, SpatialObject};
-use cpq_live::{ApplyReport, LiveError, LiveSet, UpdateOp};
-use cpq_rtree::RTree;
+use cpq_live::{ApplyReport, LiveError, LiveSet, LiveTree, UpdateOp};
+use cpq_rtree::{LevelStats, RTree};
 use cpq_shard::{
-    k_closest_pairs_sharded, self_closest_pairs_sharded, ShardConfig, ShardReport, ShardedPair,
+    k_closest_pairs_sharded_constrained, self_closest_pairs_sharded_constrained, ShardConfig,
+    ShardReport, ShardedPair,
 };
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -91,7 +95,7 @@ impl Default for ServiceConfig {
 
 struct Job<const D: usize, O: SpatialObject<D>> {
     id: u64,
-    req: QueryRequest,
+    req: QueryRequest<D>,
     enqueued: Instant,
     deadline_at: Option<Instant>,
     reply: mpsc::Sender<QueryResponse<D, O>>,
@@ -134,12 +138,17 @@ struct Shared<const D: usize, O: SpatialObject<D>> {
     /// `Some` when observability is on; workers then run the instrumented
     /// engine path and feed profiles here.
     obs: Option<ServiceObs>,
+    /// Per-level tree statistics for the planner's cost model, captured
+    /// once at start (one O(nodes) walk per tree, static sources only —
+    /// live trees churn with every batch, so the planner falls back to
+    /// cardinality heuristics there).
+    plan_stats: Option<(Vec<LevelStats<D>>, Vec<LevelStats<D>>)>,
 }
 
 /// Handle for awaiting one submitted query's [`QueryResponse`].
 pub struct QueryTicket<const D: usize, O: SpatialObject<D> = Point<D>> {
     id: u64,
-    req: QueryRequest,
+    req: QueryRequest<D>,
     rx: mpsc::Receiver<QueryResponse<D, O>>,
 }
 
@@ -232,6 +241,15 @@ impl<const D: usize, O: SpatialObject<D>> CpqService<D, O> {
         sharded: Option<ShardedPair<D, O>>,
         config: ServiceConfig,
     ) -> Self {
+        let plan_stats = match &source {
+            Source::Static(trees) => match (trees.p.level_stats(), trees.q.level_stats()) {
+                (Ok(p), Ok(q)) => Some((p, q)),
+                // A stats walk that fails (storage error) only loses the
+                // cost model; the planner degrades to cardinality rules.
+                _ => None,
+            },
+            Source::Live(_) => None,
+        };
         let shared = Arc::new(Shared {
             source,
             sharded,
@@ -243,6 +261,7 @@ impl<const D: usize, O: SpatialObject<D>> CpqService<D, O> {
             default_deadline: config.default_deadline,
             next_id: AtomicU64::new(0),
             obs: config.obs.enabled.then(|| ServiceObs::new(&config.obs)),
+            plan_stats,
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -265,7 +284,7 @@ impl<const D: usize, O: SpatialObject<D>> CpqService<D, O> {
     /// here, so time spent queued eats into the budget — a query that waits
     /// out its whole deadline in the queue is answered `TimedOut` without
     /// the engine doing any work.
-    pub fn submit(&self, req: QueryRequest) -> Result<QueryTicket<D, O>, Rejected> {
+    pub fn submit(&self, req: QueryRequest<D>) -> Result<QueryTicket<D, O>, Rejected<D>> {
         // ordering: Relaxed — a pure id allocator; only uniqueness matters,
         // and the id is handed to the queue through a mutex anyway.
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
@@ -295,7 +314,7 @@ impl<const D: usize, O: SpatialObject<D>> CpqService<D, O> {
     }
 
     /// Convenience: submit and block for the response.
-    pub fn execute(&self, req: QueryRequest) -> Result<QueryResponse<D, O>, Rejected> {
+    pub fn execute(&self, req: QueryRequest<D>) -> Result<QueryResponse<D, O>, Rejected<D>> {
         self.submit(req).map(QueryTicket::wait)
     }
 
@@ -445,6 +464,49 @@ impl<const D: usize, O: SpatialObject<D>> Shared<D, O> {
         };
         obs.render(pool_p, pool_q, live.as_ref(), self.queue.len())
     }
+
+    /// Runs the planner for one planned request: gathers the cheap data
+    /// statistics (cardinalities O(1), one root page per tree; the
+    /// per-level stats were captured at start) and applies the
+    /// deterministic rules in [`crate::planner`].
+    fn plan_query(&self, req: &QueryRequest<D>) -> QueryPlan {
+        let (n_p, n_q, workspace_p, workspace_q) = match &self.source {
+            Source::Static(trees) => (
+                trees.p.len(),
+                trees.q.len(),
+                trees.p.root_mbr().ok().flatten(),
+                trees.q.root_mbr().ok().flatten(),
+            ),
+            Source::Live(live) => {
+                // A pinned snapshot per side, dropped before execution —
+                // the query itself pins its own (possibly newer) epoch.
+                let side = |t: &LiveTree<D, O>| {
+                    t.snapshot()
+                        .ok()
+                        .map(|s| (s.tree().len(), s.tree().root_mbr().ok().flatten()))
+                        .unwrap_or((0, None))
+                };
+                let (n_p, ws_p) = side(live.p());
+                let (n_q, ws_q) = side(live.q());
+                (n_p, n_q, ws_p, ws_q)
+            }
+        };
+        let inputs = PlannerInputs {
+            n_p,
+            n_q,
+            workspace_p,
+            workspace_q,
+            stats_p: self.plan_stats.as_ref().map(|(p, _)| p.as_slice()),
+            stats_q: self.plan_stats.as_ref().map(|(_, q)| q.as_slice()),
+            max_parallelism: self.max_parallelism,
+            shards: if self.sharded.is_some() {
+                self.max_shards
+            } else {
+                0
+            },
+        };
+        plan(&inputs, req.k, req.kind, &req.constraint)
+    }
 }
 
 /// The classic (non-scatter) engine dispatch over two borrowed trees —
@@ -459,27 +521,84 @@ fn run_classic<const D: usize, O: SpatialObject<D>>(
     instrument: bool,
     probe: &mut ProfileProbe,
 ) -> Result<cpq_core::QueryRun<D, O>, String> {
-    let classic = match (job.req.kind, instrument) {
-        (QueryKind::Cross, false) => {
-            k_closest_pairs_cancellable(p, q, job.req.k, job.req.algorithm, cpq, cancel)
+    let con = job.req.constraint;
+    let classic = if con.is_active() {
+        // The constrained engine has one cancellable, probed entry point
+        // per kind; the uninstrumented path runs it under a NullProbe
+        // (compiled-out callbacks, same zero overhead as the plain path).
+        match (job.req.kind, instrument) {
+            (QueryKind::Cross, true) => k_closest_pairs_constrained_instrumented(
+                p,
+                q,
+                job.req.k,
+                job.req.algorithm,
+                cpq,
+                con,
+                cancel,
+                probe,
+            ),
+            (QueryKind::SelfJoin, true) => self_closest_pairs_constrained_instrumented(
+                p,
+                job.req.k,
+                job.req.algorithm,
+                cpq,
+                con,
+                cancel,
+                probe,
+            ),
+            (QueryKind::Cross, false) => k_closest_pairs_constrained_instrumented(
+                p,
+                q,
+                job.req.k,
+                job.req.algorithm,
+                cpq,
+                con,
+                cancel,
+                &mut NullProbe,
+            ),
+            (QueryKind::SelfJoin, false) => self_closest_pairs_constrained_instrumented(
+                p,
+                job.req.k,
+                job.req.algorithm,
+                cpq,
+                con,
+                cancel,
+                &mut NullProbe,
+            ),
         }
-        (QueryKind::SelfJoin, false) => {
-            self_closest_pairs_cancellable(p, job.req.k, job.req.algorithm, cpq, cancel)
-        }
-        (QueryKind::Cross, true) => {
-            k_closest_pairs_instrumented(p, q, job.req.k, job.req.algorithm, cpq, cancel, probe)
-        }
-        (QueryKind::SelfJoin, true) => {
-            self_closest_pairs_instrumented(p, job.req.k, job.req.algorithm, cpq, cancel, probe)
+    } else {
+        match (job.req.kind, instrument) {
+            (QueryKind::Cross, false) => {
+                k_closest_pairs_cancellable(p, q, job.req.k, job.req.algorithm, cpq, cancel)
+            }
+            (QueryKind::SelfJoin, false) => {
+                self_closest_pairs_cancellable(p, job.req.k, job.req.algorithm, cpq, cancel)
+            }
+            (QueryKind::Cross, true) => {
+                k_closest_pairs_instrumented(p, q, job.req.k, job.req.algorithm, cpq, cancel, probe)
+            }
+            (QueryKind::SelfJoin, true) => {
+                self_closest_pairs_instrumented(p, job.req.k, job.req.algorithm, cpq, cancel, probe)
+            }
         }
     };
     classic.map_err(|e| e.to_string())
 }
 
 fn worker_loop<const D: usize, O: SpatialObject<D>>(shared: &Shared<D, O>) {
-    while let Some(job) = shared.queue.pop() {
+    while let Some(mut job) = shared.queue.pop() {
         let start = Instant::now();
         let queue_wait = start.duration_since(job.enqueued);
+        // Planned requests: the planner's choices overwrite the request's
+        // knobs before dispatch, so the rest of the loop (and the echoed
+        // response) sees exactly what will execute. Planning time counts
+        // against the query's execution budget.
+        let query_plan = job.req.planned.then(|| shared.plan_query(&job.req));
+        if let Some(p) = &query_plan {
+            job.req.algorithm = p.algorithm;
+            job.req.parallelism = (p.parallelism > 0).then_some(p.parallelism);
+            job.req.scatter = (p.scatter > 0).then_some(p.scatter);
+        }
         let cancel = match job.deadline_at {
             Some(at) => CancelToken::with_deadline(at),
             None => CancelToken::new(),
@@ -502,28 +621,35 @@ fn worker_loop<const D: usize, O: SpatialObject<D>>(shared: &Shared<D, O>) {
         // fan-out, so intra-query parallelism is irrelevant to it.
         let scatter_workers = job.req.scatter.unwrap_or(0).min(shared.max_shards);
         let mut shard_report = None;
-        let result = if let Some(pair) = shared.sharded.as_ref().filter(|_| scatter_workers >= 1) {
+        // An asymmetric windowed self-join has no stable side assignment
+        // for its unordered pairs; fail it here rather than panicking in
+        // the engine's contract assert.
+        let result = if job.req.kind == QueryKind::SelfJoin && !job.req.constraint.is_symmetric() {
+            Err("self-join constraints must use one symmetric window".to_string())
+        } else if let Some(pair) = shared.sharded.as_ref().filter(|_| scatter_workers >= 1) {
             let shard_cfg = ShardConfig {
                 workers: scatter_workers,
                 query_id: job.id,
                 ..ShardConfig::default()
             };
             let run = match job.req.kind {
-                QueryKind::Cross => k_closest_pairs_sharded(
+                QueryKind::Cross => k_closest_pairs_sharded_constrained(
                     &pair.p,
                     &pair.q,
                     job.req.k,
                     job.req.algorithm,
                     &cpq,
                     &shard_cfg,
+                    job.req.constraint,
                     Some(&cancel),
                 ),
-                QueryKind::SelfJoin => self_closest_pairs_sharded(
+                QueryKind::SelfJoin => self_closest_pairs_sharded_constrained(
                     &pair.p,
                     job.req.k,
                     job.req.algorithm,
                     &cpq,
                     &shard_cfg,
+                    job.req.constraint,
                     Some(&cancel),
                 ),
             };
@@ -599,6 +725,7 @@ fn worker_loop<const D: usize, O: SpatialObject<D>>(shared: &Shared<D, O>) {
                 &status,
                 &stats,
                 shard_report,
+                query_plan,
                 buf_before,
                 queue_wait,
                 exec,
@@ -634,6 +761,7 @@ fn complete_profile<const D: usize, O: SpatialObject<D>>(
     status: &QueryStatus,
     stats: &CpqStats,
     shard_report: Option<ShardReport>,
+    query_plan: Option<QueryPlan>,
     buf_before: (u64, u64),
     queue_wait: Duration,
     exec: Duration,
@@ -659,6 +787,13 @@ fn complete_profile<const D: usize, O: SpatialObject<D>>(
         profile.shard_pairs_opened = r.pairs_opened;
         profile.shard_subqueries_completed = r.subqueries_completed;
         profile.shard_bound_updates = r.bound_updates;
+    }
+    if let Some(p) = query_plan {
+        profile.planned = true;
+        profile.plan_reason = p.reason.to_string();
+        profile.plan_parallelism = p.parallelism as u64;
+        profile.plan_scatter = p.scatter as u64;
+        profile.plan_est_accesses = p.est_accesses.map(|a| a.round() as u64).unwrap_or(0);
     }
     profile
 }

@@ -23,8 +23,8 @@ use crate::proto::{
 };
 use crate::scatter::{Scatter, Task};
 use cpq_core::{
-    k_closest_pairs_scatter, self_closest_pairs_scatter, Algorithm, CancelToken, CpqConfig,
-    CpqStats, PairResult, QueryOutcome,
+    k_closest_pairs_scatter_constrained, self_closest_pairs_scatter_constrained, Algorithm,
+    CancelToken, Constraint, CpqConfig, CpqStats, PairResult, QueryOutcome,
 };
 use cpq_geo::{min_min_dist2, SpatialObject};
 use cpq_rtree::RTreeError;
@@ -135,7 +135,36 @@ pub fn k_closest_pairs_sharded<const D: usize, O: SpatialObject<D>>(
     shard: &ShardConfig,
     cancel: Option<&CancelToken>,
 ) -> Result<ShardRun<D, O>, ShardError> {
-    run_sharded(p, q, k, algorithm, config, shard, cancel, false)
+    run_sharded(
+        p,
+        q,
+        k,
+        algorithm,
+        config,
+        shard,
+        cancel,
+        false,
+        Constraint::none(),
+    )
+}
+
+/// Constrained variant of [`k_closest_pairs_sharded`]: only pairs admitted
+/// by `constraint` (windows and/or colored) qualify. Shard pairs whose
+/// window-clipped manifest MBRs cannot contain a qualifying pair are
+/// skipped at planning time. Bit-identical to
+/// [`cpq_core::k_closest_pairs_constrained`] over the unsharded datasets.
+#[allow(clippy::too_many_arguments)]
+pub fn k_closest_pairs_sharded_constrained<const D: usize, O: SpatialObject<D>>(
+    p: &ShardedTree<D, O>,
+    q: &ShardedTree<D, O>,
+    k: usize,
+    algorithm: Algorithm,
+    config: &CpqConfig,
+    shard: &ShardConfig,
+    constraint: Constraint<D>,
+    cancel: Option<&CancelToken>,
+) -> Result<ShardRun<D, O>, ShardError> {
+    run_sharded(p, q, k, algorithm, config, shard, cancel, false, constraint)
 }
 
 /// K closest pairs within one sharded dataset (self-join, `p.oid < q.oid`).
@@ -149,7 +178,36 @@ pub fn self_closest_pairs_sharded<const D: usize, O: SpatialObject<D>>(
     shard: &ShardConfig,
     cancel: Option<&CancelToken>,
 ) -> Result<ShardRun<D, O>, ShardError> {
-    run_sharded(t, t, k, algorithm, config, shard, cancel, true)
+    run_sharded(
+        t,
+        t,
+        k,
+        algorithm,
+        config,
+        shard,
+        cancel,
+        true,
+        Constraint::none(),
+    )
+}
+
+/// Constrained variant of [`self_closest_pairs_sharded`]. The constraint
+/// must be symmetric (`window_p == window_q`): unordered pairs have no
+/// stable side assignment.
+pub fn self_closest_pairs_sharded_constrained<const D: usize, O: SpatialObject<D>>(
+    t: &ShardedTree<D, O>,
+    k: usize,
+    algorithm: Algorithm,
+    config: &CpqConfig,
+    shard: &ShardConfig,
+    constraint: Constraint<D>,
+    cancel: Option<&CancelToken>,
+) -> Result<ShardRun<D, O>, ShardError> {
+    assert!(
+        constraint.is_symmetric(),
+        "self-join constraints must use one symmetric window"
+    );
+    run_sharded(t, t, k, algorithm, config, shard, cancel, true, constraint)
 }
 
 /// Plans the shard-pair task set from the two manifests.
@@ -164,18 +222,30 @@ fn plan<const D: usize, O: SpatialObject<D>>(
     p: &ShardedTree<D, O>,
     q: &ShardedTree<D, O>,
     self_join: bool,
+    constraint: &Constraint<D>,
 ) -> Vec<Task> {
     let mut tasks = Vec::new();
     for mp in &p.manifest().shards {
+        // Windows prune at planning time too: a shard whose MBR misses its
+        // side's window holds no qualifying points, so every pair it is on
+        // can be skipped unopened; surviving pairs are prioritized by the
+        // MINMINDIST of the *clipped* MBRs (a tighter, still-exact lower
+        // bound — same argument as the engine's candidate clipping).
+        let Some(mbr_p) = constraint.clip_p(&mp.mbr()) else {
+            continue;
+        };
         for mq in &q.manifest().shards {
             if self_join && mq.id < mp.id {
                 continue;
             }
+            let Some(mbr_q) = constraint.clip_q(&mq.mbr()) else {
+                continue;
+            };
             let diagonal = self_join && mp.id == mq.id;
             let minmin = if diagonal {
                 0.0
             } else {
-                min_min_dist2(&mp.mbr(), &mq.mbr()).get()
+                min_min_dist2(&mbr_p, &mbr_q).get()
             };
             tasks.push(Task {
                 minmin_bits: minmin.to_bits(),
@@ -221,6 +291,7 @@ fn worker_run<const D: usize, O: SpatialObject<D>>(
     algorithm: Algorithm,
     config: &CpqConfig,
     shard: &ShardConfig,
+    constraint: Constraint<D>,
     cancel: &CancelToken,
 ) -> WorkerOut<D, O> {
     let mut out = WorkerOut {
@@ -237,7 +308,9 @@ fn worker_run<const D: usize, O: SpatialObject<D>>(
                 q.prefetch_roots(&[nq]);
             }
         }
-        let run = match run_task(sc, p, q, k, algorithm, config, shard, cancel, task) {
+        let run = match run_task(
+            sc, p, q, k, algorithm, config, shard, constraint, cancel, task,
+        ) {
             Ok(run) => run,
             Err(e) => {
                 out.error = Some(e);
@@ -277,10 +350,11 @@ fn run_task<const D: usize, O: SpatialObject<D>>(
     algorithm: Algorithm,
     config: &CpqConfig,
     shard: &ShardConfig,
+    constraint: Constraint<D>,
     cancel: &CancelToken,
     task: Task,
 ) -> Result<cpq_core::QueryRun<D, O>, ShardError> {
-    let (shard_p, shard_q, self_join, orient, alg) = if shard.wire_codec {
+    let (shard_p, shard_q, self_join, orient, alg, con) = if shard.wire_codec {
         let msg = ShardSubquery {
             query_id: shard.query_id,
             shard_p: task.shard_p,
@@ -290,6 +364,9 @@ fn run_task<const D: usize, O: SpatialObject<D>>(
             self_join: task.self_join,
             orient_by_oid: task.orient,
             minmin_bits: task.minmin_bits,
+            window_p: constraint.window_p,
+            window_q: constraint.window_q,
+            colored: constraint.colored,
         };
         let decoded = ShardSubquery::decode(&msg.encode())?;
         (
@@ -298,6 +375,9 @@ fn run_task<const D: usize, O: SpatialObject<D>>(
             decoded.self_join,
             decoded.orient_by_oid,
             algorithm_from_code(decoded.algorithm)?,
+            // Run from the *decoded* constraint: the proof the wire carries
+            // the windows and the colored flag faithfully.
+            decoded.constraint(),
         )
     } else {
         (
@@ -306,18 +386,28 @@ fn run_task<const D: usize, O: SpatialObject<D>>(
             task.self_join,
             task.orient,
             algorithm,
+            constraint,
         )
     };
 
     let run = if self_join {
-        self_closest_pairs_scatter(p.shard(shard_p as usize), k, alg, config, cancel, &sc.bound)?
+        self_closest_pairs_scatter_constrained(
+            p.shard(shard_p as usize),
+            k,
+            alg,
+            config,
+            con,
+            cancel,
+            &sc.bound,
+        )?
     } else {
-        k_closest_pairs_scatter(
+        k_closest_pairs_scatter_constrained(
             p.shard(shard_p as usize),
             q.shard(shard_q as usize),
             k,
             alg,
             config,
+            con,
             cancel,
             &sc.bound,
             orient,
@@ -369,6 +459,7 @@ fn run_sharded<const D: usize, O: SpatialObject<D>>(
     shard: &ShardConfig,
     cancel: Option<&CancelToken>,
     self_join: bool,
+    constraint: Constraint<D>,
 ) -> Result<ShardRun<D, O>, ShardError> {
     if k == 0 || p.is_empty() || q.is_empty() {
         return Ok(ShardRun {
@@ -390,13 +481,15 @@ fn run_sharded<const D: usize, O: SpatialObject<D>>(
         }
     };
 
-    let scatter = Scatter::new(plan(p, q, self_join));
+    let scatter = Scatter::new(plan(p, q, self_join, &constraint));
     let workers = shard.workers.max(1);
     let outs: Vec<WorkerOut<D, O>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let sc = &scatter;
-                scope.spawn(move || worker_run(sc, p, q, k, algorithm, config, shard, cancel))
+                scope.spawn(move || {
+                    worker_run(sc, p, q, k, algorithm, config, shard, constraint, cancel)
+                })
             })
             .collect();
         handles

@@ -41,8 +41,8 @@ mod scatter;
 
 pub use build::{ShardedPair, ShardedTree};
 pub use coord::{
-    k_closest_pairs_sharded, self_closest_pairs_sharded, ShardConfig, ShardError, ShardReport,
-    ShardRun,
+    k_closest_pairs_sharded, k_closest_pairs_sharded_constrained, self_closest_pairs_sharded,
+    self_closest_pairs_sharded_constrained, ShardConfig, ShardError, ShardReport, ShardRun,
 };
 pub use merge::merge_top_k;
 pub use proto::{

@@ -30,7 +30,7 @@
 //!
 //! [`SharedBound`]: cpq_core::SharedBound
 
-use cpq_core::Algorithm;
+use cpq_core::{Algorithm, Constraint};
 use cpq_geo::Rect;
 
 /// Message tag bytes (first byte of every encoded message).
@@ -64,6 +64,8 @@ pub enum ProtoError {
     },
     /// An algorithm code outside the five defined by the engine.
     BadAlgorithm(u8),
+    /// A window rectangle's corners were out of order or NaN.
+    BadWindow,
 }
 
 impl std::fmt::Display for ProtoError {
@@ -79,6 +81,7 @@ impl std::fmt::Display for ProtoError {
                 write!(f, "dimensionality mismatch: expected {expected}, got {got}")
             }
             ProtoError::BadAlgorithm(c) => write!(f, "unknown algorithm code {c}"),
+            ProtoError::BadWindow => write!(f, "window corners out of order or NaN"),
         }
     }
 }
@@ -316,9 +319,13 @@ impl<const D: usize> ShardManifest<D> {
     }
 }
 
-/// Coordinator → shard: run one shard-pair K-CPQ subquery.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ShardSubquery {
+/// Coordinator → shard: run one shard-pair K-CPQ subquery. Generic over
+/// the dimension because it carries the query's [`Constraint`] — per-side
+/// windows (an optional rectangle each) and the colored flag — so a remote
+/// shard server can reproduce the coordinator's result-pair filtering
+/// exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardSubquery<const D: usize> {
     /// The parent query this subquery belongs to.
     pub query_id: u64,
     /// Shard id on the `P` side.
@@ -339,13 +346,64 @@ pub struct ShardSubquery {
     /// Planning-time inter-shard `MINMINDIST` (squared, `f64` bits) — the
     /// priority this subquery was scheduled at; diagnostic.
     pub minmin_bits: u64,
+    /// Window the `P`-side point must lie inside (`None` = unconstrained).
+    pub window_p: Option<Rect<D>>,
+    /// Window the `Q`-side point must lie inside (`None` = unconstrained).
+    pub window_q: Option<Rect<D>>,
+    /// Require result pairs to span two distinct colors.
+    pub colored: bool,
 }
 
-impl ShardSubquery {
+impl<const D: usize> ShardSubquery<D> {
+    /// The engine-level constraint this subquery must run under.
+    pub fn constraint(&self) -> Constraint<D> {
+        Constraint {
+            window_p: self.window_p,
+            window_q: self.window_q,
+            colored: self.colored,
+        }
+    }
+
+    fn put_window(out: &mut Vec<u8>, w: &Option<Rect<D>>) {
+        match w {
+            Some(rect) => {
+                put_bool(out, true);
+                for d in 0..D {
+                    put_f64(out, rect.lo().coord(d));
+                }
+                for d in 0..D {
+                    put_f64(out, rect.hi().coord(d));
+                }
+            }
+            None => put_bool(out, false),
+        }
+    }
+
+    fn read_window(r: &mut Reader<'_>) -> Result<Option<Rect<D>>, ProtoError> {
+        if !r.bool()? {
+            return Ok(None);
+        }
+        let mut lo = [0.0f64; D];
+        let mut hi = [0.0f64; D];
+        for slot in lo.iter_mut() {
+            *slot = r.f64_bits()?;
+        }
+        for slot in hi.iter_mut() {
+            *slot = r.f64_bits()?;
+        }
+        // `<=` is false for NaN, so this also rejects NaN corners — the
+        // Rect invariant must hold before construction.
+        if !(0..D).all(|d| lo[d] <= hi[d]) {
+            return Err(ProtoError::BadWindow);
+        }
+        Ok(Some(Rect::from_corners(lo, hi)))
+    }
+
     /// Encodes the subquery to its canonical byte form.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(36);
+        let mut out = Vec::with_capacity(40 + 32 * D);
         out.push(TAG_SUBQUERY);
+        out.push(D as u8);
         put_u64(&mut out, self.query_id);
         put_u32(&mut out, self.shard_p);
         put_u32(&mut out, self.shard_q);
@@ -354,6 +412,9 @@ impl ShardSubquery {
         put_bool(&mut out, self.self_join);
         put_bool(&mut out, self.orient_by_oid);
         put_u64(&mut out, self.minmin_bits);
+        Self::put_window(&mut out, &self.window_p);
+        Self::put_window(&mut out, &self.window_q);
+        put_bool(&mut out, self.colored);
         out
     }
 
@@ -361,6 +422,13 @@ impl ShardSubquery {
     pub fn decode(buf: &[u8]) -> Result<Self, ProtoError> {
         let mut r = Reader::new(buf);
         r.tag(TAG_SUBQUERY)?;
+        let dim = r.u8()?;
+        if dim as usize != D {
+            return Err(ProtoError::BadDim {
+                expected: D as u8,
+                got: dim,
+            });
+        }
         let query_id = r.u64()?;
         let shard_p = r.u32()?;
         let shard_q = r.u32()?;
@@ -370,6 +438,9 @@ impl ShardSubquery {
         let self_join = r.bool()?;
         let orient_by_oid = r.bool()?;
         let minmin_bits = r.u64()?;
+        let window_p = Self::read_window(&mut r)?;
+        let window_q = Self::read_window(&mut r)?;
+        let colored = r.bool()?;
         r.finish()?;
         Ok(ShardSubquery {
             query_id,
@@ -380,6 +451,9 @@ impl ShardSubquery {
             self_join,
             orient_by_oid,
             minmin_bits,
+            window_p,
+            window_q,
+            colored,
         })
     }
 }

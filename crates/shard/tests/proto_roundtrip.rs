@@ -37,7 +37,7 @@ fn sample_manifest() -> ShardManifest<2> {
     }
 }
 
-fn sample_subquery() -> ShardSubquery {
+fn sample_subquery() -> ShardSubquery<2> {
     ShardSubquery {
         query_id: 0xDEAD_BEEF_0BAD_CAFE,
         shard_p: 3,
@@ -47,6 +47,10 @@ fn sample_subquery() -> ShardSubquery {
         self_join: false,
         orient_by_oid: true,
         minmin_bits: 2.25f64.to_bits(),
+        // One side windowed, one unconstrained: exercises both encodings.
+        window_p: Some(cpq_geo::Rect::from_corners([0.5, -3.0], [8.25, 4.0])),
+        window_q: None,
+        colored: true,
     }
 }
 
@@ -127,7 +131,7 @@ fn every_message_round_trips_canonically_and_rejects_mutations() {
     check_strict(
         &sample_subquery(),
         ShardSubquery::encode,
-        ShardSubquery::decode,
+        ShardSubquery::<2>::decode,
         "subquery",
     );
     check_strict(
@@ -172,26 +176,58 @@ fn empty_variants_round_trip() {
 #[test]
 fn subquery_rejects_unknown_algorithm_code() {
     let mut bytes = sample_subquery().encode();
-    // Layout: tag(1) + query_id(8) + shard_p(4) + shard_q(4) + k(8) = 25
-    // bytes before the algorithm code.
-    bytes[25] = 9;
+    // Layout: tag(1) + dim(1) + query_id(8) + shard_p(4) + shard_q(4)
+    // + k(8) = 26 bytes before the algorithm code.
+    bytes[26] = 9;
     assert_eq!(
-        ShardSubquery::decode(&bytes),
+        ShardSubquery::<2>::decode(&bytes),
         Err(ProtoError::BadAlgorithm(9))
     );
 }
 
 #[test]
 fn subquery_rejects_non_canonical_booleans() {
-    for offset in [26usize, 27] {
+    // self_join, orient_by_oid, and (after the 8-byte minmin) the
+    // window_p presence flag.
+    for offset in [27usize, 28, 37] {
         let mut bytes = sample_subquery().encode();
         bytes[offset] = 2;
         assert_eq!(
-            ShardSubquery::decode(&bytes),
+            ShardSubquery::<2>::decode(&bytes),
             Err(ProtoError::BadBool(2)),
             "boolean at byte {offset}"
         );
     }
+}
+
+#[test]
+fn subquery_rejects_wrong_dimensionality() {
+    let mut bytes = sample_subquery().encode();
+    bytes[1] = 3;
+    assert_eq!(
+        ShardSubquery::<2>::decode(&bytes),
+        Err(ProtoError::BadDim {
+            expected: 2,
+            got: 3
+        })
+    );
+}
+
+#[test]
+fn unconstrained_subquery_round_trips() {
+    let sq = ShardSubquery::<2> {
+        window_p: None,
+        window_q: None,
+        colored: false,
+        ..sample_subquery()
+    };
+    check_strict(
+        &sq,
+        ShardSubquery::encode,
+        ShardSubquery::<2>::decode,
+        "unconstrained subquery",
+    );
+    assert!(!sq.constraint().is_active());
 }
 
 #[test]
@@ -258,7 +294,7 @@ fn garbage_bytes_never_panic_any_decoder() {
         // Any outcome but a panic is acceptable; random buffers that
         // happen to decode are legitimate messages.
         let _ = ShardManifest::<2>::decode(&buf);
-        let _ = ShardSubquery::decode(&buf);
+        let _ = ShardSubquery::<2>::decode(&buf);
         let _ = BoundUpdate::decode(&buf);
         let _ = PartialResult::decode(&buf);
     }
@@ -280,7 +316,7 @@ fn single_byte_corruptions_never_panic() {
                 let mut m = bytes.clone();
                 m[i] = v;
                 let _ = ShardManifest::<2>::decode(&m);
-                let _ = ShardSubquery::decode(&m);
+                let _ = ShardSubquery::<2>::decode(&m);
                 let _ = BoundUpdate::decode(&m);
                 let _ = PartialResult::decode(&m);
             }

@@ -67,6 +67,12 @@ echo "==> bench_parallel --smoke --disk real (real-file descent, zero-divergence
 echo "==> bench_shard --smoke (scatter-gather K-CPQ, zero-divergence gate)"
 ./target/release/bench_shard --smoke --out /tmp/BENCH_shard_smoke.json >/dev/null
 
+# Windowed/colored K-CPQ: every cell cross-checks HEAP vs STD bitwise, the
+# whole smoke matrix is gated on the O(n²) brute-force oracle, and node
+# accesses must shrink monotonically with the window on clustered data.
+echo "==> bench_rcp --smoke (range-restricted/colored K-CPQ, oracle zero-divergence gate)"
+./target/release/bench_rcp --smoke --out /tmp/BENCH_rcp_smoke.json >/dev/null
+
 # Recovery smoke tier: the crash-injection harness truncates a real WAL at
 # every record boundary (plus torn mid-record cuts) and asserts bit-identical
 # K-CPQ answers after recovery; the live bench gates the continuous delta
@@ -80,6 +86,9 @@ echo "==> bench_live --smoke (continuous K-CPQ delta path >=5x + throughput x re
 if [ "${1:-}" = "--full" ]; then
     echo "==> parallel stress: wide seed sweep (release, --include-ignored)"
     cargo test --release -p cpq-core --test parallel_stress -- --include-ignored
+
+    echo "==> rcp parity: multi-seed randomized oracle sweep (release, --include-ignored)"
+    cargo test --release -p cpq-core --test rcp_parity -- --include-ignored
 
     echo "==> model-check full tier: widened PCT sweep (2000 seeds, release)"
     model_full() {
