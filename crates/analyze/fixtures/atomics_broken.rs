@@ -1,0 +1,12 @@
+//! Broken twin for the `atomics-pairing` pass: a Release store whose only
+//! reader loads Relaxed — the release fence synchronizes with nothing.
+
+impl Flag {
+    fn publish(&self) {
+        self.ready.store(true, Ordering::Release);
+    }
+
+    fn check(&self) -> bool {
+        self.ready.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixed twin for the `atomics-pairing` pass: the Release store pairs
+//! with an Acquire load.
+
+impl Flag {
+    fn publish(&self) {
+        self.ready.store(true, Ordering::Release);
+    }
+
+    fn check(&self) -> bool {
+        self.ready.load(Ordering::Acquire)
+    }
+}

@@ -1,0 +1,11 @@
+//! Broken twin for the `blocking-section` pass: an fsync while the state
+//! mutex is held — every peer blocks on the lock for the sync's full
+//! latency.
+
+impl Log {
+    fn append(&self, buf: &[u8]) {
+        let mut st = self.inner.lock().expect("log poisoned");
+        st.file.write_all(buf).expect("write");
+        st.file.sync_all().expect("fsync");
+    }
+}

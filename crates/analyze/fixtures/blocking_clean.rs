@@ -1,0 +1,11 @@
+//! Fixed twin for the `blocking-section` pass: the guard is dropped
+//! before the fsync, so peers only wait for the in-memory append.
+
+impl Log {
+    fn append(&self, buf: &[u8]) {
+        let mut st = self.inner.lock().expect("log poisoned");
+        st.buf.extend_from_slice(buf);
+        drop(st);
+        self.sync_owned().expect("fsync");
+    }
+}

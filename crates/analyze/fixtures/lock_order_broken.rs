@@ -1,0 +1,18 @@
+//! Broken twin for the `lock-order` pass: two methods acquire the same
+//! two locks in opposite orders — the classic AB/BA deadlock.
+
+impl Pool {
+    fn forward(&self) {
+        let a = self.alpha.lock().expect("alpha poisoned");
+        let b = self.beta.lock().expect("beta poisoned");
+        drop(b);
+        drop(a);
+    }
+
+    fn backward(&self) {
+        let b = self.beta.lock().expect("beta poisoned");
+        let a = self.alpha.lock().expect("alpha poisoned");
+        drop(a);
+        drop(b);
+    }
+}

@@ -1,0 +1,15 @@
+//! Broken twin for the `panic-surface` pass (analyzed under the hot-path
+//! file name `engine.rs`): an `unwrap()` while the state mutex is held —
+//! a panic here poisons the lock for every worker.
+
+impl Engine {
+    fn run(&self) -> u32 {
+        let mut st = self.state.lock().expect("state poisoned");
+        st.value = self.compute().unwrap();
+        st.value
+    }
+
+    fn compute(&self) -> Option<u32> {
+        Some(7)
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixed twin for the `panic-surface` pass: the fallible computation runs
+//! before the lock is taken, so no panic can fire under the guard.
+
+impl Engine {
+    fn run(&self) -> u32 {
+        let computed = self.compute().unwrap_or(0);
+        let mut st = self.state.lock().expect("state poisoned");
+        st.value = computed;
+        st.value
+    }
+
+    fn compute(&self) -> Option<u32> {
+        Some(7)
+    }
+}

@@ -1,0 +1,114 @@
+//! Structured diagnostics: what a pass emits, how severities rank, and
+//! the report shape serialized to `analysis_report.json`.
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: surfaced in the report, never fails the run.
+    /// Lock-order uses it to publish the discovered known-safe nestings.
+    Note,
+    /// Should be fixed or waived; fails the run when unwaived.
+    Warning,
+    /// Must be fixed or waived; fails the run when unwaived.
+    Error,
+}
+
+impl Severity {
+    /// Report string (`note`/`warning`/`error`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding from one pass.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Emitting pass id (`lock-order`, `atomics-pairing`, …).
+    pub pass: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable message.
+    pub message: String,
+    /// Enclosing function's bare name, when known — the unit `allow-fn`
+    /// waivers scope to.
+    pub func: Option<String>,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    pub fn new(
+        pass: &'static str,
+        severity: Severity,
+        file: impl Into<String>,
+        line: u32,
+        col: u32,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            pass,
+            severity,
+            file: file.into(),
+            line,
+            col,
+            message: message.into(),
+            func: None,
+        }
+    }
+
+    /// Attaches the enclosing function name.
+    pub fn in_fn(mut self, name: impl Into<String>) -> Diagnostic {
+        self.func = Some(name.into());
+        self
+    }
+
+    /// `file:line:col: severity[pass] message` — the terminal rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: {}[{}] {}",
+            self.file,
+            self.line,
+            self.col,
+            self.severity.as_str(),
+            self.pass,
+            self.message
+        )
+    }
+
+    /// Whether this finding fails the run when unwaived.
+    pub fn is_failing(&self) -> bool {
+        self.severity >= Severity::Warning
+    }
+}
+
+/// The outcome of a full analyzer run, ready for serialization.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Pass ids that ran, in order.
+    pub passes: Vec<String>,
+    /// Findings that were not waived (notes included).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings suppressed by a waiver, with the waiver's rationale —
+    /// kept in the report so suppression stays auditable.
+    pub waived: Vec<(Diagnostic, String)>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Number of functions analyzed.
+    pub functions: usize,
+}
+
+impl Report {
+    /// Unwaived findings at warning severity or above.
+    pub fn failing(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.is_failing())
+    }
+}

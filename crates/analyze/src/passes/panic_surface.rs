@@ -1,0 +1,232 @@
+//! Pass `panic-surface`: panics that poison shared locks on the hot
+//! query path.
+//!
+//! The hot path is rooted at the non-test functions of the query
+//! executors — `engine.rs`, `parallel.rs`, and the `coord.rs` worker
+//! loops — and extends over the approximate call graph. Within it, an
+//! `unwrap`/`expect`/index/integer-division site is flagged when an
+//! *exclusive* guard is live at the site (locally, or anywhere up the
+//! call chain into it): a panic there poisons the Mutex/RwLock for every
+//! peer worker, turning one bad page into a stalled executor fleet. The
+//! `expect("… poisoned …")` convention is exempt — that is the workspace's
+//! deliberate poison-propagation policy, not a new poison source.
+
+use super::{Graph, Pass, PassCtx};
+use crate::diag::{Diagnostic, Severity};
+use crate::model::{GuardMode, PanicKind, Workspace};
+use std::collections::BTreeSet;
+
+/// See module docs.
+pub struct PanicSurface;
+
+/// File basenames whose functions root the hot query path.
+const HOT_FILES: &[&str] = &["engine.rs", "parallel.rs", "coord.rs"];
+
+fn is_hot_root(ws: &Workspace, fi: usize) -> bool {
+    let f = &ws.functions[fi];
+    if f.is_test {
+        return false;
+    }
+    let rel = &ws.files[f.file].rel;
+    HOT_FILES.iter().any(|h| rel.ends_with(&format!("/{h}")))
+}
+
+impl Pass for PanicSurface {
+    fn id(&self) -> &'static str {
+        "panic-surface"
+    }
+
+    fn run(&self, ws: &Workspace, graph: &Graph, _ctx: &PassCtx, out: &mut Vec<Diagnostic>) {
+        let roots: Vec<usize> = (0..ws.functions.len())
+            .filter(|&i| is_hot_root(ws, i))
+            .collect();
+        let hot = graph.reachable(&roots);
+
+        // Functions that some hot caller invokes while holding an
+        // exclusive guard: a panic anywhere inside them poisons it.
+        let mut called_locked: BTreeSet<usize> = BTreeSet::new();
+        let mut frontier: Vec<usize> = Vec::new();
+        for &fi in &hot {
+            let f = &ws.functions[fi];
+            for outer in &f.locks {
+                if outer.mode != GuardMode::Exclusive {
+                    continue;
+                }
+                for c in &f.calls {
+                    if c.tok > outer.tok && c.tok <= outer.scope_end {
+                        for t in super::resolve_call(ws, fi, c) {
+                            if hot.contains(&t) && called_locked.insert(t) {
+                                frontier.push(t);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Everything a locked callee calls is itself under the guard.
+        while let Some(fi) = frontier.pop() {
+            for &t in &graph.callees[fi] {
+                if hot.contains(&t) && called_locked.insert(t) {
+                    frontier.push(t);
+                }
+            }
+        }
+
+        for &fi in &hot {
+            let f = &ws.functions[fi];
+            let file = ws.file_of(f);
+            if file.is_bin {
+                continue;
+            }
+            let under_caller_guard = called_locked.contains(&fi);
+            for p in &f.panics {
+                if p.kind == PanicKind::Expect
+                    && p.message.as_deref().is_some_and(|m| m.contains("poisoned"))
+                {
+                    continue;
+                }
+                let under_local_guard = f.locks.iter().any(|l| {
+                    l.mode == GuardMode::Exclusive && p.tok > l.tok && p.tok <= l.scope_end
+                });
+                if !under_local_guard && !under_caller_guard {
+                    continue;
+                }
+                let what = match p.kind {
+                    PanicKind::Unwrap => "`unwrap()`",
+                    PanicKind::Expect => "`expect()`",
+                    PanicKind::Index => "slice/array index",
+                    PanicKind::Div => "integer division/remainder",
+                };
+                let how = if under_local_guard {
+                    "an exclusive guard is live here"
+                } else {
+                    "a hot-path caller holds an exclusive guard across this call"
+                };
+                out.push(
+                    Diagnostic::new(
+                        self.id(),
+                        Severity::Error,
+                        file.rel.clone(),
+                        p.line,
+                        p.col,
+                        format!(
+                            "{what} on the hot query path in `{}` — {how}; a panic poisons the lock for every worker",
+                            f.qname
+                        ),
+                    )
+                    .in_fn(f.name.clone()),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(sources: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let ws = Workspace::from_sources(sources);
+        let graph = Graph::build(&ws);
+        let mut out = Vec::new();
+        PanicSurface.run(&ws, &graph, &PassCtx::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_under_guard_in_engine_is_flagged() {
+        let src = "\
+impl Engine {
+    fn step(&self) {
+        let st = self.state.lock().expect(\"poisoned\");
+        let page = st.cache.get(&k).unwrap();
+        touch(page);
+    }
+}
+";
+        let out = run(&[("crates/core/src/engine.rs", src)]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("hot query path"));
+        assert!(out[0].message.contains("guard is live here"));
+    }
+
+    #[test]
+    fn unwrap_without_guard_is_not_this_passes_problem() {
+        let src = "\
+impl Engine {
+    fn step(&self) {
+        let page = self.cache.get(&k).unwrap();
+        touch(page);
+    }
+}
+";
+        assert!(run(&[("crates/core/src/engine.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn poisoned_expect_convention_is_exempt() {
+        let src = "\
+impl Engine {
+    fn step(&self) {
+        let st = self.state.lock().expect(\"state poisoned\");
+        st.touch();
+    }
+}
+";
+        assert!(run(&[("crates/core/src/engine.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn cold_path_unwrap_under_guard_is_out_of_scope() {
+        let src = "\
+impl Setup {
+    fn init(&self) {
+        let st = self.state.lock().expect(\"poisoned\");
+        let v = st.get(&k).unwrap();
+        touch(v);
+    }
+}
+";
+        assert!(run(&[("crates/core/src/setup.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn callee_unwrap_under_callers_guard_is_flagged() {
+        let srcs = [(
+            "crates/shard/src/coord.rs",
+            "\
+impl Coord {
+    fn worker_run(&self) {
+        let st = self.state.lock().expect(\"poisoned\");
+        self.decode_task();
+        st.touch();
+    }
+    fn decode_task(&self) {
+        let v = self.buf.first().unwrap();
+        touch(v);
+    }
+}
+",
+        )];
+        let out = run(&srcs);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("caller holds an exclusive guard"));
+        assert!(out[0].func.as_deref() == Some("decode_task"));
+    }
+
+    #[test]
+    fn index_and_div_count_as_panic_surface() {
+        let src = "\
+impl Engine {
+    fn step(&self, v: &[u32], i: usize, n: usize) {
+        let st = self.state.lock().expect(\"poisoned\");
+        let x = v[i];
+        let y = x as usize / n;
+        st.put(y);
+    }
+}
+";
+        let out = run(&[("crates/core/src/engine.rs", src)]);
+        assert_eq!(out.len(), 2, "{out:?}");
+    }
+}

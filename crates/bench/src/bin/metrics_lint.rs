@@ -1,23 +1,70 @@
-//! CI metrics smoke gate: boots a small observable service, scrapes
-//! `GET /metrics` over a real TCP connection (the same path `curl` takes),
-//! runs the exposition-format linter over every line, and fails unless the
-//! core series the dashboards need are present:
+//! CI metrics smoke gate, emitting machine-readable diagnostics: boots a
+//! small observable service, scrapes `GET /metrics` over a real TCP
+//! connection (the same path `curl` takes), runs the exposition-format
+//! linter over every line, and checks the series the dashboards need:
 //!
 //! * `cpq_queries_total{algorithm,outcome}` — the query matrix;
 //! * `cpq_query_latency_microseconds` — the latency histogram;
 //! * `cpq_node_accesses_total{tree}` — the paper's cost metric, live;
-//! * `cpq_buffer_hit_ratio{tree}` — the bridged pool series.
+//! * `cpq_buffer_hit_ratio{tree}` — the bridged pool series;
 //!
-//! Exits non-zero (panics) on any lint error or missing series, so
-//! `scripts/ci.sh` can gate on it directly.
+//! plus two registry-hygiene checks: no duplicate samples (a series
+//! registered twice renders twice — scrapers keep whichever value they read
+//! last) and no *never-observed* family — a family whose every sample is
+//! still zero after the smoke workload, meaning it is registered but
+//! nothing feeds it (dead series rot on dashboards), minus an allowlist of
+//! families this workload legitimately leaves at zero.
+//!
+//! Findings are written as a `cpq-analyze` diagnostics fragment (pass id
+//! `metrics`) to `target/metrics_report.json`, which `scripts/ci.sh` folds
+//! into the single `analysis_report.json` via `cpq_analyze --merge`; the
+//! scraped body itself lands in `target/metrics_exposition.txt` for
+//! forensics. Exits non-zero on any finding so the gate also works
+//! standalone.
 
+use cpq_analyze::diag::{Diagnostic, Report, Severity};
+use cpq_analyze::json::render_report;
 use cpq_bench::{build_tree, uniform_dataset};
 use cpq_core::Algorithm;
 use cpq_geo::Rect;
 use cpq_obs::lint_exposition;
 use cpq_service::{Constraint, CpqService, ObsConfig, QueryRequest, ServiceConfig, TreePair};
+use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::TcpStream;
+
+/// Where diagnostics point: the archived copy of the scraped body, so a
+/// `file:line` in the report opens the offending exposition line.
+const EXPOSITION_PATH: &str = "target/metrics_exposition.txt";
+
+/// Families this smoke workload legitimately leaves at zero: idle-state
+/// gauges and counters whose triggering condition (shedding, deadline
+/// misses, eviction pressure, tie-sweep skips, a query crossing the
+/// slow-log threshold — timing-dependent on a loaded machine) the
+/// workload deliberately avoids or cannot guarantee.
+const ZERO_OK: &[&str] = &[
+    "cpq_queue_depth",
+    "cpq_slow_queries_total",
+    "cpq_sheds_total",
+    "cpq_deadline_misses_total",
+    "cpq_plan_parallel_total",
+    "cpq_plan_scatter_total",
+    "cpq_kernel_early_outs_total",
+    "cpq_slow_log_evictions_total",
+    "cpq_sweep_pairs_skipped_total",
+];
+
+/// Whole subsystems the smoke workload does not drive (the sequential HEAP
+/// queries never touch the parallel engine, shards, live trees, the WAL,
+/// or the async I/O scheduler); their series are fed by the benches and
+/// subsystem tests instead.
+const ZERO_OK_PREFIXES: &[&str] = &[
+    "cpq_io_",
+    "cpq_live_",
+    "cpq_parallel_",
+    "cpq_shard_",
+    "cpq_wal_",
+];
 
 fn main() {
     eprintln!("building 1000-point trees and serving...");
@@ -72,11 +119,25 @@ fn main() {
         "bad content type: {head}"
     );
 
+    let _ = std::fs::create_dir_all("target");
+    std::fs::write(EXPOSITION_PATH, body).expect("archive exposition body");
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut diag = |line: u32, severity: Severity, message: String| {
+        diags.push(Diagnostic::new(
+            "metrics",
+            severity,
+            EXPOSITION_PATH,
+            line,
+            1,
+            message,
+        ));
+    };
+
     if let Err(errors) = lint_exposition(body) {
         for e in &errors {
-            eprintln!("LINT: {e}");
+            diag(e.line as u32, Severity::Error, e.message.clone());
         }
-        panic!("{} exposition lint errors", errors.len());
     }
 
     let required = [
@@ -99,10 +160,51 @@ fn main() {
         "cpq_sheds_total 0",
     ];
     for series in required {
-        assert!(
-            body.contains(series),
-            "required series missing from /metrics: {series}"
-        );
+        if !body.contains(series) {
+            diag(
+                0,
+                Severity::Error,
+                format!("required series missing from /metrics: {series}"),
+            );
+        }
+    }
+
+    // Never-observed families: every sample still zero after the smoke
+    // workload. Histogram suffixes roll up to their base family so an
+    // unfed histogram reports once, not three times.
+    let mut family_max: BTreeMap<&str, (f64, u32)> = BTreeMap::new();
+    for (idx, line) in body.lines().enumerate() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((sample, value)) = line.rsplit_once(' ') else {
+            continue; // already reported by the exposition linter
+        };
+        let value: f64 = value.parse().unwrap_or(f64::NAN);
+        let name = sample.split('{').next().unwrap_or(sample);
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|s| name.strip_suffix(s))
+            .unwrap_or(name);
+        let entry = family_max
+            .entry(family)
+            .or_insert((f64::MIN, idx as u32 + 1));
+        if value > entry.0 {
+            entry.0 = value;
+        }
+    }
+    for (family, (max, first_line)) in &family_max {
+        let allowed =
+            ZERO_OK.contains(family) || ZERO_OK_PREFIXES.iter().any(|p| family.starts_with(p));
+        if *max == 0.0 && !allowed {
+            diag(
+                *first_line,
+                Severity::Warning,
+                format!(
+                    "series family `{family}` is registered but never observed (every sample zero after the smoke workload) — feed it or allowlist it"
+                ),
+            );
+        }
     }
 
     let samples = body
@@ -111,5 +213,24 @@ fn main() {
         .count();
     server.stop();
     service.shutdown();
-    eprintln!("metrics smoke: exposition lint clean, {samples} samples, all core series present");
+
+    let findings = diags.len();
+    let report = Report {
+        passes: vec!["metrics".to_string()],
+        diagnostics: diags,
+        ..Report::default()
+    };
+    std::fs::write("target/metrics_report.json", render_report(&report))
+        .expect("write metrics fragment");
+
+    if findings > 0 {
+        for d in &report.diagnostics {
+            eprintln!("{}", d.render());
+        }
+        eprintln!("metrics smoke: {findings} finding(s) -> target/metrics_report.json");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "metrics smoke: exposition lint clean, {samples} samples, all core series present -> target/metrics_report.json"
+    );
 }

@@ -138,7 +138,7 @@ pub fn build_sharded_disk(
         None,
         |id| {
             let path = scratch_file(&format!("{label}-s{id}"));
-            // lint: allow(expect) — `make_pool` is infallible by signature,
+            // analyze: allow(panic-path) — `make_pool` is infallible by signature,
             // and a temp-dir create failure is fatal to a bench run anyway.
             let file = DiskPageFile::create(&path, DEFAULT_PAGE_SIZE).expect("shard page file");
             paths.push(path);

@@ -443,7 +443,7 @@ pub fn ablation_buffer_policy(scale: f64) -> RTreeResult<Vec<Table>> {
         build_tree_with(
             ds,
             RTreeParams::paper(),
-            // lint: allow(expect) — the policy name is a literal in this
+            // analyze: allow(panic-path) — the policy name is a literal in this
             // figure's own table, not user input.
             policy_by_name(which).expect("known policy"),
             512,
@@ -525,7 +525,7 @@ pub fn ablation_rtree_variant(scale: f64) -> RTreeResult<Vec<Table>> {
             split_policy: policy,
             ..RTreeParams::paper()
         };
-        // lint: allow(expect) — "lru" is a built-in policy name.
+        // analyze: allow(panic-path) — "lru" is a built-in policy name.
         build_tree_with(ds, params, policy_by_name("lru").expect("lru exists"), 512)
     };
 
@@ -621,7 +621,7 @@ pub fn costmodel_validation(scale: f64) -> RTreeResult<Vec<Table>> {
         let sp = tp.level_stats()?;
         let sq = tq.level_stats()?;
         let est = estimate_1cp_cost(&sp, &p.workspace, tp.len(), &sq, &q.workspace, tq.len())
-            // lint: allow(expect) — `q` is constructed with a workspace
+            // analyze: allow(panic-path) — `q` is constructed with a workspace
             // overlapping `p`'s above, so the estimate is defined.
             .expect("overlapping workspaces");
         let out = run_query(&tp, &tq, 1, Algorithm::Heap, &CpqConfig::paper(), 0)?;

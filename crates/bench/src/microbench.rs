@@ -61,7 +61,7 @@ pub fn time_op<T>(warmup: usize, iters: usize, mut op: impl FnMut() -> T) -> (Ti
             mean_ns,
             median_ns,
         },
-        // lint: allow(expect) — the timing loop runs at least one
+        // analyze: allow(panic-path) — the timing loop runs at least one
         // iteration, so `last` is always Some.
         last.expect("iters >= 1"),
     )

@@ -39,8 +39,8 @@
 //! schedule point). Protocol bugs — lost updates, lost wakeups, torn
 //! publishes, double executions, deadlocks — live at exactly this
 //! granularity; `Ordering` *strength* arguments are enforced socially by
-//! the `cpq_lint` rule that every `Ordering::` use carries a written
-//! justification.
+//! the `cpq_analyze` rule that every `Ordering::` use carries a written
+//! justification, and semantically by its `atomics-pairing` pass.
 //!
 //! ## Ground rules for model closures
 //!
@@ -54,14 +54,15 @@
 //! * Do not call `std::thread::scope`/`spawn` *inside* a model — unmanaged
 //!   threads bypass the scheduler. Use [`thread::spawn`] from the shim.
 //!
-//! ## `cpq_lint`
+//! ## Static analysis
 //!
-//! The companion `cpq_lint` binary (`src/bin/cpq_lint.rs`) is a std-only
-//! line-level scanner enforcing the workspace's static invariants in CI:
-//! ordering-justification comments, `#![forbid(unsafe_code)]` everywhere,
-//! no `unwrap()`/`expect()`/`thread::sleep` in non-test library code
-//! outside the documented allowances, and no direct `std::sync` imports in
-//! the shim-migrated crates. See `DESIGN.md` §12.
+//! The workspace's static invariants — ordering-justification comments,
+//! `#![forbid(unsafe_code)]` everywhere, no `unwrap()`/`expect()`/
+//! `thread::sleep` in non-test library code outside the waived
+//! allowances, and no direct `std::sync` imports in the shim-migrated
+//! crates — are enforced in CI by the `cpq-analyze` crate's pass
+//! registry (which superseded the line-level `cpq_lint` scanner that
+//! used to live in this crate). See `DESIGN.md` §12 and §17.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -2,8 +2,8 @@
 //!
 //! Normal builds re-export `std::sync` unchanged — importing from
 //! `cpq_check::sync` instead of `std::sync` is a zero-cost, zero-behavior
-//! text substitution (the `cpq_lint` rule `std-sync` enforces that the
-//! migrated crates use this path). Under `--cfg cpq_model` the lock,
+//! text substitution (the `cpq_analyze` pass `std-sync-direct` enforces
+//! that the migrated crates use this path). Under `--cfg cpq_model` the lock,
 //! condvar, and atomic types are replaced by modeled equivalents that
 //! yield to the cooperative scheduler at every visible operation; types
 //! with no scheduling relevance (`Arc`, `mpsc`, …) stay std in both modes.

@@ -616,10 +616,10 @@ pub(crate) fn run_leader<const D: usize, O: SpatialObject<D>, P: Probe>(
     let (page_p, page_q) = (tree_p.root(), tree_q.root());
     let root_p = ctx.read_side(ProbeSide::P, page_p)?;
     let root_q = ctx.read_side(ProbeSide::Q, page_q)?;
-    // lint: allow(expect) — empty trees returned early above, so
+    // analyze: allow(panic-path) — empty trees returned early above, so
     // both roots have MBRs.
     ctx.root_area_p = root_p.mbr().expect("non-empty root").area();
-    // lint: allow(expect) — same non-empty-root invariant as above.
+    // analyze: allow(panic-path) — same non-empty-root invariant as above.
     ctx.root_area_q = root_q.mbr().expect("non-empty root").area();
     if let Some(rt) = par {
         // Seed speculation with the root pair so the workers start

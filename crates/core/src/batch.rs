@@ -48,7 +48,7 @@ pub fn parallel_knn<const D: usize, O: SpatialObject<D>>(
             })
             .collect();
         for (slot, handle) in results.iter_mut().zip(handles) {
-            // lint: allow(expect) — a panicking query worker is a bug;
+            // analyze: allow(panic-path) — a panicking query worker is a bug;
             // propagating the panic beats returning a wrong answer.
             match handle.join().expect("query worker panicked") {
                 Ok(chunk) => *slot = Some(chunk),
@@ -65,7 +65,7 @@ pub fn parallel_knn<const D: usize, O: SpatialObject<D>>(
     }
     Ok(results
         .into_iter()
-        // lint: allow(expect) — the early return above means every
+        // analyze: allow(panic-path) — the early return above means every
         // chunk slot was filled.
         .flat_map(|chunk| chunk.expect("no error implies all chunks present"))
         .collect())
@@ -99,7 +99,7 @@ pub fn parallel_kcpq<const D: usize, O: SpatialObject<D>>(
             })
             .collect();
         for (slot, handle) in results.iter_mut().zip(handles) {
-            // lint: allow(expect) — a panicking query worker is a bug;
+            // analyze: allow(panic-path) — a panicking query worker is a bug;
             // propagating the panic beats returning a wrong answer.
             match handle.join().expect("query worker panicked") {
                 Ok(chunk) => *slot = Some(chunk),
@@ -116,7 +116,7 @@ pub fn parallel_kcpq<const D: usize, O: SpatialObject<D>>(
     }
     Ok(results
         .into_iter()
-        // lint: allow(expect) — the early return above means every
+        // analyze: allow(panic-path) — the early return above means every
         // chunk slot was filled.
         .flat_map(|chunk| chunk.expect("no error implies all chunks present"))
         .collect())

@@ -132,7 +132,7 @@ pub fn semi_closest_pairs_brute<const D: usize, O: SpatialObject<D>>(
                         .cmp(&cpq_geo::min_min_dist2(&p.mbr(), &b.0.mbr()))
                 })
                 .copied()
-                // lint: allow(expect) — reference implementation: an empty `qs`
+                // analyze: allow(panic-path) — reference implementation: an empty `qs`
                 // is a caller bug worth crashing on.
                 .expect("qs must be non-empty");
             PairResult::new(LeafEntry::new(p, poid), LeafEntry::new(q, qoid))

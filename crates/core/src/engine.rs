@@ -497,9 +497,9 @@ impl<'a, const D: usize, O: SpatialObject<D>, P: Probe> Ctx<'a, D, O, P> {
         if eps.is_empty() || eqs.is_empty() {
             return (0, 0);
         }
-        // lint: allow(expect) — guarded by the emptiness check above.
+        // analyze: allow(panic-path) — guarded by the emptiness check above.
         let bp = lp.mbr().expect("non-empty leaf has an MBR");
-        // lint: allow(expect) — guarded by the emptiness check above.
+        // analyze: allow(panic-path) — guarded by the emptiness check above.
         let bq = lq.mbr().expect("non-empty leaf has an MBR");
         let mut axis = 0;
         let mut best = f64::NEG_INFINITY;
@@ -655,10 +655,10 @@ impl<'a, const D: usize, O: SpatialObject<D>, P: Probe> Ctx<'a, D, O, P> {
             self.cfg.height,
         );
 
-        // lint: allow(expect) — the engine only visits non-empty nodes
+        // analyze: allow(panic-path) — the engine only visits non-empty nodes
         // (the tree stores none).
         let whole_p = (np.mbr().expect("non-empty node"), np.subtree_count());
-        // lint: allow(expect) — same non-empty-node invariant as above.
+        // analyze: allow(panic-path) — same non-empty-node invariant as above.
         let whole_q = (nq.mbr().expect("non-empty node"), nq.subtree_count());
 
         // Window clipping (range-restricted queries): each side's MBR is

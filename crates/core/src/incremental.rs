@@ -150,7 +150,7 @@ impl KBound {
 
     fn threshold(&self) -> Dist2 {
         if self.heap.len() >= self.k {
-            // lint: allow(expect) — guarded by the length check above.
+            // analyze: allow(panic-path) — guarded by the length check above.
             *self.heap.peek().expect("non-empty heap")
         } else {
             Dist2::INFINITY

@@ -85,7 +85,7 @@ impl<const D: usize, O: SpatialObject<D>> KHeap<D, O> {
     /// the worst retained distance once full.
     pub fn threshold(&self) -> Dist2 {
         if self.is_full() {
-            // lint: allow(expect) — `is_full` implies k >= 1 entries.
+            // analyze: allow(panic-path) — `is_full` implies k >= 1 entries.
             self.heap.peek().expect("full heap has a top").0.dist2
         } else {
             Dist2::INFINITY
@@ -105,7 +105,7 @@ impl<const D: usize, O: SpatialObject<D>> KHeap<D, O> {
             self.heap.push(ByDist(pair));
             return true;
         }
-        // lint: allow(expect) — the branch above handled the not-full
+        // analyze: allow(panic-path) — the branch above handled the not-full
         // case, so the heap holds k >= 1 entries.
         let mut top = self.heap.peek_mut().expect("K >= 1: full heap has a top");
         let cand = ByDist(pair);

@@ -89,7 +89,7 @@ impl<const D: usize, O: SpatialObject<D>> Ord for HeapPair<D, O> {
 impl<const D: usize, O: SpatialObject<D>> MetricKHeap<D, O> {
     fn threshold(&self) -> f64 {
         if self.heap.len() >= self.k {
-            // lint: allow(expect) — guarded by the length check above.
+            // analyze: allow(panic-path) — guarded by the length check above.
             self.heap.peek().expect("non-empty").0.distance
         } else {
             f64::INFINITY
@@ -174,7 +174,7 @@ pub fn k_closest_pairs_metric<const D: usize, O: SpatialObject<D>>(
                         .map(|e| (e.child, e.mbr))
                         .collect()
                 } else {
-                    // lint: allow(expect) — visited nodes are never empty (the
+                    // analyze: allow(panic-path) — visited nodes are never empty (the
                     // tree stores none).
                     vec![(item.page_p, np.mbr().expect("non-empty"))]
                 };
@@ -184,7 +184,7 @@ pub fn k_closest_pairs_metric<const D: usize, O: SpatialObject<D>>(
                         .map(|e| (e.child, e.mbr))
                         .collect()
                 } else {
-                    // lint: allow(expect) — same non-empty-node invariant as above.
+                    // analyze: allow(panic-path) — same non-empty-node invariant as above.
                     vec![(item.page_q, nq.mbr().expect("non-empty"))]
                 };
                 for &(pp, ref mp) in &sides_p {

@@ -179,7 +179,7 @@ pub fn k_closest_tuples<const D: usize, O: SpatialObject<D>>(
     let mut kbound: BinaryHeap<OrdF64> = BinaryHeap::new();
     let threshold = |kb: &BinaryHeap<OrdF64>| -> f64 {
         if kb.len() >= k {
-            // lint: allow(expect) — guarded by the length check above.
+            // analyze: allow(panic-path) — guarded by the length check above.
             kb.peek().expect("non-empty").0
         } else {
             f64::INFINITY
@@ -192,7 +192,7 @@ pub fn k_closest_tuples<const D: usize, O: SpatialObject<D>>(
     // Seed: the tuple of roots.
     let mut roots = Vec::with_capacity(m);
     for t in trees.iter() {
-        // lint: allow(expect) — empty trees were rejected before the
+        // analyze: allow(panic-path) — empty trees were rejected before the
         // join started.
         let mbr = t.root_mbr()?.expect("non-empty tree");
         roots.push(Item::Node {
@@ -219,7 +219,7 @@ pub fn k_closest_tuples<const D: usize, O: SpatialObject<D>>(
             .enumerate()
             .max_by_key(|(_, it)| it.level_i())
             .map(|(i, it)| (i, it.level_i()))
-            // lint: allow(expect) — tuples always hold m >= 1 items.
+            // analyze: allow(panic-path) — tuples always hold m >= 1 items.
             .expect("non-empty tuple");
         if expand_idx.1 < 0 {
             let entries: Vec<LeafEntry<D, O>> = tuple

@@ -453,10 +453,10 @@ fn exec_task<const D: usize, O: SpatialObject<D>>(
         (Some(p), Some(q)) => (p, q),
         (None, None) if std::ptr::eq(tp, tq) => {
             let mut nodes = tp.read_nodes(&[PageId(req.page_p), PageId(req.page_q)])?;
-            // lint: allow(expect) — read_nodes returns exactly one node
+            // analyze: allow(panic-path) — read_nodes returns exactly one node
             // per requested id (two here).
             let q = Arc::new(nodes.pop().expect("two nodes"));
-            // lint: allow(expect) — second of the two nodes read above.
+            // analyze: allow(panic-path) — second of the two nodes read above.
             let p = Arc::new(nodes.pop().expect("two nodes"));
             rt.insert_node(ProbeSide::P, PageId(req.page_p), p.clone());
             rt.insert_node(ProbeSide::Q, PageId(req.page_q), q.clone());
@@ -560,10 +560,10 @@ fn gen_cands_full<const D: usize, O: SpatialObject<D>>(
     use crate::engine::Descend;
     let (descend_p, descend_q) =
         descend_sides(np.is_leaf(), nq.is_leaf(), np.level(), nq.level(), height);
-    // lint: allow(expect) — visited nodes are never empty (the
+    // analyze: allow(panic-path) — visited nodes are never empty (the
     // tree stores none).
     let whole_p = (np.mbr().expect("non-empty node"), np.subtree_count());
-    // lint: allow(expect) — same non-empty-node invariant as above.
+    // analyze: allow(panic-path) — same non-empty-node invariant as above.
     let whole_q = (nq.mbr().expect("non-empty node"), nq.subtree_count());
     // Window clipping mirrors `Ctx::gen_cands` exactly: clipped MBRs are
     // what gets scored and stored, and sides whose MBR misses the window
@@ -653,7 +653,7 @@ pub(crate) fn run_parallel<const D: usize, O: SpatialObject<D>, P: Probe>(
         runtime.shutdown();
         let worker_stats: Vec<WorkerStats> = handles
             .into_iter()
-            // lint: allow(expect) — a panicking worker is a bug; propagate
+            // analyze: allow(panic-path) — a panicking worker is a bug; propagate
             // the panic rather than fabricate stats.
             .map(|h| h.join().expect("worker threads never panic"))
             .collect();

@@ -48,7 +48,7 @@ pub fn semi_closest_pairs<const D: usize, O: SpatialObject<D>>(
                         .map(|q| min_min_dist2(&p.mbr(), &q.mbr()))
                         .unwrap_or(Dist2::INFINITY);
                     let (q, d) = nn_bounded(tree_q, &p, warm, &mut stats)?
-                        // lint: allow(expect) — `tree_q` was checked non-empty before
+                        // analyze: allow(panic-path) — `tree_q` was checked non-empty before
                         // the scan, so a nearest neighbor exists.
                         .expect("non-empty Q has a nearest neighbor");
                     pairs.push(PairResult { p, q, dist2: d });

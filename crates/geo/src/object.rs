@@ -43,7 +43,7 @@ fn write_coords<const D: usize>(coords: &[f64; D], buf: &mut [u8]) {
 fn read_coords<const D: usize>(buf: &[u8]) -> [f64; D] {
     let mut out = [0.0; D];
     for (d, c) in out.iter_mut().enumerate() {
-        // lint: allow(expect) — fixed 8-byte window of the caller's
+        // analyze: allow(panic-path) — fixed 8-byte window of the caller's
         // length-checked buffer; the conversion cannot fail.
         *c = f64::from_le_bytes(buf[d * 8..d * 8 + 8].try_into().expect("8-byte slice"));
     }

@@ -328,10 +328,10 @@ impl<const D: usize, O: SpatialObject<D>> ContinuousCpq<D, O> {
                 self.constraint,
             )?
         } else {
-            // lint: allow(expect) — cross refill is always called with
+            // analyze: allow(panic-path) — cross refill is always called with
             // both snapshots; the two forms share this one signature.
             let p = snap_p.expect("cross refill needs P");
-            // lint: allow(expect) — same contract as the line above.
+            // analyze: allow(panic-path) — same contract as the line above.
             let q = snap_q.expect("cross refill needs Q");
             k_closest_pairs_constrained(
                 p.tree(),

@@ -156,7 +156,7 @@ impl EpochRegistry {
     fn reclaim_locked(st: &mut EpochState, free: &mut dyn FnMut(PageId)) {
         let min_pin = st.pins.keys().next().copied().unwrap_or(u64::MAX);
         while st.retired.front().is_some_and(|b| b.retire_epoch < min_pin) {
-            // lint: allow(expect) — front() was just checked.
+            // analyze: allow(panic-path) — front() was just checked.
             let batch = st.retired.pop_front().expect("front checked");
             st.pages_freed += batch.pages.len() as u64;
             for p in batch.pages {
@@ -194,7 +194,6 @@ impl EpochRegistry {
             .front()
             .is_some_and(|b| b.retire_epoch <= min_pin)
         {
-            // lint: allow(expect) — front() was just checked.
             let batch = st.retired.pop_front().expect("front checked");
             st.pages_freed += batch.pages.len() as u64;
             for p in batch.pages {

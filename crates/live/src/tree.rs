@@ -287,6 +287,9 @@ impl<const D: usize, O: SpatialObject<D>> LiveTree<D, O> {
     /// to snapshot readers on return.
     pub fn insert(&self, object: O, oid: u64) -> LiveResult<()> {
         let mut st = self.writer.lock().expect("live writer poisoned");
+        // analyze: allow(blocking-section) — single-writer protocol: the
+        // writer mutex is the serialization point and the WAL fsync under
+        // it is the durability point (group commit bounds the stall).
         self.apply_locked(&mut st, OpKind::Insert, object, oid)?;
         Ok(())
     }
@@ -296,6 +299,9 @@ impl<const D: usize, O: SpatialObject<D>> LiveTree<D, O> {
     /// replaying the log agree on the op stream.
     pub fn delete(&self, object: O, oid: u64) -> LiveResult<bool> {
         let mut st = self.writer.lock().expect("live writer poisoned");
+        // analyze: allow(blocking-section) — single-writer protocol, as in
+        // `insert`: the WAL fsync under the writer mutex is the durability
+        // point.
         self.apply_locked(&mut st, OpKind::Delete, object, oid)
     }
 
@@ -384,6 +390,9 @@ impl<const D: usize, O: SpatialObject<D>> LiveTree<D, O> {
     /// starts a fresh segment and truncates the old log.
     pub fn checkpoint(&self) -> LiveResult<Lsn> {
         let mut st = self.writer.lock().expect("live writer poisoned");
+        // analyze: allow(blocking-section) — checkpointing deliberately
+        // quiesces writers: the segment fsync must complete before the
+        // checkpoint LSN is published.
         self.checkpoint_locked(&mut st)
     }
 
@@ -578,6 +587,10 @@ impl<const D: usize, O: SpatialObject<D>> LiveSet<D, O> {
                     }
                     if found {
                         if let Some(c) = cont.as_mut() {
+                            // analyze: allow(blocking-section) — a delete hitting the
+                            // result set re-runs the K-CPQ synchronously (worker joins
+                            // included) before the next op; only this maintenance
+                            // thread takes `cont`.
                             c.on_delete(side, oid, &self.p.snapshot()?, &self.q.snapshot()?)?;
                         }
                     }

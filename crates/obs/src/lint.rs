@@ -114,12 +114,16 @@ fn family_of<'a>(name: &'a str, histograms: &HashMap<&str, ()>) -> &'a str {
 /// Checks, per line: `# HELP`/`# TYPE` shape (no other comments), valid
 /// metric and label names, parseable values, label-block syntax. Checks,
 /// per family: `TYPE` declared before samples, known type, no duplicate
-/// `TYPE`; for histograms, a `+Inf` bucket per series whose cumulative
-/// buckets are non-decreasing and whose `_count` equals the `+Inf` bucket.
-/// Returns every problem found (empty `Ok` means the body is clean).
+/// `TYPE`; no two samples share a name and identical label set (the
+/// symptom of a series registered twice — scrapers keep whichever value
+/// they read last, silently); for histograms, a `+Inf` bucket per series
+/// whose cumulative buckets are non-decreasing and whose `_count` equals
+/// the `+Inf` bucket. Returns every problem found (empty `Ok` means the
+/// body is clean).
 pub fn lint_exposition(body: &str) -> Result<(), Vec<LintError>> {
     let mut errors = Vec::new();
     let mut types: HashMap<String, String> = HashMap::new();
+    let mut seen: HashMap<(String, Vec<(String, String)>), usize> = HashMap::new();
     let mut histograms: HashMap<&str, ()> = HashMap::new();
     // Histogram per-series state: (family, labels-without-le) → last
     // cumulative bucket value, +Inf value, _count value.
@@ -209,6 +213,14 @@ pub fn lint_exposition(body: &str) -> Result<(), Vec<LintError>> {
                 }
             },
         };
+        let mut sorted = labels.clone();
+        sorted.sort();
+        if let Some(first) = seen.insert((name.to_string(), sorted), lineno) {
+            err(format!(
+                "duplicate sample for {name:?} with identical labels (first at line {first}) — a series registered twice"
+            ));
+        }
+
         let family = family_of(name, &histograms);
         if !types.contains_key(family) {
             err(format!("sample for {name:?} precedes its TYPE declaration"));
@@ -364,6 +376,28 @@ lat_count 5
     fn stray_comment_rejected() {
         let err = lint_exposition("# hello world\n").unwrap_err();
         assert!(err[0].message.contains("unexpected comment"));
+    }
+
+    #[test]
+    fn duplicate_sample_rejected() {
+        let body = "\
+# TYPE q_total counter
+q_total{algo=\"HEAP\"} 3
+q_total{algo=\"HEAP\"} 5
+";
+        let err = lint_exposition(body).unwrap_err();
+        assert!(
+            err.iter()
+                .any(|e| e.message.contains("duplicate sample") && e.line == 3),
+            "{err:?}"
+        );
+        // Distinct label values are distinct series, not duplicates.
+        let ok = "\
+# TYPE q_total counter
+q_total{algo=\"HEAP\"} 3
+q_total{algo=\"EXH\"} 5
+";
+        lint_exposition(ok).expect("distinct series are clean");
     }
 
     #[test]

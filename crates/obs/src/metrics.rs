@@ -309,7 +309,7 @@ impl Registry {
                     kind,
                     series: Vec::new(),
                 });
-                // lint: allow(expect) — the push on the line above makes the
+                // analyze: allow(panic-path) — the push on the line above makes the
                 // vec non-empty.
                 families.last_mut().expect("just pushed")
             }
@@ -319,12 +319,12 @@ impl Registry {
             .map(|(k, v)| (k.to_string(), v.to_string()))
             .collect();
         if let Some(s) = family.series.iter().find(|s| s.labels == wanted) {
-            // lint: allow(expect) — the kind check above guarantees the
+            // analyze: allow(panic-path) — the kind check above guarantees the
             // cast succeeds.
             return cast(&s.handle).expect("kind checked above");
         }
         let handle = make();
-        // lint: allow(expect) — `make()` constructs the exact handle
+        // analyze: allow(panic-path) — `make()` constructs the exact handle
         // kind requested.
         let out = cast(&handle).expect("make() produced the requested kind");
         family.series.push(Series {

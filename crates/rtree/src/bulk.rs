@@ -59,7 +59,7 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
             let node = Node::Leaf(group);
             let id = tree.alloc_write(&node)?;
             entries.push(InnerEntry::new(
-                // lint: allow(expect) — tiles are non-empty chunks of a
+                // analyze: allow(panic-path) — tiles are non-empty chunks of a
                 // non-empty input.
                 node.mbr().expect("non-empty tile"),
                 id,
@@ -87,7 +87,7 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
                 };
                 let id = tree.alloc_write(&node)?;
                 next.push(InnerEntry::new(
-                    // lint: allow(expect) — tiles are non-empty chunks of a
+                    // analyze: allow(panic-path) — tiles are non-empty chunks of a
                     // non-empty input.
                     node.mbr().expect("non-empty tile"),
                     id,
@@ -98,7 +98,7 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
             height += 1;
         }
 
-        // lint: allow(expect) — the packing loop terminates with
+        // analyze: allow(panic-path) — the packing loop terminates with
         // exactly one root entry.
         let root_entry = entries.pop().expect("at least one entry");
         tree.set_descriptor_after_bulk(root_entry.child, height, objects.len() as u64);

@@ -98,7 +98,7 @@ pub fn encode_node<const D: usize, O: SpatialObject<D>>(
 }
 
 fn read_f64(buf: &[u8], off: usize) -> f64 {
-    // lint: allow(expect) — fixed 8-byte window; callers check the
+    // analyze: allow(panic-path) — fixed 8-byte window; callers check the
     // page length, so the conversion cannot fail.
     f64::from_le_bytes(buf[off..off + 8].try_into().expect("8-byte slice"))
 }
@@ -116,7 +116,7 @@ pub fn decode_node<const D: usize, O: SpatialObject<D>>(
     }
     let kind = buf[0];
     let level = buf[1];
-    // lint: allow(expect) — fixed-width header field of a
+    // analyze: allow(panic-path) — fixed-width header field of a
     // length-checked page.
     let count = u16::from_le_bytes(buf[2..4].try_into().expect("2-byte slice")) as usize;
     match kind {
@@ -140,7 +140,7 @@ pub fn decode_node<const D: usize, O: SpatialObject<D>>(
             for _ in 0..count {
                 let object = O::decode(&buf[off..off + osz]);
                 off += osz;
-                // lint: allow(expect) — fixed-width field of a length-checked
+                // analyze: allow(panic-path) — fixed-width field of a length-checked
                 // entry region.
                 let oid = u64::from_le_bytes(buf[off..off + 8].try_into().expect("8-byte slice"));
                 off += 8;
@@ -176,12 +176,12 @@ pub fn decode_node<const D: usize, O: SpatialObject<D>>(
                     off += 8;
                 }
                 let child = PageId(u32::from_le_bytes(
-                    // lint: allow(expect) — fixed-width field of a length-checked
+                    // analyze: allow(panic-path) — fixed-width field of a length-checked
                     // entry region.
                     buf[off..off + 4].try_into().expect("4-byte slice"),
                 ));
                 off += 4;
-                // lint: allow(expect) — fixed-width field of a length-checked
+                // analyze: allow(panic-path) — fixed-width field of a length-checked
                 // entry region.
                 let cnt = u32::from_le_bytes(buf[off..off + 4].try_into().expect("4-byte slice"));
                 off += 4;

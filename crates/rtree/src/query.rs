@@ -111,7 +111,7 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
         let mut worst: BinaryHeap<Dist2> = BinaryHeap::with_capacity(k + 1);
         let bound = |worst: &BinaryHeap<Dist2>| {
             if worst.len() >= k {
-                // lint: allow(expect) — guarded by the length check above.
+                // analyze: allow(panic-path) — guarded by the length check above.
                 *worst.peek().expect("k >= 1")
             } else {
                 Dist2::INFINITY

@@ -221,7 +221,7 @@ impl<const D: usize> StrTiling<D> {
             rest = tail;
             children.push(Self::split_node(seg, dim + 1, budgets[i], next));
         }
-        // lint: allow(expect) — budgets has exactly bounds.len() + 1 entries.
+        // analyze: allow(panic-path) — budgets has exactly bounds.len() + 1 entries.
         let last_budget = *budgets.last().expect("last slab budget");
         children.push(Self::split_node(rest, dim + 1, last_budget, next));
         TileNode::Split {
@@ -411,7 +411,6 @@ mod tests {
             counts[tiling.tile_of(p)] += 1;
         }
         let (min, max) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
-        // lint: allow(unwrap) — counts is non-empty by construction.
         assert!(
             max <= min * 3,
             "uniform data should tile roughly evenly: {counts:?}"

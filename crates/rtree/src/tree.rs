@@ -204,7 +204,7 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
     /// reachable from a snapshot. Panics outside COW mode (a programming
     /// error, not a data error).
     pub fn cow_take(&mut self) -> CowDelta {
-        // lint: allow(expect) — cow_take outside cow_enable is a caller
+        // analyze: allow(panic-path) — cow_take outside cow_enable is a caller
         // bug; the live layer always pairs them.
         let state = self.cow.as_mut().expect("cow_take without cow_enable");
         let delta = CowDelta {
@@ -319,7 +319,7 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
 
     fn entry_for(&self, id: PageId, node: &Node<D, O>) -> InnerEntry<D> {
         InnerEntry::new(
-            // lint: allow(expect) — entry_for links only freshly written
+            // analyze: allow(panic-path) — entry_for links only freshly written
             // non-empty nodes.
             node.mbr().expect("entry_for on empty node"),
             id,
@@ -502,7 +502,7 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
             .params
             .reinsert_count
             .min(node.len() - self.params.min_entries);
-        // lint: allow(expect) — reinsert fires on overflowing (hence
+        // analyze: allow(panic-path) — reinsert fires on overflowing (hence
         // non-empty) nodes.
         let center = node.mbr().expect("reinsert on empty node").center();
         match node {

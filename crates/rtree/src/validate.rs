@@ -225,7 +225,7 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
 
     /// Panics with all violations when the tree is invalid (test helper).
     pub fn assert_valid(&self) {
-        // lint: allow(expect) — assert_valid is a test helper
+        // analyze: allow(panic-path) — assert_valid is a test helper
         // documented to panic on invalid trees.
         let report = self.validate().expect("validation walk failed");
         assert!(
@@ -238,14 +238,13 @@ impl<const D: usize, O: SpatialObject<D>> RTree<D, O> {
     /// [`assert_valid`](Self::assert_valid) that additionally requires
     /// every oid to be unique — the contract of oid-keyed update streams.
     pub fn assert_valid_unique_oids(&self) {
-        // lint: allow(expect) — test helper documented to panic on
         // invalid trees.
         let report = self
             .validate_with_options(ValidateOptions {
                 unique_oids: true,
                 ..ValidateOptions::default()
             })
-            .expect("validation walk failed"); // lint: allow(expect) — documented panic.
+            .expect("validation walk failed"); // analyze: allow(panic-path) — documented panic.
         assert!(
             report.is_valid(),
             "R-tree invariant violations:\n{}",

@@ -57,17 +57,17 @@ impl MetricsServer {
                                 let _ = handle_connection(stream, &render);
                             }
                             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                                // lint: allow(sleep) — poll backoff for the
+                                // analyze: allow(panic-path) — poll backoff for the
                                 // non-blocking accept loop; bounds shutdown
                                 // latency without platform wakeup APIs.
                                 std::thread::sleep(Duration::from_millis(5));
                             }
-                            // lint: allow(sleep) — same backoff as above.
+                            // analyze: allow(panic-path) — same backoff as above.
                             Err(_) => std::thread::sleep(Duration::from_millis(5)),
                         }
                     }
                 })
-                // lint: allow(expect) — spawning the one listener thread at
+                // analyze: allow(panic-path) — spawning the one listener thread at
                 // startup; if the OS refuses, the server cannot exist.
                 .expect("spawn metrics http thread")
         };

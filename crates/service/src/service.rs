@@ -269,7 +269,7 @@ impl<const D: usize, O: SpatialObject<D>> CpqService<D, O> {
                 std::thread::Builder::new()
                     .name(format!("cpq-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
-                    // lint: allow(expect) — spawn fails only on OS resource
+                    // analyze: allow(panic-path) — spawn fails only on OS resource
                     // exhaustion; the service cannot run without its workers.
                     .expect("spawn worker thread")
             })
@@ -410,7 +410,7 @@ impl<const D: usize, O: SpatialObject<D>> CpqService<D, O> {
     fn stop(&mut self) {
         self.shared.queue.close();
         for h in self.workers.drain(..) {
-            // lint: allow(expect) — a panicking worker is a bug; propagate
+            // analyze: allow(panic-path) — a panicking worker is a bug; propagate
             // the panic instead of shutting down silently.
             h.join().expect("worker thread panicked");
         }

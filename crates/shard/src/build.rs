@@ -76,7 +76,7 @@ impl<const D: usize, O: SpatialObject<D>> ShardedTree<D, O> {
                 }
             };
             let mbr = tree.root_mbr()?;
-            // lint: allow(expect) — the group is non-empty, so the tree is.
+            // analyze: allow(panic-path) — the group is non-empty, so the tree is.
             let mbr = mbr.expect("non-empty shard tree has a root MBR");
             metas.push(ShardMeta {
                 id: shard_id as u32,

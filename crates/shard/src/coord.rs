@@ -494,7 +494,7 @@ fn run_sharded<const D: usize, O: SpatialObject<D>>(
             .collect();
         handles
             .into_iter()
-            // lint: allow(expect) — a panicking worker is a bug; propagate
+            // analyze: allow(panic-path) — a panicking worker is a bug; propagate
             // the panic rather than fabricate a result.
             .map(|h| h.join().expect("shard workers never panic"))
             .collect()

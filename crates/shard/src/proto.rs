@@ -118,13 +118,13 @@ impl<'a> Reader<'a> {
 
     fn u32(&mut self) -> Result<u32, ProtoError> {
         let b = self.take(4)?;
-        // lint: allow(expect) — take(4) returned exactly 4 bytes.
+        // analyze: allow(panic-path) — take(4) returned exactly 4 bytes.
         Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
     }
 
     fn u64(&mut self) -> Result<u64, ProtoError> {
         let b = self.take(8)?;
-        // lint: allow(expect) — take(8) returned exactly 8 bytes.
+        // analyze: allow(panic-path) — take(8) returned exactly 8 bytes.
         Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
     }
 

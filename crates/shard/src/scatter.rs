@@ -84,7 +84,6 @@ impl Scatter {
     /// pair's `MINMINDIST` strictly exceeds the shared bound, in which
     /// case the whole queue is counted pruned and dropped at once.
     pub fn next(&self) -> Option<Task> {
-        // lint: allow(expect) — a poisoned lock means a worker panicked;
         // propagate the panic.
         let mut st = self.state.lock().expect("scatter state poisoned");
         if st.cancelled {
@@ -128,7 +127,6 @@ impl Scatter {
     /// Peeks the shard pair that will be dispatched next (prefetch hint
     /// for the coordinator; racy by nature, which is fine for a hint).
     pub fn peek_next(&self) -> Option<(u32, u32)> {
-        // lint: allow(expect) — poisoned lock: propagate the panic.
         let st = self.state.lock().expect("scatter state poisoned");
         st.pending.peek().map(|t| (t.0.shard_p, t.0.shard_q))
     }
@@ -136,14 +134,12 @@ impl Scatter {
     /// Stops dispatch: subsequent [`next`](Self::next) calls return `None`
     /// immediately (pending tasks are neither opened nor counted pruned).
     pub fn cancel(&self) {
-        // lint: allow(expect) — poisoned lock: propagate the panic.
         self.state.lock().expect("scatter state poisoned").cancelled = true;
     }
 
     /// Counter snapshot (call after the workers are joined for final
     /// numbers).
     pub fn counts(&self) -> ScatterCounts {
-        // lint: allow(expect) — poisoned lock: propagate the panic.
         self.state.lock().expect("scatter state poisoned").counts
     }
 }

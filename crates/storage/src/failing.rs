@@ -126,7 +126,7 @@ impl PageFile for FailingPageFile {
         let seen = c.reads_seen.fetch_add(1, Ordering::SeqCst) + 1;
         let nanos = c.slow_read_nanos.load(Ordering::SeqCst);
         if nanos > 0 {
-            // lint: allow(sleep) — the simulated slow disk *is* the
+            // analyze: allow(panic-path) — the simulated slow disk *is* the
             // feature; latency injection has no condvar to wait on.
             std::thread::sleep(Duration::from_nanos(nanos));
         }

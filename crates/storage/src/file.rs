@@ -336,7 +336,7 @@ impl DiskPageFile {
         let mut header = [0u8; HEADER_LEN as usize];
         file.seek(SeekFrom::Start(0))?;
         file.read_exact(&mut header)?;
-        // lint: allow(unwrap) — 4-byte windows of a fixed-size header
+        // analyze: allow(panic-path) — 4-byte windows of a fixed-size header
         // buffer cannot fail the slice-to-array conversion.
         let word = |at: usize| u32::from_le_bytes(header[at..at + 4].try_into().unwrap());
         let magic = word(0);
@@ -492,7 +492,7 @@ impl DiskPageFile {
         let stored = u32::from_le_bytes(
             raw[start + self.page_size..start + stride]
                 .try_into()
-                // lint: allow(expect) — a 4-byte window of the stride
+                // analyze: allow(panic-path) — a 4-byte window of the stride
                 // buffer cannot fail the slice-to-array conversion.
                 .expect("trailer window is 4 bytes"),
         );

@@ -156,7 +156,6 @@ impl Completion {
 
     /// Publishes the result and wakes every waiter. Called exactly once.
     fn set(&self, result: StorageResult<PageBytes>) {
-        // lint: allow(expect) — poisoning is unrecoverable for a
         // completion flag (a panicked setter leaves waiters stuck anyway).
         let mut slot = self.slot.lock().expect("completion lock poisoned");
         debug_assert!(slot.is_none(), "completion set twice");
@@ -166,13 +165,11 @@ impl Completion {
 
     /// Blocks until the result is published, then returns a copy of it.
     fn wait(&self) -> StorageResult<PageBytes> {
-        // lint: allow(expect) — see `set`.
         let mut slot = self.slot.lock().expect("completion lock poisoned");
         loop {
             match &*slot {
                 Some(Ok(bytes)) => return Ok(bytes.clone()),
                 Some(Err(e)) => return Err(e.duplicate()),
-                // lint: allow(expect) — see `set`.
                 None => slot = self.cv.wait(slot).expect("completion lock poisoned"),
             }
         }
@@ -180,7 +177,6 @@ impl Completion {
 
     /// Non-blocking probe: the result if it has been published.
     fn poll(&self) -> Option<StorageResult<PageBytes>> {
-        // lint: allow(expect) — see `set`.
         let slot = self.slot.lock().expect("completion lock poisoned");
         match &*slot {
             Some(Ok(bytes)) => Some(Ok(bytes.clone())),
@@ -316,18 +312,15 @@ impl SchedShared {
     }
 
     fn lock_state(&self) -> MutexGuard<'_, SchedState> {
-        // lint: allow(expect) — scheduler mutex poisoning is unrecoverable
         // (queues and pending flags would be undefined).
         self.state.lock().expect("scheduler mutex poisoned")
     }
 
     fn file_read(&self) -> RwLockReadGuard<'_, Box<dyn PageFile>> {
-        // lint: allow(expect) — see `lock_state`.
         self.file.read().expect("scheduler file lock poisoned")
     }
 
     fn file_write(&self) -> RwLockWriteGuard<'_, Box<dyn PageFile>> {
-        // lint: allow(expect) — see `lock_state`.
         self.file.write().expect("scheduler file lock poisoned")
     }
 
@@ -567,7 +560,6 @@ fn worker_loop(shared: Arc<SchedShared>) {
             if st.queued() > 0 {
                 break;
             }
-            // lint: allow(expect) — see `SchedShared::lock_state`.
             st = shared.wake.wait(st).expect("scheduler mutex poisoned");
         }
     }

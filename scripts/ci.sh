@@ -18,8 +18,24 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test --workspace -q
 
-echo "==> cpq_lint (ordering justifications, forbid(unsafe_code), panic paths, shim migration)"
-./target/release/cpq_lint .
+# Analyze tier: metrics_lint serves the real service, scrapes /metrics,
+# lints the exposition, and writes its diagnostics as a report fragment;
+# cpq_analyze runs the pass registry (lock-order, atomics-pairing,
+# panic-surface, blocking-section, plus the ported line checks) over the
+# workspace source, merges the fragment, and archives one report. Any
+# unwaived diagnostic fails the gate.
+echo "==> metrics smoke (serve, scrape /metrics, exposition lint, core-series check)"
+./target/release/metrics_lint
+
+echo "==> cpq_analyze (multi-pass static analysis + metrics fragment -> analysis_report.json)"
+ANALYZE_FLAGS="--merge target/metrics_report.json"
+if [ "${1:-}" = "--full" ]; then
+    # --full adds the stale-waiver audit and the whole-workspace
+    # Relaxed-justification sweep.
+    ANALYZE_FLAGS="$ANALYZE_FLAGS --stale --full-atomics"
+fi
+# shellcheck disable=SC2086  # ANALYZE_FLAGS is a flag list by construction
+./target/release/cpq_analyze --root . --out target/analysis_report.json $ANALYZE_FLAGS
 
 # Model-check smoke tier: the concurrency shim is compiled in scheduler mode
 # (--cfg cpq_model) and the harnesses run exhaustive/bounded DFS on the small
@@ -44,9 +60,6 @@ model_test -p cpq-live --lib model_tests
 echo "==> bench_service --smoke --profile (service end-to-end + divergence + obs gate)"
 ./target/release/bench_service --smoke --profile \
     --out /tmp/BENCH_service_smoke.json --obs-out /tmp/BENCH_obs_smoke.json >/dev/null
-
-echo "==> metrics smoke (serve, scrape /metrics, exposition lint, core-series check)"
-./target/release/metrics_lint
 
 echo "==> bench_parallel --smoke (parallel descent speedup + zero-divergence gate)"
 ./target/release/bench_parallel --smoke --out /tmp/BENCH_parallel_smoke.json >/dev/null

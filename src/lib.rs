@@ -26,6 +26,7 @@
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod shell;
 
